@@ -1,0 +1,325 @@
+(* vids-cli: drive the simulated enterprise testbed and the intrusion
+   detection system from the command line.
+
+   Subcommands:
+     simulate   run the Figure-7 workload and print performance metrics
+     detect     run attack scenarios and print the alert log
+     parse      parse a SIP message from a file and dump its structure
+     export-fsm print the Graphviz rendering of a protocol/attack machine *)
+
+let sec = Dsim.Time.of_sec
+
+module T = Voip.Testbed
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mode_of_string = function
+  | "inline" -> Ok T.Inline
+  | "monitor" -> Ok T.Monitor
+  | "off" -> Ok T.Off
+  | s -> Error (Printf.sprintf "unknown vids mode %S (inline|monitor|off)" s)
+
+let simulate seed n_ua mode_str minutes mean_gap mean_talk =
+  match mode_of_string mode_str with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok mode ->
+      let tb = T.make ~seed ~n_ua ~vids:mode () in
+      let profile =
+        {
+          Voip.Call_generator.mean_interarrival = sec mean_gap;
+          mean_duration = sec mean_talk;
+          min_duration = sec 5.0;
+        }
+      in
+      T.run_workload tb ~profile ~duration:(sec (60.0 *. minutes)) ();
+      let m = tb.T.metrics in
+      Format.printf "workload: %d calls attempted, %d established, %d completed, %d failed@."
+        (Voip.Metrics.attempted m) (Voip.Metrics.established m) (Voip.Metrics.completed m)
+        (Voip.Metrics.failed m);
+      Format.printf "call setup delay: %a@." Dsim.Stat.Summary.pp (Voip.Metrics.setup_all m);
+      let rtp = Dsim.Stat.Series.summary (Voip.Metrics.rtp_delay m) in
+      Format.printf "rtp one-way delay: mean %.2f ms (n=%d)@."
+        (1000.0 *. Dsim.Stat.Summary.mean rtp)
+        (Dsim.Stat.Summary.count rtp);
+      Format.printf "rtp jitter: mean %.3g s@."
+        (Dsim.Stat.Summary.mean (Voip.Metrics.jitter_summary m));
+      (match tb.T.engine with
+      | None -> ()
+      | Some engine ->
+          let c = Vids.Engine.counters engine in
+          let stats = Vids.Engine.memory_stats engine in
+          Format.printf
+            "vIDS: %d sip, %d rtp, %d alerts, %d anomalies; peak %d calls (%d B modeled)@."
+            c.Vids.Engine.sip_packets c.Vids.Engine.rtp_packets c.Vids.Engine.alerts_raised
+            c.Vids.Engine.anomalies stats.Vids.Fact_base.peak_calls
+            (stats.Vids.Fact_base.peak_calls
+            * (Vids.Config.default.Vids.Config.sip_state_bytes
+              + Vids.Config.default.Vids.Config.rtp_state_bytes));
+          List.iter (fun a -> Format.printf "  %a@." Vids.Alert.pp a) (Vids.Engine.alerts engine));
+      0
+
+(* ------------------------------------------------------------------ *)
+(* detect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_attacks = [ "bye-dos"; "cancel-dos"; "hijack"; "media-spam"; "billing-fraud";
+                    "invite-flood"; "rtp-flood"; "drdos" ]
+
+let detect seed attacks =
+  let attacks = if attacks = [] then all_attacks else attacks in
+  let tb = T.make ~seed ~vids:T.Monitor () in
+  let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
+  let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
+  let unknown = ref [] in
+  List.iteri
+    (fun i name ->
+      let at = sec (5.0 +. (25.0 *. float_of_int i)) in
+      let pair = i mod 8 in
+      match name with
+      | "bye-dos" ->
+          Attack.Scenarios.spoofed_bye_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "cancel-dos" ->
+          Attack.Scenarios.cancel_dos_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "hijack" -> Attack.Scenarios.hijack_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "media-spam" ->
+          Attack.Scenarios.media_spam_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "billing-fraud" ->
+          Attack.Scenarios.billing_fraud_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "invite-flood" ->
+          Attack.Scenarios.invite_flood atk ~target:(Voip.Ua.aor (ua_b pair)) ~via_proxy:true
+            ~count:25 ~interval:(Dsim.Time.of_ms 40.0) ~at
+      | "rtp-flood" ->
+          Attack.Scenarios.rtp_flood atk ~target:(Dsim.Addr.v (T.ua_b_host tb pair) 16500)
+            ~rate_pps:400 ~duration:(sec 2.0) ~at
+      | "drdos" ->
+          Attack.Scenarios.drdos atk ~victim_host:(T.ua_b_host tb pair) ~reflectors:20
+            ~responses:60 ~at
+      | other -> unknown := other :: !unknown)
+    attacks;
+  match !unknown with
+  | _ :: _ ->
+      Format.eprintf "unknown attacks: %s (choose from %s)@."
+        (String.concat ", " !unknown) (String.concat ", " all_attacks);
+      1
+  | [] ->
+      T.run_until tb (sec (40.0 +. (25.0 *. float_of_int (List.length attacks))));
+      let engine = T.engine_exn tb in
+      List.iter (fun a -> Format.printf "%a@." Vids.Alert.pp a) (Vids.Engine.alerts engine);
+      let c = Vids.Engine.counters engine in
+      Format.printf "%d distinct alert(s); %d duplicates suppressed@." c.Vids.Engine.alerts_raised
+        c.Vids.Engine.alerts_suppressed;
+      0
+
+(* ------------------------------------------------------------------ *)
+(* record / analyze: offline trace workflow                            *)
+(* ------------------------------------------------------------------ *)
+
+let record seed attacks path =
+  let attacks = if attacks = [] then all_attacks else attacks in
+  let tb = T.make ~seed ~vids:T.Off () in
+  let recorder = Vids.Trace.recorder () in
+  Dsim.Network.set_tap tb.T.vids_node (Some (Vids.Trace.tap recorder tb.T.sched));
+  let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
+  let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
+  List.iteri
+    (fun i name ->
+      let at = sec (5.0 +. (25.0 *. float_of_int i)) in
+      let pair = i mod 8 in
+      match name with
+      | "bye-dos" ->
+          Attack.Scenarios.spoofed_bye_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "cancel-dos" ->
+          Attack.Scenarios.cancel_dos_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "hijack" -> Attack.Scenarios.hijack_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "media-spam" ->
+          Attack.Scenarios.media_spam_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "billing-fraud" ->
+          Attack.Scenarios.billing_fraud_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "invite-flood" ->
+          Attack.Scenarios.invite_flood atk ~target:(Voip.Ua.aor (ua_b pair)) ~via_proxy:true
+            ~count:25 ~interval:(Dsim.Time.of_ms 40.0) ~at
+      | "rtp-flood" ->
+          Attack.Scenarios.rtp_flood atk ~target:(Dsim.Addr.v (T.ua_b_host tb pair) 16500)
+            ~rate_pps:400 ~duration:(sec 2.0) ~at
+      | "drdos" ->
+          Attack.Scenarios.drdos atk ~victim_host:(T.ua_b_host tb pair) ~reflectors:20
+            ~responses:60 ~at
+      | other -> Format.eprintf "skipping unknown attack %S@." other)
+    attacks;
+  T.run_until tb (sec (40.0 +. (25.0 *. float_of_int (List.length attacks))));
+  let records = Vids.Trace.records recorder in
+  let oc = open_out path in
+  Vids.Trace.save oc records;
+  close_out oc;
+  Format.printf "wrote %d packets to %s@." (List.length records) path;
+  0
+
+let analyze path =
+  let ic = open_in path in
+  let loaded = Vids.Trace.load ic in
+  close_in ic;
+  match loaded with
+  | Error e ->
+      Format.eprintf "trace error: %s@." e;
+      1
+  | Ok records ->
+      Format.printf "replaying %d packets...@." (List.length records);
+      let engine = Vids.Trace.replay records in
+      Vids.Report.full Format.std_formatter engine;
+      0
+
+(* ------------------------------------------------------------------ *)
+(* parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Sip.Msg.parse text with
+  | Error e ->
+      Format.eprintf "parse error: %s@." e;
+      1
+  | Ok msg ->
+      Format.printf "%a@." Sip.Msg.pp msg;
+      (match msg.Sip.Msg.start with
+      | Sip.Msg.Request { meth; uri } ->
+          Format.printf "  request: %a %s@." Sip.Msg_method.pp meth (Sip.Uri.to_string uri)
+      | Sip.Msg.Response { code; reason } -> Format.printf "  response: %d %s@." code reason);
+      Sip.Header.fold
+        (fun name value () -> Format.printf "  %s: %s@." name value)
+        msg.Sip.Msg.headers ();
+      if msg.Sip.Msg.body <> "" then begin
+        match Sip.Msg.content_type msg with
+        | Some "application/sdp" -> (
+            match Sdp.parse msg.Sip.Msg.body with
+            | Ok d ->
+                List.iter
+                  (fun m ->
+                    Format.printf "  sdp media: %s port %d formats %s@." m.Sdp.media_type
+                      m.Sdp.port
+                      (String.concat "," (List.map string_of_int m.Sdp.formats)))
+                  d.Sdp.media
+            | Error e -> Format.printf "  sdp parse error: %s@." e)
+        | _ -> Format.printf "  body: %d bytes@." (String.length msg.Sip.Msg.body)
+      end;
+      0
+
+(* ------------------------------------------------------------------ *)
+(* export-fsm                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let machines =
+  [
+    ("sip-call", fun () -> Vids.Sip_call_machine.spec Vids.Config.default);
+    ("rtp-call", fun () -> Vids.Rtp_call_machine.spec Vids.Config.default);
+    ("invite-flood", fun () -> Vids.Invite_flood_machine.spec Vids.Config.default);
+    ("media-spam", fun () -> Vids.Media_spam_machine.spec Vids.Config.default);
+    ("drdos", fun () -> Vids.Drdos_machine.spec Vids.Config.default);
+  ]
+
+let check_specs () =
+  let failures = ref 0 in
+  List.iter
+    (fun (name, spec) ->
+      let spec = spec () in
+      (match Efsm.Analysis.check spec with
+      | Ok () ->
+          let r = Efsm.Analysis.analyze spec in
+          Format.printf "%-14s ok: %d states reachable, %d transitions@." name
+            (List.length r.Efsm.Analysis.reachable)
+            (List.length spec.Efsm.Machine.transitions)
+      | Error e ->
+          incr failures;
+          Format.printf "%-14s FAILED: %s@." name e))
+    machines;
+  if !failures = 0 then 0 else 1
+
+let export_fsm name =
+  match List.assoc_opt name machines with
+  | Some spec ->
+      print_string (Efsm.Dot.of_spec (spec ()));
+      0
+  | None ->
+      Format.eprintf "unknown machine %S (choose from %s)@." name
+        (String.concat ", " (List.map fst machines));
+      1
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
+
+let simulate_cmd =
+  let n_ua = Arg.(value & opt int 10 & info [ "uas" ] ~doc:"UAs per enterprise network.") in
+  let mode =
+    Arg.(value & opt string "inline" & info [ "vids" ] ~doc:"vIDS mode: inline|monitor|off.")
+  in
+  let minutes = Arg.(value & opt float 10.0 & info [ "minutes" ] ~doc:"Workload duration.") in
+  let gap =
+    Arg.(value & opt float 120.0 & info [ "mean-gap" ] ~doc:"Mean seconds between calls per UA.")
+  in
+  let talk = Arg.(value & opt float 45.0 & info [ "mean-talk" ] ~doc:"Mean call seconds.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the enterprise workload and report performance")
+    Term.(const simulate $ seed_arg $ n_ua $ mode $ minutes $ gap $ talk)
+
+let detect_cmd =
+  let attacks =
+    Arg.(value & pos_all string [] & info [] ~docv:"ATTACK" ~doc:"Attacks to launch.")
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Launch attack scenarios and print the vIDS alert log")
+    Term.(const detect $ seed_arg $ attacks)
+
+let parse_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse a SIP message from a file") Term.(const parse_file $ file)
+
+let record_cmd =
+  let attacks =
+    Arg.(value & pos_all string [] & info [] ~docv:"ATTACK" ~doc:"Attacks to include.")
+  in
+  let out =
+    Arg.(value & opt string "vids.trace" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Capture sensor traffic (with attacks) to a trace file")
+    Term.(const record $ seed_arg $ attacks $ out)
+
+let analyze_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Replay a recorded trace through vIDS offline")
+    Term.(const analyze $ file)
+
+let check_specs_cmd =
+  Cmd.v
+    (Cmd.info "check-specs"
+       ~doc:"Statically lint every protocol/attack machine (reachability, dead ends)")
+    Term.(const check_specs $ const ())
+
+let export_cmd =
+  let machine_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"MACHINE") in
+  Cmd.v
+    (Cmd.info "export-fsm" ~doc:"Print a protocol/attack state machine as Graphviz dot")
+    Term.(const export_fsm $ machine_arg)
+
+let () =
+  let info = Cmd.info "vids-cli" ~version:"1.0.0" ~doc:"VoIP intrusion detection testbed" in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            simulate_cmd; detect_cmd; record_cmd; analyze_cmd; parse_cmd; check_specs_cmd;
+            export_cmd;
+          ]))

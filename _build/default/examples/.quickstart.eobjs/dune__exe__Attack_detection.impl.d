@@ -1,0 +1,1 @@
+examples/attack_detection.ml: Attack Baseline Dsim Format List Vids Voip

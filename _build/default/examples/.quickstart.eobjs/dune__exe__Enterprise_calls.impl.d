@@ -1,0 +1,1 @@
+examples/enterprise_calls.ml: Dsim Format Vids Voip

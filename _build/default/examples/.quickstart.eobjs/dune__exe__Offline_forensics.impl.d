@@ -1,0 +1,1 @@
+examples/offline_forensics.ml: Attack Dsim Filename Format List Result Sys Vids Voip

@@ -1,0 +1,1 @@
+examples/offline_forensics.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dsim Efsm Format Int32 Option Rtp String Vids

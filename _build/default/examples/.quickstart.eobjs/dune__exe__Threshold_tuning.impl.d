@@ -1,0 +1,1 @@
+examples/threshold_tuning.ml: Attack Dsim Format List String Vids Voip

@@ -1,0 +1,1 @@
+lib/attack/forge.ml: Option Rtp Sip String

@@ -1,0 +1,1 @@
+lib/attack/forge.mli: Sip

@@ -1,0 +1,1 @@
+lib/attack/scenarios.ml: Dsim Float Forge Hashtbl Int32 Int64 List Option Printf Sdp Sip Voip

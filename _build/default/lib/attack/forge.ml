@@ -1,0 +1,51 @@
+let na ?tag uri =
+  let params = match tag with None -> [] | Some t -> [ ("tag", Some t) ] in
+  Sip.Name_addr.make ~params uri
+
+let spoofed_bye ~call_id ~from_uri ~from_tag ~to_uri ~to_tag ~via_host ~branch ~cseq () =
+  Sip.Msg.request ~meth:Sip.Msg_method.BYE ~uri:to_uri
+    ~via:(Sip.Via.make ~port:5060 ~branch via_host)
+    ~from_:(na ~tag:from_tag from_uri)
+    ~to_:(na ~tag:to_tag to_uri)
+    ~call_id
+    ~cseq:(Sip.Cseq.make cseq Sip.Msg_method.BYE)
+    ()
+
+let spoofed_cancel ~call_id ~target_uri ~from_uri ~from_tag ~via_host ~branch ~cseq () =
+  Sip.Msg.request ~meth:Sip.Msg_method.CANCEL ~uri:target_uri
+    ~via:(Sip.Via.make ~port:5060 ~branch via_host)
+    ~from_:(na ~tag:from_tag from_uri)
+    ~to_:(na target_uri)
+    ~call_id
+    ~cseq:(Sip.Cseq.make cseq Sip.Msg_method.CANCEL)
+    ()
+
+let invite ~call_id ~target_uri ~from_uri ~from_tag ?to_tag ~via_host ~branch ~cseq ?sdp () =
+  let body = Option.value sdp ~default:"" in
+  let content_type = match sdp with Some _ -> Some "application/sdp" | None -> None in
+  Sip.Msg.request ~meth:Sip.Msg_method.INVITE ~uri:target_uri
+    ~via:(Sip.Via.make ~port:5060 ~branch via_host)
+    ~from_:(na ~tag:from_tag from_uri)
+    ~to_:(na ?tag:to_tag target_uri)
+    ~call_id
+    ~cseq:(Sip.Cseq.make cseq Sip.Msg_method.INVITE)
+    ~contact:(na (Sip.Uri.make via_host))
+    ~body ?content_type ()
+
+let fake_response ~code ~call_id ~to_host ~branch () =
+  let victim_uri = Sip.Uri.make to_host in
+  let req =
+    Sip.Msg.request ~meth:Sip.Msg_method.OPTIONS ~uri:victim_uri
+      ~via:(Sip.Via.make ~port:5060 ~branch to_host)
+      ~from_:(na ~tag:"refl" victim_uri)
+      ~to_:(na victim_uri)
+      ~call_id
+      ~cseq:(Sip.Cseq.make 1 Sip.Msg_method.OPTIONS)
+      ()
+  in
+  Sip.Msg.response_to req ~code ~to_tag:"reflected" ()
+
+let rtp_with ~ssrc ~seq ~ts ?(payload_type = 18) ~payload_len () =
+  Rtp.Rtp_packet.encode
+    (Rtp.Rtp_packet.make ~payload_type ~sequence:seq ~timestamp:ts ~ssrc
+       (String.make payload_len '\xAA'))

@@ -1,0 +1,59 @@
+(** Message forgery helpers shared by the attack injectors.
+
+    Everything here builds syntactically valid protocol messages with
+    attacker-chosen identity fields — the threat model of paper §3 assumes
+    no cryptographic authentication, so a forged message is indistinguishable
+    from a genuine one except by the stateful cross-protocol analysis vIDS
+    performs. *)
+
+val spoofed_bye :
+  call_id:string ->
+  from_uri:Sip.Uri.t ->
+  from_tag:string ->
+  to_uri:Sip.Uri.t ->
+  to_tag:string ->
+  via_host:string ->
+  branch:string ->
+  cseq:int ->
+  unit ->
+  Sip.Msg.t
+(** A BYE claiming to come from [from_uri;tag=from_tag]. *)
+
+val spoofed_cancel :
+  call_id:string ->
+  target_uri:Sip.Uri.t ->
+  from_uri:Sip.Uri.t ->
+  from_tag:string ->
+  via_host:string ->
+  branch:string ->
+  cseq:int ->
+  unit ->
+  Sip.Msg.t
+
+val invite :
+  call_id:string ->
+  target_uri:Sip.Uri.t ->
+  from_uri:Sip.Uri.t ->
+  from_tag:string ->
+  ?to_tag:string ->
+  via_host:string ->
+  branch:string ->
+  cseq:int ->
+  ?sdp:string ->
+  unit ->
+  Sip.Msg.t
+(** An INVITE; pass [to_tag] to forge an in-dialog (hijacking) INVITE. *)
+
+val fake_response :
+  code:int ->
+  call_id:string ->
+  to_host:string ->
+  branch:string ->
+  unit ->
+  Sip.Msg.t
+(** An unsolicited response, as a DRDoS reflector would emit toward the
+    spoofed victim. *)
+
+val rtp_with :
+  ssrc:int32 -> seq:int -> ts:int32 -> ?payload_type:int -> payload_len:int -> unit -> string
+(** Encoded RTP bytes with chosen header fields. *)

@@ -1,0 +1,1 @@
+lib/baseline/rule_lang.ml: Buffer Dsim List Printf Result Rtp Sip Snort_like String Vids

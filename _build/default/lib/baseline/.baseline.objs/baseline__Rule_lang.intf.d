@@ -1,0 +1,1 @@
+lib/baseline/rule_lang.mli: Snort_like

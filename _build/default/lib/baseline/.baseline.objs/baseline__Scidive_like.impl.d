@@ -1,0 +1,1 @@
+lib/baseline/scidive_like.ml: Dsim Hashtbl Sdp Sip String Vids

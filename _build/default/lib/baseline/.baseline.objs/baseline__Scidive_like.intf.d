@@ -1,0 +1,1 @@
+lib/baseline/scidive_like.mli: Dsim Vids

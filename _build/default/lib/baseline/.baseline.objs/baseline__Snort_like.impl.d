@@ -1,0 +1,1 @@
+lib/baseline/snort_like.ml: Char Dsim List Result Rtp Sip String Vids

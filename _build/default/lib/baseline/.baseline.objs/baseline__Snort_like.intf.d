@@ -1,0 +1,1 @@
+lib/baseline/snort_like.mli: Dsim Vids

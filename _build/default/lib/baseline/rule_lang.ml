@@ -1,0 +1,226 @@
+type proto = P_sip | P_rtp | P_any
+
+type compiled = {
+  c_msg : string;
+  c_kind : Vids.Alert.kind;
+  c_proto : proto;
+  c_src_host : string option;
+  c_src_port : int option;
+  c_dst_host : string option;
+  c_dst_port : int option;
+  c_method : Sip.Msg_method.t option;
+  c_code : int option;
+  c_payload_type : int option;
+  c_content : string option;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let kind_of_string = function
+  | "invite-flood" -> Ok Vids.Alert.Invite_flood
+  | "bye-dos" -> Ok Vids.Alert.Bye_dos
+  | "cancel-dos" -> Ok Vids.Alert.Cancel_dos
+  | "media-spam" -> Ok Vids.Alert.Media_spam
+  | "rtp-flood" -> Ok Vids.Alert.Rtp_flood
+  | "call-hijack" -> Ok Vids.Alert.Call_hijack
+  | "billing-fraud" -> Ok Vids.Alert.Billing_fraud
+  | "drdos" -> Ok Vids.Alert.Drdos
+  | "registration-hijack" -> Ok Vids.Alert.Registration_hijack
+  | "spec-deviation" -> Ok Vids.Alert.Spec_deviation
+  | other -> Error (Printf.sprintf "unknown alert kind %S" other)
+
+let wildcard_host = function "any" -> Ok None | host -> Ok (Some host)
+
+let wildcard_port = function
+  | "any" -> Ok None
+  | p -> (
+      match int_of_string_opt p with
+      | Some n when n >= 0 && n <= 65535 -> Ok (Some n)
+      | Some _ | None -> Error (Printf.sprintf "bad port %S" p))
+
+(* Split "(msg:"a b"; method:INVITE;)" body into option strings, honouring
+   quoted values. *)
+let split_options body =
+  let parts = ref [] in
+  let buffer = Buffer.create 16 in
+  let in_quotes = ref false in
+  let flush () =
+    let piece = String.trim (Buffer.contents buffer) in
+    Buffer.clear buffer;
+    if piece <> "" then parts := piece :: !parts
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+          in_quotes := not !in_quotes;
+          Buffer.add_char buffer c
+      | ';' when not !in_quotes -> flush ()
+      | c -> Buffer.add_char buffer c)
+    body;
+  flush ();
+  List.rev !parts
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2) else s
+
+let parse_option acc option =
+  match String.index_opt option ':' with
+  | None -> Error (Printf.sprintf "malformed option %S" option)
+  | Some i -> (
+      let key = String.trim (String.sub option 0 i) in
+      let value = String.trim (String.sub option (i + 1) (String.length option - i - 1)) in
+      match key with
+      | "msg" -> Ok { acc with c_msg = unquote value }
+      | "kind" ->
+          let* kind = kind_of_string value in
+          Ok { acc with c_kind = kind }
+      | "method" -> Ok { acc with c_method = Some (Sip.Msg_method.of_string value) }
+      | "code" -> (
+          match int_of_string_opt value with
+          | Some code -> Ok { acc with c_code = Some code }
+          | None -> Error (Printf.sprintf "bad code %S" value))
+      | "payload_type" -> (
+          match int_of_string_opt value with
+          | Some pt -> Ok { acc with c_payload_type = Some pt }
+          | None -> Error (Printf.sprintf "bad payload_type %S" value))
+      | "content" -> Ok { acc with c_content = Some (unquote value) }
+      | other -> Error (Printf.sprintf "unknown option %S" other))
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  n = 0
+  ||
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let matches_packet c (packet : Dsim.Packet.t) =
+  let host_ok expected actual =
+    match expected with None -> true | Some h -> String.equal h actual
+  in
+  let port_ok expected actual =
+    match expected with None -> true | Some p -> p = actual
+  in
+  host_ok c.c_src_host (Dsim.Addr.host packet.src)
+  && port_ok c.c_src_port (Dsim.Addr.port packet.src)
+  && host_ok c.c_dst_host (Dsim.Addr.host packet.dst)
+  && port_ok c.c_dst_port (Dsim.Addr.port packet.dst)
+  &&
+  let is_sip_port =
+    Dsim.Addr.port packet.dst = 5060 || Dsim.Addr.port packet.src = 5060
+  in
+  match c.c_proto with
+  | P_any ->
+      (match c.c_content with None -> true | Some s -> contains ~needle:s packet.payload)
+  | P_sip -> (
+      is_sip_port
+      &&
+      match Sip.Msg.parse packet.payload with
+      | Error _ -> false
+      | Ok msg ->
+          (match c.c_method with
+          | None -> true
+          | Some m -> (
+              match msg.Sip.Msg.start with
+              | Sip.Msg.Request { meth; _ } -> Sip.Msg_method.equal meth m
+              | Sip.Msg.Response _ -> false))
+          && (match c.c_code with
+             | None -> true
+             | Some code -> Sip.Msg.status_of msg = Some code)
+          && (match c.c_content with
+             | None -> true
+             | Some s -> contains ~needle:s packet.payload))
+  | P_rtp -> (
+      (not is_sip_port)
+      &&
+      match Rtp.Rtp_packet.decode packet.payload with
+      | Error _ -> false
+      | Ok p -> (
+          match c.c_payload_type with
+          | None -> true
+          | Some pt -> p.Rtp.Rtp_packet.payload_type = pt))
+
+let compile c =
+  {
+    Snort_like.name = c.c_msg;
+    kind = c.c_kind;
+    matches = (fun packet -> matches_packet c packet);
+  }
+
+let parse_rule line =
+  let line = String.trim line in
+  let* header, options =
+    match String.index_opt line '(' with
+    | None -> Ok (line, "")
+    | Some i ->
+        let header = String.trim (String.sub line 0 i) in
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        let rest =
+          match String.rindex_opt rest ')' with
+          | Some j -> String.sub rest 0 j
+          | None -> rest
+        in
+        Ok (header, rest)
+  in
+  match String.split_on_char ' ' header |> List.filter (fun s -> s <> "") with
+  | [ "alert"; proto; src_host; src_port; "->"; dst_host; dst_port ] ->
+      let* c_proto =
+        match proto with
+        | "sip" -> Ok P_sip
+        | "rtp" -> Ok P_rtp
+        | "any" -> Ok P_any
+        | other -> Error (Printf.sprintf "unknown protocol %S" other)
+      in
+      let* c_src_host = wildcard_host src_host in
+      let* c_src_port = wildcard_port src_port in
+      let* c_dst_host = wildcard_host dst_host in
+      let* c_dst_port = wildcard_port dst_port in
+      let empty =
+        {
+          c_msg = "unnamed rule";
+          c_kind = Vids.Alert.Spec_deviation;
+          c_proto;
+          c_src_host;
+          c_src_port;
+          c_dst_host;
+          c_dst_port;
+          c_method = None;
+          c_code = None;
+          c_payload_type = None;
+          c_content = None;
+        }
+      in
+      let* compiled_rule =
+        List.fold_left
+          (fun acc option ->
+            let* acc = acc in
+            parse_option acc option)
+          (Ok empty) (split_options options)
+      in
+      Ok (compile compiled_rule)
+  | _ -> Error "expected: alert <proto> <src> <sport> -> <dst> <dport> (options)"
+
+let parse_rules text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc line_number = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go acc (line_number + 1) rest
+        else (
+          match parse_rule trimmed with
+          | Ok rule -> go (rule :: acc) (line_number + 1) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" line_number e))
+  in
+  go [] 1 lines
+
+let default_ruleset =
+  {|# vIDS baseline ruleset (stateless)
+# Unsolicited CANCELs from outside are worth a look even without state.
+alert sip any any -> any 5060 (msg:"external CANCEL"; method:CANCEL; kind:cancel-dos;)
+# Registrations should not arrive from the Internet side.
+alert sip any any -> any 5060 (msg:"boundary REGISTER"; method:REGISTER; kind:registration-hijack;)
+# Media with a payload type nobody provisioned.
+alert rtp any any -> any any (msg:"unprovisioned codec"; payload_type:99; kind:media-spam;)
+|}

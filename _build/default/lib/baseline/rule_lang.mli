@@ -1,0 +1,26 @@
+(** A small textual rule language for the stateless matcher, in the style
+    of Snort's rules:
+
+    {v
+    alert sip any any -> any 5060 (msg:"options ping"; method:OPTIONS;)
+    alert rtp any any -> 10.2.0.10 any (msg:"bad codec"; payload_type:99; kind:media-spam;)
+    alert any 203.0.113.66 any -> any any (msg:"known bad host";)
+    v}
+
+    Header: [alert <proto> <src-host> <src-port> -> <dst-host> <dst-port>]
+    with [any] wildcards; [proto] one of [sip], [rtp], [any].
+
+    Options (all optional, all conjunctive): [msg:"..."] (rule name),
+    [kind:<alert-kind>] (one of the vIDS alert-kind names, default
+    spec-deviation), [method:<SIP method>], [code:<status>],
+    [payload_type:<n>], [content:"substring"]. *)
+
+val parse_rule : string -> (Snort_like.rule, string) result
+
+val parse_rules : string -> (Snort_like.rule list, string) result
+(** Whole-file parsing: one rule per line; blank lines and [#] comments are
+    skipped.  Fails with the first offending line number. *)
+
+val default_ruleset : string
+(** A ruleset text equivalent to {!Snort_like.default_rules} plus a few
+    illustrative content rules. *)

@@ -1,0 +1,1 @@
+lib/core/alert.ml: Dsim Format

@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Dsim Rtp Sip

@@ -1,0 +1,1 @@
+lib/core/classifier.mli: Dsim Rtp Sip

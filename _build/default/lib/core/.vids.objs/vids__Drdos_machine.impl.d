@@ -1,0 +1,1 @@
+lib/core/drdos_machine.ml: Config Efsm Printf

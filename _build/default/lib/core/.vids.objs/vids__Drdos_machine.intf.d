@@ -1,0 +1,1 @@
+lib/core/drdos_machine.mli: Config Efsm

@@ -1,0 +1,1 @@
+lib/core/fact_base.ml: Config Drdos_machine Dsim Efsm Hashtbl Invite_flood_machine List Media_spam_machine Printf Rtp_call_machine Sip_call_machine String

@@ -1,0 +1,1 @@
+lib/core/fact_base.mli: Config Dsim Efsm

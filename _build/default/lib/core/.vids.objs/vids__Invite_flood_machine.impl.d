@@ -1,0 +1,1 @@
+lib/core/invite_flood_machine.ml: Config Efsm Printf

@@ -1,0 +1,1 @@
+lib/core/invite_flood_machine.mli: Config Efsm

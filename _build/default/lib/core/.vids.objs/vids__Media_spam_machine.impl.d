@@ -1,0 +1,1 @@
+lib/core/media_spam_machine.ml: Config Efsm Int32 Keys Printf Rtp

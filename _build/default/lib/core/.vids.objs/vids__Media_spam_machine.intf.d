@@ -1,0 +1,1 @@
+lib/core/media_spam_machine.mli: Config Efsm

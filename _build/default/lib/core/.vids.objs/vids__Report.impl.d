@@ -1,0 +1,1 @@
+lib/core/report.ml: Alert Config Dsim Engine Fact_base Format List

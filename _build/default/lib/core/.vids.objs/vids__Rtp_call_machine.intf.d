@@ -1,0 +1,1 @@
+lib/core/rtp_call_machine.mli: Config Efsm

@@ -1,0 +1,1 @@
+lib/core/sip_call_machine.ml: Config Efsm Keys String

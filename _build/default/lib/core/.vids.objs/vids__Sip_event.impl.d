@@ -1,0 +1,1 @@
+lib/core/sip_event.ml: Dsim Efsm Keys Option Sdp Sip String

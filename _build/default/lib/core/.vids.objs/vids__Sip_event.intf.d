@@ -1,0 +1,1 @@
+lib/core/sip_event.mli: Dsim Efsm Sip

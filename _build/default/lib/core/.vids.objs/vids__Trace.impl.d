@@ -1,0 +1,1 @@
+lib/core/trace.ml: Buffer Char Dsim Engine List Printf String

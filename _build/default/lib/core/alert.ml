@@ -1,0 +1,50 @@
+type kind =
+  | Invite_flood
+  | Bye_dos
+  | Cancel_dos
+  | Media_spam
+  | Rtp_flood
+  | Call_hijack
+  | Billing_fraud
+  | Drdos
+  | Registration_hijack
+  | Spec_deviation
+
+let kind_to_string = function
+  | Invite_flood -> "INVITE-flood"
+  | Bye_dos -> "BYE-DoS"
+  | Cancel_dos -> "CANCEL-DoS"
+  | Media_spam -> "media-spam"
+  | Rtp_flood -> "RTP-flood"
+  | Call_hijack -> "call-hijack"
+  | Billing_fraud -> "billing-fraud"
+  | Drdos -> "DRDoS"
+  | Registration_hijack -> "registration-hijack"
+  | Spec_deviation -> "spec-deviation"
+
+let pp_kind ppf kind = Format.pp_print_string ppf (kind_to_string kind)
+
+type severity = Info | Warning | Critical
+
+let default_severity = function
+  | Invite_flood | Bye_dos | Cancel_dos | Media_spam | Rtp_flood | Call_hijack | Billing_fraud
+  | Drdos ->
+      Critical
+  | Registration_hijack | Spec_deviation -> Warning
+
+type t = { kind : kind; severity : severity; at : Dsim.Time.t; subject : string; detail : string }
+
+let make ~kind ?severity ~at ~subject detail =
+  let severity = match severity with Some s -> s | None -> default_severity kind in
+  { kind; severity; at; subject; detail }
+
+let dedup_key t = kind_to_string t.kind ^ "|" ^ t.subject
+
+let pp_severity ppf = function
+  | Info -> Format.pp_print_string ppf "INFO"
+  | Warning -> Format.pp_print_string ppf "WARN"
+  | Critical -> Format.pp_print_string ppf "CRIT"
+
+let pp ppf t =
+  Format.fprintf ppf "[%a] %a %a subject=%s: %s" Dsim.Time.pp t.at pp_severity t.severity pp_kind
+    t.kind t.subject t.detail

@@ -1,0 +1,40 @@
+(** Alerts raised by the analysis engine. *)
+
+type kind =
+  | Invite_flood
+  | Bye_dos
+  | Cancel_dos
+  | Media_spam
+  | Rtp_flood
+  | Call_hijack
+  | Billing_fraud
+  | Drdos
+  | Registration_hijack
+      (** A REGISTER crossing the enterprise boundary: someone outside is
+          (re)binding a protected user's contact — our extension; the
+          paper's threat model only hints at it via "misconfiguration". *)
+  | Spec_deviation  (** Any other departure from the protocol state machines. *)
+
+val kind_to_string : kind -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type severity = Info | Warning | Critical
+
+type t = {
+  kind : kind;
+  severity : severity;
+  at : Dsim.Time.t;
+  subject : string;
+      (** What the alert is about: a Call-ID, a destination address, or a
+          stream key.  Used for de-duplication. *)
+  detail : string;
+}
+
+val make : kind:kind -> ?severity:severity -> at:Dsim.Time.t -> subject:string -> string -> t
+
+val dedup_key : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val default_severity : kind -> severity

@@ -1,0 +1,36 @@
+type classification =
+  | Sip of Sip.Msg.t
+  | Rtp of Rtp.Rtp_packet.t
+  | Rtcp of Rtp.Rtcp.t
+  | Malformed_sip of string
+  | Malformed_rtp of string
+  | Other
+
+let sip_port = 5060
+let rtp_port_range = (16384, 32767)
+
+let in_rtp_range port =
+  let lo, hi = rtp_port_range in
+  port >= lo && port <= hi
+
+let quick_protocol (packet : Dsim.Packet.t) =
+  if packet.dst.Dsim.Addr.port = sip_port || packet.src.Dsim.Addr.port = sip_port then `Sip
+  else if in_rtp_range packet.dst.Dsim.Addr.port then `Media
+  else `Other
+
+let classify ~known_media (packet : Dsim.Packet.t) =
+  let dst_port = packet.dst.Dsim.Addr.port in
+  if dst_port = sip_port || packet.src.Dsim.Addr.port = sip_port then
+    match Sip.Msg.parse packet.payload with
+    | Ok msg -> Sip msg
+    | Error e -> Malformed_sip e
+  else if known_media packet.dst || in_rtp_range dst_port then
+    if dst_port land 1 = 0 then
+      match Rtp.Rtp_packet.decode packet.payload with
+      | Ok p -> Rtp p
+      | Error e -> Malformed_rtp e
+    else
+      match Rtp.Rtcp.decode packet.payload with
+      | Ok r -> Rtcp r
+      | Error e -> Malformed_rtp e
+  else Other

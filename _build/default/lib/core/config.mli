@@ -1,0 +1,57 @@
+(** vIDS tunables: detection thresholds (the timers of paper §6/§7.5) and the
+    calibrated per-packet cost model (paper §7.2–§7.4). *)
+
+type t = {
+  (* --- INVITE flooding (Figure 4) --- *)
+  invite_flood_window : Dsim.Time.t;
+      (** Timer T1 of the pattern: the measurement window. *)
+  invite_flood_threshold : int;
+      (** N: INVITEs to one destination within the window considered normal. *)
+  (* --- BYE DoS / billing fraud (Figure 5) --- *)
+  bye_inflight_timer : Dsim.Time.t;
+      (** Timer T: grace period for in-flight RTP after a BYE; the paper
+          recommends about one round-trip time. *)
+  (* --- Media spamming (Figure 6) --- *)
+  spam_ts_gap : int;
+      (** Δt: allowed forward jump in RTP timestamp ticks between
+          consecutive packets of a stream. *)
+  spam_seq_gap : int;  (** Δn: allowed forward jump in sequence numbers. *)
+  spam_silence_ts_gap : int;
+      (** Allowed timestamp jump when the sequence number is consecutive —
+          a talkspurt after silence suppression (RFC 3550 marker
+          semantics).  The paper's raw Figure-6 rule (ts gap alone) would
+          false-alarm on the G.729 VAD its own testbed enables. *)
+  spam_reorder_tolerance : int;
+      (** Allowed backward distance before a packet counts as replay. *)
+  (* --- RTP flooding --- *)
+  rtp_flood_window : Dsim.Time.t;
+  rtp_flood_threshold : int;  (** Packets per window per stream. *)
+  (* --- DRDoS reflection --- *)
+  drdos_window : Dsim.Time.t;
+  drdos_threshold : int;
+      (** Orphan responses (no known transaction) per destination per
+          window. *)
+  (* --- Cost model (calibrated; see DESIGN.md §4) --- *)
+  sip_transit_delay : Dsim.Time.t;
+      (** Added forwarding latency per SIP message when deployed inline. *)
+  rtp_transit_delay : Dsim.Time.t;
+  sip_cpu_cost : Dsim.Time.t;  (** Host CPU busy time per SIP message. *)
+  rtp_cpu_cost : Dsim.Time.t;
+  (* --- Memory model (paper §7.3) --- *)
+  sip_state_bytes : int;  (** ≈450 B of SIP call state. *)
+  rtp_state_bytes : int;  (** ≈40 B of RTP state. *)
+  (* --- Housekeeping --- *)
+  closed_call_linger : Dsim.Time.t;
+      (** How long a completed call record survives before deletion (it
+          absorbs late retransmissions). *)
+  flag_boundary_register : bool;
+      (** Raise a registration-hijack warning for REGISTER requests seen at
+          the boundary sensor (legitimate registrations stay inside the
+          enterprise LAN; roaming users are the false-positive risk, hence
+          Warning severity). *)
+}
+
+val default : t
+
+val passive : t -> t
+(** Same thresholds, zero transit delay — vIDS as a pure monitor. *)

@@ -1,0 +1,58 @@
+module M = Efsm.Machine
+module Env = Efsm.Env
+module V = Efsm.Value
+
+let st_init = "INIT"
+let st_counting = "ORPHAN_RCVD"
+let st_attack = "DRDOS_ATTACK"
+let window_timer_id = "drdos_window"
+let machine_name = "DRDOS"
+let orphan_response = "ORPHAN_RESPONSE"
+let l_count = "l_orphan_count"
+
+let count env = match Env.get env Env.Local l_count with V.Int n -> n | _ -> 0
+let tr = M.transition
+
+let spec (config : Config.t) =
+  let threshold = config.Config.drdos_threshold in
+  let transitions =
+    [
+      tr ~label:"first_orphan" ~from_state:st_init (M.On_event orphan_response)
+        ~to_state:st_counting
+        ~action:(fun env _ ->
+          Env.set env Env.Local l_count (V.Int 1);
+          [ M.Set_timer { id = window_timer_id; delay = config.Config.drdos_window } ])
+        ();
+      tr ~label:"count" ~from_state:st_counting (M.On_event orphan_response)
+        ~to_state:st_counting
+        ~guard:(fun env _ -> count env + 1 <= threshold)
+        ~action:(fun env _ ->
+          Env.set env Env.Local l_count (V.Int (count env + 1));
+          [])
+        ();
+      tr ~label:"attack" ~from_state:st_counting (M.On_event orphan_response)
+        ~to_state:st_attack
+        ~guard:(fun env _ -> count env + 1 > threshold)
+        ~action:(fun _ _ -> [ M.Cancel_timer window_timer_id ])
+        ();
+      tr ~label:"window_over" ~from_state:st_counting (M.On_timer window_timer_id)
+        ~to_state:st_init
+        ~action:(fun env _ ->
+          Env.set env Env.Local l_count (V.Int 0);
+          [])
+        ();
+      tr ~label:"attack_more" ~from_state:st_attack (M.On_event orphan_response)
+        ~to_state:st_attack ();
+    ]
+  in
+  {
+    M.spec_name = machine_name;
+    initial = st_init;
+    finals = [];
+    attack_states =
+      [
+        ( st_attack,
+          Printf.sprintf "more than %d unsolicited SIP responses within the window" threshold );
+      ];
+    transitions;
+  }

@@ -1,0 +1,24 @@
+(** Distributed reflection DoS detector (threat model §3.1; our extension —
+    the paper names the attack but gives no pattern for it).
+
+    One instance per protected destination.  SIP responses that match no
+    known call (orphan responses) are the reflection signature: a victim
+    whose address was spoofed in requests to many proxies receives floods
+    of responses it never solicited.  Occasional orphans are normal (the
+    initial request may have been lost before the sensor), so only a burst
+    beyond the threshold within the window raises the alert. *)
+
+val spec : Config.t -> Efsm.Machine.spec
+
+val st_init : string
+
+val st_counting : string
+
+val st_attack : string
+
+val window_timer_id : string
+
+val machine_name : string
+
+val orphan_response : string
+(** Event name fed by the engine for responses without a call record. *)

@@ -1,0 +1,288 @@
+type counters = {
+  sip_packets : int;
+  rtp_packets : int;
+  rtcp_packets : int;
+  other_packets : int;
+  malformed_packets : int;
+  orphan_requests : int;
+  orphan_responses : int;
+  alerts_raised : int;
+  alerts_suppressed : int;
+  anomalies : int;
+}
+
+type t = {
+  config : Config.t;
+  sched : Dsim.Scheduler.t;
+  mutable base : Fact_base.t option; (* set right after creation; never None afterwards *)
+  mutable alerts : Alert.t list; (* newest first *)
+  seen : (string, unit) Hashtbl.t; (* alert dedup keys *)
+  mutable listeners : (Alert.t -> unit) list;
+  mutable busy : Dsim.Time.t;
+  mutable sip_packets : int;
+  mutable rtp_packets : int;
+  mutable rtcp_packets : int;
+  mutable other_packets : int;
+  mutable malformed_packets : int;
+  mutable orphan_requests : int;
+  mutable orphan_responses : int;
+  mutable suppressed : int;
+  mutable anomalies : int;
+  mutable inline_free_at : Dsim.Time.t; (* single-CPU queueing for inline deployment *)
+}
+
+let base t =
+  match t.base with Some b -> b | None -> failwith "Engine: fact base not initialized"
+
+let now t = Dsim.Scheduler.now t.sched
+
+let raise_alert t alert =
+  let key = Alert.dedup_key alert in
+  if Hashtbl.mem t.seen key then t.suppressed <- t.suppressed + 1
+  else begin
+    Hashtbl.replace t.seen key ();
+    t.alerts <- alert :: t.alerts;
+    List.iter (fun listener -> listener alert) t.listeners
+  end
+
+(* Map a machine's attack state to the alert taxonomy. *)
+let kind_of_attack_state state =
+  if String.equal state Sip_call_machine.st_cancel_dos then Alert.Cancel_dos
+  else if String.equal state Sip_call_machine.st_hijack then Alert.Call_hijack
+  else if String.equal state Rtp_call_machine.st_bye_dos then Alert.Bye_dos
+  else if String.equal state Rtp_call_machine.st_billing_fraud then Alert.Billing_fraud
+  else if String.equal state Invite_flood_machine.st_flood then Alert.Invite_flood
+  else if String.equal state Media_spam_machine.st_spam then Alert.Media_spam
+  else if String.equal state Media_spam_machine.st_flood then Alert.Rtp_flood
+  else if String.equal state Drdos_machine.st_attack then Alert.Drdos
+  else Alert.Spec_deviation
+
+let create ?(config = Config.default) sched =
+  let t =
+    {
+      config;
+      sched;
+      base = None;
+      alerts = [];
+      seen = Hashtbl.create 64;
+      listeners = [];
+      busy = Dsim.Time.zero;
+      sip_packets = 0;
+      rtp_packets = 0;
+      rtcp_packets = 0;
+      other_packets = 0;
+      malformed_packets = 0;
+      orphan_requests = 0;
+      orphan_responses = 0;
+      suppressed = 0;
+      anomalies = 0;
+      inline_free_at = Dsim.Time.zero;
+    }
+  in
+  let on_alert ~machine:_ ~state ~subject ~detail =
+    raise_alert t (Alert.make ~kind:(kind_of_attack_state state) ~at:(now t) ~subject detail)
+  in
+  let on_anomaly ~machine ~state ~subject ~event ~detail =
+    t.anomalies <- t.anomalies + 1;
+    let subject = Printf.sprintf "%s/%s@%s" subject event.Efsm.Event.name state in
+    raise_alert t
+      (Alert.make ~kind:Alert.Spec_deviation ~at:(now t) ~subject
+         (Printf.sprintf "machine %s: %s" machine detail))
+  in
+  let timer_host = Efsm.System.timer_host_of_scheduler sched in
+  t.base <- Some (Fact_base.create ~config ~timer_host ~on_alert ~on_anomaly);
+  t
+
+let config t = t.config
+
+(* --------------------------------------------------------------- *)
+(* SIP distribution                                                 *)
+(* --------------------------------------------------------------- *)
+
+let register_event_media t call event =
+  match Sip_event.media_of_event event with
+  | None -> ()
+  | Some addr -> Fact_base.register_media (base t) call addr
+
+let feed_flood_detector t msg event =
+  match Sip_event.flood_key msg with
+  | None -> ()
+  | Some key ->
+      let system, _ = Fact_base.flood_detector (base t) ~key in
+      Efsm.System.inject system ~machine:Invite_flood_machine.machine_name event
+
+let feed_drdos_detector t (packet : Dsim.Packet.t) event =
+  let key = Dsim.Addr.host packet.dst in
+  let system, _ = Fact_base.drdos_detector (base t) ~key in
+  let orphan =
+    Efsm.Event.make
+      ~args:event.Efsm.Event.args (Efsm.Event.Data "SIP") ~at:event.Efsm.Event.at
+      Drdos_machine.orphan_response
+  in
+  Efsm.System.inject system ~machine:Drdos_machine.machine_name orphan
+
+(* A REGISTER crossing the boundary sensor: intra-enterprise registrations
+   never reach this vantage point, so someone outside is rebinding a
+   protected user's contact. *)
+let check_boundary_register t msg =
+  if t.config.Config.flag_boundary_register then
+    match msg.Sip.Msg.start with
+    | Sip.Msg.Request { meth = Sip.Msg_method.REGISTER; _ } ->
+        let subject =
+          match Sip.Msg.to_ msg with
+          | Ok to_ ->
+              let uri = to_.Sip.Name_addr.uri in
+              Option.value uri.Sip.Uri.user ~default:"" ^ "@" ^ uri.Sip.Uri.host
+          | Error _ -> "unknown-aor"
+        in
+        let contact =
+          match Sip.Msg.contact msg with
+          | Ok na -> Sip.Uri.to_string na.Sip.Name_addr.uri
+          | Error _ -> "?"
+        in
+        raise_alert t
+          (Alert.make ~kind:Alert.Registration_hijack ~at:(now t) ~subject
+             (Printf.sprintf "REGISTER crossed the boundary sensor binding contact %s" contact))
+    | Sip.Msg.Request _ | Sip.Msg.Response _ -> ()
+
+let handle_sip t (packet : Dsim.Packet.t) msg =
+  t.sip_packets <- t.sip_packets + 1;
+  t.busy <- Dsim.Time.add t.busy t.config.Config.sip_cpu_cost;
+  let event = Sip_event.of_msg ~at:(now t) ~src:packet.src ~dst:packet.dst msg in
+  check_boundary_register t msg;
+  (match msg.Sip.Msg.start with
+  | Sip.Msg.Request { meth = Sip.Msg_method.INVITE; _ } -> feed_flood_detector t msg event
+  | Sip.Msg.Request _ | Sip.Msg.Response _ -> ());
+  match Sip.Msg.call_id msg with
+  | Error e ->
+      t.malformed_packets <- t.malformed_packets + 1;
+      raise_alert t
+        (Alert.make ~kind:Alert.Spec_deviation ~at:(now t)
+           ~subject:(Dsim.Addr.to_string packet.src)
+           (Printf.sprintf "SIP message without Call-ID: %s" e))
+  | Ok call_id -> (
+      match Fact_base.find_call (base t) call_id with
+      | Some call ->
+          register_event_media t call event;
+          Efsm.System.inject call.Fact_base.system ~machine:Keys.sip_machine event;
+          Fact_base.maybe_finish (base t) call
+      | None -> (
+          match msg.Sip.Msg.start with
+          | Sip.Msg.Request { meth = Sip.Msg_method.INVITE; _ } ->
+              let call = Fact_base.create_call (base t) ~call_id in
+              register_event_media t call event;
+              Efsm.System.inject call.Fact_base.system ~machine:Keys.sip_machine event
+          | Sip.Msg.Request { meth = Sip.Msg_method.REGISTER; _ } ->
+              (* Already reported by the boundary-REGISTER check; a
+                 registration is not expected to belong to a call. *)
+              ()
+          | Sip.Msg.Request { meth; _ } ->
+              t.orphan_requests <- t.orphan_requests + 1;
+              raise_alert t
+                (Alert.make ~kind:Alert.Spec_deviation ~severity:Alert.Warning ~at:(now t)
+                   ~subject:(call_id ^ "/" ^ Sip.Msg_method.to_string meth)
+                   "request for a call the sensor never saw established")
+          | Sip.Msg.Response _ ->
+              t.orphan_responses <- t.orphan_responses + 1;
+              feed_drdos_detector t packet event))
+
+(* --------------------------------------------------------------- *)
+(* RTP distribution                                                 *)
+(* --------------------------------------------------------------- *)
+
+let rtp_event ~at ~src ~dst (p : Rtp.Rtp_packet.t) =
+  let module V = Efsm.Value in
+  Efsm.Event.make
+    ~args:
+      [
+        (Keys.src_ip, V.Str (Dsim.Addr.host src));
+        (Keys.src_port, V.Int (Dsim.Addr.port src));
+        (Keys.dst_ip, V.Str (Dsim.Addr.host dst));
+        (Keys.dst_port, V.Int (Dsim.Addr.port dst));
+        (Keys.ssrc, V.Int (Int32.to_int p.Rtp.Rtp_packet.ssrc));
+        (Keys.seq, V.Int p.Rtp.Rtp_packet.sequence);
+        (Keys.ts, V.Int (Int32.to_int p.Rtp.Rtp_packet.timestamp));
+        (Keys.payload_type, V.Int p.Rtp.Rtp_packet.payload_type);
+        (Keys.size, V.Int (String.length p.Rtp.Rtp_packet.payload));
+      ]
+    (Efsm.Event.Data "RTP") ~at Keys.rtp_packet
+
+let handle_rtp t (packet : Dsim.Packet.t) decoded =
+  t.rtp_packets <- t.rtp_packets + 1;
+  t.busy <- Dsim.Time.add t.busy t.config.Config.rtp_cpu_cost;
+  let event = rtp_event ~at:(now t) ~src:packet.src ~dst:packet.dst decoded in
+  (* Stream-level checks (Figure 6) run on every stream the sensor sees. *)
+  let stream_key = Dsim.Addr.to_string packet.dst in
+  let system, _ = Fact_base.spam_detector (base t) ~key:stream_key in
+  Efsm.System.inject system ~machine:Media_spam_machine.machine_name event;
+  (* Call-level cross-protocol checks (Figure 5) when the stream belongs to
+     a tracked call. *)
+  match Fact_base.call_for_media (base t) packet.dst with
+  | None -> ()
+  | Some call ->
+      Efsm.System.inject call.Fact_base.system ~machine:Keys.rtp_machine event;
+      Fact_base.maybe_finish (base t) call
+
+(* --------------------------------------------------------------- *)
+(* Entry points                                                     *)
+(* --------------------------------------------------------------- *)
+
+let process_packet t packet =
+  match Classifier.classify ~known_media:(Fact_base.known_media (base t)) packet with
+  | Classifier.Sip msg -> handle_sip t packet msg
+  | Classifier.Rtp decoded -> handle_rtp t packet decoded
+  | Classifier.Rtcp _ ->
+      t.rtcp_packets <- t.rtcp_packets + 1;
+      t.busy <- Dsim.Time.add t.busy t.config.Config.rtp_cpu_cost
+  | Classifier.Malformed_sip e ->
+      t.malformed_packets <- t.malformed_packets + 1;
+      t.busy <- Dsim.Time.add t.busy t.config.Config.sip_cpu_cost;
+      raise_alert t
+        (Alert.make ~kind:Alert.Spec_deviation ~at:(now t)
+           ~subject:(Dsim.Addr.to_string packet.Dsim.Packet.src)
+           (Printf.sprintf "unparsable SIP message: %s" e))
+  | Classifier.Malformed_rtp _ -> t.malformed_packets <- t.malformed_packets + 1
+  | Classifier.Other -> t.other_packets <- t.other_packets + 1
+
+let tap t packet = process_packet t packet
+
+(* Inline forwarding latency: a fixed per-protocol pipeline latency plus
+   time spent queued behind earlier packets on the single analysis CPU
+   (whose occupancy per packet is the much smaller cpu cost).  The queueing
+   term is what perturbs RTP jitter under load (§7.4). *)
+let transit_delay t packet =
+  let pipeline, cpu =
+    match Classifier.quick_protocol packet with
+    | `Sip -> (t.config.Config.sip_transit_delay, t.config.Config.sip_cpu_cost)
+    | `Media -> (t.config.Config.rtp_transit_delay, t.config.Config.rtp_cpu_cost)
+    | `Other -> (Dsim.Time.zero, Dsim.Time.zero)
+  in
+  if pipeline = Dsim.Time.zero then Dsim.Time.zero
+  else begin
+    let at = Dsim.Scheduler.now t.sched in
+    let start = Dsim.Time.max at t.inline_free_at in
+    t.inline_free_at <- Dsim.Time.add start cpu;
+    Dsim.Time.add (Dsim.Time.sub start at) pipeline
+  end
+
+let alerts t = List.rev t.alerts
+let alerts_of_kind t kind = List.filter (fun a -> a.Alert.kind = kind) (alerts t)
+
+let counters t =
+  {
+    sip_packets = t.sip_packets;
+    rtp_packets = t.rtp_packets;
+    rtcp_packets = t.rtcp_packets;
+    other_packets = t.other_packets;
+    malformed_packets = t.malformed_packets;
+    orphan_requests = t.orphan_requests;
+    orphan_responses = t.orphan_responses;
+    alerts_raised = List.length t.alerts;
+    alerts_suppressed = t.suppressed;
+    anomalies = t.anomalies;
+  }
+
+let cpu_busy t = t.busy
+let fact_base t = base t
+let memory_stats t = Fact_base.stats (base t)
+let on_alert t listener = t.listeners <- listener :: t.listeners

@@ -1,0 +1,52 @@
+(** The vIDS Analysis Engine (paper Figure 3).
+
+    Glues the pipeline together: Packet Classifier → Event Distributor →
+    per-call communicating machines and standalone detectors in the Call
+    State Fact Base → alerts.  Also carries the inline deployment cost
+    model (§7.2–§7.4): per-packet forwarding latency and CPU busy time. *)
+
+type counters = {
+  sip_packets : int;
+  rtp_packets : int;
+  rtcp_packets : int;
+  other_packets : int;
+  malformed_packets : int;
+  orphan_requests : int;  (** Non-INVITE requests with no call record. *)
+  orphan_responses : int;
+  alerts_raised : int;  (** Distinct alerts after de-duplication. *)
+  alerts_suppressed : int;  (** Duplicates of an already-raised alert. *)
+  anomalies : int;
+}
+
+type t
+
+val create : ?config:Config.t -> Dsim.Scheduler.t -> t
+
+val config : t -> Config.t
+
+val process_packet : t -> Dsim.Packet.t -> unit
+(** The tap entry point: classify, distribute, analyze. *)
+
+val tap : t -> Dsim.Packet.t -> unit
+(** Alias of {!process_packet} shaped for [Dsim.Network.set_tap]. *)
+
+val transit_delay : t -> Dsim.Packet.t -> Dsim.Time.t
+(** Inline forwarding latency for this packet per the cost model; shaped
+    for [Dsim.Network.set_transit_delay]. *)
+
+val alerts : t -> Alert.t list
+(** Distinct alerts, oldest first. *)
+
+val alerts_of_kind : t -> Alert.kind -> Alert.t list
+
+val counters : t -> counters
+
+val cpu_busy : t -> Dsim.Time.t
+(** Accumulated modeled CPU time spent analyzing packets. *)
+
+val fact_base : t -> Fact_base.t
+
+val memory_stats : t -> Fact_base.stats
+
+val on_alert : t -> (Alert.t -> unit) -> unit
+(** Registers an additional listener for distinct alerts. *)

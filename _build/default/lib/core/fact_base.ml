@@ -1,0 +1,196 @@
+type call = {
+  call_id : string;
+  system : Efsm.System.t;
+  sip : Efsm.Machine.t;
+  rtp : Efsm.Machine.t;
+  created_at : Dsim.Time.t;
+  mutable media_addrs : Dsim.Addr.t list;
+  mutable closing : bool;
+  mutable finish_pending : bool;
+}
+
+type detector = { d_system : Efsm.System.t; d_machine : Efsm.Machine.t }
+
+type t = {
+  config : Config.t;
+  timer_host : Efsm.System.timer_host;
+  on_alert : machine:string -> state:string -> subject:string -> detail:string -> unit;
+  on_anomaly :
+    machine:string ->
+    state:string ->
+    subject:string ->
+    event:Efsm.Event.t ->
+    detail:string ->
+    unit;
+  calls : (string, call) Hashtbl.t;
+  media_index : (string, string) Hashtbl.t; (* media addr -> call id *)
+  floods : (string, detector) Hashtbl.t;
+  spams : (string, detector) Hashtbl.t;
+  drdoses : (string, detector) Hashtbl.t;
+  mutable peak : int;
+  mutable created : int;
+  mutable deleted : int;
+}
+
+let create ~config ~timer_host ~on_alert ~on_anomaly =
+  {
+    config;
+    timer_host;
+    on_alert;
+    on_anomaly;
+    calls = Hashtbl.create 256;
+    media_index = Hashtbl.create 256;
+    floods = Hashtbl.create 64;
+    spams = Hashtbl.create 256;
+    drdoses = Hashtbl.create 64;
+    peak = 0;
+    created = 0;
+    deleted = 0;
+  }
+
+let find_call t call_id = Hashtbl.find_opt t.calls call_id
+
+let system_callbacks t ~subject =
+  let on_alert (n : Efsm.System.notification) =
+    t.on_alert ~machine:n.Efsm.System.machine ~state:n.Efsm.System.state ~subject
+      ~detail:n.Efsm.System.detail
+  in
+  let on_anomaly (n : Efsm.System.notification) =
+    t.on_anomaly ~machine:n.Efsm.System.machine ~state:n.Efsm.System.state ~subject
+      ~event:n.Efsm.System.event ~detail:n.Efsm.System.detail
+  in
+  (on_alert, on_anomaly)
+
+let create_call t ~call_id =
+  if Hashtbl.mem t.calls call_id then
+    invalid_arg (Printf.sprintf "Fact_base.create_call: duplicate %S" call_id);
+  let on_alert, on_anomaly = system_callbacks t ~subject:call_id in
+  let system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
+  let sip = Efsm.System.add_machine system (Sip_call_machine.spec t.config) in
+  let rtp = Efsm.System.add_machine system (Rtp_call_machine.spec t.config) in
+  let call =
+    {
+      call_id;
+      system;
+      sip;
+      rtp;
+      created_at = t.timer_host.Efsm.System.now ();
+      media_addrs = [];
+      closing = false;
+      finish_pending = false;
+    }
+  in
+  Hashtbl.replace t.calls call_id call;
+  t.created <- t.created + 1;
+  let active = Hashtbl.length t.calls in
+  if active > t.peak then t.peak <- active;
+  call
+
+let media_key addr = Dsim.Addr.to_string addr
+
+let register_media t call addr =
+  if not (List.exists (Dsim.Addr.equal addr) call.media_addrs) then begin
+    call.media_addrs <- addr :: call.media_addrs;
+    Hashtbl.replace t.media_index (media_key addr) call.call_id
+  end
+
+let call_for_media t addr =
+  match Hashtbl.find_opt t.media_index (media_key addr) with
+  | None -> None
+  | Some call_id -> find_call t call_id
+
+let known_media t addr = Hashtbl.mem t.media_index (media_key addr)
+
+let detector table t ~key ~make_spec ~subject_prefix =
+  match Hashtbl.find_opt table key with
+  | Some d -> (d.d_system, d.d_machine)
+  | None ->
+      let subject = subject_prefix ^ key in
+      let on_alert, on_anomaly = system_callbacks t ~subject in
+      let d_system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
+      let d_machine = Efsm.System.add_machine d_system (make_spec t.config) in
+      Hashtbl.replace table key { d_system; d_machine };
+      (d_system, d_machine)
+
+let flood_detector t ~key =
+  detector t.floods t ~key ~make_spec:Invite_flood_machine.spec ~subject_prefix:"dst:"
+
+let spam_detector t ~key =
+  detector t.spams t ~key ~make_spec:Media_spam_machine.spec ~subject_prefix:"stream:"
+
+let drdos_detector t ~key =
+  detector t.drdoses t ~key ~make_spec:Drdos_machine.spec ~subject_prefix:"victim:"
+
+let delete_call t call =
+  Efsm.System.release call.system;
+  List.iter (fun addr -> Hashtbl.remove t.media_index (media_key addr)) call.media_addrs;
+  if Hashtbl.mem t.calls call.call_id then begin
+    Hashtbl.remove t.calls call.call_id;
+    t.deleted <- t.deleted + 1
+  end
+
+let rtp_done call =
+  Efsm.Machine.is_final call.rtp
+  || String.equal (Efsm.Machine.state call.rtp) Rtp_call_machine.st_init
+
+let schedule_delete t call =
+  call.closing <- true;
+  ignore
+    (t.timer_host.Efsm.System.set t.config.Config.closed_call_linger (fun () ->
+         delete_call t call))
+
+let maybe_finish t call =
+  if (not call.closing) && Efsm.Machine.is_final call.sip then
+    if rtp_done call then schedule_delete t call
+    else if not call.finish_pending then begin
+      (* The RTP machine is waiting out the in-flight grace timer; no
+         further packet may arrive to re-trigger this check, so look once
+         more after the grace period.  A single re-check only: a machine
+         parked in an attack state never becomes final, and re-polling
+         forever would keep an otherwise-drained scheduler alive — such
+         records are left for [sweep]. *)
+      call.finish_pending <- true;
+      ignore
+        (t.timer_host.Efsm.System.set
+           (Dsim.Time.add t.config.Config.bye_inflight_timer (Dsim.Time.of_ms 50.0))
+           (fun () ->
+             if (not call.closing) && Efsm.Machine.is_final call.sip && rtp_done call then
+               schedule_delete t call))
+    end
+
+let sweep t ~max_age =
+  let now = t.timer_host.Efsm.System.now () in
+  let stale =
+    Hashtbl.fold
+      (fun _ call acc ->
+        if Dsim.Time.( > ) (Dsim.Time.sub now call.created_at) max_age then call :: acc else acc)
+      t.calls []
+  in
+  List.iter (delete_call t) stale;
+  List.length stale
+
+type stats = {
+  active_calls : int;
+  peak_calls : int;
+  calls_created : int;
+  calls_deleted : int;
+  detectors : int;
+  modeled_bytes : int;
+  measured_bytes : int;
+}
+
+let stats t =
+  let active = Hashtbl.length t.calls in
+  let per_call = t.config.Config.sip_state_bytes + t.config.Config.rtp_state_bytes in
+  let measured =
+    Hashtbl.fold (fun _ call acc -> acc + Efsm.System.estimated_bytes call.system) t.calls 0
+  in
+  {
+    active_calls = active;
+    peak_calls = t.peak;
+    calls_created = t.created;
+    calls_deleted = t.deleted;
+    detectors = Hashtbl.length t.floods + Hashtbl.length t.spams + Hashtbl.length t.drdoses;
+    modeled_bytes = active * per_call;
+    measured_bytes = measured;
+  }

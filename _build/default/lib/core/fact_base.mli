@@ -1,0 +1,70 @@
+(** The Call State Fact Base (paper Figure 3, §5).
+
+    Stores, per ongoing call, one instance of each protocol state machine
+    (the paper's "only one instance of a protocol state machine is
+    maintained at the memory" per call) plus the standalone detector
+    machines keyed by destination or stream.  Completed calls are deleted
+    after a linger period; the memory model mirrors §7.3's ≈450 B SIP +
+    ≈40 B RTP per-call figures alongside the measured footprint. *)
+
+type call = {
+  call_id : string;
+  system : Efsm.System.t;
+  sip : Efsm.Machine.t;
+  rtp : Efsm.Machine.t;
+  created_at : Dsim.Time.t;
+  mutable media_addrs : Dsim.Addr.t list;
+  mutable closing : bool;
+  mutable finish_pending : bool;
+}
+
+type t
+
+val create :
+  config:Config.t ->
+  timer_host:Efsm.System.timer_host ->
+  on_alert:(machine:string -> state:string -> subject:string -> detail:string -> unit) ->
+  on_anomaly:(machine:string -> state:string -> subject:string -> event:Efsm.Event.t -> detail:string -> unit) ->
+  t
+
+val find_call : t -> string -> call option
+
+val create_call : t -> call_id:string -> call
+(** Instantiates the SIP and RTP machines inside a fresh communicating
+    system.  Raises [Invalid_argument] on a duplicate Call-ID. *)
+
+val register_media : t -> call -> Dsim.Addr.t -> unit
+(** Binds a media address to the call for RTP routing. *)
+
+val call_for_media : t -> Dsim.Addr.t -> call option
+
+val known_media : t -> Dsim.Addr.t -> bool
+
+val flood_detector : t -> key:string -> Efsm.System.t * Efsm.Machine.t
+(** Per-destination INVITE flood machine (created on first use). *)
+
+val spam_detector : t -> key:string -> Efsm.System.t * Efsm.Machine.t
+
+val drdos_detector : t -> key:string -> Efsm.System.t * Efsm.Machine.t
+
+val maybe_finish : t -> call -> unit
+(** If both machines reached their final states, marks the call closing and
+    schedules its deletion after the configured linger. *)
+
+val sweep : t -> max_age:Dsim.Time.t -> int
+(** Forcibly deletes calls older than [max_age]; returns how many.  Covers
+    abandoned setups that never reach a final state. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  active_calls : int;
+  peak_calls : int;
+  calls_created : int;
+  calls_deleted : int;
+  detectors : int;
+  modeled_bytes : int;  (** Paper's per-call memory model. *)
+  measured_bytes : int;  (** Actual local-variable footprint. *)
+}
+
+val stats : t -> stats

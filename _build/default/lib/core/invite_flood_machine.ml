@@ -1,0 +1,50 @@
+module M = Efsm.Machine
+module Env = Efsm.Env
+module V = Efsm.Value
+
+let st_init = "INIT"
+let st_counting = "PACKET_RCVD"
+let st_flood = "FLOOD_ATTACK"
+let window_timer_id = "flood_window_T1"
+let machine_name = "INVITE_FLOOD"
+let l_count = "l_pck_counter"
+
+let count env = match Env.get env Env.Local l_count with V.Int n -> n | _ -> 0
+let tr = M.transition
+
+let spec (config : Config.t) =
+  let threshold = config.Config.invite_flood_threshold in
+  let transitions =
+    [
+      tr ~label:"first_invite" ~from_state:st_init (M.On_event "INVITE") ~to_state:st_counting
+        ~action:(fun env _ ->
+          Env.set env Env.Local l_count (V.Int 1);
+          [ M.Set_timer { id = window_timer_id; delay = config.Config.invite_flood_window } ])
+        ();
+      tr ~label:"count" ~from_state:st_counting (M.On_event "INVITE") ~to_state:st_counting
+        ~guard:(fun env _ -> count env + 1 <= threshold)
+        ~action:(fun env _ ->
+          Env.set env Env.Local l_count (V.Int (count env + 1));
+          [])
+        ();
+      tr ~label:"flood" ~from_state:st_counting (M.On_event "INVITE") ~to_state:st_flood
+        ~guard:(fun env _ -> count env + 1 > threshold)
+        ~action:(fun _ _ -> [ M.Cancel_timer window_timer_id ])
+        ();
+      tr ~label:"window_over" ~from_state:st_counting (M.On_timer window_timer_id)
+        ~to_state:st_init
+        ~action:(fun env _ ->
+          Env.set env Env.Local l_count (V.Int 0);
+          [])
+        ();
+      tr ~label:"flood_more" ~from_state:st_flood (M.On_event "INVITE") ~to_state:st_flood ();
+    ]
+  in
+  {
+    M.spec_name = machine_name;
+    initial = st_init;
+    finals = [];
+    attack_states =
+      [ (st_flood, Printf.sprintf "more than %d INVITEs within the window" threshold) ];
+    transitions;
+  }

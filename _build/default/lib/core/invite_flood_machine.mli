@@ -1,0 +1,19 @@
+(** INVITE request flooding detector (paper Figure 4).
+
+    One instance per destination address.  The first INVITE starts the
+    window timer T1 and a counter; when more than N INVITEs to the same
+    destination arrive within the window, the machine enters the attack
+    state.  The window expiring resets the pattern. *)
+
+val spec : Config.t -> Efsm.Machine.spec
+
+val st_init : string
+
+val st_counting : string
+(** The paper's (Packet_Rcvd) state. *)
+
+val st_flood : string
+
+val window_timer_id : string
+
+val machine_name : string

@@ -1,0 +1,136 @@
+module M = Efsm.Machine
+module E = Efsm.Event
+module Env = Efsm.Env
+module V = Efsm.Value
+
+let st_init = "INIT"
+let st_stream = "PACKET_RCVD"
+let st_dormant = "DORMANT"
+let st_spam = "MEDIA_SPAM_ATTACK"
+let st_flood = "RTP_FLOOD_ATTACK"
+let window_timer_id = "rate_window"
+let machine_name = "MEDIA_SPAM"
+let l_ssrc = "l_ssrc"
+let l_seq = "l_sequence_number"
+let l_ts = "l_time_stamp"
+let l_count = "l_window_count"
+
+let get_int env name = match Env.get env Env.Local name with V.Int n -> n | _ -> 0
+
+let baseline env event =
+  Env.set env Env.Local l_ssrc (E.arg event Keys.ssrc);
+  Env.set env Env.Local l_seq (E.arg event Keys.seq);
+  Env.set env Env.Local l_ts (E.arg event Keys.ts)
+
+(* The paper's spam predicate:
+   (x.time_stamp_{i+1} - v.time_stamp_i > Δt) or
+   (x.sequence_number_{i+1} - v.sequence_number_i > Δn),
+   extended with an SSRC identity check, a replay (deep reorder) check, and
+   a talkspurt refinement: a packet whose sequence number is consecutive
+   may jump further in timestamp (silence suppression emits no packets but
+   the media clock keeps running — the paper's own codec settings enable
+   SAD, which the raw rule would flag).  An injector cannot hide behind the
+   refinement without giving up the sequence-number advance it needs for
+   its packets to win the receiver's playout. *)
+let is_spam config env event =
+  let ssrc_mismatch = not (V.equal (E.arg event Keys.ssrc) (Env.get env Env.Local l_ssrc)) in
+  ssrc_mismatch
+  ||
+  let seq_jump = Rtp.Rtp_packet.seq_delta (get_int env l_seq) (E.arg_int event Keys.seq) in
+  let ts_jump =
+    Rtp.Rtp_packet.ts_delta
+      (Int32.of_int (get_int env l_ts))
+      (Int32.of_int (E.arg_int event Keys.ts))
+  in
+  let ts_limit =
+    if seq_jump >= 1 && seq_jump <= 2 then config.Config.spam_silence_ts_gap
+    else config.Config.spam_ts_gap
+  in
+  seq_jump > config.Config.spam_seq_gap
+  || seq_jump < -config.Config.spam_reorder_tolerance
+  || ts_jump > ts_limit
+  || ts_jump < -(config.Config.spam_ts_gap * 4)
+
+let is_flood config env = get_int env l_count + 1 > config.Config.rtp_flood_threshold
+
+let advance env event =
+  (* Only move the baseline forward so reordered packets cannot drag it
+     backwards. *)
+  let seq = E.arg_int event Keys.seq in
+  let ts = E.arg_int event Keys.ts in
+  if Rtp.Rtp_packet.seq_delta (get_int env l_seq) seq > 0 then begin
+    Env.set env Env.Local l_seq (V.Int seq);
+    Env.set env Env.Local l_ts (V.Int ts)
+  end;
+  Env.set env Env.Local l_count (V.Int (get_int env l_count + 1))
+
+let tr = M.transition
+
+let spec (config : Config.t) =
+  let set_window = M.Set_timer { id = window_timer_id; delay = config.Config.rtp_flood_window } in
+  let transitions =
+    [
+      tr ~label:"first_packet" ~from_state:st_init (M.On_event Keys.rtp_packet)
+        ~to_state:st_stream
+        ~action:(fun env event ->
+          baseline env event;
+          Env.set env Env.Local l_count (V.Int 1);
+          [ set_window ])
+        ();
+      tr ~label:"flood" ~from_state:st_stream (M.On_event Keys.rtp_packet) ~to_state:st_flood
+        ~guard:(fun env _ -> is_flood config env)
+        ~action:(fun _ _ -> [ M.Cancel_timer window_timer_id ])
+        ();
+      tr ~label:"spam" ~from_state:st_stream (M.On_event Keys.rtp_packet) ~to_state:st_spam
+        ~guard:(fun env event -> (not (is_flood config env)) && is_spam config env event)
+        ~action:(fun _ _ -> [ M.Cancel_timer window_timer_id ])
+        ();
+      tr ~label:"in_order" ~from_state:st_stream (M.On_event Keys.rtp_packet)
+        ~to_state:st_stream
+        ~guard:(fun env event -> (not (is_flood config env)) && not (is_spam config env event))
+        ~action:(fun env event ->
+          advance env event;
+          [])
+        ();
+      tr ~label:"window_active" ~from_state:st_stream (M.On_timer window_timer_id)
+        ~to_state:st_stream
+        ~guard:(fun env _ -> get_int env l_count > 0)
+        ~action:(fun env _ ->
+          Env.set env Env.Local l_count (V.Int 0);
+          [ set_window ])
+        ();
+      tr ~label:"window_idle" ~from_state:st_stream (M.On_timer window_timer_id)
+        ~to_state:st_dormant
+        ~guard:(fun env _ -> get_int env l_count = 0)
+        ();
+      tr ~label:"resume" ~from_state:st_dormant (M.On_event Keys.rtp_packet) ~to_state:st_stream
+        ~guard:(fun env event -> V.equal (E.arg event Keys.ssrc) (Env.get env Env.Local l_ssrc))
+        ~action:(fun env event ->
+          baseline env event;
+          Env.set env Env.Local l_count (V.Int 1);
+          [ set_window ])
+        ();
+      tr ~label:"resume_foreign" ~from_state:st_dormant (M.On_event Keys.rtp_packet)
+        ~to_state:st_spam
+        ~guard:(fun env event ->
+          not (V.equal (E.arg event Keys.ssrc) (Env.get env Env.Local l_ssrc)))
+        ();
+      tr ~label:"spam_more" ~from_state:st_spam (M.On_event Keys.rtp_packet) ~to_state:st_spam
+        ();
+      tr ~label:"flood_more" ~from_state:st_flood (M.On_event Keys.rtp_packet)
+        ~to_state:st_flood ();
+    ]
+  in
+  {
+    M.spec_name = machine_name;
+    initial = st_init;
+    finals = [];
+    attack_states =
+      [
+        (st_spam, "RTP stream discontinuity: foreign SSRC, sequence or timestamp gap");
+        ( st_flood,
+          Printf.sprintf "more than %d RTP packets per window on one stream"
+            config.Config.rtp_flood_threshold );
+      ];
+    transitions;
+  }

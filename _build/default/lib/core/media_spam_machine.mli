@@ -1,0 +1,26 @@
+(** Media spamming and RTP flooding detector (paper Figure 6).
+
+    One instance per media stream destination (host:port).  The first RTP
+    packet baselines the stream's SSRC, sequence number and timestamp; each
+    later packet must advance them within the configured gaps Δn and Δt —
+    larger jumps, foreign SSRCs or deep reordering indicate injected media.
+    A per-window packet counter catches RTP flooding.  An idle window makes
+    the machine dormant; on resumption the sequence baseline is re-learned
+    but the SSRC binding is kept. *)
+
+val spec : Config.t -> Efsm.Machine.spec
+
+val st_init : string
+
+val st_stream : string
+(** The paper's (Packet_Rcvd) state. *)
+
+val st_dormant : string
+
+val st_spam : string
+
+val st_flood : string
+
+val window_timer_id : string
+
+val machine_name : string

@@ -1,0 +1,56 @@
+let all_kinds =
+  [
+    Alert.Invite_flood;
+    Alert.Bye_dos;
+    Alert.Cancel_dos;
+    Alert.Media_spam;
+    Alert.Rtp_flood;
+    Alert.Call_hijack;
+    Alert.Billing_fraud;
+    Alert.Drdos;
+    Alert.Registration_hijack;
+    Alert.Spec_deviation;
+  ]
+
+let alerts ppf engine =
+  let all = Engine.alerts engine in
+  if all = [] then Format.fprintf ppf "no alerts.@."
+  else
+    List.iter
+      (fun kind ->
+        match List.filter (fun a -> a.Alert.kind = kind) all with
+        | [] -> ()
+        | group ->
+            Format.fprintf ppf "%a (%d):@." Alert.pp_kind kind (List.length group);
+            List.iter (fun a -> Format.fprintf ppf "  %a@." Alert.pp a) group)
+      all_kinds
+
+let summary ppf engine =
+  let c = Engine.counters engine in
+  let stats = Engine.memory_stats engine in
+  Format.fprintf ppf "traffic: %d SIP, %d RTP, %d RTCP, %d other, %d malformed@."
+    c.Engine.sip_packets c.Engine.rtp_packets c.Engine.rtcp_packets c.Engine.other_packets
+    c.Engine.malformed_packets;
+  Format.fprintf ppf "orphans: %d requests, %d responses@." c.Engine.orphan_requests
+    c.Engine.orphan_responses;
+  let by_severity severity =
+    List.length (List.filter (fun a -> a.Alert.severity = severity) (Engine.alerts engine))
+  in
+  Format.fprintf ppf "alerts: %d distinct (%d critical, %d warning), %d duplicates suppressed@."
+    c.Engine.alerts_raised (by_severity Alert.Critical) (by_severity Alert.Warning)
+    c.Engine.alerts_suppressed;
+  Format.fprintf ppf "calls: %d active, %d created, %d deleted, peak %d@."
+    stats.Fact_base.active_calls stats.Fact_base.calls_created stats.Fact_base.calls_deleted
+    stats.Fact_base.peak_calls;
+  Format.fprintf ppf "memory: %d B modeled (%d B/call), %d B measured; %d detectors@."
+    stats.Fact_base.modeled_bytes
+    ((Engine.config engine).Config.sip_state_bytes + (Engine.config engine).Config.rtp_state_bytes)
+    stats.Fact_base.measured_bytes stats.Fact_base.detectors;
+  Format.fprintf ppf "analysis cpu: %a@." Dsim.Time.pp (Engine.cpu_busy engine)
+
+let full ppf engine =
+  summary ppf engine;
+  Format.fprintf ppf "@.";
+  alerts ppf engine
+
+let to_string render engine = Format.asprintf "%a" render engine

@@ -1,0 +1,94 @@
+module M = Efsm.Machine
+module E = Efsm.Event
+module Env = Efsm.Env
+module V = Efsm.Value
+
+let st_init = "INIT"
+let st_open = "RTP_OPEN"
+let st_active = "RTP_RCVD"
+let st_after_bye = "RTP_RCVD_AFTER_BYE"
+let st_closed = "RTP_CLOSED"
+let st_bye_dos = "BYE_DOS_ATTACK"
+let st_billing_fraud = "BILLING_FRAUD_ATTACK"
+let bye_timer_id = "bye_inflight_T"
+
+let l_bye_claimed = "l_bye_claimed_host"
+let l_bye_src_matched = "l_bye_src_matched"
+let l_inflight = "l_inflight_count"
+
+let on_bye config env event =
+  Env.set env Env.Local l_bye_claimed (E.arg event Keys.bye_sender_ip);
+  Env.set env Env.Local l_bye_src_matched (E.arg event "src_matched");
+  Env.set env Env.Local l_inflight (V.Int 0);
+  [ M.Set_timer { id = bye_timer_id; delay = config.Config.bye_inflight_timer } ]
+
+(* After timer T: does a straggler packet come from the participant the BYE
+   claimed to be, and was that BYE's source genuine? *)
+let from_claimed_and_matched env event =
+  V.equal (E.arg event Keys.src_ip) (Env.get env Env.Local l_bye_claimed)
+  && V.equal (Env.get env Env.Local l_bye_src_matched) (V.Bool true)
+
+let tr = M.transition
+
+let spec (config : Config.t) =
+  let transitions =
+    [
+      tr ~label:"open" ~from_state:st_init (M.On_sync Keys.delta_media_offer) ~to_state:st_open
+        ();
+      tr ~label:"answer" ~from_state:st_open (M.On_sync Keys.delta_media_answer)
+        ~to_state:st_open ();
+      tr ~label:"first_rtp" ~from_state:st_open (M.On_event Keys.rtp_packet) ~to_state:st_active
+        ();
+      tr ~label:"rtp" ~from_state:st_active (M.On_event Keys.rtp_packet) ~to_state:st_active ();
+      tr ~label:"answer_active" ~from_state:st_active (M.On_sync Keys.delta_media_answer)
+        ~to_state:st_active ();
+      (* --- δ BYE: start the in-flight grace timer (Figure 5) --- *)
+      tr ~label:"bye_active" ~from_state:st_active (M.On_sync Keys.delta_bye)
+        ~to_state:st_after_bye
+        ~action:(fun env event -> on_bye config env event)
+        ();
+      tr ~label:"bye_open" ~from_state:st_open (M.On_sync Keys.delta_bye)
+        ~to_state:st_after_bye
+        ~action:(fun env event -> on_bye config env event)
+        ();
+      tr ~label:"bye_init" ~from_state:st_init (M.On_sync Keys.delta_bye) ~to_state:st_closed ();
+      tr ~label:"inflight" ~from_state:st_after_bye (M.On_event Keys.rtp_packet)
+        ~to_state:st_after_bye
+        ~action:(fun env _ ->
+          let n = match Env.get env Env.Local l_inflight with V.Int n -> n | _ -> 0 in
+          Env.set env Env.Local l_inflight (V.Int (n + 1));
+          [])
+        ();
+      tr ~label:"bye_retrans" ~from_state:st_after_bye (M.On_sync Keys.delta_bye)
+        ~to_state:st_after_bye ();
+      tr ~label:"grace_over" ~from_state:st_after_bye (M.On_timer bye_timer_id)
+        ~to_state:st_closed ();
+      (* --- Media after close: the paper's BYE DoS signature, split by the
+         BYE source check into fraud vs spoofed-BYE DoS --- *)
+      tr ~label:"billing_fraud" ~from_state:st_closed (M.On_event Keys.rtp_packet)
+        ~to_state:st_billing_fraud
+        ~guard:(fun env event -> from_claimed_and_matched env event)
+        ();
+      tr ~label:"bye_dos" ~from_state:st_closed (M.On_event Keys.rtp_packet)
+        ~to_state:st_bye_dos
+        ~guard:(fun env event -> not (from_claimed_and_matched env event))
+        ();
+      tr ~label:"closed_bye" ~from_state:st_closed (M.On_sync Keys.delta_bye)
+        ~to_state:st_closed ();
+      tr ~label:"bye_dos_more" ~from_state:st_bye_dos (M.On_event Keys.rtp_packet)
+        ~to_state:st_bye_dos ();
+      tr ~label:"fraud_more" ~from_state:st_billing_fraud (M.On_event Keys.rtp_packet)
+        ~to_state:st_billing_fraud ();
+    ]
+  in
+  {
+    M.spec_name = Keys.rtp_machine;
+    initial = st_init;
+    finals = [ st_closed ];
+    attack_states =
+      [
+        (st_bye_dos, "RTP continued after a spoofed BYE (BYE DoS)");
+        (st_billing_fraud, "RTP continued from the party that sent BYE (billing fraud)");
+      ];
+    transitions;
+  }

@@ -1,0 +1,27 @@
+(** The per-call RTP protocol state machine (paper Figures 2a and 5).
+
+    Opened by the SIP machine's δ media-offer message, it follows the media
+    session and implements the cross-protocol BYE check: after a δ BYE it
+    grants in-flight packets a grace timer T, then classifies any further
+    media as a spoofed-BYE denial of service or as billing fraud, depending
+    on whether the BYE's network source matched the participant it claimed
+    to be. *)
+
+val spec : Config.t -> Efsm.Machine.spec
+
+val st_init : string
+
+val st_open : string
+
+val st_active : string
+
+val st_after_bye : string
+
+val st_closed : string
+
+val st_bye_dos : string
+
+val st_billing_fraud : string
+
+val bye_timer_id : string
+(** Timer id used for the in-flight grace period (the paper's timer T). *)

@@ -1,0 +1,351 @@
+module M = Efsm.Machine
+module E = Efsm.Event
+module Env = Efsm.Env
+module V = Efsm.Value
+
+let st_init = "INIT"
+let st_invite_rcvd = "INVITE_RCVD"
+let st_proceeding = "PROCEEDING"
+let st_established = "ESTABLISHED"
+let st_confirmed = "CONFIRMED"
+let st_reinvite_pending = "REINVITE_PENDING"
+let st_teardown = "TEARDOWN"
+let st_cancelling = "CANCELLING"
+let st_failed = "FAILED"
+let st_closed = "CLOSED"
+let st_registering = "REGISTERING"
+let st_options_pending = "OPTIONS_PENDING"
+let st_cancel_dos = "CANCEL_DOS_ATTACK"
+let st_hijack = "HIJACK_ATTACK"
+
+(* Local variable names. *)
+let l_call_id = "l_call_id"
+let l_from_tag = "l_from_tag"
+let l_to_tag = "l_to_tag"
+let l_branch = "l_branch"
+let l_invite_src = "l_invite_src"
+let l_caller_contact = "l_caller_contact"
+let l_callee_contact = "l_callee_contact"
+
+(* ------------------------------------------------------------------ *)
+(* Guard helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let code_between lo hi event =
+  let c = E.arg_int event Keys.code in
+  c >= lo && c <= hi
+
+let cseq_is meth event = String.equal (E.arg_str event Keys.cseq_method) meth
+let is_1xx event = code_between 100 199 event
+let is_2xx_invite event = code_between 200 299 event && cseq_is "INVITE" event
+let is_fail_invite event = code_between 300 699 event && cseq_is "INVITE" event
+let is_2xx_bye event = code_between 200 299 event && cseq_is "BYE" event
+let is_final event = code_between 200 699 event
+
+let same_var env name event key = V.equal (E.arg event key) (Env.get env Env.Local name)
+
+(* Does the From tag of an in-dialog request name one of the two
+   participants (in either orientation)? *)
+let dialog_tags_match env event =
+  let from_tag = E.arg event Keys.from_tag in
+  let to_tag = E.arg event Keys.to_tag in
+  let local_from = Env.get env Env.Local l_from_tag in
+  let local_to = Env.get env Env.Local l_to_tag in
+  (V.equal from_tag local_from && V.equal to_tag local_to)
+  || (V.equal from_tag local_to && V.equal to_tag local_from)
+
+let src_is_participant env event =
+  let src = E.arg event Keys.src_ip in
+  V.equal src (Env.get env Env.Local l_caller_contact)
+  || V.equal src (Env.get env Env.Local l_callee_contact)
+
+(* ------------------------------------------------------------------ *)
+(* Actions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let media_args event =
+  [
+    (Keys.media_host, E.arg event Keys.media_host);
+    (Keys.media_port, E.arg event Keys.media_port);
+    (Keys.media_pt, E.arg event Keys.media_pt);
+  ]
+
+let store_offer_media env event =
+  if E.has_arg event Keys.media_host then begin
+    let host = E.arg_str event Keys.media_host in
+    let port = E.arg_int event Keys.media_port in
+    Env.set env Env.Global Keys.g_caller_media (V.Addr (host, port));
+    Env.set env Env.Global Keys.g_codec (E.arg event Keys.media_pt);
+    [ M.Send_sync { target = Keys.rtp_machine; event_name = Keys.delta_media_offer;
+                    args = media_args event } ]
+  end
+  else []
+
+let store_answer_media env event =
+  if E.has_arg event Keys.media_host then begin
+    let host = E.arg_str event Keys.media_host in
+    let port = E.arg_int event Keys.media_port in
+    Env.set env Env.Global Keys.g_callee_media (V.Addr (host, port));
+    [ M.Send_sync { target = Keys.rtp_machine; event_name = Keys.delta_media_answer;
+                    args = media_args event } ]
+  end
+  else []
+
+let on_invite env event =
+  Env.set env Env.Local l_call_id (E.arg event Keys.call_id);
+  Env.set env Env.Local l_from_tag (E.arg event Keys.from_tag);
+  Env.set env Env.Local l_branch (E.arg event Keys.branch);
+  Env.set env Env.Local l_invite_src (E.arg event Keys.src_ip);
+  Env.set env Env.Local l_caller_contact (E.arg event Keys.contact_host);
+  store_offer_media env event
+
+let on_2xx_invite env event =
+  Env.set env Env.Local l_to_tag (E.arg event Keys.to_tag);
+  Env.set env Env.Local l_callee_contact (E.arg event Keys.contact_host);
+  store_answer_media env event
+
+(* A BYE names its sender via the From tag.  The δ message carries the
+   claimed sender's media host (so the RTP machine can attribute later
+   packets) and whether the network source actually was that participant's
+   contact address — the discriminator between billing fraud and a spoofed
+   BYE (paper §3.1). *)
+let on_bye env event =
+  let claimed_is_caller =
+    V.equal (E.arg event Keys.from_tag) (Env.get env Env.Local l_from_tag)
+  in
+  let media_global = if claimed_is_caller then Keys.g_caller_media else Keys.g_callee_media in
+  let claimed_media_host =
+    match Env.get env Env.Global media_global with V.Addr (host, _) -> host | _ -> ""
+  in
+  let claimed_contact =
+    Env.get env Env.Local (if claimed_is_caller then l_caller_contact else l_callee_contact)
+  in
+  let src_matched = V.equal (E.arg event Keys.src_ip) claimed_contact in
+  [
+    M.Send_sync
+      {
+        target = Keys.rtp_machine;
+        event_name = Keys.delta_bye;
+        args =
+          [
+            (Keys.bye_sender_ip, V.Str claimed_media_host);
+            ("src_matched", V.Bool src_matched);
+          ];
+      };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The specification                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tr = M.transition
+
+let spec (_config : Config.t) =
+  let transitions =
+    [
+      (* --- Call setup --- *)
+      tr ~label:"inv_new" ~from_state:st_init (M.On_event "INVITE") ~to_state:st_invite_rcvd
+        ~action:(fun env event -> on_invite env event)
+        ();
+      tr ~label:"inv_retrans" ~from_state:st_invite_rcvd (M.On_event "INVITE")
+        ~to_state:st_invite_rcvd
+        ~guard:(fun env event -> same_var env l_branch event Keys.branch)
+        ();
+      tr ~label:"resp_1xx" ~from_state:st_invite_rcvd (M.On_event Keys.response)
+        ~to_state:st_proceeding
+        ~guard:(fun _ event -> is_1xx event)
+        ();
+      tr ~label:"resp_1xx_more" ~from_state:st_proceeding (M.On_event Keys.response)
+        ~to_state:st_proceeding
+        ~guard:(fun _ event -> is_1xx event)
+        ();
+      tr ~label:"inv_retrans_proc" ~from_state:st_proceeding (M.On_event "INVITE")
+        ~to_state:st_proceeding
+        ~guard:(fun env event -> same_var env l_branch event Keys.branch)
+        ();
+      tr ~label:"resp_2xx_direct" ~from_state:st_invite_rcvd (M.On_event Keys.response)
+        ~to_state:st_established
+        ~guard:(fun _ event -> is_2xx_invite event)
+        ~action:(fun env event -> on_2xx_invite env event)
+        ();
+      tr ~label:"resp_2xx" ~from_state:st_proceeding (M.On_event Keys.response)
+        ~to_state:st_established
+        ~guard:(fun _ event -> is_2xx_invite event)
+        ~action:(fun env event -> on_2xx_invite env event)
+        ();
+      tr ~label:"resp_fail_direct" ~from_state:st_invite_rcvd (M.On_event Keys.response)
+        ~to_state:st_failed
+        ~guard:(fun _ event -> is_fail_invite event)
+        ();
+      tr ~label:"resp_fail" ~from_state:st_proceeding (M.On_event Keys.response)
+        ~to_state:st_failed
+        ~guard:(fun _ event -> is_fail_invite event)
+        ();
+      (* --- Establishment --- *)
+      tr ~label:"ack" ~from_state:st_established (M.On_event "ACK") ~to_state:st_confirmed ();
+      tr ~label:"resp_2xx_retrans_est" ~from_state:st_established (M.On_event Keys.response)
+        ~to_state:st_established
+        ~guard:(fun _ event -> is_2xx_invite event)
+        ();
+      tr ~label:"resp_2xx_retrans_conf" ~from_state:st_confirmed (M.On_event Keys.response)
+        ~to_state:st_confirmed
+        ~guard:(fun _ event -> is_2xx_invite event)
+        ();
+      tr ~label:"ack_retrans" ~from_state:st_confirmed (M.On_event "ACK") ~to_state:st_confirmed
+        ();
+      (* --- Re-INVITE vs hijack --- *)
+      tr ~label:"reinvite" ~from_state:st_confirmed (M.On_event "INVITE")
+        ~to_state:st_reinvite_pending
+        ~guard:(fun env event -> dialog_tags_match env event && src_is_participant env event)
+        ();
+      tr ~label:"hijack" ~from_state:st_confirmed (M.On_event "INVITE") ~to_state:st_hijack
+        ~guard:(fun env event ->
+          not (dialog_tags_match env event && src_is_participant env event))
+        ();
+      tr ~label:"hijack_absorb_inv" ~from_state:st_hijack (M.On_event "INVITE")
+        ~to_state:st_hijack ();
+      tr ~label:"hijack_absorb_resp" ~from_state:st_hijack (M.On_event Keys.response)
+        ~to_state:st_hijack ();
+      tr ~label:"hijack_absorb_ack" ~from_state:st_hijack (M.On_event "ACK") ~to_state:st_hijack
+        ();
+      tr ~label:"hijack_absorb_bye" ~from_state:st_hijack (M.On_event "BYE") ~to_state:st_hijack
+        ();
+      tr ~label:"reinv_1xx" ~from_state:st_reinvite_pending (M.On_event Keys.response)
+        ~to_state:st_reinvite_pending
+        ~guard:(fun _ event -> is_1xx event)
+        ();
+      tr ~label:"reinv_retrans" ~from_state:st_reinvite_pending (M.On_event "INVITE")
+        ~to_state:st_reinvite_pending ();
+      tr ~label:"reinv_2xx" ~from_state:st_reinvite_pending (M.On_event Keys.response)
+        ~to_state:st_confirmed
+        ~guard:(fun _ event -> is_2xx_invite event)
+        ~action:(fun env event -> store_answer_media env event)
+        ();
+      tr ~label:"reinv_fail" ~from_state:st_reinvite_pending (M.On_event Keys.response)
+        ~to_state:st_confirmed
+        ~guard:(fun _ event -> is_fail_invite event)
+        ();
+      tr ~label:"reinv_ack" ~from_state:st_reinvite_pending (M.On_event "ACK")
+        ~to_state:st_confirmed ();
+      tr ~label:"reinv_bye" ~from_state:st_reinvite_pending (M.On_event "BYE")
+        ~to_state:st_teardown
+        ~guard:(fun env event ->
+          same_var env l_from_tag event Keys.from_tag
+          || same_var env l_to_tag event Keys.from_tag)
+        ~action:(fun env event -> on_bye env event)
+        ();
+      (* --- Teardown --- *)
+      tr ~label:"bye" ~from_state:st_confirmed (M.On_event "BYE") ~to_state:st_teardown
+        ~guard:(fun env event ->
+          same_var env l_from_tag event Keys.from_tag
+          || same_var env l_to_tag event Keys.from_tag)
+        ~action:(fun env event -> on_bye env event)
+        ();
+      tr ~label:"bye_early" ~from_state:st_established (M.On_event "BYE") ~to_state:st_teardown
+        ~guard:(fun env event ->
+          same_var env l_from_tag event Keys.from_tag
+          || same_var env l_to_tag event Keys.from_tag)
+        ~action:(fun env event -> on_bye env event)
+        ();
+      tr ~label:"bye_preanswer" ~from_state:st_proceeding (M.On_event "BYE")
+        ~to_state:st_teardown
+        ~guard:(fun env event -> same_var env l_from_tag event Keys.from_tag)
+        ~action:(fun env event -> on_bye env event)
+        ();
+      tr ~label:"bye_retrans" ~from_state:st_teardown (M.On_event "BYE") ~to_state:st_teardown
+        ();
+      tr ~label:"resp_2xx_bye" ~from_state:st_teardown (M.On_event Keys.response)
+        ~to_state:st_closed
+        ~guard:(fun _ event -> is_2xx_bye event)
+        ();
+      tr ~label:"teardown_other_resp" ~from_state:st_teardown (M.On_event Keys.response)
+        ~to_state:st_teardown
+        ~guard:(fun _ event -> not (is_2xx_bye event))
+        ();
+      (* --- CANCEL: legitimate vs third-party DoS (paper §3.1) --- *)
+      tr ~label:"cancel_inv" ~from_state:st_invite_rcvd (M.On_event "CANCEL")
+        ~to_state:st_cancelling
+        ~guard:(fun env event -> same_var env l_invite_src event Keys.src_ip)
+        ();
+      tr ~label:"cancel_dos_inv" ~from_state:st_invite_rcvd (M.On_event "CANCEL")
+        ~to_state:st_cancel_dos
+        ~guard:(fun env event -> not (same_var env l_invite_src event Keys.src_ip))
+        ();
+      tr ~label:"cancel_proc" ~from_state:st_proceeding (M.On_event "CANCEL")
+        ~to_state:st_cancelling
+        ~guard:(fun env event -> same_var env l_invite_src event Keys.src_ip)
+        ();
+      tr ~label:"cancel_dos_proc" ~from_state:st_proceeding (M.On_event "CANCEL")
+        ~to_state:st_cancel_dos
+        ~guard:(fun env event -> not (same_var env l_invite_src event Keys.src_ip))
+        ();
+      tr ~label:"cancelling_resp_other" ~from_state:st_cancelling (M.On_event Keys.response)
+        ~to_state:st_cancelling
+        ~guard:(fun _ event -> not (is_2xx_invite event))
+        ();
+      tr ~label:"cancelling_2xx_race" ~from_state:st_cancelling (M.On_event Keys.response)
+        ~to_state:st_established
+        ~guard:(fun _ event -> is_2xx_invite event)
+        ~action:(fun env event -> on_2xx_invite env event)
+        ();
+      tr ~label:"cancelling_retrans" ~from_state:st_cancelling (M.On_event "CANCEL")
+        ~to_state:st_cancelling ();
+      tr ~label:"cancelling_ack" ~from_state:st_cancelling (M.On_event "ACK")
+        ~to_state:st_closed ();
+      tr ~label:"cancel_dos_resp" ~from_state:st_cancel_dos (M.On_event Keys.response)
+        ~to_state:st_cancelling ();
+      tr ~label:"cancel_dos_retrans" ~from_state:st_cancel_dos (M.On_event "CANCEL")
+        ~to_state:st_cancel_dos ();
+      tr ~label:"cancel_dos_ack" ~from_state:st_cancel_dos (M.On_event "ACK")
+        ~to_state:st_closed ();
+      (* --- Failed setup --- *)
+      tr ~label:"failed_ack" ~from_state:st_failed (M.On_event "ACK") ~to_state:st_closed ();
+      tr ~label:"failed_resp_retrans" ~from_state:st_failed (M.On_event Keys.response)
+        ~to_state:st_failed ();
+      (* --- Non-dialog methods --- *)
+      tr ~label:"register" ~from_state:st_init (M.On_event "REGISTER") ~to_state:st_registering
+        ();
+      tr ~label:"register_retrans" ~from_state:st_registering (M.On_event "REGISTER")
+        ~to_state:st_registering ();
+      tr ~label:"register_1xx" ~from_state:st_registering (M.On_event Keys.response)
+        ~to_state:st_registering
+        ~guard:(fun _ event -> is_1xx event)
+        ();
+      tr ~label:"register_final" ~from_state:st_registering (M.On_event Keys.response)
+        ~to_state:st_closed
+        ~guard:(fun _ event -> is_final event)
+        ();
+      tr ~label:"options" ~from_state:st_init (M.On_event "OPTIONS")
+        ~to_state:st_options_pending ();
+      tr ~label:"options_retrans" ~from_state:st_options_pending (M.On_event "OPTIONS")
+        ~to_state:st_options_pending ();
+      tr ~label:"options_1xx" ~from_state:st_options_pending (M.On_event Keys.response)
+        ~to_state:st_options_pending
+        ~guard:(fun _ event -> is_1xx event)
+        ();
+      tr ~label:"options_final" ~from_state:st_options_pending (M.On_event Keys.response)
+        ~to_state:st_closed
+        ~guard:(fun _ event -> is_final event)
+        ();
+      (* --- Closed: absorb stragglers, allow Call-ID reuse --- *)
+      tr ~label:"closed_resp" ~from_state:st_closed (M.On_event Keys.response)
+        ~to_state:st_closed ();
+      tr ~label:"closed_ack" ~from_state:st_closed (M.On_event "ACK") ~to_state:st_closed ();
+      tr ~label:"closed_bye" ~from_state:st_closed (M.On_event "BYE") ~to_state:st_closed ();
+      tr ~label:"closed_reinvite" ~from_state:st_closed (M.On_event "INVITE")
+        ~to_state:st_invite_rcvd
+        ~action:(fun env event -> on_invite env event)
+        ();
+    ]
+  in
+  {
+    M.spec_name = Keys.sip_machine;
+    initial = st_init;
+    finals = [ st_closed ];
+    attack_states =
+      [
+        (st_cancel_dos, "CANCEL from a third-party source for a pending INVITE");
+        (st_hijack, "in-dialog INVITE with foreign tags or source (call hijack)");
+      ];
+    transitions;
+  }

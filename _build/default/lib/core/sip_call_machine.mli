@@ -1,0 +1,42 @@
+(** The per-call SIP protocol state machine, as observed by vIDS on the
+    wire (paper §4.2 and Figure 2a).
+
+    One instance tracks a single Call-ID through setup, establishment and
+    teardown.  Its actions publish the negotiated media endpoints into the
+    call's global variables and emit the δ synchronization messages that
+    drive the companion {!Rtp_call_machine}.  Embedded attack states cover
+    the signaling-visible patterns: CANCEL DoS from a third party and
+    call hijacking via a foreign in-dialog INVITE. *)
+
+val spec : Config.t -> Efsm.Machine.spec
+
+(** State names, exposed for tests and documentation. *)
+
+val st_init : string
+
+val st_invite_rcvd : string
+
+val st_proceeding : string
+
+val st_established : string
+(** 2xx seen, ACK pending. *)
+
+val st_confirmed : string
+
+val st_reinvite_pending : string
+
+val st_teardown : string
+
+val st_cancelling : string
+
+val st_failed : string
+
+val st_closed : string
+
+val st_registering : string
+
+val st_options_pending : string
+
+val st_cancel_dos : string
+
+val st_hijack : string

@@ -1,0 +1,89 @@
+module V = Efsm.Value
+
+let opt_arg key value rest = match value with None -> rest | Some v -> (key, v) :: rest
+
+let sdp_args msg =
+  match (Sip.Msg.content_type msg, msg.Sip.Msg.body) with
+  | Some ct, body when String.length body > 0 && String.equal ct "application/sdp" -> (
+      match Sdp.parse body with
+      | Error _ -> []
+      | Ok description -> (
+          match Sdp.first_audio description with
+          | None -> []
+          | Some media -> (
+              match Sdp.media_addr description media with
+              | None -> []
+              | Some (host, port) ->
+                  let pt =
+                    match media.Sdp.formats with pt :: _ -> pt | [] -> -1
+                  in
+                  [
+                    (Keys.media_host, V.Str host);
+                    (Keys.media_port, V.Int port);
+                    (Keys.media_pt, V.Int pt);
+                  ])))
+  | _ -> []
+
+let of_msg ~at ~src ~dst msg =
+  let name, extra =
+    match msg.Sip.Msg.start with
+    | Sip.Msg.Request { meth; _ } -> (Sip.Msg_method.to_string meth, [])
+    | Sip.Msg.Response { code; _ } -> (Keys.response, [ (Keys.code, V.Int code) ])
+  in
+  let tag_of field =
+    match field msg with
+    | Ok na -> Option.map (fun t -> V.Str t) (Sip.Name_addr.tag na)
+    | Error _ -> None
+  in
+  let contact_host =
+    match Sip.Msg.contact msg with
+    | Ok na -> Some (V.Str na.Sip.Name_addr.uri.Sip.Uri.host)
+    | Error _ -> None
+  in
+  let branch =
+    match Sip.Msg.top_via msg with
+    | Ok via -> Option.map (fun b -> V.Str b) (Sip.Via.branch via)
+    | Error _ -> None
+  in
+  let cseq =
+    match Sip.Msg.cseq msg with
+    | Ok c ->
+        [
+          (Keys.cseq_method, V.Str (Sip.Msg_method.to_string c.Sip.Cseq.meth));
+          (Keys.cseq_number, V.Int c.Sip.Cseq.number);
+        ]
+    | Error _ -> []
+  in
+  let call_id =
+    match Sip.Msg.call_id msg with Ok cid -> [ (Keys.call_id, V.Str cid) ] | Error _ -> []
+  in
+  let args =
+    [
+      (Keys.src_ip, V.Str (Dsim.Addr.host src));
+      (Keys.src_port, V.Int (Dsim.Addr.port src));
+      (Keys.dst_ip, V.Str (Dsim.Addr.host dst));
+      (Keys.dst_port, V.Int (Dsim.Addr.port dst));
+    ]
+    @ extra @ cseq @ call_id @ sdp_args msg
+  in
+  let args = opt_arg Keys.from_tag (tag_of Sip.Msg.from_) args in
+  let args = opt_arg Keys.to_tag (tag_of Sip.Msg.to_) args in
+  let args = opt_arg Keys.contact_host contact_host args in
+  let args = opt_arg Keys.branch branch args in
+  Efsm.Event.make ~args (Efsm.Event.Data "SIP") ~at name
+
+let media_of_event event =
+  if Efsm.Event.has_arg event Keys.media_host then
+    match
+      (Efsm.Event.arg event Keys.media_host, Efsm.Event.arg event Keys.media_port)
+    with
+    | V.Str host, V.Int port -> Some (Dsim.Addr.v host port)
+    | _ -> None
+  else None
+
+let flood_key msg =
+  match msg.Sip.Msg.start with
+  | Sip.Msg.Request { meth = Sip.Msg_method.INVITE; uri } ->
+      let user = Option.value uri.Sip.Uri.user ~default:"" in
+      Some (user ^ "@" ^ uri.Sip.Uri.host)
+  | Sip.Msg.Request _ | Sip.Msg.Response _ -> None

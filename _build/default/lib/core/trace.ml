@@ -1,0 +1,90 @@
+type record = { at : Dsim.Time.t; src : Dsim.Addr.t; dst : Dsim.Addr.t; payload : string }
+
+let record_of_packet ~at (packet : Dsim.Packet.t) =
+  { at; src = packet.src; dst = packet.dst; payload = packet.payload }
+
+let hex_of_string s =
+  let buffer = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buffer (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buffer
+
+let string_of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then Error "odd-length hex payload"
+  else
+    try
+      Ok
+        (String.init (n / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
+    with Failure _ -> Error "invalid hex digit"
+
+let record_to_line r =
+  Printf.sprintf "%d %s %s %s" (Dsim.Time.to_us r.at) (Dsim.Addr.to_string r.src)
+    (Dsim.Addr.to_string r.dst) (hex_of_string r.payload)
+
+let record_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ at_str; src_str; dst_str; hex ] -> (
+      match
+        (int_of_string_opt at_str, Dsim.Addr.of_string src_str, Dsim.Addr.of_string dst_str)
+      with
+      | Some at, Some src, Some dst -> (
+          match string_of_hex hex with
+          | Ok payload -> Ok { at = Dsim.Time.of_us at; src; dst; payload }
+          | Error e -> Error e)
+      | None, _, _ -> Error "bad timestamp"
+      | _, None, _ -> Error "bad source address"
+      | _, _, None -> Error "bad destination address")
+  | [ at_str; src_str; dst_str ] -> (
+      (* Empty payload: the hex field is absent. *)
+      match
+        (int_of_string_opt at_str, Dsim.Addr.of_string src_str, Dsim.Addr.of_string dst_str)
+      with
+      | Some at, Some src, Some dst -> Ok { at = Dsim.Time.of_us at; src; dst; payload = "" }
+      | _ -> Error "malformed record")
+  | _ -> Error "malformed record"
+
+let save oc records =
+  List.iter
+    (fun r ->
+      output_string oc (record_to_line r);
+      output_char oc '\n')
+    records
+
+let load ic =
+  let rec go acc line_number =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | "" -> go acc (line_number + 1)
+    | line -> (
+        match record_of_line line with
+        | Ok r -> go (r :: acc) (line_number + 1)
+        | Error e -> Error (Printf.sprintf "line %d: %s" line_number e))
+  in
+  go [] 1
+
+type recorder = { mutable entries : record list }
+
+let recorder () = { entries = [] }
+
+let tap t sched (packet : Dsim.Packet.t) =
+  t.entries <- record_of_packet ~at:(Dsim.Scheduler.now sched) packet :: t.entries
+
+let records t = List.rev t.entries
+
+let replay ?config records =
+  let sched = Dsim.Scheduler.create () in
+  let engine =
+    match config with Some c -> Engine.create ~config:c sched | None -> Engine.create sched
+  in
+  let alloc = Dsim.Packet.allocator () in
+  let sorted = List.stable_sort (fun a b -> Dsim.Time.compare a.at b.at) records in
+  List.iter
+    (fun r ->
+      ignore
+        (Dsim.Scheduler.schedule_at sched r.at (fun () ->
+             Engine.process_packet engine
+               (Dsim.Packet.make alloc ~src:r.src ~dst:r.dst ~sent_at:r.at r.payload))))
+    sorted;
+  Dsim.Scheduler.run sched;
+  engine

@@ -1,0 +1,49 @@
+(** Packet trace capture and offline replay.
+
+    An online vIDS taps live traffic; this module gives it the pcap-style
+    workflow: record the packets crossing the sensor to a portable text
+    format, then re-run the full analysis pipeline over the file later.
+    Replay reconstructs virtual time from the recorded timestamps so every
+    timer-based pattern (flood windows, the BYE grace period T) behaves
+    exactly as it did live. *)
+
+type record = {
+  at : Dsim.Time.t;  (** Capture timestamp. *)
+  src : Dsim.Addr.t;
+  dst : Dsim.Addr.t;
+  payload : string;  (** Raw wire bytes. *)
+}
+
+val record_of_packet : at:Dsim.Time.t -> Dsim.Packet.t -> record
+
+(** {1 Text serialization}
+
+    One record per line: [<at_us> <src> <dst> <hex payload>]. *)
+
+val record_to_line : record -> string
+
+val record_of_line : string -> (record, string) result
+
+val save : out_channel -> record list -> unit
+
+val load : in_channel -> (record list, string) result
+(** Stops at the first malformed line with its line number. *)
+
+(** {1 Capture} *)
+
+type recorder
+
+val recorder : unit -> recorder
+
+val tap : recorder -> Dsim.Scheduler.t -> Dsim.Packet.t -> unit
+(** Shaped for [Dsim.Network.set_tap] after partial application. *)
+
+val records : recorder -> record list
+(** Chronological. *)
+
+(** {1 Replay} *)
+
+val replay : ?config:Config.t -> record list -> Engine.t
+(** Runs an engine over the trace under virtual time and returns it (with
+    its alerts, counters and fact base) for inspection.  Records need not
+    be sorted. *)

@@ -1,0 +1,1 @@
+lib/dsim/addr.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/dsim/network.ml: Array Hashtbl List Packet Printf Queue Rng Scheduler Stat Stdlib Time

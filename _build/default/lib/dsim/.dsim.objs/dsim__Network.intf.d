@@ -1,0 +1,1 @@
+lib/dsim/network.mli: Addr Packet Rng Scheduler Time

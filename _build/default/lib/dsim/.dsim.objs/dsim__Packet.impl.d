@@ -1,0 +1,1 @@
+lib/dsim/packet.ml: Addr Format String Time

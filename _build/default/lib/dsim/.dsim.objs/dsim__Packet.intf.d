@@ -1,0 +1,1 @@
+lib/dsim/packet.mli: Addr Format Time

@@ -1,0 +1,1 @@
+lib/dsim/scheduler.ml: Format Heap Int Time

@@ -1,0 +1,1 @@
+lib/dsim/scheduler.mli: Time

@@ -1,0 +1,1 @@
+lib/dsim/stat.ml: Array Float Format Hashtbl List Stdlib String Time

@@ -1,0 +1,1 @@
+lib/dsim/stat.mli: Format Time

@@ -1,0 +1,21 @@
+(** Transport addresses: an IPv4-style host string plus a UDP port. *)
+
+type t = { host : string; port : int }
+
+val v : string -> int -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val host : t -> string
+
+val port : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["host:port"]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Parses ["host:port"]. *)

@@ -1,0 +1,217 @@
+type link = {
+  peer : int; (* node id at the far end *)
+  rate_bps : float;
+  prop_delay : Time.t;
+  loss_prob : float;
+  mutable free_at : Time.t; (* when this direction's transmitter is idle *)
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable lost_packets : int;
+}
+
+type node = {
+  id : int;
+  name : string;
+  hosts : string list;
+  mutable links : link list;
+  mutable handler : Packet.t -> unit;
+  mutable tap : (Packet.t -> unit) option;
+  mutable transit_delay : (Packet.t -> Time.t) option;
+  mutable bytes_seen : int;
+}
+
+and t = {
+  sched : Scheduler.t;
+  rng : Rng.t;
+  alloc : Packet.allocator;
+  mutable nodes : node array;
+  mutable count : int;
+  host_owner : (string, int) Hashtbl.t;
+  mutable next_hop : int array array; (* next_hop.(src).(dst) = peer id, -1 if unreachable *)
+  mutable routes_dirty : bool;
+  delivered : Stat.Counter.t;
+  dropped : Stat.Counter.t;
+}
+
+let create sched rng =
+  {
+    sched;
+    rng;
+    alloc = Packet.allocator ();
+    nodes = [||];
+    count = 0;
+    host_owner = Hashtbl.create 64;
+    next_hop = [||];
+    routes_dirty = true;
+    delivered = Stat.Counter.create ();
+    dropped = Stat.Counter.create ();
+  }
+
+let scheduler t = t.sched
+
+let add_node t ~name ~hosts =
+  let node =
+    {
+      id = t.count;
+      name;
+      hosts;
+      links = [];
+      handler = (fun _ -> ());
+      tap = None;
+      transit_delay = None;
+      bytes_seen = 0;
+    }
+  in
+  List.iter
+    (fun host ->
+      if Hashtbl.mem t.host_owner host then
+        invalid_arg (Printf.sprintf "Network.add_node: host %s already assigned" host);
+      Hashtbl.replace t.host_owner host node.id)
+    hosts;
+  if t.count = Array.length t.nodes then begin
+    let capacity = Stdlib.max 8 (2 * Array.length t.nodes) in
+    let nodes' = Array.make capacity node in
+    Array.blit t.nodes 0 nodes' 0 t.count;
+    t.nodes <- nodes'
+  end;
+  t.nodes.(t.count) <- node;
+  t.count <- t.count + 1;
+  t.routes_dirty <- true;
+  node
+
+let node_name node = node.name
+
+let find_node t ~host =
+  match Hashtbl.find_opt t.host_owner host with
+  | None -> None
+  | Some id -> Some t.nodes.(id)
+
+let connect t a b ~rate_bps ~prop_delay ~loss_prob =
+  let fresh peer =
+    { peer; rate_bps; prop_delay; loss_prob; free_at = Time.zero; tx_packets = 0;
+      tx_bytes = 0; lost_packets = 0 }
+  in
+  a.links <- fresh b.id :: a.links;
+  b.links <- fresh a.id :: b.links;
+  t.routes_dirty <- true
+
+let set_handler node f = node.handler <- f
+let set_tap node tap = node.tap <- tap
+let set_transit_delay node f = node.transit_delay <- f
+
+let recompute_routes t =
+  let n = t.count in
+  let next_hop = Array.make_matrix n n (-1) in
+  for src = 0 to n - 1 do
+    (* BFS from [src]; record the first hop on each shortest path. *)
+    let first = Array.make n (-1) in
+    let visited = Array.make n false in
+    visited.(src) <- true;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      List.iter
+        (fun link ->
+          let v = link.peer in
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            first.(v) <- (if u = src then v else first.(u));
+            Queue.add v queue
+          end)
+        t.nodes.(u).links
+    done;
+    Array.blit first 0 next_hop.(src) 0 n
+  done;
+  t.next_hop <- next_hop;
+  t.routes_dirty <- false
+
+let ensure_routes t = if t.routes_dirty then recompute_routes t
+
+let make_packet t ~src ~dst payload =
+  Packet.make t.alloc ~src ~dst ~sent_at:(Scheduler.now t.sched) payload
+
+let link_to node peer_id = List.find_opt (fun link -> link.peer = peer_id) node.links
+
+(* Forwarding: each hop serializes the packet on the outgoing link (FIFO
+   behind earlier packets), suffers propagation delay, and may be lost. *)
+let rec arrive_at t node packet =
+  node.bytes_seen <- node.bytes_seen + Packet.size packet;
+  (match node.tap with None -> () | Some tap -> tap packet);
+  let dst_host = (packet : Packet.t).dst.host in
+  match Hashtbl.find_opt t.host_owner dst_host with
+  | Some owner when owner = node.id ->
+      Stat.Counter.incr t.delivered;
+      node.handler packet
+  | Some _ | None -> (
+      match node.transit_delay with
+      | None -> forward t node packet
+      | Some delay_of ->
+          let delay = delay_of packet in
+          if delay = Time.zero then forward t node packet
+          else ignore (Scheduler.schedule_after t.sched delay (fun () -> forward t node packet)))
+
+and forward t node packet =
+  ensure_routes t;
+  let dst_host = (packet : Packet.t).dst.host in
+  match Hashtbl.find_opt t.host_owner dst_host with
+  | None -> Stat.Counter.incr t.dropped
+  | Some owner when t.next_hop.(node.id).(owner) = -1 -> Stat.Counter.incr t.dropped
+  | Some owner -> (
+      let hop = t.next_hop.(node.id).(owner) in
+      match link_to node hop with
+      | None -> Stat.Counter.incr t.dropped
+      | Some link -> transmit t link packet)
+
+and transmit t link packet =
+  let now = Scheduler.now t.sched in
+  let tx_time =
+    if link.rate_bps <= 0.0 then Time.zero
+    else Time.of_sec (float_of_int (8 * Packet.size packet) /. link.rate_bps)
+  in
+  let start = Time.max now link.free_at in
+  let done_ = Time.add start tx_time in
+  link.free_at <- done_;
+  let arrival = Time.add done_ link.prop_delay in
+  link.tx_packets <- link.tx_packets + 1;
+  link.tx_bytes <- link.tx_bytes + Packet.size packet;
+  let lost = link.loss_prob > 0.0 && Rng.bool t.rng link.loss_prob in
+  if lost then link.lost_packets <- link.lost_packets + 1;
+  let peer = t.nodes.(link.peer) in
+  ignore
+    (Scheduler.schedule_at t.sched arrival (fun () ->
+         if lost then Stat.Counter.incr t.dropped else arrive_at t peer packet))
+
+let send t ~from packet = arrive_at t from packet
+
+type link_stats = {
+  from_node : string;
+  to_node : string;
+  rate_bps : float;
+  tx_packets : int;
+  tx_bytes : int;
+  lost_packets : int;
+}
+
+let link_stats t =
+  let stats = ref [] in
+  for i = 0 to t.count - 1 do
+    let node = t.nodes.(i) in
+    List.iter
+      (fun link ->
+        stats :=
+          {
+            from_node = node.name;
+            to_node = t.nodes.(link.peer).name;
+            rate_bps = link.rate_bps;
+            tx_packets = link.tx_packets;
+            tx_bytes = link.tx_bytes;
+            lost_packets = link.lost_packets;
+          }
+          :: !stats)
+      node.links
+  done;
+  List.rev !stats
+let packets_delivered t = Stat.Counter.get t.delivered
+let packets_dropped t = Stat.Counter.get t.dropped
+let bytes_forwarded _t node = node.bytes_seen

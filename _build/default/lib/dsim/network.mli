@@ -1,0 +1,68 @@
+(** Topology, links and hop-by-hop packet forwarding.
+
+    A network is a graph of named nodes joined by point-to-point links.  Each
+    link models transmission serialization (bit rate), propagation delay and
+    independent Bernoulli loss, which is everything the paper's OPNET
+    topology configures (100BaseT LANs, DS1 uplinks, a 50 ms / 0.42% loss
+    Internet cloud).  Packets are routed hop by hop over precomputed
+    shortest paths so that mid-path nodes — the vIDS host in particular — can
+    observe and delay traffic in flight. *)
+
+type t
+
+type node
+
+val create : Scheduler.t -> Rng.t -> t
+
+val scheduler : t -> Scheduler.t
+
+val add_node : t -> name:string -> hosts:string list -> node
+(** [hosts] are the IP-like host strings this node answers for.  A host may
+    belong to at most one node. *)
+
+val node_name : node -> string
+
+val find_node : t -> host:string -> node option
+
+val connect :
+  t -> node -> node -> rate_bps:float -> prop_delay:Time.t -> loss_prob:float -> unit
+(** Adds a bidirectional link.  [rate_bps <= 0] means infinite rate. *)
+
+val set_handler : node -> (Packet.t -> unit) -> unit
+(** Called for packets whose destination host belongs to this node. *)
+
+val set_tap : node -> (Packet.t -> unit) option -> unit
+(** Passive monitor invoked for every packet that arrives at this node,
+    whether delivered locally or forwarded. *)
+
+val set_transit_delay : node -> (Packet.t -> Time.t) option -> unit
+(** Inline processing delay added before forwarding a transit packet (the
+    vIDS host uses this when deployed online). *)
+
+val send : t -> from:node -> Packet.t -> unit
+(** Injects a packet at [from]; it is forwarded toward [Packet.dst].  An
+    unroutable destination counts as a drop. *)
+
+val make_packet : t -> src:Addr.t -> dst:Addr.t -> string -> Packet.t
+(** Allocates a packet stamped with the current simulation time. *)
+
+val packets_delivered : t -> int
+
+val packets_dropped : t -> int
+(** Link losses plus unroutable packets. *)
+
+val bytes_forwarded : t -> node -> int
+(** Total bytes that transited or terminated at this node. *)
+
+(** Per-direction link usage, for utilization reports. *)
+type link_stats = {
+  from_node : string;
+  to_node : string;
+  rate_bps : float;
+  tx_packets : int;
+  tx_bytes : int;
+  lost_packets : int;
+}
+
+val link_stats : t -> link_stats list
+(** One entry per link direction, in node order. *)

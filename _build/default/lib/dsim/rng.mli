@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation.
+
+    A small splitmix64 generator: fast, seedable, and stable across runs and
+    platforms, which keeps every experiment in the benchmark harness
+    reproducible.  Each stream is independent; derive sub-streams with
+    {!split} so concurrent entities draw from uncorrelated sequences. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator, advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)].  [bound] must be
+    positive. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution with the
+    given mean (in the caller's unit). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] draws uniformly from [\[lo, hi)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly pick an array element.  Raises [Invalid_argument] on an empty
+    array. *)

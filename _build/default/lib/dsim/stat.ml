@@ -1,0 +1,120 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g" t.count (mean t) (stddev t)
+      (min t) (max t)
+end
+
+module Series = struct
+  type t = { name : string; mutable samples : (Time.t * float) list; mutable n : int }
+
+  let create ~name = { name; samples = []; n = 0 }
+  let name t = t.name
+
+  let add t at x =
+    t.samples <- (at, x) :: t.samples;
+    t.n <- t.n + 1
+
+  let length t = t.n
+  let to_list t = List.rev t.samples
+  let values t = Array.of_list (List.rev_map snd t.samples)
+
+  let summary t =
+    let s = Summary.create () in
+    List.iter (fun (_, x) -> Summary.add s x) t.samples;
+    s
+
+  let bucket_mean t ~bucket =
+    if bucket <= 0 then invalid_arg "Series.bucket_mean: bucket must be positive";
+    let tbl = Hashtbl.create 64 in
+    let record (at, x) =
+      let key = at / bucket in
+      let sum, n = try Hashtbl.find tbl key with Not_found -> (0.0, 0) in
+      Hashtbl.replace tbl key (sum +. x, n + 1)
+    in
+    List.iter record t.samples;
+    Hashtbl.fold (fun key (sum, n) acc -> (key * bucket, sum /. float_of_int n) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Time.compare a b)
+end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let frac = rank -. floor rank in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; width : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+    if hi <= lo then invalid_arg "Histogram.create: empty range";
+    { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; total = 0 }
+
+  let add t x =
+    let n = Array.length t.counts in
+    let index =
+      if x < t.lo then 0
+      else if x >= t.hi then n - 1
+      else int_of_float ((x -. t.lo) /. t.width)
+    in
+    let index = Stdlib.min (n - 1) (Stdlib.max 0 index) in
+    t.counts.(index) <- t.counts.(index) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+
+  let bins t =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           (t.lo +. (float_of_int i *. t.width), t.lo +. (float_of_int (i + 1) *. t.width), c))
+         t.counts)
+
+  let pp ppf t =
+    let peak = Array.fold_left Stdlib.max 1 t.counts in
+    List.iter
+      (fun (lower, upper, c) ->
+        let bar = String.make (c * 40 / peak) '#' in
+        Format.fprintf ppf "%10.4f-%-10.4f %6d %s@." lower upper c bar)
+      (bins t)
+end
+
+module Counter = struct
+  type t = { mutable value : int }
+
+  let create () = { value = 0 }
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let get t = t.value
+end

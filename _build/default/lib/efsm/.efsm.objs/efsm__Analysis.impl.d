@@ -1,0 +1,1 @@
+lib/efsm/analysis.ml: Hashtbl List Machine Printf String

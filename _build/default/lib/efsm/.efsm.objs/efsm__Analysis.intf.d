@@ -1,0 +1,1 @@
+lib/efsm/analysis.mli: Machine

@@ -1,0 +1,1 @@
+lib/efsm/dot.ml: Buffer List Machine Printf String

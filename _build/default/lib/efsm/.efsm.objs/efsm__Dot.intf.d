@@ -1,0 +1,1 @@
+lib/efsm/dot.mli: Machine

@@ -1,0 +1,1 @@
+lib/efsm/env.ml: Hashtbl List String Value

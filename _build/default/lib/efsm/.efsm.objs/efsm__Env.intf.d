@@ -1,0 +1,1 @@
+lib/efsm/env.mli: Value

@@ -1,0 +1,1 @@
+lib/efsm/event.ml: Dsim Format List Value

@@ -1,0 +1,1 @@
+lib/efsm/event.mli: Dsim Format Value

@@ -1,0 +1,1 @@
+lib/efsm/machine.ml: Dsim Env Event List Printf String Value

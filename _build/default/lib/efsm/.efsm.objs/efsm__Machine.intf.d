@@ -1,0 +1,1 @@
+lib/efsm/machine.mli: Dsim Env Event Value

@@ -1,0 +1,1 @@
+lib/efsm/system.ml: Dsim Env Event Hashtbl List Machine Printf Queue String

@@ -1,0 +1,1 @@
+lib/efsm/system.mli: Dsim Env Event Machine

@@ -1,0 +1,1 @@
+lib/efsm/value.ml: Bool Float Format Int Printf String

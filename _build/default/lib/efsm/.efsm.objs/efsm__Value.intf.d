@@ -1,0 +1,1 @@
+lib/efsm/value.mli: Format

@@ -1,0 +1,69 @@
+type report = {
+  reachable : string list;
+  unreachable : string list;
+  dead_ends : string list;
+  unreachable_attacks : string list;
+  finals_reachable : bool;
+}
+
+module Set = struct
+  include Hashtbl
+
+  let mem_s t s = Hashtbl.mem t s
+end
+
+let analyze (spec : Machine.spec) =
+  let states = Machine.states spec in
+  let successors =
+    List.fold_left
+      (fun acc (tr : Machine.transition) ->
+        let existing = try List.assoc tr.Machine.from_state acc with Not_found -> [] in
+        (tr.Machine.from_state, tr.Machine.to_state :: existing)
+        :: List.remove_assoc tr.Machine.from_state acc)
+      [] spec.Machine.transitions
+  in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit state =
+    if not (Set.mem_s seen state) then begin
+      Hashtbl.replace seen state ();
+      List.iter visit (try List.assoc state successors with Not_found -> [])
+    end
+  in
+  visit spec.Machine.initial;
+  let reachable = List.filter (Set.mem_s seen) states in
+  let unreachable = List.filter (fun s -> not (Set.mem_s seen s)) states in
+  let has_out state = List.mem_assoc state successors in
+  let dead_ends =
+    List.filter
+      (fun s -> (not (has_out s)) && not (List.mem s spec.Machine.finals))
+      reachable
+  in
+  let unreachable_attacks =
+    List.filter
+      (fun (s, _) -> not (Set.mem_s seen s))
+      spec.Machine.attack_states
+    |> List.map fst
+  in
+  let finals_reachable =
+    spec.Machine.finals = [] || List.exists (Set.mem_s seen) spec.Machine.finals
+  in
+  { reachable; unreachable; dead_ends; unreachable_attacks; finals_reachable }
+
+let check spec =
+  match Machine.validate_spec spec with
+  | Error e -> Error e
+  | Ok () ->
+      let r = analyze spec in
+      let attack_names = List.map fst spec.Machine.attack_states in
+      let bad_dead_ends = List.filter (fun s -> not (List.mem s attack_names)) r.dead_ends in
+      if r.unreachable_attacks <> [] then
+        Error
+          (Printf.sprintf "%s: unreachable attack states: %s" spec.Machine.spec_name
+             (String.concat ", " r.unreachable_attacks))
+      else if not r.finals_reachable then
+        Error (Printf.sprintf "%s: no final state is reachable" spec.Machine.spec_name)
+      else if bad_dead_ends <> [] then
+        Error
+          (Printf.sprintf "%s: dead-end states: %s" spec.Machine.spec_name
+             (String.concat ", " bad_dead_ends))
+      else Ok ()

@@ -1,0 +1,27 @@
+(** Static analysis of machine specifications.
+
+    Guards are opaque OCaml functions, so the analysis works on the
+    control-flow graph (every transition assumed fireable).  That makes
+    reachability an over-approximation and dead-end detection exact for
+    the graph: together they catch the common specification bugs —
+    orphaned states, unreachable attack states, final states that cannot
+    be reached. *)
+
+type report = {
+  reachable : string list;  (** From the initial state, sorted. *)
+  unreachable : string list;
+  dead_ends : string list;
+      (** Non-final states with no outgoing transitions: a call arriving
+          there is stuck forever. *)
+  unreachable_attacks : string list;
+      (** Attack states the graph cannot reach: the pattern can never
+          fire. *)
+  finals_reachable : bool;
+}
+
+val analyze : Machine.spec -> report
+
+val check : Machine.spec -> (unit, string) result
+(** [Ok] when the spec validates ({!Machine.validate_spec}), every attack
+    state is reachable, some final state is reachable (when any is
+    declared), and no non-final, non-attack state is a dead end. *)

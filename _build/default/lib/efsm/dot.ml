@@ -1,0 +1,36 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let trigger_label = function
+  | Machine.On_event n -> n
+  | Machine.On_channel proto -> proto ^ "?*"
+  | Machine.On_sync n -> "δ:" ^ n
+  | Machine.On_timer id -> "timeout(" ^ id ^ ")"
+
+let of_spec (spec : Machine.spec) =
+  let buffer = Buffer.create 512 in
+  Buffer.add_string buffer (Printf.sprintf "digraph %S {\n" spec.Machine.spec_name);
+  Buffer.add_string buffer "  rankdir=LR;\n  node [shape=ellipse];\n";
+  List.iter
+    (fun state ->
+      let attrs =
+        if List.mem_assoc state spec.Machine.attack_states then
+          " [shape=doubleoctagon,style=filled,fillcolor=salmon]"
+        else if List.mem state spec.Machine.finals then " [shape=doublecircle]"
+        else if String.equal state spec.Machine.initial then " [style=bold]"
+        else ""
+      in
+      Buffer.add_string buffer (Printf.sprintf "  \"%s\"%s;\n" (escape state) attrs))
+    (Machine.states spec);
+  List.iter
+    (fun tr ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"];\n"
+           (escape tr.Machine.from_state) (escape tr.Machine.to_state)
+           (escape (trigger_label tr.Machine.trigger))))
+    spec.Machine.transitions;
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer

@@ -1,0 +1,6 @@
+(** Graphviz export of machine specifications, for documentation and for
+    eyeballing the attack patterns against the paper's Figures 4–6. *)
+
+val of_spec : Machine.spec -> string
+(** A [digraph] with the initial state marked, final states double-circled
+    and attack states filled red. *)

@@ -1,0 +1,34 @@
+type scope = Local | Global
+
+type globals = (string, Value.t) Hashtbl.t
+
+let globals () : globals = Hashtbl.create 16
+
+type t = { locals : (string, Value.t) Hashtbl.t; shared : globals }
+
+let create shared = { locals = Hashtbl.create 16; shared }
+let table t = function Local -> t.locals | Global -> t.shared
+
+let get t scope name =
+  match Hashtbl.find_opt (table t scope) name with Some v -> v | None -> Value.Unset
+
+let set t scope name value = Hashtbl.replace (table t scope) name value
+let mem t scope name = Hashtbl.mem (table t scope) name
+
+let bindings table =
+  Hashtbl.fold (fun name value acc -> (name, value) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let local_bindings t = bindings t.locals
+let global_bindings t = bindings t.shared
+
+let value_bytes = function
+  | Value.Int _ | Value.Bool _ | Value.Float _ -> 8
+  | Value.Str s -> String.length s
+  | Value.Addr (h, _) -> String.length h + 8
+  | Value.Unset -> 0
+
+let estimated_bytes t =
+  Hashtbl.fold
+    (fun name value acc -> acc + String.length name + value_bytes value)
+    t.locals 0

@@ -1,0 +1,35 @@
+(** The state-variable vector [v] of an EFSM.
+
+    Variables come in two scopes, as in the paper's Figure 2: local
+    variables ([v.l_*]) belong to one machine, while global variables
+    ([v.g_*]) live in a store shared by all machines of the same call, which
+    is how the SIP machine hands the negotiated media endpoint to the RTP
+    machine. *)
+
+type scope = Local | Global
+
+type globals
+(** A shared global store; create one per call. *)
+
+val globals : unit -> globals
+
+type t
+
+val create : globals -> t
+(** Fresh local store bound to a shared global store. *)
+
+val get : t -> scope -> string -> Value.t
+(** [Value.Unset] for never-written variables. *)
+
+val set : t -> scope -> string -> Value.t -> unit
+
+val mem : t -> scope -> string -> bool
+
+val local_bindings : t -> (string * Value.t) list
+(** Sorted by name. *)
+
+val global_bindings : t -> (string * Value.t) list
+
+val estimated_bytes : t -> int
+(** Rough memory footprint of the locals (strings dominate), used by the
+    fact base to report the paper's per-call memory cost. *)

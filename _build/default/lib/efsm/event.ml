@@ -1,0 +1,31 @@
+type channel = Data of string | Sync of { from_machine : string } | Timer
+
+type t = {
+  name : string;
+  channel : channel;
+  args : (string * Value.t) list;
+  at : Dsim.Time.t;
+}
+
+let make ?(args = []) channel ~at name = { name; channel; args; at }
+
+let arg t name =
+  match List.assoc_opt name t.args with Some v -> v | None -> Value.Unset
+
+let arg_int t name = Value.as_int (arg t name)
+let arg_str t name = Value.as_str (arg t name)
+let arg_addr t name = Value.as_addr (arg t name)
+let has_arg t name = List.mem_assoc name t.args
+let is_sync t = match t.channel with Sync _ -> true | Data _ | Timer -> false
+
+let pp_channel ppf = function
+  | Data proto -> Format.fprintf ppf "%s" proto
+  | Sync { from_machine } -> Format.fprintf ppf "sync<%s>" from_machine
+  | Timer -> Format.fprintf ppf "timer"
+
+let pp ppf t =
+  Format.fprintf ppf "%a?%s(%a) @ %a" pp_channel t.channel t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (name, value) -> Format.fprintf ppf "%s=%a" name Value.pp value))
+    t.args Dsim.Time.pp t.at

@@ -1,0 +1,34 @@
+(** EFSM events: the [c?event(x̄)] inputs of the paper's model.
+
+    An event arrives on a channel — either a protocol data channel (a packet
+    arrival), an internal synchronization channel between two machines (the
+    [δ] messages of Figures 2 and 5), or the timer channel. *)
+
+type channel =
+  | Data of string  (** Protocol name, e.g. ["SIP"], ["RTP"]. *)
+  | Sync of { from_machine : string }  (** δ message from a peer machine. *)
+  | Timer  (** Expiry of a named timer. *)
+
+type t = {
+  name : string;  (** e.g. ["INVITE"], ["200"], ["rtp_packet"], ["delta_bye"]. *)
+  channel : channel;
+  args : (string * Value.t) list;  (** The input vector x̄. *)
+  at : Dsim.Time.t;  (** Arrival time (virtual). *)
+}
+
+val make : ?args:(string * Value.t) list -> channel -> at:Dsim.Time.t -> string -> t
+
+val arg : t -> string -> Value.t
+(** [Value.Unset] when the parameter is absent. *)
+
+val arg_int : t -> string -> int
+
+val arg_str : t -> string -> string
+
+val arg_addr : t -> string -> string * int
+
+val has_arg : t -> string -> bool
+
+val is_sync : t -> bool
+
+val pp : Format.formatter -> t -> unit

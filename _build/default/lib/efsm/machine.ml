@@ -1,0 +1,100 @@
+type trigger = On_event of string | On_channel of string | On_sync of string | On_timer of string
+
+type effect =
+  | Send_sync of { target : string; event_name : string; args : (string * Value.t) list }
+  | Set_timer of { id : string; delay : Dsim.Time.t }
+  | Cancel_timer of string
+
+type transition = {
+  label : string;
+  from_state : string;
+  trigger : trigger;
+  guard : Env.t -> Event.t -> bool;
+  action : Env.t -> Event.t -> effect list;
+  to_state : string;
+}
+
+let transition ?(guard = fun _ _ -> true) ?(action = fun _ _ -> []) ~label ~from_state trigger
+    ~to_state () =
+  { label; from_state; trigger; guard; action; to_state }
+
+type spec = {
+  spec_name : string;
+  initial : string;
+  finals : string list;
+  attack_states : (string * string) list;
+  transitions : transition list;
+}
+
+let validate_spec spec =
+  let labels = List.map (fun t -> t.label) spec.transitions in
+  let sorted = List.sort String.compare labels in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+    | [ _ ] | [] -> None
+  in
+  match dup sorted with
+  | Some label -> Error (Printf.sprintf "%s: duplicate transition label %S" spec.spec_name label)
+  | None ->
+      if List.exists (fun t -> String.equal t.from_state spec.initial) spec.transitions then
+        Ok ()
+      else Error (Printf.sprintf "%s: initial state %S has no transitions" spec.spec_name spec.initial)
+
+let states spec =
+  let add acc s = if List.mem s acc then acc else s :: acc in
+  let acc = List.fold_left (fun acc t -> add (add acc t.from_state) t.to_state) [] spec.transitions in
+  let acc = add acc spec.initial in
+  let acc = List.fold_left add acc spec.finals in
+  List.sort String.compare acc
+
+type t = {
+  spec : spec;
+  mutable state : string;
+  env : Env.t;
+  mutable trace : (Dsim.Time.t * string) list;
+}
+
+type outcome =
+  | Moved of { transition : transition; effects : effect list; attack : string option }
+  | Rejected
+  | Nondeterministic of string list
+
+let instantiate spec ~globals = { spec; state = spec.initial; env = Env.create globals; trace = [] }
+let spec t = t.spec
+let name t = t.spec.spec_name
+let state t = t.state
+let env t = t.env
+let is_final t = List.mem t.state t.spec.finals
+let in_attack_state t = List.assoc_opt t.state t.spec.attack_states
+
+let trigger_matches trigger (event : Event.t) =
+  match (trigger, event.channel) with
+  | On_event n, _ -> String.equal n event.name
+  | On_channel proto, Event.Data p -> String.equal proto p
+  | On_channel _, (Event.Sync _ | Event.Timer) -> false
+  | On_sync n, Event.Sync _ -> String.equal n event.name
+  | On_sync _, (Event.Data _ | Event.Timer) -> false
+  | On_timer id, Event.Timer -> String.equal id event.name
+  | On_timer _, (Event.Data _ | Event.Sync _) -> false
+
+let guard_holds transition env event =
+  try transition.guard env event with Value.Type_error _ -> false
+
+let step t event =
+  let candidates =
+    List.filter
+      (fun tr -> String.equal tr.from_state t.state && trigger_matches tr.trigger event)
+      t.spec.transitions
+  in
+  let enabled = List.filter (fun tr -> guard_holds tr t.env event) candidates in
+  match enabled with
+  | [] -> Rejected
+  | [ tr ] ->
+      let effects = tr.action t.env event in
+      t.state <- tr.to_state;
+      t.trace <- (event.Event.at, tr.label) :: t.trace;
+      Moved { transition = tr; effects; attack = List.assoc_opt tr.to_state t.spec.attack_states }
+  | many -> Nondeterministic (List.map (fun tr -> tr.label) many)
+
+let trace t = List.rev t.trace
+let configuration t = (t.state, Env.local_bindings t.env)

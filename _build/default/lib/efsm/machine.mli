@@ -1,0 +1,99 @@
+(** Extended finite state machines (paper §4.1, Definition 1).
+
+    A machine specification is the quintuple (Σ, S, v, D, T): the event
+    alphabet is whatever {!trigger}s mention, states are strings, the
+    variable vector and domains live in {!Env}, and each transition
+    ⟨s_t, event, P_t, A_t, q_t⟩ carries a guard [P_t] over the input vector
+    x̄ and current variables v̄, and an action [A_t] that updates v̄ and may
+    emit effects (synchronization messages, timer operations).
+
+    Determinism: the paper assumes mutually disjoint predicates.  The step
+    function checks this at runtime — if more than one guard is true the
+    outcome is [Nondeterministic], which test suites treat as a
+    specification bug. *)
+
+type trigger =
+  | On_event of string  (** Any event with this name. *)
+  | On_channel of string  (** Any data event on this protocol channel. *)
+  | On_sync of string  (** A δ synchronization event with this name. *)
+  | On_timer of string  (** Expiry of the named timer. *)
+
+type effect =
+  | Send_sync of {
+      target : string;  (** Peer machine name within the same call. *)
+      event_name : string;
+      args : (string * Value.t) list;
+    }
+  | Set_timer of { id : string; delay : Dsim.Time.t }
+  | Cancel_timer of string
+
+type transition = {
+  label : string;  (** Unique within the spec; used in traces and tests. *)
+  from_state : string;
+  trigger : trigger;
+  guard : Env.t -> Event.t -> bool;
+  action : Env.t -> Event.t -> effect list;
+  to_state : string;
+}
+
+val transition :
+  ?guard:(Env.t -> Event.t -> bool) ->
+  ?action:(Env.t -> Event.t -> effect list) ->
+  label:string ->
+  from_state:string ->
+  trigger ->
+  to_state:string ->
+  unit ->
+  transition
+(** Guard defaults to [true], action to no-op. *)
+
+type spec = {
+  spec_name : string;
+  initial : string;
+  finals : string list;  (** Reaching one of these completes the machine. *)
+  attack_states : (string * string) list;  (** state, alert description. *)
+  transitions : transition list;
+}
+
+val validate_spec : spec -> (unit, string) result
+(** Checks label uniqueness and that the initial state has outgoing
+    transitions. *)
+
+val states : spec -> string list
+(** All states mentioned, sorted. *)
+
+(** {1 Instances} *)
+
+type t
+(** A running instance: the configuration (sᵢ, v̄) of the paper. *)
+
+type outcome =
+  | Moved of { transition : transition; effects : effect list; attack : string option }
+      (** [attack] is the alert description when the target state is an
+          attack state. *)
+  | Rejected  (** No transition enabled: a deviation from the specification. *)
+  | Nondeterministic of string list  (** Labels of simultaneously enabled transitions. *)
+
+val instantiate : spec -> globals:Env.globals -> t
+
+val spec : t -> spec
+
+val name : t -> string
+
+val state : t -> string
+
+val env : t -> Env.t
+
+val is_final : t -> bool
+
+val in_attack_state : t -> string option
+
+val step : t -> Event.t -> outcome
+(** Guards that raise [Value.Type_error] count as false (a malformed event
+    cannot satisfy a well-typed predicate). *)
+
+val trace : t -> (Dsim.Time.t * string) list
+(** Transition labels taken, oldest first. *)
+
+val configuration : t -> string * (string * Value.t) list
+(** Current state and local variable bindings. *)

@@ -1,0 +1,139 @@
+type timer_host = {
+  now : unit -> Dsim.Time.t;
+  set : Dsim.Time.t -> (unit -> unit) -> Dsim.Scheduler.timer;
+  cancel : Dsim.Scheduler.timer -> unit;
+}
+
+let timer_host_of_scheduler sched =
+  {
+    now = (fun () -> Dsim.Scheduler.now sched);
+    set = (fun delay f -> Dsim.Scheduler.schedule_after sched delay f);
+    cancel = Dsim.Scheduler.cancel;
+  }
+
+type notification = { machine : string; state : string; event : Event.t; detail : string }
+
+type t = {
+  timer_host : timer_host;
+  on_alert : notification -> unit;
+  on_anomaly : notification -> unit;
+  shared : Env.globals;
+  machines : (string, Machine.t) Hashtbl.t;
+  sync_queue : (string * Event.t) Queue.t; (* target machine, event — FIFO across the system *)
+  timers : (string * string, Dsim.Scheduler.timer) Hashtbl.t; (* (machine, timer id) *)
+  mutable released : bool;
+}
+
+let create ?(on_alert = fun _ -> ()) ?(on_anomaly = fun _ -> ()) timer_host =
+  {
+    timer_host;
+    on_alert;
+    on_anomaly;
+    shared = Env.globals ();
+    machines = Hashtbl.create 4;
+    sync_queue = Queue.create ();
+    timers = Hashtbl.create 8;
+    released = false;
+  }
+
+let globals t = t.shared
+
+let add_machine t spec =
+  let name = spec.Machine.spec_name in
+  if Hashtbl.mem t.machines name then
+    invalid_arg (Printf.sprintf "System.add_machine: duplicate machine %S" name);
+  let m = Machine.instantiate spec ~globals:t.shared in
+  Hashtbl.replace t.machines name m;
+  m
+
+let machine t name = Hashtbl.find_opt t.machines name
+let machines t = Hashtbl.fold (fun _ m acc -> m :: acc) t.machines []
+
+let cancel_timer t machine_name id =
+  match Hashtbl.find_opt t.timers (machine_name, id) with
+  | None -> ()
+  | Some handle ->
+      t.timer_host.cancel handle;
+      Hashtbl.remove t.timers (machine_name, id)
+
+let rec apply_effects t machine_name effects =
+  List.iter
+    (fun effect ->
+      match effect with
+      | Machine.Send_sync { target; event_name; args } ->
+          let event =
+            Event.make ~args (Event.Sync { from_machine = machine_name })
+              ~at:(t.timer_host.now ()) event_name
+          in
+          Queue.add (target, event) t.sync_queue
+      | Machine.Set_timer { id; delay } ->
+          cancel_timer t machine_name id;
+          let handle =
+            t.timer_host.set delay (fun () ->
+                Hashtbl.remove t.timers (machine_name, id);
+                let event = Event.make Event.Timer ~at:(t.timer_host.now ()) id in
+                feed t machine_name event ~is_data:false;
+                drain_sync t)
+          in
+          Hashtbl.replace t.timers (machine_name, id) handle
+      | Machine.Cancel_timer id -> cancel_timer t machine_name id)
+    effects
+
+and feed t machine_name event ~is_data =
+  match Hashtbl.find_opt t.machines machine_name with
+  | None ->
+      t.on_anomaly
+        { machine = machine_name; state = "?"; event; detail = "no such machine in system" }
+  | Some m -> (
+      match Machine.step m event with
+      | Machine.Moved { effects; attack; _ } -> (
+          apply_effects t machine_name effects;
+          match attack with
+          | None -> ()
+          | Some detail ->
+              t.on_alert { machine = machine_name; state = Machine.state m; event; detail })
+      | Machine.Rejected ->
+          (* Unmatched timers and sync messages are absorbed silently (a
+             machine past the relevant state no longer cares); an unmatched
+             data packet is a specification deviation. *)
+          if is_data then
+            t.on_anomaly
+              {
+                machine = machine_name;
+                state = Machine.state m;
+                event;
+                detail = "event rejected: no enabled transition";
+              }
+      | Machine.Nondeterministic labels ->
+          t.on_anomaly
+            {
+              machine = machine_name;
+              state = Machine.state m;
+              event;
+              detail =
+                "nondeterministic specification: " ^ String.concat ", " labels;
+            })
+
+and drain_sync t =
+  while not (Queue.is_empty t.sync_queue) do
+    let target, event = Queue.take t.sync_queue in
+    feed t target event ~is_data:false
+  done
+
+let inject t ~machine event =
+  drain_sync t;
+  feed t machine event ~is_data:true;
+  drain_sync t
+
+let queued_sync t = Queue.length t.sync_queue
+let all_final t = Hashtbl.fold (fun _ m acc -> acc && Machine.is_final m) t.machines true
+
+let estimated_bytes t =
+  Hashtbl.fold (fun _ m acc -> acc + Env.estimated_bytes (Machine.env m)) t.machines 0
+
+let release t =
+  if not t.released then begin
+    Hashtbl.iter (fun _ handle -> t.timer_host.cancel handle) t.timers;
+    Hashtbl.reset t.timers;
+    t.released <- true
+  end

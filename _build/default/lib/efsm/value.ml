@@ -1,0 +1,57 @@
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Float of float
+  | Addr of string * int
+  | Unset
+
+exception Type_error of string
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Addr (h1, p1), Addr (h2, p2) -> String.equal h1 h2 && Int.equal p1 p2
+  | Unset, Unset -> true
+  | (Int _ | Str _ | Bool _ | Float _ | Addr _ | Unset), _ -> false
+
+let rank = function
+  | Int _ -> 0
+  | Str _ -> 1
+  | Bool _ -> 2
+  | Float _ -> 3
+  | Addr _ -> 4
+  | Unset -> 5
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Addr (h1, p1), Addr (h2, p2) ->
+      let c = String.compare h1 h2 in
+      if c <> 0 then c else Int.compare p1 p2
+  | _ -> Int.compare (rank a) (rank b)
+
+let pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Float f -> Format.fprintf ppf "%g" f
+  | Addr (h, p) -> Format.fprintf ppf "%s:%d" h p
+  | Unset -> Format.fprintf ppf "<unset>"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let type_error expected got =
+  raise (Type_error (Printf.sprintf "expected %s, got %s" expected (to_string got)))
+
+let as_int = function Int n -> n | v -> type_error "int" v
+let as_str = function Str s -> s | v -> type_error "string" v
+let as_bool = function Bool b -> b | v -> type_error "bool" v
+let as_float = function Float f -> f | Int n -> float_of_int n | v -> type_error "float" v
+let as_addr = function Addr (h, p) -> (h, p) | v -> type_error "addr" v

@@ -1,0 +1,34 @@
+(** Values carried by EFSM state variables and event parameters.
+
+    The paper's model (Definition 1) works over a vector of typed state
+    variables [v] with domains [D]; this is the value universe. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Float of float
+  | Addr of string * int  (** host, port *)
+  | Unset  (** A declared variable before initialization. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Coercions; raise [Type_error] with a descriptive message. *)
+
+exception Type_error of string
+
+val as_int : t -> int
+
+val as_str : t -> string
+
+val as_bool : t -> bool
+
+val as_float : t -> float
+
+val as_addr : t -> string * int

@@ -1,0 +1,1 @@
+lib/rtp/codec.ml: Dsim List

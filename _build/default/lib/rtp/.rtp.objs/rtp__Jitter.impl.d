@@ -1,0 +1,1 @@
+lib/rtp/jitter.ml: Dsim Float Rtp_packet

@@ -1,0 +1,1 @@
+lib/rtp/jitter.mli: Dsim

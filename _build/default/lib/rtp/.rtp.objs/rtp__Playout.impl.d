@@ -1,0 +1,1 @@
+lib/rtp/playout.ml: Dsim

@@ -1,0 +1,1 @@
+lib/rtp/playout.mli: Dsim

@@ -1,0 +1,1 @@
+lib/rtp/rtcp.ml: Bytes Format List Printf Result String

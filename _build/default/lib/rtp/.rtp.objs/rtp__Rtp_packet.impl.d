@@ -1,0 +1,1 @@
+lib/rtp/rtp_packet.ml: Bytes Format Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/rtp/rtp_packet.mli: Format

@@ -1,0 +1,1 @@
+lib/rtp/session.ml: Codec Dsim Float Int32 Jitter Rtp_packet Stdlib String

@@ -1,0 +1,1 @@
+lib/rtp/session.mli: Codec Dsim Jitter Rtp_packet

@@ -1,0 +1,27 @@
+(* Base rating minus the G.729 codec impairment (Ie = 11) and the default
+   simultaneous-impairment term. *)
+let r_base = 94.2 -. 11.0 -. 1.0
+
+(* Id per the E-model's piecewise approximation: negligible below ~177 ms,
+   then growing sharply. *)
+let delay_impairment delay_s =
+  let d = delay_s *. 1000.0 in
+  let base = 0.024 *. d in
+  if d <= 177.3 then base else base +. (0.11 *. (d -. 177.3))
+
+(* Ie-eff for random loss with G.729 (Bpl = 19). *)
+let loss_impairment loss =
+  if loss <= 0.0 then 0.0 else 30.0 *. (loss /. (loss +. 0.19)) *. 4.0
+
+let r_factor ~one_way_delay ~loss_fraction =
+  r_base -. delay_impairment one_way_delay -. loss_impairment loss_fraction
+
+let mos_of_r r =
+  let r = Float.max 0.0 (Float.min 100.0 r) in
+  let mos = 1.0 +. (0.035 *. r) +. (r *. (r -. 60.0) *. (100.0 -. r) *. 7e-6) in
+  Float.max 1.0 (Float.min 4.5 mos)
+
+let mos ~one_way_delay ~loss_fraction = mos_of_r (r_factor ~one_way_delay ~loss_fraction)
+
+let verdict m =
+  if m >= 4.0 then "good" else if m >= 3.6 then "fair" else if m >= 3.1 then "poor" else "bad"

@@ -1,0 +1,40 @@
+(** RTP packets (RFC 3550 §5.1) with a real binary wire codec.
+
+    The 12-byte fixed header is encoded and decoded bit-for-bit; CSRC lists
+    and header extensions are supported on decode so fuzzed inputs exercise
+    the full format. *)
+
+type t = {
+  version : int;  (** 2 on everything we generate. *)
+  padding : bool;
+  marker : bool;
+  payload_type : int;  (** 0..127. *)
+  sequence : int;  (** 16-bit, wraps. *)
+  timestamp : int32;  (** media clock units *)
+  ssrc : int32;
+  csrc : int32 list;
+  payload : string;
+}
+
+val make :
+  ?marker:bool -> payload_type:int -> sequence:int -> timestamp:int32 -> ssrc:int32 ->
+  string -> t
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+
+val header_size : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val seq_lt : int -> int -> bool
+(** [seq_lt a b]: does sequence number [a] precede [b] in RFC 1982 serial
+    number arithmetic (mod 2^16)? *)
+
+val seq_delta : int -> int -> int
+(** [seq_delta a b] is the signed distance from [a] to [b] (i.e. [b - a]
+    mod 2^16, in [-32768, 32767]). *)
+
+val ts_delta : int32 -> int32 -> int
+(** Signed 32-bit timestamp distance, for gap detection. *)

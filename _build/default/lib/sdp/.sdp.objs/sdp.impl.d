@@ -1,0 +1,1 @@
+lib/sdp/sdp.ml: Buffer Format List Payload_type Printf Result String

@@ -1,0 +1,1 @@
+lib/sdp/sdp.mli: Format Payload_type

@@ -1,0 +1,1 @@
+lib/sdp/payload_type.ml: List Printf

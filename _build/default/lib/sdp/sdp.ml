@@ -1,0 +1,175 @@
+type media = {
+  media_type : string;
+  port : int;
+  transport : string;
+  formats : int list;
+  attributes : (string * string option) list;
+}
+
+type t = {
+  version : int;
+  origin : string;
+  session_name : string;
+  connection : string option;
+  timing : string;
+  media : media list;
+  session_attributes : (string * string option) list;
+}
+
+let make ?(session_name = "-") ~origin_user ~origin_host ~connection ~media () =
+  {
+    version = 0;
+    origin = Printf.sprintf "%s 0 0 IN IP4 %s" origin_user origin_host;
+    session_name;
+    connection;
+    timing = "0 0";
+    media;
+    session_attributes = [];
+  }
+
+let make ?session_name ~origin_user ~origin_host ~connection ~media () =
+  make ?session_name ~origin_user ~origin_host ~connection:(Some connection) ~media ()
+
+let audio_media ~port ~formats =
+  let attributes =
+    List.filter_map
+      (fun number ->
+        match Payload_type.find number with
+        | Some info -> Some ("rtpmap", Some (Payload_type.rtpmap info))
+        | None -> None)
+      formats
+  in
+  { media_type = "audio"; port; transport = "RTP/AVP"; formats; attributes }
+
+let parse_attribute value =
+  match String.index_opt value ':' with
+  | None -> (value, None)
+  | Some i -> (String.sub value 0 i, Some (String.sub value (i + 1) (String.length value - i - 1)))
+
+(* The c= line is "IN IP4 <addr>"; extract the address. *)
+let connection_addr value =
+  match String.split_on_char ' ' value |> List.filter (fun s -> s <> "") with
+  | [ _net; _kind; addr ] -> Some addr
+  | _ -> None
+
+let parse_media_line value =
+  match String.split_on_char ' ' value |> List.filter (fun s -> s <> "") with
+  | media_type :: port_str :: transport :: formats -> (
+      match int_of_string_opt port_str with
+      | None -> Error (Printf.sprintf "SDP: bad media port %S" port_str)
+      | Some port ->
+          let formats = List.filter_map int_of_string_opt formats in
+          Ok { media_type; port; transport; formats; attributes = [] })
+  | _ -> Error (Printf.sprintf "SDP: bad m= line %S" value)
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun line ->
+           let n = String.length line in
+           if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+    |> List.filter (fun line -> line <> "")
+  in
+  let ( let* ) r f = Result.bind r f in
+  let rec go acc current_media = function
+    | [] ->
+        let acc =
+          match current_media with
+          | None -> acc
+          | Some m -> { acc with media = m :: acc.media }
+        in
+        Ok { acc with media = List.rev acc.media }
+    | line :: rest ->
+        if String.length line < 2 || line.[1] <> '=' then
+          Error (Printf.sprintf "SDP: bad line %S" line)
+        else
+          let kind = line.[0] in
+          let value = String.sub line 2 (String.length line - 2) in
+          let* acc, current_media =
+            match kind with
+            | 'v' -> (
+                match int_of_string_opt value with
+                | Some v -> Ok ({ acc with version = v }, current_media)
+                | None -> Error "SDP: bad v= line")
+            | 'o' -> Ok ({ acc with origin = value }, current_media)
+            | 's' -> Ok ({ acc with session_name = value }, current_media)
+            | 'c' -> (
+                match current_media with
+                | None -> Ok ({ acc with connection = connection_addr value }, current_media)
+                | Some m ->
+                    (* Media-level c= overrides; store as attribute. *)
+                    Ok (acc, Some { m with attributes = m.attributes @ [ ("c", Some value) ] }))
+            | 't' -> Ok ({ acc with timing = value }, current_media)
+            | 'm' ->
+                let* m = parse_media_line value in
+                let acc =
+                  match current_media with
+                  | None -> acc
+                  | Some prev -> { acc with media = prev :: acc.media }
+                in
+                Ok (acc, Some m)
+            | 'a' -> (
+                let attr = parse_attribute value in
+                match current_media with
+                | None ->
+                    Ok
+                      ( { acc with session_attributes = acc.session_attributes @ [ attr ] },
+                        current_media )
+                | Some m -> Ok (acc, Some { m with attributes = m.attributes @ [ attr ] }))
+            | 'b' | 'k' | 'i' | 'u' | 'e' | 'p' | 'z' | 'r' ->
+                Ok (acc, current_media) (* tolerated, ignored *)
+            | _ -> Error (Printf.sprintf "SDP: unknown line type %c" kind)
+          in
+          go acc current_media rest
+  in
+  let empty =
+    {
+      version = 0;
+      origin = "";
+      session_name = "-";
+      connection = None;
+      timing = "0 0";
+      media = [];
+      session_attributes = [];
+    }
+  in
+  go empty None lines
+
+let to_string t =
+  let buffer = Buffer.create 256 in
+  let line kind value =
+    Buffer.add_char buffer kind;
+    Buffer.add_char buffer '=';
+    Buffer.add_string buffer value;
+    Buffer.add_string buffer "\r\n"
+  in
+  line 'v' (string_of_int t.version);
+  line 'o' t.origin;
+  line 's' t.session_name;
+  (match t.connection with None -> () | Some addr -> line 'c' ("IN IP4 " ^ addr));
+  line 't' t.timing;
+  List.iter
+    (fun (name, value) ->
+      line 'a' (match value with None -> name | Some v -> name ^ ":" ^ v))
+    t.session_attributes;
+  List.iter
+    (fun m ->
+      line 'm'
+        (Printf.sprintf "%s %d %s %s" m.media_type m.port m.transport
+           (String.concat " " (List.map string_of_int m.formats)));
+      List.iter
+        (fun (name, value) ->
+          match (name, value) with
+          | "c", Some v -> line 'c' v
+          | _ -> line 'a' (match value with None -> name | Some v -> name ^ ":" ^ v))
+        m.attributes)
+    t.media;
+  Buffer.contents buffer
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let first_audio t = List.find_opt (fun m -> m.media_type = "audio") t.media
+
+let media_addr t m =
+  match t.connection with Some addr -> Some (addr, m.port) | None -> None
+
+module Payload_type = Payload_type

@@ -1,0 +1,1 @@
+lib/sip/auth.ml: Hashtbl Header Ident List Msg Msg_method Printf String Uri

@@ -1,0 +1,1 @@
+lib/sip/auth.mli: Ident Msg Msg_method Uri

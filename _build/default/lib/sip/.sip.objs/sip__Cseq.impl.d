@@ -1,0 +1,1 @@
+lib/sip/cseq.ml: Format Int List Msg_method Printf String

@@ -1,0 +1,1 @@
+lib/sip/cseq.mli: Format Msg_method

@@ -1,0 +1,1 @@
+lib/sip/dialog.ml: Cseq Format Msg Name_addr Option Result Status String Uri

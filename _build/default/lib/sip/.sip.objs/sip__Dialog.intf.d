@@ -1,0 +1,1 @@
+lib/sip/dialog.mli: Cseq Format Msg Msg_method Uri

@@ -1,0 +1,1 @@
+lib/sip/header.ml: Buffer Char List Option String

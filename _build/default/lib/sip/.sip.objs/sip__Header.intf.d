@@ -1,0 +1,1 @@
+lib/sip/header.mli:

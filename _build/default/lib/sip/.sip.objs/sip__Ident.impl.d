@@ -1,0 +1,1 @@
+lib/sip/ident.ml: Dsim Printf String Via

@@ -1,0 +1,1 @@
+lib/sip/ident.mli: Dsim

@@ -1,0 +1,1 @@
+lib/sip/msg.ml: Buffer Cseq Format Header List Msg_method Name_addr Option Printf Result Status String Uri Via

@@ -1,0 +1,1 @@
+lib/sip/msg.mli: Cseq Format Header Msg_method Name_addr Status Uri Via

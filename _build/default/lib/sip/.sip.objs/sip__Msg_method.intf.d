@@ -1,0 +1,1 @@
+lib/sip/msg_method.mli: Format

@@ -1,0 +1,1 @@
+lib/sip/name_addr.ml: Buffer Format List String Uri

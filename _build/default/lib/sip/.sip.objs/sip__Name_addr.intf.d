@@ -1,0 +1,1 @@
+lib/sip/name_addr.mli: Format Uri

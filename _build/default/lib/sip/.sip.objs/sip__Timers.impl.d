@@ -1,0 +1,1 @@
+lib/sip/timers.ml: Dsim

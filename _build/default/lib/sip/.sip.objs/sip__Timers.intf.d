@@ -1,0 +1,1 @@
+lib/sip/timers.mli: Dsim

@@ -1,0 +1,1 @@
+lib/sip/transaction.ml: Dsim Msg Msg_method Option Status Timers Via

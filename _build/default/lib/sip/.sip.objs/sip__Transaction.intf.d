@@ -1,0 +1,1 @@
+lib/sip/transaction.mli: Dsim Msg

@@ -1,0 +1,1 @@
+lib/sip/uri.ml: Buffer Format Int List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/sip/uri.mli: Format

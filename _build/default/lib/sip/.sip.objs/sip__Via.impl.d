@@ -1,0 +1,1 @@
+lib/sip/via.ml: Buffer Dsim Format List Option Printf String

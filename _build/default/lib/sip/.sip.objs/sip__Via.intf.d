@@ -1,0 +1,1 @@
+lib/sip/via.mli: Dsim Format

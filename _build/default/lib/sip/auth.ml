@@ -1,0 +1,72 @@
+type challenge = { realm : string; nonce : string }
+
+let challenge_header c = Printf.sprintf "Digest realm=%S, nonce=%S" c.realm c.nonce
+
+(* Parse `Digest k="v", k2="v2", ...` *)
+let parse_params s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun part ->
+         let part = String.trim part in
+         match String.index_opt part '=' with
+         | None -> None
+         | Some i ->
+             let key = String.sub part 0 i in
+             let value = String.sub part (i + 1) (String.length part - i - 1) in
+             let value =
+               let n = String.length value in
+               if n >= 2 && value.[0] = '"' && value.[n - 1] = '"' then
+                 String.sub value 1 (n - 2)
+               else value
+             in
+             Some (key, value))
+
+let parse_challenge s =
+  let s = String.trim s in
+  if String.length s < 7 || not (String.equal (String.lowercase_ascii (String.sub s 0 6)) "digest")
+  then Error "not a Digest challenge"
+  else
+    let params = parse_params (String.sub s 6 (String.length s - 6)) in
+    match (List.assoc_opt "realm" params, List.assoc_opt "nonce" params) with
+    | Some realm, Some nonce -> Ok { realm; nonce }
+    | _ -> Error "challenge missing realm or nonce"
+
+(* Deterministic keyed digest standing in for MD5(A1:nonce:A2). *)
+let digest parts = Printf.sprintf "%08x%08x" (Hashtbl.hash parts) (Hashtbl.hash (List.rev parts))
+
+let response ~username ~password ~challenge ~meth ~uri =
+  digest
+    [
+      username; challenge.realm; password; challenge.nonce; Msg_method.to_string meth;
+      Uri.to_string uri;
+    ]
+
+let authorization_header ~username ~password ~challenge ~meth ~uri =
+  Printf.sprintf "Digest username=%S, realm=%S, nonce=%S, uri=%S, response=%S" username
+    challenge.realm challenge.nonce (Uri.to_string uri)
+    (response ~username ~password ~challenge ~meth ~uri)
+
+let verify ~password_of ~realm ~nonce_valid msg =
+  match Header.get msg.Msg.headers "Authorization" with
+  | None -> false
+  | Some value -> (
+      match parse_challenge value with
+      | Error _ -> false
+      | Ok _ -> (
+          let params = parse_params (String.sub value 6 (String.length value - 6)) in
+          match
+            ( List.assoc_opt "username" params,
+              List.assoc_opt "realm" params,
+              List.assoc_opt "nonce" params,
+              List.assoc_opt "uri" params,
+              List.assoc_opt "response" params )
+          with
+          | Some username, Some r, Some nonce, Some uri_str, Some given
+            when String.equal r realm && nonce_valid nonce -> (
+              match (password_of username, Uri.parse uri_str, msg.Msg.start) with
+              | Some password, Ok uri, Msg.Request { meth; _ } ->
+                  String.equal given
+                    (response ~username ~password ~challenge:{ realm; nonce } ~meth ~uri)
+              | _ -> false)
+          | _ -> false))
+
+let fresh_nonce ident = Ident.token ident 16

@@ -1,0 +1,16 @@
+type t = { number : int; meth : Msg_method.t }
+
+let make number meth = { number; meth }
+
+let parse s =
+  match String.split_on_char ' ' (String.trim s) |> List.filter (fun x -> x <> "") with
+  | [ number_str; method_str ] -> (
+      match int_of_string_opt number_str with
+      | Some number when number >= 0 -> Ok { number; meth = Msg_method.of_string method_str }
+      | Some _ | None -> Error (Printf.sprintf "CSeq: bad number %S" number_str))
+  | _ -> Error (Printf.sprintf "CSeq: malformed %S" s)
+
+let to_string t = Printf.sprintf "%d %s" t.number (Msg_method.to_string t.meth)
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal a b = Int.equal a.number b.number && Msg_method.equal a.meth b.meth
+let next t meth = { number = t.number + 1; meth }

@@ -1,0 +1,16 @@
+(** The CSeq header: a sequence number and the request method. *)
+
+type t = { number : int; meth : Msg_method.t }
+
+val make : int -> Msg_method.t -> t
+
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val next : t -> Msg_method.t -> t
+(** Same numbering space, incremented, with the new method. *)

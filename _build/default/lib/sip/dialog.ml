@@ -1,0 +1,92 @@
+type id = { call_id : string; local_tag : string; remote_tag : string }
+
+let pp_id ppf id = Format.fprintf ppf "%s;local=%s;remote=%s" id.call_id id.local_tag id.remote_tag
+let id_to_string id = Format.asprintf "%a" pp_id id
+
+type state = Early | Confirmed | Terminated
+
+type t = {
+  id : id;
+  mutable state : state;
+  local_uri : Uri.t;
+  remote_uri : Uri.t;
+  mutable remote_target : Uri.t;
+  mutable local_cseq : int;
+  mutable remote_cseq : int option;
+  secure : bool;
+}
+
+let uac_of_response ~request ~response =
+  let ( let* ) r f = Result.bind r f in
+  let* call_id = Msg.call_id request in
+  let* from_ = Msg.from_ request in
+  let* to_ = Msg.to_ response in
+  let* local_tag =
+    match Name_addr.tag from_ with Some t -> Ok t | None -> Error "UAC From has no tag"
+  in
+  let* remote_tag =
+    match Name_addr.tag to_ with Some t -> Ok t | None -> Error "response To has no tag"
+  in
+  let* cseq = Msg.cseq request in
+  let remote_target =
+    match Msg.contact response with Ok c -> c.Name_addr.uri | Error _ -> to_.Name_addr.uri
+  in
+  let state =
+    match Msg.status_of response with
+    | Some code when Status.is_success code -> Confirmed
+    | Some _ | None -> Early
+  in
+  Ok
+    {
+      id = { call_id; local_tag; remote_tag };
+      state;
+      local_uri = from_.Name_addr.uri;
+      remote_uri = to_.Name_addr.uri;
+      remote_target;
+      local_cseq = cseq.Cseq.number;
+      remote_cseq = None;
+      secure = false;
+    }
+
+let uas_of_request ~request ~local_tag ~contact =
+  let ( let* ) r f = Result.bind r f in
+  let* call_id = Msg.call_id request in
+  let* from_ = Msg.from_ request in
+  let* to_ = Msg.to_ request in
+  let* remote_tag =
+    match Name_addr.tag from_ with Some t -> Ok t | None -> Error "request From has no tag"
+  in
+  let* cseq = Msg.cseq request in
+  Ok
+    {
+      id = { call_id; local_tag; remote_tag };
+      state = Early;
+      local_uri = to_.Name_addr.uri;
+      remote_uri = from_.Name_addr.uri;
+      remote_target = contact;
+      local_cseq = 0;
+      remote_cseq = Some cseq.Cseq.number;
+      secure = false;
+    }
+
+let confirm t = if t.state = Early then t.state <- Confirmed
+let terminate t = t.state <- Terminated
+
+let next_cseq t meth =
+  t.local_cseq <- t.local_cseq + 1;
+  Cseq.make t.local_cseq meth
+
+let validate_remote_cseq t number =
+  match t.remote_cseq with
+  | Some previous when number <= previous -> false
+  | Some _ | None ->
+      t.remote_cseq <- Some number;
+      true
+
+let request_matches t msg =
+  match (Msg.call_id msg, Msg.from_ msg, Msg.to_ msg) with
+  | Ok call_id, Ok from_, Ok to_ ->
+      String.equal call_id t.id.call_id
+      && Option.equal String.equal (Name_addr.tag from_) (Some t.id.remote_tag)
+      && Option.equal String.equal (Name_addr.tag to_) (Some t.id.local_tag)
+  | _ -> false

@@ -1,0 +1,44 @@
+(** SIP dialogs (RFC 3261 §12): the peer-to-peer relationship created by a
+    2xx (or provisional with tag) to an INVITE. *)
+
+type id = { call_id : string; local_tag : string; remote_tag : string }
+
+val pp_id : Format.formatter -> id -> unit
+
+val id_to_string : id -> string
+
+type state = Early | Confirmed | Terminated
+
+type t = {
+  id : id;
+  mutable state : state;
+  local_uri : Uri.t;
+  remote_uri : Uri.t;
+  mutable remote_target : Uri.t;  (** Contact of the peer. *)
+  mutable local_cseq : int;
+  mutable remote_cseq : int option;
+  secure : bool;
+}
+
+val uac_of_response : request:Msg.t -> response:Msg.t -> (t, string) result
+(** Dialog as seen by the caller, from its INVITE and a tagged response. *)
+
+val uas_of_request : request:Msg.t -> local_tag:string -> contact:Uri.t ->
+  (t, string) result
+(** Dialog as seen by the callee, from the incoming INVITE and the tag it
+    assigns.  [contact] is the remote target taken from the request. *)
+
+val confirm : t -> unit
+
+val terminate : t -> unit
+
+val next_cseq : t -> Msg_method.t -> Cseq.t
+(** Allocates the next local CSeq. *)
+
+val validate_remote_cseq : t -> int -> bool
+(** True (and records it) when the CSeq is fresh; false for stale/duplicate
+    in-dialog requests. *)
+
+val request_matches : t -> Msg.t -> bool
+(** Does an in-dialog request (From/To tags + Call-ID) belong to this
+    dialog, from the local end's perspective? *)

@@ -1,0 +1,133 @@
+type t = (string * string) list
+
+let empty = []
+
+let compact_table =
+  [
+    ("v", "Via");
+    ("f", "From");
+    ("t", "To");
+    ("i", "Call-ID");
+    ("m", "Contact");
+    ("c", "Content-Type");
+    ("l", "Content-Length");
+    ("e", "Content-Encoding");
+    ("s", "Subject");
+    ("k", "Supported");
+  ]
+
+let known_table =
+  [
+    ("via", "Via");
+    ("from", "From");
+    ("to", "To");
+    ("call-id", "Call-ID");
+    ("cseq", "CSeq");
+    ("contact", "Contact");
+    ("max-forwards", "Max-Forwards");
+    ("content-type", "Content-Type");
+    ("content-length", "Content-Length");
+    ("content-encoding", "Content-Encoding");
+    ("route", "Route");
+    ("record-route", "Record-Route");
+    ("expires", "Expires");
+    ("user-agent", "User-Agent");
+    ("server", "Server");
+    ("allow", "Allow");
+    ("supported", "Supported");
+    ("require", "Require");
+    ("subject", "Subject");
+    ("authorization", "Authorization");
+    ("www-authenticate", "WWW-Authenticate");
+    ("proxy-authorization", "Proxy-Authorization");
+    ("warning", "Warning");
+    ("timestamp", "Timestamp");
+    ("organization", "Organization");
+    ("priority", "Priority");
+    ("retry-after", "Retry-After");
+    ("min-expires", "Min-Expires");
+    ("event", "Event");
+    ("refer-to", "Refer-To");
+    ("rack", "RAck");
+    ("rseq", "RSeq");
+  ]
+
+(* Title-case each '-'-separated word: "x-custom-header" -> "X-Custom-Header". *)
+let title_case s =
+  String.split_on_char '-' s
+  |> List.map (fun word ->
+         if word = "" then ""
+         else
+           String.make 1 (Char.uppercase_ascii word.[0])
+           ^ String.lowercase_ascii (String.sub word 1 (String.length word - 1)))
+  |> String.concat "-"
+
+let canonical_name name =
+  let lower = String.lowercase_ascii name in
+  match List.assoc_opt lower compact_table with
+  | Some canon -> canon
+  | None -> (
+      match List.assoc_opt lower known_table with
+      | Some canon -> canon
+      | None -> title_case lower)
+
+let add t name value = t @ [ (canonical_name name, value) ]
+let add_first t name value = (canonical_name name, value) :: t
+
+let same name (field, _) = String.equal field name
+
+let get t name =
+  let name = canonical_name name in
+  match List.find_opt (same name) t with None -> None | Some (_, v) -> Some v
+
+(* Split "a, b, c" while ignoring commas inside "..." and <...>. *)
+let split_list_value value =
+  let parts = ref [] in
+  let buffer = Buffer.create 16 in
+  let in_quotes = ref false in
+  let in_brackets = ref false in
+  let flush () =
+    let piece = String.trim (Buffer.contents buffer) in
+    Buffer.clear buffer;
+    if piece <> "" then parts := piece :: !parts
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+          in_quotes := not !in_quotes;
+          Buffer.add_char buffer c
+      | '<' when not !in_quotes ->
+          in_brackets := true;
+          Buffer.add_char buffer c
+      | '>' when not !in_quotes ->
+          in_brackets := false;
+          Buffer.add_char buffer c
+      | ',' when (not !in_quotes) && not !in_brackets -> flush ()
+      | _ -> Buffer.add_char buffer c)
+    value;
+  flush ();
+  List.rev !parts
+
+let get_all t name =
+  let name = canonical_name name in
+  List.concat_map (fun (field, v) -> if String.equal field name then split_list_value v else []) t
+
+let remove t name =
+  let name = canonical_name name in
+  List.filter (fun f -> not (same name f)) t
+
+let set t name value = remove t name @ [ (canonical_name name, value) ]
+
+let remove_first t name =
+  let name = canonical_name name in
+  let rec drop = function
+    | [] -> []
+    | field :: rest -> if same name field then rest else field :: drop rest
+  in
+  drop t
+
+let mem t name = Option.is_some (get t name)
+let fold f t init = List.fold_left (fun acc (name, value) -> f name value acc) init t
+let to_list t = t
+let of_list fields = List.map (fun (name, value) -> (canonical_name name, value)) fields

@@ -1,0 +1,16 @@
+type t = { rng : Dsim.Rng.t; mutable counter : int }
+
+let create rng = { rng; counter = 0 }
+
+let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+let token t n =
+  String.init n (fun _ -> alphabet.[Dsim.Rng.int t.rng (String.length alphabet)])
+
+let unique t prefix =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s%s%d" prefix (token t 8) t.counter
+
+let branch t = unique t Via.magic_cookie
+let tag t = unique t ""
+let call_id t ~host = Printf.sprintf "%s@%s" (unique t "") host

@@ -1,0 +1,16 @@
+(** Random protocol identifiers: branches, tags, Call-IDs, SSRC seeds. *)
+
+type t
+
+val create : Dsim.Rng.t -> t
+
+val branch : t -> string
+(** A fresh RFC 3261 branch: magic cookie plus unique suffix. *)
+
+val tag : t -> string
+
+val call_id : t -> host:string -> string
+(** ["<token>@host"]. *)
+
+val token : t -> int -> string
+(** Random lowercase alphanumeric token of the given length. *)

@@ -1,0 +1,333 @@
+type start_line =
+  | Request of { meth : Msg_method.t; uri : Uri.t }
+  | Response of { code : Status.t; reason : string }
+
+type t = { start : start_line; headers : Header.t; body : string }
+
+let sip_version = "SIP/2.0"
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let request ~meth ~uri ~via ~from_ ~to_ ~call_id ~cseq ?contact ?(max_forwards = 70)
+    ?(headers = []) ?(body = "") ?content_type () =
+  let h = Header.empty in
+  let h = Header.add h "Via" (Via.to_string via) in
+  let h = Header.add h "Max-Forwards" (string_of_int max_forwards) in
+  let h = Header.add h "From" (Name_addr.to_string from_) in
+  let h = Header.add h "To" (Name_addr.to_string to_) in
+  let h = Header.add h "Call-ID" call_id in
+  let h = Header.add h "CSeq" (Cseq.to_string cseq) in
+  let h =
+    match contact with None -> h | Some c -> Header.add h "Contact" (Name_addr.to_string c)
+  in
+  let h =
+    match content_type with None -> h | Some ct -> Header.add h "Content-Type" ct
+  in
+  let h = List.fold_left (fun h (name, value) -> Header.add h name value) h headers in
+  { start = Request { meth; uri }; headers = h; body }
+
+let response_to req ~code ?reason ?(body = "") ?content_type ?(headers = []) ?to_tag () =
+  match req.start with
+  | Response _ -> invalid_arg "Msg.response_to: argument is a response"
+  | Request _ ->
+      let copy name h =
+        List.fold_left
+          (fun h v -> Header.add h name v)
+          h
+          (List.filter_map
+             (fun (n, v) -> if String.equal n (Header.canonical_name name) then Some v else None)
+             (Header.to_list req.headers))
+      in
+      let h = Header.empty in
+      let h = copy "Via" h in
+      (* Dialog-forming responses echo the Record-Route set (§12.1.1). *)
+      let h = copy "Record-Route" h in
+      let h = copy "From" h in
+      let h =
+        match (Header.get req.headers "To", to_tag) with
+        | Some to_value, Some tag -> (
+            match Name_addr.parse to_value with
+            | Ok na when Name_addr.tag na = None ->
+                Header.add h "To" (Name_addr.to_string (Name_addr.with_tag na tag))
+            | Ok _ | Error _ -> Header.add h "To" to_value)
+        | Some to_value, None -> Header.add h "To" to_value
+        | None, _ -> h
+      in
+      let h =
+        match Header.get req.headers "Call-ID" with
+        | Some v -> Header.add h "Call-ID" v
+        | None -> h
+      in
+      let h =
+        match Header.get req.headers "CSeq" with Some v -> Header.add h "CSeq" v | None -> h
+      in
+      let h =
+        match content_type with None -> h | Some ct -> Header.add h "Content-Type" ct
+      in
+      let h = List.fold_left (fun h (name, value) -> Header.add h name value) h headers in
+      let reason = match reason with Some r -> r | None -> Status.reason_phrase code in
+      { start = Response { code; reason }; headers = h; body }
+
+let ack_for req ~response =
+  match req.start with
+  | Response _ -> invalid_arg "Msg.ack_for: argument is a response"
+  | Request { uri; _ } ->
+      let copy_from src name h =
+        match Header.get src name with Some v -> Header.add h name v | None -> h
+      in
+      let h = Header.empty in
+      (* Same top Via (and branch) as the INVITE for non-2xx ACK. *)
+      let h =
+        match Header.get req.headers "Via" with Some v -> Header.add h "Via" v | None -> h
+      in
+      let h = copy_from req.headers "From" h in
+      (* To comes from the response so it carries the remote tag. *)
+      let h = copy_from response.headers "To" h in
+      let h = copy_from req.headers "Call-ID" h in
+      let h =
+        match Header.get req.headers "CSeq" with
+        | Some v -> (
+            match Cseq.parse v with
+            | Ok c -> Header.add h "CSeq" (Cseq.to_string { c with meth = Msg_method.ACK })
+            | Error _ -> h)
+        | None -> h
+      in
+      let h = Header.add h "Max-Forwards" "70" in
+      { start = Request { meth = Msg_method.ACK; uri }; headers = h; body = "" }
+
+(* ------------------------------------------------------------------ *)
+(* Wire format                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let split_head_body text =
+  let rec find i =
+    if i + 3 < String.length text then
+      if text.[i] = '\r' && text.[i + 1] = '\n' && text.[i + 2] = '\r' && text.[i + 3] = '\n'
+      then Some (i, i + 4)
+      else if text.[i] = '\n' && text.[i + 1] = '\n' then Some (i, i + 2)
+      else find (i + 1)
+    else if i + 1 < String.length text && text.[i] = '\n' && text.[i + 1] = '\n' then
+      Some (i, i + 2)
+    else None
+  in
+  match find 0 with
+  | Some (head_end, body_start) ->
+      ( String.sub text 0 head_end,
+        String.sub text body_start (String.length text - body_start) )
+  | None -> (text, "")
+
+let split_lines head =
+  (* Split on CRLF or LF, then unfold continuations (lines starting with
+     whitespace extend the previous line). *)
+  let raw = String.split_on_char '\n' head in
+  let raw =
+    List.map
+      (fun line ->
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+      raw
+  in
+  let rec unfold acc = function
+    | [] -> List.rev acc
+    | line :: rest when line <> "" && (line.[0] = ' ' || line.[0] = '\t') -> (
+        match acc with
+        | prev :: acc' -> unfold ((prev ^ " " ^ String.trim line) :: acc') rest
+        | [] -> unfold [ String.trim line ] rest)
+    | line :: rest -> unfold (line :: acc) rest
+  in
+  unfold [] raw
+
+let parse_start_line line =
+  if String.length line >= 8 && String.sub line 0 8 = "SIP/2.0 " then begin
+    (* Response: SIP/2.0 code reason *)
+    let rest = String.sub line 8 (String.length line - 8) in
+    match String.index_opt rest ' ' with
+    | None -> (
+        match int_of_string_opt rest with
+        | Some code when code >= 100 && code <= 699 -> Ok (Response { code; reason = "" })
+        | Some _ | None -> Error (Printf.sprintf "bad status line %S" line))
+    | Some i -> (
+        let code_str = String.sub rest 0 i in
+        let reason = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt code_str with
+        | Some code when code >= 100 && code <= 699 -> Ok (Response { code; reason })
+        | Some _ | None -> Error (Printf.sprintf "bad status code %S" code_str))
+  end
+  else
+    match String.split_on_char ' ' line with
+    | [ method_str; uri_str; version ] when version = sip_version -> (
+        match Uri.parse uri_str with
+        | Ok uri -> Ok (Request { meth = Msg_method.of_string method_str; uri })
+        | Error e -> Error e)
+    | _ -> Error (Printf.sprintf "bad request line %S" line)
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> Error (Printf.sprintf "bad header line %S" line)
+  | Some i ->
+      let name = String.trim (String.sub line 0 i) in
+      let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      if name = "" then Error (Printf.sprintf "empty header name in %S" line)
+      else Ok (name, value)
+
+let parse text =
+  let ( let* ) r f = Result.bind r f in
+  let head, body = split_head_body text in
+  match split_lines head with
+  | [] -> Error "empty message"
+  | start_text :: header_lines ->
+      let* start = parse_start_line start_text in
+      let* headers =
+        List.fold_left
+          (fun acc line ->
+            let* h = acc in
+            if String.trim line = "" then Ok h
+            else
+              let* name, value = parse_header_line line in
+              Ok (Header.add h name value))
+          (Ok Header.empty) header_lines
+      in
+      let* body =
+        match Header.get headers "Content-Length" with
+        | None -> Ok body
+        | Some len_str -> (
+            match int_of_string_opt (String.trim len_str) with
+            | None -> Error (Printf.sprintf "bad Content-Length %S" len_str)
+            | Some len when len < 0 -> Error "negative Content-Length"
+            | Some len ->
+                if len > String.length body then Error "Content-Length exceeds body"
+                else Ok (String.sub body 0 len))
+      in
+      Ok { start; headers; body }
+
+let serialize t =
+  let buffer = Buffer.create 512 in
+  (match t.start with
+  | Request { meth; uri } ->
+      Buffer.add_string buffer (Msg_method.to_string meth);
+      Buffer.add_char buffer ' ';
+      Buffer.add_string buffer (Uri.to_string uri);
+      Buffer.add_char buffer ' ';
+      Buffer.add_string buffer sip_version
+  | Response { code; reason } ->
+      Buffer.add_string buffer sip_version;
+      Buffer.add_char buffer ' ';
+      Buffer.add_string buffer (string_of_int code);
+      Buffer.add_char buffer ' ';
+      Buffer.add_string buffer reason);
+  Buffer.add_string buffer "\r\n";
+  let headers = Header.set t.headers "Content-Length" (string_of_int (String.length t.body)) in
+  Header.fold
+    (fun name value () ->
+      Buffer.add_string buffer name;
+      Buffer.add_string buffer ": ";
+      Buffer.add_string buffer value;
+      Buffer.add_string buffer "\r\n")
+    headers ();
+  Buffer.add_string buffer "\r\n";
+  Buffer.add_string buffer t.body;
+  Buffer.contents buffer
+
+let pp ppf t =
+  match t.start with
+  | Request { meth; uri } ->
+      Format.fprintf ppf "%a %s (cid=%s)" Msg_method.pp meth (Uri.to_string uri)
+        (Option.value (Header.get t.headers "Call-ID") ~default:"?")
+  | Response { code; reason } ->
+      Format.fprintf ppf "%d %s (cid=%s)" code reason
+        (Option.value (Header.get t.headers "Call-ID") ~default:"?")
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_request t = match t.start with Request _ -> true | Response _ -> false
+let is_response t = not (is_request t)
+
+let cseq t =
+  match Header.get t.headers "CSeq" with
+  | None -> Error "missing CSeq"
+  | Some v -> Cseq.parse v
+
+let method_of t =
+  match t.start with
+  | Request { meth; _ } -> Some meth
+  | Response _ -> ( match cseq t with Ok c -> Some c.Cseq.meth | Error _ -> None)
+
+let status_of t = match t.start with Response { code; _ } -> Some code | Request _ -> None
+
+let call_id t =
+  match Header.get t.headers "Call-ID" with Some v -> Ok v | None -> Error "missing Call-ID"
+
+let name_addr_field t name =
+  match Header.get t.headers name with
+  | None -> Error (Printf.sprintf "missing %s" name)
+  | Some v -> Name_addr.parse v
+
+let from_ t = name_addr_field t "From"
+let to_ t = name_addr_field t "To"
+
+let vias t =
+  let rec all acc = function
+    | [] -> Ok (List.rev acc)
+    | v :: rest -> ( match Via.parse v with Ok via -> all (via :: acc) rest | Error e -> Error e)
+  in
+  match Header.get_all t.headers "Via" with [] -> Error "missing Via" | vs -> all [] vs
+
+let top_via t =
+  match Header.get_all t.headers "Via" with
+  | [] -> Error "missing Via"
+  | v :: _ -> Via.parse v
+
+let contact t = name_addr_field t "Contact"
+
+let max_forwards t =
+  match Header.get t.headers "Max-Forwards" with
+  | None -> None
+  | Some v -> int_of_string_opt (String.trim v)
+
+let content_type t = Header.get t.headers "Content-Type"
+
+let expires t =
+  match Header.get t.headers "Expires" with
+  | None -> None
+  | Some v -> int_of_string_opt (String.trim v)
+
+(* ------------------------------------------------------------------ *)
+(* Proxy helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let push_via t via = { t with headers = Header.add_first t.headers "Via" (Via.to_string via) }
+let pop_via t = { t with headers = Header.remove_first t.headers "Via" }
+
+let decrement_max_forwards t =
+  match max_forwards t with
+  | None -> Ok { t with headers = Header.set t.headers "Max-Forwards" "70" }
+  | Some 0 -> Error "Max-Forwards exhausted"
+  | Some n -> Ok { t with headers = Header.set t.headers "Max-Forwards" (string_of_int (n - 1)) }
+
+let transaction_key t =
+  let ( let* ) r f = Result.bind r f in
+  let* via = top_via t in
+  let* c = cseq t in
+  let branch = Option.value (Via.branch via) ~default:"no-branch" in
+  let meth =
+    (* ACK for a non-2xx matches the INVITE server transaction.  CANCEL
+       keeps its own transaction; routing a CANCEL to the INVITE it cancels
+       is the transaction user's job. *)
+    match c.Cseq.meth with Msg_method.ACK -> Msg_method.INVITE | m -> m
+  in
+  Ok
+    (Printf.sprintf "%s|%s:%d|%s" branch via.Via.host
+       (Option.value via.Via.port ~default:5060)
+       (Msg_method.to_string meth))
+
+let invite_key_of_cancel t =
+  let ( let* ) r f = Result.bind r f in
+  let* via = top_via t in
+  let branch = Option.value (Via.branch via) ~default:"no-branch" in
+  Ok
+    (Printf.sprintf "%s|%s:%d|INVITE" branch via.Via.host
+       (Option.value via.Via.port ~default:5060))

@@ -1,0 +1,87 @@
+type t = { display : string option; uri : Uri.t; params : (string * string option) list }
+
+let make ?display ?(params = []) uri = { display; uri; params }
+
+let parse_params s =
+  String.split_on_char ';' s
+  |> List.filter (fun p -> String.trim p <> "")
+  |> List.map (fun p ->
+         let p = String.trim p in
+         match String.index_opt p '=' with
+         | None -> (p, None)
+         | Some i -> (String.sub p 0 i, Some (String.sub p (i + 1) (String.length p - i - 1))))
+
+let parse s =
+  let s = String.trim s in
+  match String.index_opt s '<' with
+  | Some lt -> (
+      match String.index_opt s '>' with
+      | None -> Error "name-addr: unmatched '<'"
+      | Some gt when gt < lt -> Error "name-addr: '>' before '<'"
+      | Some gt -> (
+          let display_raw = String.trim (String.sub s 0 lt) in
+          let display =
+            if display_raw = "" then None
+            else if
+              String.length display_raw >= 2
+              && display_raw.[0] = '"'
+              && display_raw.[String.length display_raw - 1] = '"'
+            then Some (String.sub display_raw 1 (String.length display_raw - 2))
+            else Some display_raw
+          in
+          let uri_text = String.sub s (lt + 1) (gt - lt - 1) in
+          let after = String.sub s (gt + 1) (String.length s - gt - 1) in
+          let params =
+            match String.index_opt after ';' with
+            | None -> []
+            | Some i -> parse_params (String.sub after (i + 1) (String.length after - i - 1))
+          in
+          match Uri.parse uri_text with
+          | Error e -> Error e
+          | Ok uri -> Ok { display; uri; params }))
+  | None -> (
+      (* Bare addr-spec: per RFC 3261 §20.10, parameters after the URI belong
+         to the header, not the URI. *)
+      let uri_text, params =
+        match String.index_opt s ';' with
+        | None -> (s, [])
+        | Some i ->
+            (String.sub s 0 i, parse_params (String.sub s (i + 1) (String.length s - i - 1)))
+      in
+      match Uri.parse uri_text with Error e -> Error e | Ok uri -> Ok { display = None; uri; params })
+
+let to_string t =
+  let buffer = Buffer.create 48 in
+  (match t.display with
+  | None -> ()
+  | Some d ->
+      Buffer.add_char buffer '"';
+      Buffer.add_string buffer d;
+      Buffer.add_string buffer "\" ");
+  Buffer.add_char buffer '<';
+  Buffer.add_string buffer (Uri.to_string t.uri);
+  Buffer.add_char buffer '>';
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_char buffer ';';
+      Buffer.add_string buffer name;
+      match value with
+      | None -> ()
+      | Some v ->
+          Buffer.add_char buffer '=';
+          Buffer.add_string buffer v)
+    t.params;
+  Buffer.contents buffer
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let param t name =
+  match List.find_opt (fun (n, _) -> String.equal n name) t.params with
+  | None -> None
+  | Some (_, v) -> Some v
+
+let tag t = match param t "tag" with Some (Some v) -> Some v | Some None | None -> None
+
+let with_tag t tag_value =
+  let params = List.filter (fun (n, _) -> n <> "tag") t.params in
+  { t with params = params @ [ ("tag", Some tag_value) ] }

@@ -1,0 +1,24 @@
+(** The [name-addr] form used by From, To and Contact:
+    [\["Display Name"\] <uri>;param=value;...] or a bare [addr-spec] with
+    header parameters.  The [tag] parameter identifies dialog ends. *)
+
+type t = {
+  display : string option;
+  uri : Uri.t;
+  params : (string * string option) list;  (** Header params, e.g. [tag]. *)
+}
+
+val make : ?display:string -> ?params:(string * string option) list -> Uri.t -> t
+
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val tag : t -> string option
+
+val with_tag : t -> string -> t
+(** Replaces any existing tag. *)
+
+val param : t -> string -> string option option

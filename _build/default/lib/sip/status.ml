@@ -1,0 +1,68 @@
+type t = int
+
+type klass = Provisional | Success | Redirection | Client_error | Server_error | Global_failure
+
+let klass code =
+  match code / 100 with
+  | 1 -> Provisional
+  | 2 -> Success
+  | 3 -> Redirection
+  | 4 -> Client_error
+  | 5 -> Server_error
+  | 6 -> Global_failure
+  | _ -> invalid_arg (Printf.sprintf "Status.klass: %d out of range" code)
+
+let is_provisional code = code >= 100 && code <= 199
+let is_final code = code >= 200 && code <= 699
+let is_success code = code >= 200 && code <= 299
+
+let reason_phrase = function
+  | 100 -> "Trying"
+  | 180 -> "Ringing"
+  | 181 -> "Call Is Being Forwarded"
+  | 182 -> "Queued"
+  | 183 -> "Session Progress"
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 300 -> "Multiple Choices"
+  | 301 -> "Moved Permanently"
+  | 302 -> "Moved Temporarily"
+  | 305 -> "Use Proxy"
+  | 380 -> "Alternative Service"
+  | 400 -> "Bad Request"
+  | 401 -> "Unauthorized"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 406 -> "Not Acceptable"
+  | 407 -> "Proxy Authentication Required"
+  | 408 -> "Request Timeout"
+  | 410 -> "Gone"
+  | 413 -> "Request Entity Too Large"
+  | 415 -> "Unsupported Media Type"
+  | 416 -> "Unsupported URI Scheme"
+  | 420 -> "Bad Extension"
+  | 480 -> "Temporarily Unavailable"
+  | 481 -> "Call/Transaction Does Not Exist"
+  | 482 -> "Loop Detected"
+  | 483 -> "Too Many Hops"
+  | 484 -> "Address Incomplete"
+  | 485 -> "Ambiguous"
+  | 486 -> "Busy Here"
+  | 487 -> "Request Terminated"
+  | 488 -> "Not Acceptable Here"
+  | 491 -> "Request Pending"
+  | 500 -> "Server Internal Error"
+  | 501 -> "Not Implemented"
+  | 502 -> "Bad Gateway"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Server Time-out"
+  | 505 -> "Version Not Supported"
+  | 513 -> "Message Too Large"
+  | 600 -> "Busy Everywhere"
+  | 603 -> "Decline"
+  | 604 -> "Does Not Exist Anywhere"
+  | 606 -> "Not Acceptable"
+  | _ -> "Unknown"
+
+let pp ppf code = Format.fprintf ppf "%d %s" code (reason_phrase code)

@@ -1,0 +1,8 @@
+let t1 = Dsim.Time.of_ms 500.0
+let t2 = Dsim.Time.of_sec 4.0
+let t4 = Dsim.Time.of_sec 5.0
+let timer_b = 64 * t1
+let timer_d = Dsim.Time.of_sec 32.0
+let timer_f = 64 * t1
+let timer_h = 64 * t1
+let timer_j = 64 * t1

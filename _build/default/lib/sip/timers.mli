@@ -1,0 +1,26 @@
+(** RFC 3261 timer defaults (UDP transport). *)
+
+val t1 : Dsim.Time.t
+(** RTT estimate: 500 ms.  Base for retransmission timers. *)
+
+val t2 : Dsim.Time.t
+(** Maximum retransmit interval for non-INVITE requests and INVITE
+    responses: 4 s. *)
+
+val t4 : Dsim.Time.t
+(** Maximum duration a message remains in the network: 5 s. *)
+
+val timer_b : Dsim.Time.t
+(** INVITE client transaction timeout: 64*T1. *)
+
+val timer_d : Dsim.Time.t
+(** Wait in Completed for response retransmissions (client INVITE): 32 s. *)
+
+val timer_f : Dsim.Time.t
+(** Non-INVITE client transaction timeout: 64*T1. *)
+
+val timer_h : Dsim.Time.t
+(** Wait for ACK (server INVITE): 64*T1. *)
+
+val timer_j : Dsim.Time.t
+(** Wait for request retransmissions (server non-INVITE): 64*T1. *)

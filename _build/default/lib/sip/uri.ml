@@ -1,0 +1,112 @@
+type t = {
+  scheme : string;
+  user : string option;
+  host : string;
+  port : int option;
+  params : (string * string option) list;
+  headers : string option;
+}
+
+let make ?(scheme = "sip") ?user ?port ?(params = []) ?headers host =
+  { scheme; user; host; port; params; headers }
+
+let parse_params s =
+  (* s is the raw text after the first ';' and before '?'. *)
+  String.split_on_char ';' s
+  |> List.filter (fun p -> p <> "")
+  |> List.map (fun p ->
+         match String.index_opt p '=' with
+         | None -> (p, None)
+         | Some i -> (String.sub p 0 i, Some (String.sub p (i + 1) (String.length p - i - 1))))
+
+let parse s =
+  let ( let* ) r f = Result.bind r f in
+  let* scheme, rest =
+    match String.index_opt s ':' with
+    | None -> Error "URI: missing scheme"
+    | Some i ->
+        let scheme = String.lowercase_ascii (String.sub s 0 i) in
+        if scheme = "sip" || scheme = "sips" || scheme = "tel" then
+          Ok (scheme, String.sub s (i + 1) (String.length s - i - 1))
+        else Error (Printf.sprintf "URI: unsupported scheme %S" scheme)
+  in
+  let rest, headers =
+    match String.index_opt rest '?' with
+    | None -> (rest, None)
+    | Some i ->
+        (String.sub rest 0 i, Some (String.sub rest (i + 1) (String.length rest - i - 1)))
+  in
+  let rest, params =
+    match String.index_opt rest ';' with
+    | None -> (rest, [])
+    | Some i ->
+        ( String.sub rest 0 i,
+          parse_params (String.sub rest (i + 1) (String.length rest - i - 1)) )
+  in
+  let user, hostport =
+    match String.index_opt rest '@' with
+    | None -> (None, rest)
+    | Some i -> (Some (String.sub rest 0 i), String.sub rest (i + 1) (String.length rest - i - 1))
+  in
+  let* host, port =
+    match String.index_opt hostport ':' with
+    | None -> Ok (hostport, None)
+    | Some i -> (
+        let host = String.sub hostport 0 i in
+        let port_str = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+        match int_of_string_opt port_str with
+        | Some p when p >= 0 && p <= 65535 -> Ok (host, Some p)
+        | Some _ | None -> Error (Printf.sprintf "URI: bad port %S" port_str))
+  in
+  if host = "" then Error "URI: empty host" else Ok { scheme; user; host; port; params; headers }
+
+let to_string t =
+  let buffer = Buffer.create 32 in
+  Buffer.add_string buffer t.scheme;
+  Buffer.add_char buffer ':';
+  (match t.user with
+  | None -> ()
+  | Some u ->
+      Buffer.add_string buffer u;
+      Buffer.add_char buffer '@');
+  Buffer.add_string buffer t.host;
+  (match t.port with
+  | None -> ()
+  | Some p ->
+      Buffer.add_char buffer ':';
+      Buffer.add_string buffer (string_of_int p));
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_char buffer ';';
+      Buffer.add_string buffer name;
+      match value with
+      | None -> ()
+      | Some v ->
+          Buffer.add_char buffer '=';
+          Buffer.add_string buffer v)
+    t.params;
+  (match t.headers with
+  | None -> ()
+  | Some h ->
+      Buffer.add_char buffer '?';
+      Buffer.add_string buffer h);
+  Buffer.contents buffer
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b =
+  String.equal (String.lowercase_ascii a.scheme) (String.lowercase_ascii b.scheme)
+  && Option.equal String.equal a.user b.user
+  && String.equal (String.lowercase_ascii a.host) (String.lowercase_ascii b.host)
+  && Option.equal Int.equal a.port b.port
+  && a.params = b.params
+  && Option.equal String.equal a.headers b.headers
+
+let param t name =
+  match List.find_opt (fun (n, _) -> String.equal n name) t.params with
+  | None -> None
+  | Some (_, v) -> Some v
+
+let with_param t name value =
+  let params = List.filter (fun (n, _) -> not (String.equal n name)) t.params in
+  { t with params = params @ [ (name, value) ] }

@@ -1,0 +1,42 @@
+(** SIP URIs (RFC 3261 §19.1 subset).
+
+    Supported shape: [sip:user@host:port;param=value;flag?headers].  The
+    [headers] part after ['?'] is kept verbatim; escaping is not
+    interpreted — the simulated endpoints never generate escapes, and the
+    intrusion detector only compares URIs structurally. *)
+
+type t = {
+  scheme : string;  (** ["sip"] or ["sips"]. *)
+  user : string option;
+  host : string;
+  port : int option;
+  params : (string * string option) list;  (** In order; flags have no value. *)
+  headers : string option;
+}
+
+val make :
+  ?scheme:string ->
+  ?user:string ->
+  ?port:int ->
+  ?params:(string * string option) list ->
+  ?headers:string ->
+  string ->
+  t
+(** [make host] builds a [sip:] URI. *)
+
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+(** Structural equality with case-insensitive scheme/host and order-sensitive
+    params — sufficient for the detector's identity checks. *)
+
+val param : t -> string -> string option option
+(** [param t name] is [None] when absent, [Some None] for a flag parameter,
+    [Some (Some v)] for [name=v]. *)
+
+val with_param : t -> string -> string option -> t
+(** Adds or replaces a parameter. *)

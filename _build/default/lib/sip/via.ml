@@ -1,0 +1,87 @@
+type t = {
+  transport : string;
+  host : string;
+  port : int option;
+  params : (string * string option) list;
+}
+
+let magic_cookie = "z9hG4bK"
+
+let make ?(transport = "UDP") ?port ?branch host =
+  let params = match branch with None -> [] | Some b -> [ ("branch", Some b) ] in
+  { transport; host; port; params }
+
+let parse_params s =
+  String.split_on_char ';' s
+  |> List.filter (fun p -> String.trim p <> "")
+  |> List.map (fun p ->
+         let p = String.trim p in
+         match String.index_opt p '=' with
+         | None -> (p, None)
+         | Some i -> (String.sub p 0 i, Some (String.sub p (i + 1) (String.length p - i - 1))))
+
+let parse s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> Error "Via: missing sent-by"
+  | Some space -> (
+      let protocol = String.sub s 0 space in
+      let rest = String.trim (String.sub s (space + 1) (String.length s - space - 1)) in
+      match String.split_on_char '/' protocol with
+      | [ "SIP"; "2.0"; transport ] -> (
+          let hostport, params =
+            match String.index_opt rest ';' with
+            | None -> (rest, [])
+            | Some i ->
+                ( String.sub rest 0 i,
+                  parse_params (String.sub rest (i + 1) (String.length rest - i - 1)) )
+          in
+          match String.index_opt hostport ':' with
+          | None ->
+              if hostport = "" then Error "Via: empty host"
+              else Ok { transport; host = hostport; port = None; params }
+          | Some i -> (
+              let host = String.sub hostport 0 i in
+              let port_str = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+              match int_of_string_opt port_str with
+              | Some port -> Ok { transport; host; port = Some port; params }
+              | None -> Error (Printf.sprintf "Via: bad port %S" port_str)))
+      | _ -> Error (Printf.sprintf "Via: bad protocol %S" protocol))
+
+let to_string t =
+  let buffer = Buffer.create 48 in
+  Buffer.add_string buffer "SIP/2.0/";
+  Buffer.add_string buffer t.transport;
+  Buffer.add_char buffer ' ';
+  Buffer.add_string buffer t.host;
+  (match t.port with
+  | None -> ()
+  | Some p ->
+      Buffer.add_char buffer ':';
+      Buffer.add_string buffer (string_of_int p));
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_char buffer ';';
+      Buffer.add_string buffer name;
+      match value with
+      | None -> ()
+      | Some v ->
+          Buffer.add_char buffer '=';
+          Buffer.add_string buffer v)
+    t.params;
+  Buffer.contents buffer
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let param t name =
+  match List.find_opt (fun (n, _) -> String.equal n name) t.params with
+  | None -> None
+  | Some (_, v) -> Some v
+
+let branch t = match param t "branch" with Some (Some v) -> Some v | Some None | None -> None
+
+let with_param t name value =
+  let params = List.filter (fun (n, _) -> not (String.equal n name)) t.params in
+  { t with params = params @ [ (name, value) ] }
+
+let sent_by t = Dsim.Addr.v t.host (Option.value t.port ~default:5060)

@@ -1,0 +1,28 @@
+(** Via header fields: [SIP/2.0/UDP host:port;branch=...;received=...]. *)
+
+type t = {
+  transport : string;  (** ["UDP"], ["TCP"], … *)
+  host : string;
+  port : int option;
+  params : (string * string option) list;
+}
+
+val make : ?transport:string -> ?port:int -> ?branch:string -> string -> t
+
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val branch : t -> string option
+
+val param : t -> string -> string option option
+
+val with_param : t -> string -> string option -> t
+
+val sent_by : t -> Dsim.Addr.t
+(** Host and port (5060 when absent). *)
+
+val magic_cookie : string
+(** ["z9hG4bK"], the RFC 3261 branch prefix. *)

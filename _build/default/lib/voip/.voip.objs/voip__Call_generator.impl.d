@@ -1,0 +1,1 @@
+lib/voip/call_generator.ml: Array Dsim List Metrics Ua

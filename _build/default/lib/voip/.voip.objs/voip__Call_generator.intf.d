@@ -1,0 +1,1 @@
+lib/voip/call_generator.mli: Dsim Metrics Sip Ua

@@ -1,0 +1,1 @@
+lib/voip/location.ml: Dsim Hashtbl Option Sip

@@ -1,0 +1,1 @@
+lib/voip/location.mli: Dsim Sip

@@ -1,0 +1,1 @@
+lib/voip/metrics.ml: Dsim Hashtbl List String

@@ -1,0 +1,1 @@
+lib/voip/metrics.mli: Dsim

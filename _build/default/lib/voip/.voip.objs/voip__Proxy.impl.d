@@ -1,0 +1,1 @@
+lib/voip/proxy.ml: Dsim Hashtbl Location Option Printf Sip String Transport

@@ -1,0 +1,1 @@
+lib/voip/proxy.mli: Dsim Location Transport

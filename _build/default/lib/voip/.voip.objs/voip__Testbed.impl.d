@@ -1,0 +1,1 @@
+lib/voip/testbed.ml: Array Call_generator Dsim List Metrics Printf Proxy String Transport Ua Vids

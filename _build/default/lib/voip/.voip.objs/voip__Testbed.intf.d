@@ -1,0 +1,1 @@
+lib/voip/testbed.mli: Call_generator Dsim Metrics Proxy Sip Transport Ua Vids

@@ -1,0 +1,1 @@
+lib/voip/transport.ml: Dsim Sip

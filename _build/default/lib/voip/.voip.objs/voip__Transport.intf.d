@@ -1,0 +1,1 @@
+lib/voip/transport.mli: Dsim Sip

@@ -1,0 +1,1 @@
+lib/voip/txn_manager.ml: Dsim Hashtbl Option Sip Transport

@@ -1,0 +1,1 @@
+lib/voip/txn_manager.mli: Dsim Sip Transport

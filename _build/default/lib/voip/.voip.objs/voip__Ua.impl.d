@@ -1,0 +1,1 @@
+lib/voip/ua.ml: Dsim Float Hashtbl Int32 Int64 List Metrics Option Printf Rtp Sdp Sip Transport Txn_manager

@@ -1,0 +1,1 @@
+lib/voip/ua.mli: Dsim Metrics Rtp Sip Transport

@@ -1,0 +1,39 @@
+type profile = {
+  mean_interarrival : Dsim.Time.t;
+  mean_duration : Dsim.Time.t;
+  min_duration : Dsim.Time.t;
+}
+
+let default_profile =
+  {
+    mean_interarrival = Dsim.Time.of_sec 300.0;
+    mean_duration = Dsim.Time.of_sec 90.0;
+    min_duration = Dsim.Time.of_sec 5.0;
+  }
+
+let start sched rng ~callers ~callees ~metrics ~profile ~until =
+  if Array.length callees = 0 then invalid_arg "Call_generator.start: no callees";
+  let draw_gap r =
+    Dsim.Time.of_sec (Dsim.Rng.exponential r (Dsim.Time.to_sec profile.mean_interarrival))
+  in
+  let draw_duration r =
+    Dsim.Time.max profile.min_duration
+      (Dsim.Time.of_sec (Dsim.Rng.exponential r (Dsim.Time.to_sec profile.mean_duration)))
+  in
+  let arm caller =
+    let r = Dsim.Rng.split rng in
+    let rec next () =
+      let gap = draw_gap r in
+      let fire_at = Dsim.Time.add (Dsim.Scheduler.now sched) gap in
+      if Dsim.Time.( <= ) fire_at until then
+        ignore
+          (Dsim.Scheduler.schedule_at sched fire_at (fun () ->
+               let callee = Dsim.Rng.pick r callees in
+               let duration = draw_duration r in
+               Metrics.record_call_arrival metrics ~at:(Dsim.Scheduler.now sched) ~duration;
+               Ua.call caller ~callee ~duration;
+               next ()))
+    in
+    next ()
+  in
+  List.iter arm callers

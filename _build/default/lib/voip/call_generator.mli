@@ -1,0 +1,25 @@
+(** Random call workload (paper §7.1: "UAs of network A generate call
+    requests randomly and independently of each other.  The call duration
+    and calling interval between calls are also assumed to be randomly
+    distributed"). *)
+
+type profile = {
+  mean_interarrival : Dsim.Time.t;  (** Per caller, exponential. *)
+  mean_duration : Dsim.Time.t;  (** Exponential, clamped to [min_duration]. *)
+  min_duration : Dsim.Time.t;
+}
+
+val default_profile : profile
+(** 300 s mean inter-call gap per UA, 90 s mean talk time. *)
+
+val start :
+  Dsim.Scheduler.t ->
+  Dsim.Rng.t ->
+  callers:Ua.t list ->
+  callees:Sip.Uri.t array ->
+  metrics:Metrics.t ->
+  profile:profile ->
+  until:Dsim.Time.t ->
+  unit
+(** Arms one independent generator per caller; generation stops at [until]
+    (calls in progress then run to completion). *)

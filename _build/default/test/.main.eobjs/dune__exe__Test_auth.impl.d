@@ -1,0 +1,1 @@
+test/test_auth.ml: Alcotest Attack Dsim List Result Sip String Vids Voip

@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Array Dsim Float Format Int Int64 List String

@@ -1,0 +1,1 @@
+test/test_efsm.ml: Alcotest Dsim Efsm List Result String

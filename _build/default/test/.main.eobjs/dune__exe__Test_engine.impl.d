@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Baseline Dsim Efsm Format Int32 List Option Printf Rtp Sip String Vids

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Attack Dsim Efsm Filename List Result String Sys Vids Voip

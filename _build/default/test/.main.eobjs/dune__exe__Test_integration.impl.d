@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Attack Dsim Float Int32 List Rtp Vids Voip

@@ -1,0 +1,1 @@
+test/test_media.ml: Alcotest Bytes Char Dsim Int32 List Option Result Rtp Sdp String

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Baseline Dsim Efsm Float Gen Int Int32 List Printf QCheck QCheck_alcotest Rtp Sdp Sip String Vids

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Baseline Dsim List Result Rtp String Vids

@@ -1,0 +1,1 @@
+test/test_sip.ml: Alcotest Dsim Hashtbl List Result Sip String

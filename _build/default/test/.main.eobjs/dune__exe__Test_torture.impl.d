@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Bytes Char List Printf Result Rtp Sdp Sip String

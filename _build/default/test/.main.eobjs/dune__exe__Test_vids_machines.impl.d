@@ -1,0 +1,1 @@
+test/test_vids_machines.ml: Alcotest Dsim Efsm List String Vids

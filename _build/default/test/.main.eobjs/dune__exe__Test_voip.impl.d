@@ -1,0 +1,1 @@
+test/test_voip.ml: Alcotest Attack Dsim List Result Rtp Sip Voip

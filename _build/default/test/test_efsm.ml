@@ -1,0 +1,363 @@
+(* Unit tests for the EFSM formal model (paper §4). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let tc name f = Alcotest.test_case name `Quick f
+
+module M = Efsm.Machine
+module E = Efsm.Event
+module V = Efsm.Value
+module Env = Efsm.Env
+
+let ev ?(args = []) ?(at = 0) name = E.make ~args (E.Data "TEST") ~at name
+let tr = M.transition
+
+(* ------------------------------------------------------------------ *)
+(* Values and environments                                             *)
+(* ------------------------------------------------------------------ *)
+
+let value_equality () =
+  check "int" true (V.equal (V.Int 1) (V.Int 1));
+  check "cross-type" false (V.equal (V.Int 1) (V.Str "1"));
+  check "addr" true (V.equal (V.Addr ("h", 1)) (V.Addr ("h", 1)));
+  check "unset" true (V.equal V.Unset V.Unset);
+  check "compare total" true (V.compare (V.Int 1) (V.Str "a") <> 0)
+
+let value_coercions () =
+  check_int "as_int" 5 (V.as_int (V.Int 5));
+  check_str "as_str" "x" (V.as_str (V.Str "x"));
+  check "as_float from int" true (V.as_float (V.Int 2) = 2.0);
+  check "type error" true
+    (try
+       ignore (V.as_int (V.Str "no"));
+       false
+     with V.Type_error _ -> true)
+
+let env_scopes () =
+  let g = Env.globals () in
+  let e1 = Env.create g and e2 = Env.create g in
+  Env.set e1 Env.Local "x" (V.Int 1);
+  Env.set e1 Env.Global "shared" (V.Str "both");
+  check "local not visible to peer" true (Env.get e2 Env.Local "x" = V.Unset);
+  check "global visible to peer" true (Env.get e2 Env.Global "shared" = V.Str "both");
+  check "unset default" true (Env.get e1 Env.Local "nope" = V.Unset);
+  check "mem" true (Env.mem e1 Env.Local "x");
+  check "bindings sorted" true (List.map fst (Env.local_bindings e1) = [ "x" ])
+
+let env_bytes () =
+  let g = Env.globals () in
+  let e = Env.create g in
+  Env.set e Env.Local "tag" (V.Str "abcdef");
+  check "estimate counts names+values" true (Env.estimated_bytes e >= 9)
+
+(* ------------------------------------------------------------------ *)
+(* Machine stepping                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let toy_spec =
+  {
+    M.spec_name = "toy";
+    initial = "A";
+    finals = [ "C" ];
+    attack_states = [ ("X", "boom") ];
+    transitions =
+      [
+        tr ~label:"a_to_b" ~from_state:"A" (M.On_event "go") ~to_state:"B"
+          ~action:(fun env e ->
+            Env.set env Env.Local "n" (E.arg e "n");
+            [])
+          ();
+        tr ~label:"b_self_small" ~from_state:"B" (M.On_event "go") ~to_state:"B"
+          ~guard:(fun _ e -> E.arg_int e "n" <= 10)
+          ();
+        tr ~label:"b_attack_big" ~from_state:"B" (M.On_event "go") ~to_state:"X"
+          ~guard:(fun _ e -> E.arg_int e "n" > 10)
+          ();
+        tr ~label:"b_done" ~from_state:"B" (M.On_event "done") ~to_state:"C" ();
+      ];
+  }
+
+let machine_moves () =
+  let m = M.instantiate toy_spec ~globals:(Env.globals ()) in
+  check_str "initial" "A" (M.state m);
+  (match M.step m (ev ~args:[ ("n", V.Int 3) ] "go") with
+  | M.Moved { transition; attack; _ } ->
+      check_str "label" "a_to_b" transition.M.label;
+      check "no attack" true (attack = None)
+  | _ -> Alcotest.fail "expected move");
+  check_str "in B" "B" (M.state m);
+  check "var stored" true (Env.get (M.env m) Env.Local "n" = V.Int 3)
+
+let machine_guards_select () =
+  let m = M.instantiate toy_spec ~globals:(Env.globals ()) in
+  ignore (M.step m (ev ~args:[ ("n", V.Int 1) ] "go"));
+  (match M.step m (ev ~args:[ ("n", V.Int 99) ] "go") with
+  | M.Moved { attack = Some detail; _ } -> check_str "attack detail" "boom" detail
+  | _ -> Alcotest.fail "expected attack entry");
+  check "in attack state" true (M.in_attack_state m = Some "boom")
+
+let machine_rejects () =
+  let m = M.instantiate toy_spec ~globals:(Env.globals ()) in
+  (match M.step m (ev "unknown") with
+  | M.Rejected -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  check_str "state unchanged" "A" (M.state m)
+
+let machine_final () =
+  let m = M.instantiate toy_spec ~globals:(Env.globals ()) in
+  ignore (M.step m (ev ~args:[ ("n", V.Int 1) ] "go"));
+  ignore (M.step m (ev "done"));
+  check "final" true (M.is_final m);
+  check_int "trace length" 2 (List.length (M.trace m));
+  let state, _vars = M.configuration m in
+  check_str "configuration state" "C" state
+
+let machine_guard_type_error_is_false () =
+  let m = M.instantiate toy_spec ~globals:(Env.globals ()) in
+  ignore (M.step m (ev ~args:[ ("n", V.Int 1) ] "go"));
+  (* "go" without an int n: both guards raise Type_error -> no transition. *)
+  match M.step m (ev ~args:[ ("n", V.Str "oops") ] "go") with
+  | M.Rejected -> ()
+  | _ -> Alcotest.fail "expected rejection on type error"
+
+let nondeterminism_detected () =
+  let bad =
+    {
+      M.spec_name = "bad";
+      initial = "A";
+      finals = [];
+      attack_states = [];
+      transitions =
+        [
+          tr ~label:"t1" ~from_state:"A" (M.On_event "e") ~to_state:"B" ();
+          tr ~label:"t2" ~from_state:"A" (M.On_event "e") ~to_state:"C" ();
+        ];
+    }
+  in
+  let m = M.instantiate bad ~globals:(Env.globals ()) in
+  match M.step m (ev "e") with
+  | M.Nondeterministic labels ->
+      Alcotest.(check (list string)) "labels" [ "t1"; "t2" ] (List.sort String.compare labels)
+  | _ -> Alcotest.fail "expected nondeterminism report"
+
+let spec_validation () =
+  check "toy valid" true (Result.is_ok (M.validate_spec toy_spec));
+  let dup = { toy_spec with M.transitions = toy_spec.M.transitions @ toy_spec.M.transitions } in
+  check "duplicate labels rejected" true (Result.is_error (M.validate_spec dup));
+  let orphan = { toy_spec with M.initial = "Z" } in
+  check "dead initial rejected" true (Result.is_error (M.validate_spec orphan))
+
+let spec_states () =
+  Alcotest.(check (list string)) "states" [ "A"; "B"; "C"; "X" ] (M.states toy_spec)
+
+let trigger_kinds () =
+  let spec =
+    {
+      M.spec_name = "trig";
+      initial = "S";
+      finals = [];
+      attack_states = [];
+      transitions =
+        [
+          tr ~label:"by_chan" ~from_state:"S" (M.On_channel "RTP") ~to_state:"S" ();
+          tr ~label:"by_sync" ~from_state:"S" (M.On_sync "delta") ~to_state:"S" ();
+          tr ~label:"by_timer" ~from_state:"S" (M.On_timer "t1") ~to_state:"S" ();
+        ];
+    }
+  in
+  let m = M.instantiate spec ~globals:(Env.globals ()) in
+  let step_label e =
+    match M.step m e with
+    | M.Moved { transition; _ } -> transition.M.label
+    | _ -> "rejected"
+  in
+  check_str "channel matches any name" "by_chan"
+    (step_label (E.make (E.Data "RTP") ~at:0 "anything"));
+  check_str "sync" "by_sync"
+    (step_label (E.make (E.Sync { from_machine = "SIP" }) ~at:0 "delta"));
+  check_str "timer" "by_timer" (step_label (E.make E.Timer ~at:0 "t1"));
+  check_str "wrong channel rejected" "rejected"
+    (step_label (E.make (E.Data "SIP") ~at:0 "anything"));
+  check_str "wrong timer rejected" "rejected" (step_label (E.make E.Timer ~at:0 "t2"))
+
+(* ------------------------------------------------------------------ *)
+(* Communicating systems                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Machine P forwards each "ping" to Q as sync "delta"; Q counts them. *)
+let ping_spec =
+  {
+    M.spec_name = "P";
+    initial = "S";
+    finals = [];
+    attack_states = [];
+    transitions =
+      [
+        tr ~label:"fwd" ~from_state:"S" (M.On_event "ping") ~to_state:"S"
+          ~action:(fun _ e ->
+            [ M.Send_sync { target = "Q"; event_name = "delta"; args = e.E.args } ])
+          ();
+      ];
+  }
+
+let pong_spec =
+  {
+    M.spec_name = "Q";
+    initial = "S";
+    finals = [];
+    attack_states = [ ("X", "threshold") ];
+    transitions =
+      [
+        tr ~label:"recv" ~from_state:"S" (M.On_sync "delta") ~to_state:"S"
+          ~guard:(fun env _ ->
+            (match Env.get env Env.Local "count" with V.Int n -> n | _ -> 0) < 2)
+          ~action:(fun env _ ->
+            let n = match Env.get env Env.Local "count" with V.Int n -> n | _ -> 0 in
+            Env.set env Env.Local "count" (V.Int (n + 1));
+            [])
+          ();
+        tr ~label:"boom" ~from_state:"S" (M.On_sync "delta") ~to_state:"X"
+          ~guard:(fun env _ ->
+            (match Env.get env Env.Local "count" with V.Int n -> n | _ -> 0) >= 2)
+          ();
+      ];
+  }
+
+let make_system () =
+  let sched = Dsim.Scheduler.create () in
+  let alerts = ref [] and anomalies = ref [] in
+  let sys =
+    Efsm.System.create
+      ~on_alert:(fun n -> alerts := n :: !alerts)
+      ~on_anomaly:(fun n -> anomalies := n :: !anomalies)
+      (Efsm.System.timer_host_of_scheduler sched)
+  in
+  (sched, sys, alerts, anomalies)
+
+let system_sync_delivery () =
+  let _sched, sys, alerts, _ = make_system () in
+  ignore (Efsm.System.add_machine sys ping_spec);
+  let q = Efsm.System.add_machine sys pong_spec in
+  Efsm.System.inject sys ~machine:"P" (ev "ping");
+  Efsm.System.inject sys ~machine:"P" (ev "ping");
+  check "no alert yet" true (!alerts = []);
+  check "count 2" true (Env.get (M.env q) Env.Local "count" = V.Int 2);
+  Efsm.System.inject sys ~machine:"P" (ev "ping");
+  check_int "alert raised" 1 (List.length !alerts);
+  check_str "attack machine" "Q" (List.hd !alerts).Efsm.System.machine;
+  check_int "sync queues drained" 0 (Efsm.System.queued_sync sys)
+
+let system_anomaly_on_rejected_data () =
+  let _sched, sys, _, anomalies = make_system () in
+  ignore (Efsm.System.add_machine sys ping_spec);
+  ignore (Efsm.System.add_machine sys pong_spec);
+  Efsm.System.inject sys ~machine:"P" (ev "garbage");
+  check_int "anomaly" 1 (List.length !anomalies)
+
+let system_sync_rejection_silent () =
+  let _sched, sys, _, anomalies = make_system () in
+  ignore (Efsm.System.add_machine sys ping_spec);
+  (* No machine Q: sync goes to an unknown machine -> anomaly is reported
+     for the missing machine, not silently lost. *)
+  Efsm.System.inject sys ~machine:"P" (ev "ping");
+  check_int "missing machine reported" 1 (List.length !anomalies)
+
+let timer_spec =
+  {
+    M.spec_name = "T";
+    initial = "S";
+    finals = [];
+    attack_states = [ ("LATE", "timer fired") ];
+    transitions =
+      [
+        tr ~label:"arm" ~from_state:"S" (M.On_event "arm") ~to_state:"WAIT"
+          ~action:(fun _ _ -> [ M.Set_timer { id = "t"; delay = Dsim.Time.of_ms 100.0 } ])
+          ();
+        tr ~label:"disarm" ~from_state:"WAIT" (M.On_event "disarm") ~to_state:"S"
+          ~action:(fun _ _ -> [ M.Cancel_timer "t" ])
+          ();
+        tr ~label:"fire" ~from_state:"WAIT" (M.On_timer "t") ~to_state:"LATE" ();
+      ];
+  }
+
+let system_timer_fires () =
+  let sched, sys, alerts, _ = make_system () in
+  ignore (Efsm.System.add_machine sys timer_spec);
+  Efsm.System.inject sys ~machine:"T" (ev "arm");
+  Dsim.Scheduler.run_until sched (Dsim.Time.of_ms 50.0);
+  check "not yet" true (!alerts = []);
+  Dsim.Scheduler.run_until sched (Dsim.Time.of_ms 200.0);
+  check_int "fired" 1 (List.length !alerts)
+
+let system_timer_cancelled () =
+  let sched, sys, alerts, _ = make_system () in
+  let m = Efsm.System.add_machine sys timer_spec in
+  Efsm.System.inject sys ~machine:"T" (ev "arm");
+  Efsm.System.inject sys ~machine:"T" (ev "disarm");
+  Dsim.Scheduler.run_until sched (Dsim.Time.of_ms 500.0);
+  check "no alert" true (!alerts = []);
+  check_str "back to S" "S" (M.state m)
+
+let system_release_cancels_timers () =
+  let sched, sys, alerts, _ = make_system () in
+  ignore (Efsm.System.add_machine sys timer_spec);
+  Efsm.System.inject sys ~machine:"T" (ev "arm");
+  Efsm.System.release sys;
+  Dsim.Scheduler.run_until sched (Dsim.Time.of_ms 500.0);
+  check "released timers do not fire" true (!alerts = [])
+
+let system_duplicate_machine () =
+  let _sched, sys, _, _ = make_system () in
+  ignore (Efsm.System.add_machine sys ping_spec);
+  check "duplicate rejected" true
+    (try
+       ignore (Efsm.System.add_machine sys ping_spec);
+       false
+     with Invalid_argument _ -> true)
+
+let dot_export () =
+  let dot = Efsm.Dot.of_spec toy_spec in
+  check "mentions digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "attack styled" true (contains "doubleoctagon" dot);
+  check "edges present" true (contains "\"A\" -> \"B\"" dot);
+  check "final styled" true (contains "doublecircle" dot)
+
+let suite =
+  [
+    ( "efsm.value+env",
+      [
+        tc "value equality" value_equality;
+        tc "value coercions" value_coercions;
+        tc "env scopes" env_scopes;
+        tc "env bytes" env_bytes;
+      ] );
+    ( "efsm.machine",
+      [
+        tc "moves" machine_moves;
+        tc "guards select" machine_guards_select;
+        tc "rejects" machine_rejects;
+        tc "final + trace + configuration" machine_final;
+        tc "guard type error = false" machine_guard_type_error_is_false;
+        tc "nondeterminism detected" nondeterminism_detected;
+        tc "spec validation" spec_validation;
+        tc "spec states" spec_states;
+        tc "trigger kinds" trigger_kinds;
+      ] );
+    ( "efsm.system",
+      [
+        tc "sync delivery + priority" system_sync_delivery;
+        tc "anomaly on rejected data" system_anomaly_on_rejected_data;
+        tc "missing machine reported" system_sync_rejection_silent;
+        tc "timer fires" system_timer_fires;
+        tc "timer cancelled" system_timer_cancelled;
+        tc "release cancels timers" system_release_cancels_timers;
+        tc "duplicate machine rejected" system_duplicate_machine;
+        tc "dot export" dot_export;
+      ] );
+  ]

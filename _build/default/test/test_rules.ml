@@ -1,0 +1,144 @@
+(* Tests for the baseline's textual rule language. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let tc name f = Alcotest.test_case name `Quick f
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let alloc = Dsim.Packet.allocator ()
+
+let packet ~src ~dst payload = Dsim.Packet.make alloc ~src ~dst ~sent_at:0 payload
+
+let cancel_text =
+  "CANCEL sip:b@y SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bKc\r\nFrom: <sip:a@x>;tag=1\r\nTo: <sip:b@y>\r\nCall-ID: c\r\nCSeq: 1 CANCEL\r\n\r\n"
+
+let invite_text =
+  "INVITE sip:b@y SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bKi\r\nFrom: <sip:a@x>;tag=1\r\nTo: <sip:b@y>\r\nCall-ID: c\r\nCSeq: 1 INVITE\r\n\r\n"
+
+let rtp_bytes pt =
+  Rtp.Rtp_packet.encode
+    (Rtp.Rtp_packet.make ~payload_type:pt ~sequence:1 ~timestamp:0l ~ssrc:1l "x")
+
+let sip_addr h = Dsim.Addr.v h 5060
+
+let rule_header_parsing () =
+  check "minimal" true
+    (Result.is_ok (Baseline.Rule_lang.parse_rule "alert any any any -> any any"));
+  check "specific" true
+    (Result.is_ok
+       (Baseline.Rule_lang.parse_rule "alert sip 1.2.3.4 5060 -> 5.6.7.8 5060 (msg:\"x\";)"));
+  check "bad proto" true
+    (Result.is_error (Baseline.Rule_lang.parse_rule "alert tcp any any -> any any"));
+  check "bad arrow" true
+    (Result.is_error (Baseline.Rule_lang.parse_rule "alert sip any any <- any any"));
+  check "bad port" true
+    (Result.is_error (Baseline.Rule_lang.parse_rule "alert sip any 99999 -> any any"));
+  check "bad option" true
+    (Result.is_error (Baseline.Rule_lang.parse_rule "alert sip any any -> any any (bogus:1;)"));
+  check "bad kind" true
+    (Result.is_error
+       (Baseline.Rule_lang.parse_rule "alert sip any any -> any any (kind:nonsense;)"))
+
+let rule_method_match () =
+  let rule =
+    ok
+      (Baseline.Rule_lang.parse_rule
+         "alert sip any any -> any 5060 (msg:\"cancel\"; method:CANCEL; kind:cancel-dos;)")
+  in
+  let snort = Baseline.Snort_like.create [ rule ] in
+  let hits =
+    Baseline.Snort_like.process snort
+      (packet ~src:(sip_addr "atk") ~dst:(sip_addr "victim") cancel_text)
+  in
+  check_int "cancel matches" 1 (List.length hits);
+  check "kind mapped" true ((List.hd hits).Vids.Alert.kind = Vids.Alert.Cancel_dos);
+  let misses =
+    Baseline.Snort_like.process snort
+      (packet ~src:(sip_addr "atk") ~dst:(sip_addr "victim") invite_text)
+  in
+  check_int "invite does not" 0 (List.length misses)
+
+let rule_host_port_match () =
+  let rule =
+    ok (Baseline.Rule_lang.parse_rule "alert sip 203.0.113.66 any -> any 5060 (msg:\"bad host\";)")
+  in
+  let snort = Baseline.Snort_like.create [ rule ] in
+  check_int "matching host" 1
+    (List.length
+       (Baseline.Snort_like.process snort
+          (packet ~src:(sip_addr "203.0.113.66") ~dst:(sip_addr "v") invite_text)));
+  check_int "other host" 0
+    (List.length
+       (Baseline.Snort_like.process snort
+          (packet ~src:(sip_addr "10.0.0.1") ~dst:(sip_addr "v") invite_text)))
+
+let rule_payload_type_match () =
+  let rule =
+    ok
+      (Baseline.Rule_lang.parse_rule
+         "alert rtp any any -> any any (msg:\"codec\"; payload_type:99;)")
+  in
+  let snort = Baseline.Snort_like.create [ rule ] in
+  let media_packet pt =
+    packet ~src:(Dsim.Addr.v "a" 16384) ~dst:(Dsim.Addr.v "b" 20000) (rtp_bytes pt)
+  in
+  check_int "pt 99 matches" 1 (List.length (Baseline.Snort_like.process snort (media_packet 99)));
+  check_int "pt 18 does not" 0
+    (List.length (Baseline.Snort_like.process snort (media_packet 18)))
+
+let rule_content_match () =
+  let rule =
+    ok
+      (Baseline.Rule_lang.parse_rule
+         "alert sip any any -> any any (msg:\"needle\"; content:\"Call-ID: c\";)")
+  in
+  let snort = Baseline.Snort_like.create [ rule ] in
+  check_int "content present" 1
+    (List.length
+       (Baseline.Snort_like.process snort (packet ~src:(sip_addr "a") ~dst:(sip_addr "b") invite_text)))
+
+let rule_code_match () =
+  let resp =
+    "SIP/2.0 486 Busy Here\r\nVia: SIP/2.0/UDP h;branch=z9hG4bKr\r\nFrom: <sip:a@x>;tag=1\r\nTo: <sip:b@y>;tag=2\r\nCall-ID: c\r\nCSeq: 1 INVITE\r\n\r\n"
+  in
+  let rule =
+    ok (Baseline.Rule_lang.parse_rule "alert sip any any -> any any (msg:\"busy\"; code:486;)")
+  in
+  let snort = Baseline.Snort_like.create [ rule ] in
+  check_int "486 matches" 1
+    (List.length
+       (Baseline.Snort_like.process snort (packet ~src:(sip_addr "a") ~dst:(sip_addr "b") resp)));
+  check_int "cancel does not" 0
+    (List.length
+       (Baseline.Snort_like.process snort
+          (packet ~src:(sip_addr "a") ~dst:(sip_addr "b") cancel_text)))
+
+let ruleset_parsing () =
+  let rules = ok (Baseline.Rule_lang.parse_rules Baseline.Rule_lang.default_ruleset) in
+  check_int "three rules" 3 (List.length rules);
+  (match Baseline.Rule_lang.parse_rules "alert sip any any -> any any\nbroken line\n" with
+  | Error e -> check "line number in error" true (String.length e > 0 && String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "should fail");
+  check "comments skipped" true
+    (Result.is_ok (Baseline.Rule_lang.parse_rules "# only a comment\n\n"))
+
+let ruleset_names_rules () =
+  let rules = ok (Baseline.Rule_lang.parse_rules Baseline.Rule_lang.default_ruleset) in
+  check_str "first rule name" "external CANCEL" (List.hd rules).Baseline.Snort_like.name
+
+let suite =
+  [
+    ( "baseline.rule_lang",
+      [
+        tc "header parsing" rule_header_parsing;
+        tc "method match" rule_method_match;
+        tc "host/port match" rule_host_port_match;
+        tc "payload type match" rule_payload_type_match;
+        tc "content match" rule_content_match;
+        tc "code match" rule_code_match;
+        tc "ruleset parsing" ruleset_parsing;
+        tc "rule naming" ruleset_names_rules;
+      ] );
+  ]

@@ -1,0 +1,236 @@
+(* SIP/SDP/RTP torture battery, in the spirit of RFC 4475: wellformed but
+   unusual messages must parse; malformed ones must be rejected, never
+   crash.  The vIDS classifier treats a rejected message as a reportable
+   protocol deviation, so the split matters for the false-positive rate. *)
+
+let check = Alcotest.(check bool)
+let tc name f = Alcotest.test_case name `Quick f
+
+let crlf lines = String.concat "\r\n" lines ^ "\r\n\r\n"
+
+let parses text = Result.is_ok (Sip.Msg.parse text)
+let rejects text = Result.is_error (Sip.Msg.parse text)
+
+let base_headers =
+  [
+    "Via: SIP/2.0/UDP h.example;branch=z9hG4bKt";
+    "From: <sip:a@x.example>;tag=1";
+    "To: <sip:b@y.example>";
+    "Call-ID: torture@h.example";
+    "CSeq: 1 OPTIONS";
+  ]
+
+let msg ?(start = "OPTIONS sip:b@y.example SIP/2.0") ?(headers = base_headers) () =
+  crlf (start :: headers)
+
+(* --- wellformed but unusual ------------------------------------------ *)
+
+let t_unusual_spacing () =
+  check "extra spaces after colon" true
+    (parses (msg ~headers:("Subject:            lots of space" :: base_headers) ()));
+  check "tab folding" true
+    (parses (msg ~headers:(("Subject: line1" ^ "\r\n\tline2") :: base_headers) ()))
+
+let t_compact_and_long_mixed () =
+  check "mixed compact/long" true
+    (parses
+       (crlf
+          [
+            "OPTIONS sip:b@y SIP/2.0";
+            "v: SIP/2.0/UDP h;branch=z9hG4bKt";
+            "From: <sip:a@x>;tag=1";
+            "t: <sip:b@y>";
+            "i: mixed";
+            "CSeq: 1 OPTIONS";
+          ]))
+
+let t_header_case_insensitive () =
+  check "screaming case" true
+    (parses
+       (crlf
+          [
+            "OPTIONS sip:b@y SIP/2.0";
+            "VIA: SIP/2.0/UDP h;branch=z9hG4bKt";
+            "FROM: <sip:a@x>;tag=1";
+            "TO: <sip:b@y>";
+            "CALL-ID: caps";
+            "CSEQ: 1 OPTIONS";
+          ]));
+  let m = Result.get_ok (Sip.Msg.parse (crlf [ "OPTIONS sip:b@y SIP/2.0"; "cAlL-Id: weird" ])) in
+  check "canonicalized access" true (Sip.Msg.call_id m = Ok "weird")
+
+let t_long_values () =
+  let long = String.make 4000 'x' in
+  check "4k header value" true
+    (parses (msg ~headers:(("X-Long: " ^ long) :: base_headers) ()));
+  check "long request user" true
+    (parses (msg ~start:("INVITE sip:" ^ String.make 500 'u' ^ "@h SIP/2.0") ()))
+
+let t_unknown_method_and_headers () =
+  check "unknown method" true (parses (msg ~start:"NEWFANGLED sip:b@y SIP/2.0" ()));
+  check "unknown headers kept" true
+    (parses (msg ~headers:("X-Wild-Thing: 42" :: base_headers) ()))
+
+let t_multi_via_forms () =
+  (* Two Via headers, and one comma-separated Via header, both give a
+     two-deep stack. *)
+  let two_lines =
+    crlf
+      ([ "OPTIONS sip:b@y SIP/2.0"; "Via: SIP/2.0/UDP p1;branch=z9hG4bKa" ]
+      @ [ "Via: SIP/2.0/UDP p2;branch=z9hG4bKb" ]
+      @ List.tl base_headers)
+  in
+  let comma =
+    crlf
+      ([ "OPTIONS sip:b@y SIP/2.0";
+         "Via: SIP/2.0/UDP p1;branch=z9hG4bKa, SIP/2.0/UDP p2;branch=z9hG4bKb" ]
+      @ List.tl base_headers)
+  in
+  let vias text = List.length (Result.get_ok (Sip.Msg.vias (Result.get_ok (Sip.Msg.parse text)))) in
+  Alcotest.(check int) "two lines" 2 (vias two_lines);
+  Alcotest.(check int) "comma form" 2 (vias comma)
+
+let t_display_name_quirks () =
+  check "quoted display with comma" true
+    (parses (msg ~headers:("Contact: \"Smith, J.\" <sip:j@h>" :: base_headers) ()));
+  let m =
+    Result.get_ok
+      (Sip.Msg.parse (msg ~headers:("Contact: \"Smith, J.\" <sip:j@h>" :: base_headers) ()))
+  in
+  match Sip.Msg.contact m with
+  | Ok na -> check "display preserved" true (na.Sip.Name_addr.display = Some "Smith, J.")
+  | Error _ -> Alcotest.fail "contact should parse"
+
+let t_empty_body_with_length_zero () =
+  check "explicit zero length" true
+    (parses (String.concat "\r\n" (("OPTIONS sip:b@y SIP/2.0" :: base_headers) @ [ "Content-Length: 0"; ""; "" ])))
+
+let t_body_with_crlf_content () =
+  let body = "line1\r\nline2\r\n\r\ntrailing" in
+  let text =
+    String.concat "\r\n"
+      (("OPTIONS sip:b@y SIP/2.0" :: base_headers)
+      @ [ Printf.sprintf "Content-Length: %d" (String.length body); ""; body ])
+  in
+  let m = Result.get_ok (Sip.Msg.parse text) in
+  check "body with embedded blank line intact" true (m.Sip.Msg.body = body)
+
+let t_status_edge_codes () =
+  check "100" true (parses (crlf ("SIP/2.0 100 Trying" :: base_headers)));
+  check "699" true (parses (crlf ("SIP/2.0 699 Weird" :: base_headers)));
+  check "reason with spaces" true
+    (parses (crlf ("SIP/2.0 480 Temporarily not available right now" :: base_headers)));
+  check "empty reason" true (parses (crlf ("SIP/2.0 200" :: base_headers)))
+
+(* --- malformed -------------------------------------------------------- *)
+
+let t_malformed_start_lines () =
+  check "no version" true (rejects (crlf [ "OPTIONS sip:b@y" ]));
+  check "wrong version" true (rejects (crlf [ "OPTIONS sip:b@y SIP/3.0" ]));
+  check "code too small" true (rejects (crlf ("SIP/2.0 42 Answer" :: base_headers)));
+  check "code too large" true (rejects (crlf ("SIP/2.0 700 Nope" :: base_headers)));
+  check "spaces in uri" true (rejects (crlf [ "OPTIONS sip:b @y SIP/2.0" ]));
+  check "empty message" true (rejects "");
+  check "only crlf" true (rejects "\r\n\r\n")
+
+let t_malformed_headers () =
+  check "colonless header" true
+    (rejects (crlf [ "OPTIONS sip:b@y SIP/2.0"; "NoColonHere" ]));
+  check "empty name" true (rejects (crlf [ "OPTIONS sip:b@y SIP/2.0"; ": value" ]))
+
+let t_content_length_lies () =
+  check "length beyond body" true
+    (rejects
+       (String.concat "\r\n"
+          (("OPTIONS sip:b@y SIP/2.0" :: base_headers) @ [ "Content-Length: 999"; ""; "short" ])));
+  check "negative rejected" true
+    (rejects
+       (String.concat "\r\n"
+          (("OPTIONS sip:b@y SIP/2.0" :: base_headers) @ [ "Content-Length: -5"; ""; "body" ])))
+
+let t_binary_garbage () =
+  (* Arbitrary binary on the SIP port must be rejected, not crash. *)
+  let garbage = String.init 64 (fun i -> Char.chr (255 - i)) in
+  check "binary rejected" true (rejects garbage)
+
+let t_uri_torture () =
+  let good =
+    [ "sip:j%40son@h"; "sip:host"; "sips:a@b:1"; "sip:a@b;p1;p2;p3=x"; "tel:+1-212-555-0101" ]
+  in
+  List.iter (fun u -> check u true (Result.is_ok (Sip.Uri.parse u))) good;
+  let bad = [ ""; ":"; "sip:"; "mailto:x@y"; "sip:a@b:port" ] in
+  List.iter (fun u -> check u true (Result.is_error (Sip.Uri.parse u))) bad
+
+(* --- SDP torture ------------------------------------------------------ *)
+
+let t_sdp_torture () =
+  let ok_cases =
+    [
+      (* minimal *)
+      "v=0\r\no=x 1 1 IN IP4 h\r\ns= \r\nt=0 0\r\n";
+      (* media before attributes, several formats *)
+      "v=0\r\no=x 1 1 IN IP4 h\r\ns=-\r\nc=IN IP4 1.2.3.4\r\nt=0 0\r\nm=audio 9 RTP/AVP 0 8 18 101\r\na=sendrecv\r\n";
+      (* LF-only line endings *)
+      "v=0\no=x 1 1 IN IP4 h\ns=-\nt=0 0\n";
+    ]
+  in
+  List.iter (fun s -> check "sdp ok" true (Result.is_ok (Sdp.parse s))) ok_cases;
+  let bad_cases = [ "vv=0\r\n"; "v=0\r\nm=audio RTP/AVP\r\n"; "x" ] in
+  List.iter (fun s -> check "sdp bad" true (Result.is_error (Sdp.parse s))) bad_cases
+
+(* --- RTP torture ------------------------------------------------------ *)
+
+let t_rtp_torture () =
+  (* Header exactly 12 bytes parses with empty payload. *)
+  let minimal =
+    Rtp.Rtp_packet.encode
+      (Rtp.Rtp_packet.make ~payload_type:0 ~sequence:0 ~timestamp:0l ~ssrc:0l "")
+  in
+  check "minimal" true (Result.is_ok (Rtp.Rtp_packet.decode minimal));
+  (* All CSRC counts decode when the bytes are present. *)
+  for cc = 0 to 15 do
+    let b = Bytes.make (12 + (4 * cc)) '\x00' in
+    Bytes.set b 0 (Char.chr (0x80 lor cc));
+    check
+      (Printf.sprintf "cc=%d" cc)
+      true
+      (Result.is_ok (Rtp.Rtp_packet.decode (Bytes.to_string b)))
+  done;
+  (* One byte short of the CSRC list fails cleanly. *)
+  let b = Bytes.make 15 '\x00' in
+  Bytes.set b 0 (Char.chr (0x80 lor 1));
+  check "truncated csrc" true (Result.is_error (Rtp.Rtp_packet.decode (Bytes.to_string b)));
+  (* Extension header: present and truncated. *)
+  let ext_ok = Bytes.make 20 '\x00' in
+  Bytes.set ext_ok 0 '\x90';
+  (* 4-byte ext header with 1 word of body. *)
+  Bytes.set ext_ok 15 '\x01';
+  check "extension ok" true (Result.is_ok (Rtp.Rtp_packet.decode (Bytes.to_string ext_ok)));
+  let ext_short = Bytes.make 14 '\x00' in
+  Bytes.set ext_short 0 '\x90';
+  check "extension truncated" true
+    (Result.is_error (Rtp.Rtp_packet.decode (Bytes.to_string ext_short)))
+
+let suite =
+  [
+    ( "torture.sip",
+      [
+        tc "unusual spacing" t_unusual_spacing;
+        tc "compact/long mixed" t_compact_and_long_mixed;
+        tc "case-insensitive names" t_header_case_insensitive;
+        tc "long values" t_long_values;
+        tc "unknown method/headers" t_unknown_method_and_headers;
+        tc "multi-via forms" t_multi_via_forms;
+        tc "display name quirks" t_display_name_quirks;
+        tc "zero-length body" t_empty_body_with_length_zero;
+        tc "body with crlf" t_body_with_crlf_content;
+        tc "status code edges" t_status_edge_codes;
+        tc "malformed start lines" t_malformed_start_lines;
+        tc "malformed headers" t_malformed_headers;
+        tc "content-length lies" t_content_length_lies;
+        tc "binary garbage" t_binary_garbage;
+        tc "uri torture" t_uri_torture;
+      ] );
+    ("torture.sdp", [ tc "sdp cases" t_sdp_torture ]);
+    ("torture.rtp", [ tc "rtp cases" t_rtp_torture ]);
+  ]
