@@ -1,0 +1,108 @@
+(* Robustness bench: state churn under a distinct-Call-ID INVITE flood.
+
+   An attacker who never completes a handshake can grow the fact base with
+   one abandoned call record per INVITE.  This scenario feeds the engine
+   [n] INVITEs, each with a fresh Call-ID, and compares an ungoverned
+   engine (every record retained) against the governed preset (caps +
+   ageing sweep).  Results go to BENCH_robustness.json so the bounded-
+   memory claim is checkable from CI artifacts. *)
+
+let sec = Dsim.Time.of_sec
+
+let invite ~call_id =
+  Printf.sprintf
+    "INVITE sip:bob@b.example SIP/2.0\r\n\
+     Via: SIP/2.0/UDP 10.1.0.2:5060;branch=z9hG4bK%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>\r\n\
+     Call-ID: %s\r\n\
+     CSeq: 1 INVITE\r\n\
+     Contact: <sip:alice@10.1.0.10:5060>\r\n\
+     \r\n"
+    call_id call_id call_id
+
+type result = {
+  label : string;
+  packets : int;
+  active_calls : int;
+  peak_calls : int;
+  calls_evicted : int;
+  calls_swept : int;
+  alerts : int;
+  live_words : int;
+  wall_s : float;
+}
+
+let churn ~label ~config ~n =
+  let t0 = Unix.gettimeofday () in
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create ~config sched in
+  let alloc = Dsim.Packet.allocator () in
+  let src = Dsim.Addr.v "203.0.113.66" 5060 in
+  let dst = Dsim.Addr.v "10.2.0.2" 5060 in
+  for i = 0 to n - 1 do
+    (* One packet per simulated millisecond, advancing the clock so sweep
+       timers get a chance to fire. *)
+    let at = Dsim.Time.of_ms (float_of_int i) in
+    Dsim.Scheduler.run_until sched at;
+    let packet = Dsim.Packet.make alloc ~src ~dst ~sent_at:at (invite ~call_id:(Printf.sprintf "churn-%d" i)) in
+    Vids.Engine.process_packet engine packet
+  done;
+  Dsim.Scheduler.run_until sched (Dsim.Time.add (Dsim.Time.of_ms (float_of_int n)) (sec 1.0));
+  let stats = Vids.Engine.memory_stats engine in
+  let counters = Vids.Engine.counters engine in
+  Gc.full_major ();
+  let live = (Gc.stat ()).Gc.live_words in
+  (* Keep the engine reachable until after the heap measurement. *)
+  ignore (Sys.opaque_identity engine);
+  {
+    label;
+    packets = n;
+    active_calls = stats.Vids.Fact_base.active_calls;
+    peak_calls = stats.Vids.Fact_base.peak_calls;
+    calls_evicted = stats.Vids.Fact_base.calls_evicted;
+    calls_swept = stats.Vids.Fact_base.calls_swept;
+    alerts = counters.Vids.Engine.alerts_raised;
+    live_words = live;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let json_of_result r =
+  Printf.sprintf
+    "    {\"scenario\": %S, \"packets\": %d, \"active_calls\": %d, \"peak_calls\": %d,\n\
+    \     \"calls_evicted\": %d, \"calls_swept\": %d, \"alerts\": %d, \"live_words\": %d,\n\
+    \     \"wall_s\": %.3f}"
+    r.label r.packets r.active_calls r.peak_calls r.calls_evicted r.calls_swept r.alerts
+    r.live_words r.wall_s
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 100_000 in
+  (* The ungoverned baseline holds every record (~1k words per call), so it
+     runs on a smaller slice; the governed run takes the full flood. *)
+  let ungoverned =
+    churn ~label:"state_churn_unbounded" ~config:Vids.Config.default ~n:(min n 20_000)
+  in
+  let governed_config = Vids.Config.governed Vids.Config.default in
+  let governed = churn ~label:"state_churn_governed" ~config:governed_config ~n in
+  let results = [ ungoverned; governed ] in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-24s %d packets: active=%d peak=%d evicted=%d swept=%d alerts=%d live=%dw %.2fs\n"
+        r.label r.packets r.active_calls r.peak_calls r.calls_evicted r.calls_swept r.alerts
+        r.live_words r.wall_s)
+    results;
+  let bounded =
+    governed.active_calls <= governed_config.Vids.Config.max_calls
+    && governed.peak_calls <= governed_config.Vids.Config.max_calls
+  in
+  Printf.printf "governed run bounded by max_calls=%d: %b\n"
+    governed_config.Vids.Config.max_calls bounded;
+  let oc = open_out "BENCH_robustness.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"robustness\",\n  \"max_calls\": %d,\n  \"bounded\": %b,\n  \"results\": [\n%s\n  ]\n}\n"
+    governed_config.Vids.Config.max_calls bounded
+    (String.concat ",\n" (List.map json_of_result results));
+  close_out oc;
+  print_endline "wrote BENCH_robustness.json";
+  if not bounded then exit 1

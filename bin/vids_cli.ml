@@ -21,13 +21,50 @@ let mode_of_string = function
   | "off" -> Ok T.Off
   | s -> Error (Printf.sprintf "unknown vids mode %S (inline|monitor|off)" s)
 
-let simulate seed n_ua mode_str minutes mean_gap mean_talk =
+(* Resource-governance knobs shared by [simulate] and [detect]: start from
+   the preset when [--governed], then apply any explicit overrides. *)
+type governance = {
+  governed : bool;
+  max_calls : int option;
+  max_detectors : int option;
+  call_max_age : float option;
+  sweep_interval : float option;
+  degrade_high_water : int option;
+  degrade_low_water : int option;
+}
+
+let apply_governance g config =
+  let config = if g.governed then Vids.Config.governed config else config in
+  let opt v f config = match v with None -> config | Some v -> f config v in
+  config
+  |> opt g.max_calls (fun c v -> { c with Vids.Config.max_calls = v })
+  |> opt g.max_detectors (fun c v -> { c with Vids.Config.max_detectors = v })
+  |> opt g.call_max_age (fun c v -> { c with Vids.Config.call_max_age = sec v })
+  |> opt g.sweep_interval (fun c v -> { c with Vids.Config.sweep_interval = sec v })
+  |> opt g.degrade_high_water (fun c v -> { c with Vids.Config.degrade_high_water = v })
+  |> opt g.degrade_low_water (fun c v -> { c with Vids.Config.degrade_low_water = v })
+
+let governance_summary engine =
+  let stats = Vids.Engine.memory_stats engine in
+  let c = Vids.Engine.counters engine in
+  if
+    stats.Vids.Fact_base.calls_evicted + stats.Vids.Fact_base.detectors_evicted
+    + stats.Vids.Fact_base.calls_swept + c.Vids.Engine.faults + c.Vids.Engine.rtp_shed
+    > 0
+  then
+    Format.printf
+      "governance: %d calls evicted, %d detectors evicted, %d swept, %d faults contained, %d RTP shed@."
+      stats.Vids.Fact_base.calls_evicted stats.Vids.Fact_base.detectors_evicted
+      stats.Vids.Fact_base.calls_swept c.Vids.Engine.faults c.Vids.Engine.rtp_shed
+
+let simulate seed n_ua mode_str minutes mean_gap mean_talk governance =
   match mode_of_string mode_str with
   | Error e ->
       prerr_endline e;
       1
   | Ok mode ->
-      let tb = T.make ~seed ~n_ua ~vids:mode () in
+      let config = apply_governance governance Vids.Config.default in
+      let tb = T.make ~seed ~n_ua ~vids:mode ~config () in
       let profile =
         {
           Voip.Call_generator.mean_interarrival = sec mean_gap;
@@ -59,6 +96,7 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk =
             (stats.Vids.Fact_base.peak_calls
             * (Vids.Config.default.Vids.Config.sip_state_bytes
               + Vids.Config.default.Vids.Config.rtp_state_bytes));
+          governance_summary engine;
           List.iter (fun a -> Format.printf "  %a@." Vids.Alert.pp a) (Vids.Engine.alerts engine));
       0
 
@@ -69,9 +107,10 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk =
 let all_attacks = [ "bye-dos"; "cancel-dos"; "hijack"; "media-spam"; "billing-fraud";
                     "invite-flood"; "rtp-flood"; "drdos" ]
 
-let detect seed attacks =
+let detect seed attacks governance =
   let attacks = if attacks = [] then all_attacks else attacks in
-  let tb = T.make ~seed ~vids:T.Monitor () in
+  let config = apply_governance governance Vids.Config.default in
+  let tb = T.make ~seed ~vids:T.Monitor ~config () in
   let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
   let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
   let unknown = ref [] in
@@ -112,6 +151,7 @@ let detect seed attacks =
       let c = Vids.Engine.counters engine in
       Format.printf "%d distinct alert(s); %d duplicates suppressed@." c.Vids.Engine.alerts_raised
         c.Vids.Engine.alerts_suppressed;
+      governance_summary engine;
       0
 
 (* ------------------------------------------------------------------ *)
@@ -259,6 +299,55 @@ open Cmdliner
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
 
+let governance_term =
+  let governed =
+    Arg.(
+      value & flag
+      & info [ "governed" ]
+          ~doc:"Enable the resource-governance preset (caps, ageing sweep, degradation).")
+  in
+  let max_calls =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-calls" ] ~docv:"N" ~doc:"Cap on tracked calls (0 = unbounded).")
+  in
+  let max_detectors =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-detectors" ] ~docv:"N" ~doc:"Cap on attack detector instances (0 = unbounded).")
+  in
+  let call_max_age =
+    Arg.(
+      value & opt (some float) None
+      & info [ "call-max-age" ] ~docv:"SEC"
+          ~doc:"Age after which idle call records are swept (0 = never).")
+  in
+  let sweep_interval =
+    Arg.(
+      value & opt (some float) None
+      & info [ "sweep-interval" ] ~docv:"SEC"
+          ~doc:"Period of the scheduled ageing sweep (0 = disabled).")
+  in
+  let high =
+    Arg.(
+      value & opt (some int) None
+      & info [ "degrade-high-water" ] ~docv:"N"
+          ~doc:"Active-state level at which RTP stream analysis is shed (0 = never).")
+  in
+  let low =
+    Arg.(
+      value & opt (some int) None
+      & info [ "degrade-low-water" ] ~docv:"N"
+          ~doc:"Active-state level at which full analysis resumes (0 = 3/4 of high water).")
+  in
+  let make governed max_calls max_detectors call_max_age sweep_interval degrade_high_water
+      degrade_low_water =
+    { governed; max_calls; max_detectors; call_max_age; sweep_interval; degrade_high_water;
+      degrade_low_water }
+  in
+  Term.(
+    const make $ governed $ max_calls $ max_detectors $ call_max_age $ sweep_interval $ high $ low)
+
 let simulate_cmd =
   let n_ua = Arg.(value & opt int 10 & info [ "uas" ] ~doc:"UAs per enterprise network.") in
   let mode =
@@ -271,7 +360,7 @@ let simulate_cmd =
   let talk = Arg.(value & opt float 45.0 & info [ "mean-talk" ] ~doc:"Mean call seconds.") in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the enterprise workload and report performance")
-    Term.(const simulate $ seed_arg $ n_ua $ mode $ minutes $ gap $ talk)
+    Term.(const simulate $ seed_arg $ n_ua $ mode $ minutes $ gap $ talk $ governance_term)
 
 let detect_cmd =
   let attacks =
@@ -279,7 +368,7 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Launch attack scenarios and print the vIDS alert log")
-    Term.(const detect $ seed_arg $ attacks)
+    Term.(const detect $ seed_arg $ attacks $ governance_term)
 
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in

@@ -9,6 +9,8 @@ type kind =
   | Drdos
   | Registration_hijack
   | Spec_deviation
+  | Resource_pressure
+  | Engine_fault
 
 let kind_to_string = function
   | Invite_flood -> "INVITE-flood"
@@ -21,6 +23,8 @@ let kind_to_string = function
   | Drdos -> "DRDoS"
   | Registration_hijack -> "registration-hijack"
   | Spec_deviation -> "spec-deviation"
+  | Resource_pressure -> "resource-pressure"
+  | Engine_fault -> "engine-fault"
 
 let pp_kind ppf kind = Format.pp_print_string ppf (kind_to_string kind)
 
@@ -30,7 +34,8 @@ let default_severity = function
   | Invite_flood | Bye_dos | Cancel_dos | Media_spam | Rtp_flood | Call_hijack | Billing_fraud
   | Drdos ->
       Critical
-  | Registration_hijack | Spec_deviation -> Warning
+  | Registration_hijack | Spec_deviation | Resource_pressure -> Warning
+  | Engine_fault -> Critical
 
 type t = { kind : kind; severity : severity; at : Dsim.Time.t; subject : string; detail : string }
 

@@ -14,6 +14,12 @@ type kind =
           (re)binding a protected user's contact — our extension; the
           paper's threat model only hints at it via "misconfiguration". *)
   | Spec_deviation  (** Any other departure from the protocol state machines. *)
+  | Resource_pressure
+      (** The engine shed state or analysis to protect itself: a cap
+          eviction, an ageing sweep, or a degraded-mode transition. *)
+  | Engine_fault
+      (** An exception escaped a state machine or analysis step and was
+          contained; the offending call or detector was quarantined. *)
 
 val kind_to_string : kind -> string
 

@@ -18,6 +18,13 @@ type t = {
   rtp_state_bytes : int;
   closed_call_linger : Dsim.Time.t;
   flag_boundary_register : bool;
+  max_calls : int;
+  max_detectors : int;
+  call_max_age : Dsim.Time.t;
+  sweep_interval : Dsim.Time.t;
+  degrade_high_water : int;
+  degrade_low_water : int;
+  chaos_inject_every : int;
 }
 
 let default =
@@ -55,7 +62,27 @@ let default =
     (* Registrations normally stay inside the enterprise; one crossing the
        boundary sensor is worth an operator's attention. *)
     flag_boundary_register = true;
+    max_calls = 0;
+    max_detectors = 0;
+    call_max_age = Dsim.Time.zero;
+    sweep_interval = Dsim.Time.zero;
+    degrade_high_water = 0;
+    degrade_low_water = 0;
+    chaos_inject_every = 0;
   }
 
 let passive t =
   { t with sip_transit_delay = Dsim.Time.zero; rtp_transit_delay = Dsim.Time.zero }
+
+let governed t =
+  {
+    t with
+    max_calls = 10_000;
+    max_detectors = 10_000;
+    (* An abandoned setup that has seen no progress for half an hour will
+       never complete; §7.3's memory argument needs it reclaimed. *)
+    call_max_age = Dsim.Time.of_sec 1800.0;
+    sweep_interval = Dsim.Time.of_sec 60.0;
+    degrade_high_water = 9_000;
+    degrade_low_water = 8_000;
+  }

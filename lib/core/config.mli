@@ -49,9 +49,38 @@ type t = {
           the boundary sensor (legitimate registrations stay inside the
           enterprise LAN; roaming users are the false-positive risk, hence
           Warning severity). *)
+  (* --- Resource governance (state exhaustion defense) --- *)
+  max_calls : int;
+      (** Hard cap on tracked calls; the oldest record is evicted when a new
+          call would exceed it.  [0] disables the cap. *)
+  max_detectors : int;
+      (** Combined cap on standalone detector machines (flood, spam, DRDoS);
+          oldest-first eviction.  [0] disables the cap. *)
+  call_max_age : Dsim.Time.t;
+      (** Records older than this are reclaimed by the scheduled sweep —
+          abandoned setups and machines parked in attack states.  [zero]
+          disables age-based reclamation. *)
+  sweep_interval : Dsim.Time.t;
+      (** Period of the scheduled ageing sweep.  [zero] disables it. *)
+  degrade_high_water : int;
+      (** When active state records (calls + detectors) reach this mark the
+          engine degrades: stream-level RTP analysis is shed while SIP
+          signaling checks stay live.  [0] disables degradation. *)
+  degrade_low_water : int;
+      (** Occupancy at which a degraded engine recovers.  [0] derives it as
+          three quarters of the high-water mark. *)
+  chaos_inject_every : int;
+      (** Self-test knob: raise a synthetic fault inside the containment
+          boundary on every [n]-th machine injection, proving that a crashing
+          machine is quarantined rather than fatal.  [0] (the default) never
+          injects. *)
 }
 
 val default : t
 
 val passive : t -> t
 (** Same thresholds, zero transit delay — vIDS as a pure monitor. *)
+
+val governed : t -> t
+(** Same thresholds with resource governance enabled: caps on tracked calls
+    and detectors, a periodic ageing sweep, and degradation watermarks. *)

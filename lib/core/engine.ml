@@ -9,12 +9,14 @@ type counters = {
   alerts_raised : int;
   alerts_suppressed : int;
   anomalies : int;
+  faults : int;
+  rtp_shed : int;
 }
 
 type t = {
   config : Config.t;
   sched : Dsim.Scheduler.t;
-  mutable base : Fact_base.t option; (* set right after creation; never None afterwards *)
+  base : Fact_base.t;
   mutable alerts : Alert.t list; (* newest first *)
   seen : (string, unit) Hashtbl.t; (* alert dedup keys *)
   mutable listeners : (Alert.t -> unit) list;
@@ -28,11 +30,13 @@ type t = {
   mutable orphan_responses : int;
   mutable suppressed : int;
   mutable anomalies : int;
+  mutable faults : int;
+  mutable injects : int; (* machine injections, for the chaos self-test knob *)
+  mutable rtp_shed : int;
+  mutable degraded_since : Dsim.Time.t option;
+  mutable degraded_log : (Dsim.Time.t * Dsim.Time.t) list; (* closed intervals, newest first *)
   mutable inline_free_at : Dsim.Time.t; (* single-CPU queueing for inline deployment *)
 }
-
-let base t =
-  match t.base with Some b -> b | None -> failwith "Engine: fact base not initialized"
 
 let now t = Dsim.Scheduler.now t.sched
 
@@ -42,27 +46,131 @@ let raise_alert t alert =
   else begin
     Hashtbl.replace t.seen key ();
     t.alerts <- alert :: t.alerts;
-    List.iter (fun listener -> listener alert) t.listeners
+    (* A listener is foreign code; its failure must neither lose the alert
+       nor unwind the packet loop (and raising another alert from here
+       could recurse) — contain it to a counter. *)
+    List.iter
+      (fun listener -> try listener alert with _ -> t.faults <- t.faults + 1)
+      t.listeners
   end
 
-(* Map a machine's attack state to the alert taxonomy. *)
-let kind_of_attack_state state =
-  if String.equal state Sip_call_machine.st_cancel_dos then Alert.Cancel_dos
-  else if String.equal state Sip_call_machine.st_hijack then Alert.Call_hijack
-  else if String.equal state Rtp_call_machine.st_bye_dos then Alert.Bye_dos
-  else if String.equal state Rtp_call_machine.st_billing_fraud then Alert.Billing_fraud
-  else if String.equal state Invite_flood_machine.st_flood then Alert.Invite_flood
-  else if String.equal state Media_spam_machine.st_spam then Alert.Media_spam
-  else if String.equal state Media_spam_machine.st_flood then Alert.Rtp_flood
-  else if String.equal state Drdos_machine.st_attack then Alert.Drdos
-  else Alert.Spec_deviation
+(* --------------------------------------------------------------- *)
+(* Fault containment                                                *)
+(* --------------------------------------------------------------- *)
+
+exception Chaos_fault
+
+(* Runs [f] inside the containment boundary.  An escaping exception is
+   counted, reported as an [Engine_fault] alert, and returned so the call
+   site can quarantine the offending record; it never unwinds further. *)
+let contain t ~subject ~origin f =
+  try
+    f ();
+    false
+  with
+  | (Stack_overflow | Out_of_memory) as fatal -> raise fatal
+  | exn ->
+      t.faults <- t.faults + 1;
+      raise_alert t
+        (Alert.make ~kind:Alert.Engine_fault ~at:(now t) ~subject
+           (Printf.sprintf "%s: contained exception %s" origin (Printexc.to_string exn)));
+      true
+
+(* Chaos self-test: deterministically blow up inside the boundary every
+   [chaos_inject_every]-th machine injection. *)
+let checked_inject t system ~machine event =
+  t.injects <- t.injects + 1;
+  let every = t.config.Config.chaos_inject_every in
+  if every > 0 && t.injects mod every = 0 then raise Chaos_fault;
+  Efsm.System.inject system ~machine event
+
+(* --------------------------------------------------------------- *)
+(* Graceful degradation                                             *)
+(* --------------------------------------------------------------- *)
+
+let degraded t = Option.is_some t.degraded_since
+
+let degraded_intervals t =
+  let closed = List.rev_map (fun (a, b) -> (a, Some b)) t.degraded_log in
+  match t.degraded_since with None -> closed | Some since -> closed @ [ (since, None) ]
+
+let update_degradation t =
+  let high = t.config.Config.degrade_high_water in
+  if high > 0 then begin
+    let low =
+      if t.config.Config.degrade_low_water > 0 then t.config.Config.degrade_low_water
+      else high * 3 / 4
+    in
+    let occupancy = Fact_base.occupancy t.base in
+    match t.degraded_since with
+    | None when occupancy >= high ->
+        t.degraded_since <- Some (now t);
+        raise_alert t
+          (Alert.make ~kind:Alert.Resource_pressure ~at:(now t) ~subject:"engine"
+             (Printf.sprintf
+                "degraded: %d state records >= %d high water; shedding stream-level RTP analysis"
+                occupancy high))
+    | Some since when occupancy <= low ->
+        t.degraded_since <- None;
+        t.degraded_log <- (since, now t) :: t.degraded_log
+    | None | Some _ -> ()
+  end
 
 let create ?(config = Config.default) sched =
+  (* The fact base needs the engine's callbacks and the engine record needs
+     the fact base: tie the knot with a forward reference that is set
+     before any packet or timer can fire. *)
+  let self = ref None in
+  let with_engine f = match !self with Some t -> f t | None -> () in
+  let on_pressure ~subject ~detail =
+    with_engine (fun t ->
+        raise_alert t (Alert.make ~kind:Alert.Resource_pressure ~at:(now t) ~subject detail))
+  in
+  (* Map a machine's attack state to the alert taxonomy. *)
+  let kind_of_attack_state state =
+    if String.equal state Sip_call_machine.st_cancel_dos then Alert.Cancel_dos
+    else if String.equal state Sip_call_machine.st_hijack then Alert.Call_hijack
+    else if String.equal state Rtp_call_machine.st_bye_dos then Alert.Bye_dos
+    else if String.equal state Rtp_call_machine.st_billing_fraud then Alert.Billing_fraud
+    else if String.equal state Invite_flood_machine.st_flood then Alert.Invite_flood
+    else if String.equal state Media_spam_machine.st_spam then Alert.Media_spam
+    else if String.equal state Media_spam_machine.st_flood then Alert.Rtp_flood
+    else if String.equal state Drdos_machine.st_attack then Alert.Drdos
+    else Alert.Spec_deviation
+  in
+  let on_alert ~machine:_ ~state ~subject ~detail =
+    with_engine (fun t ->
+        raise_alert t (Alert.make ~kind:(kind_of_attack_state state) ~at:(now t) ~subject detail))
+  in
+  let on_anomaly ~machine ~state ~subject ~event ~detail =
+    with_engine (fun t ->
+        t.anomalies <- t.anomalies + 1;
+        let subject = Printf.sprintf "%s/%s@%s" subject event.Efsm.Event.name state in
+        raise_alert t
+          (Alert.make ~kind:Alert.Spec_deviation ~at:(now t) ~subject
+             (Printf.sprintf "machine %s: %s" machine detail)))
+  in
+  let host = Efsm.System.timer_host_of_scheduler sched in
+  (* Timer callbacks run straight off the scheduler, outside the per-packet
+     boundary; contain them so a faulting timer cannot kill the event
+     loop. *)
+  let timer_host =
+    {
+      host with
+      Efsm.System.set =
+        (fun delay f ->
+          host.Efsm.System.set delay (fun () ->
+              match !self with
+              | None -> f ()
+              | Some t -> ignore (contain t ~subject:"timer" ~origin:"timer callback" f)));
+    }
+  in
+  let base = Fact_base.create ~on_pressure ~config ~timer_host ~on_alert ~on_anomaly () in
   let t =
     {
       config;
       sched;
-      base = None;
+      base;
       alerts = [];
       seen = Hashtbl.create 64;
       listeners = [];
@@ -76,21 +184,16 @@ let create ?(config = Config.default) sched =
       orphan_responses = 0;
       suppressed = 0;
       anomalies = 0;
+      faults = 0;
+      injects = 0;
+      rtp_shed = 0;
+      degraded_since = None;
+      degraded_log = [];
       inline_free_at = Dsim.Time.zero;
     }
   in
-  let on_alert ~machine:_ ~state ~subject ~detail =
-    raise_alert t (Alert.make ~kind:(kind_of_attack_state state) ~at:(now t) ~subject detail)
-  in
-  let on_anomaly ~machine ~state ~subject ~event ~detail =
-    t.anomalies <- t.anomalies + 1;
-    let subject = Printf.sprintf "%s/%s@%s" subject event.Efsm.Event.name state in
-    raise_alert t
-      (Alert.make ~kind:Alert.Spec_deviation ~at:(now t) ~subject
-         (Printf.sprintf "machine %s: %s" machine detail))
-  in
-  let timer_host = Efsm.System.timer_host_of_scheduler sched in
-  t.base <- Some (Fact_base.create ~config ~timer_host ~on_alert ~on_anomaly);
+  self := Some t;
+  Fact_base.schedule_sweep base;
   t
 
 let config t = t.config
@@ -102,24 +205,44 @@ let config t = t.config
 let register_event_media t call event =
   match Sip_event.media_of_event event with
   | None -> ()
-  | Some addr -> Fact_base.register_media (base t) call addr
+  | Some addr -> Fact_base.register_media t.base call addr
+
+(* A fault inside a call's machines quarantines that call: its record is
+   deleted so the poisoned state cannot fault again on the next packet,
+   while every other call keeps being analyzed. *)
+let inject_call t call event =
+  let faulted =
+    contain t ~subject:call.Fact_base.call_id ~origin:"call machine"
+      (fun () ->
+        checked_inject t call.Fact_base.system ~machine:Keys.sip_machine event;
+        Fact_base.maybe_finish t.base call)
+  in
+  if faulted then Fact_base.quarantine_call t.base call
 
 let feed_flood_detector t msg event =
   match Sip_event.flood_key msg with
   | None -> ()
   | Some key ->
-      let system, _ = Fact_base.flood_detector (base t) ~key in
-      Efsm.System.inject system ~machine:Invite_flood_machine.machine_name event
+      let system, _ = Fact_base.flood_detector t.base ~key in
+      let faulted =
+        contain t ~subject:("dst:" ^ key) ~origin:"flood detector" (fun () ->
+            checked_inject t system ~machine:Invite_flood_machine.machine_name event)
+      in
+      if faulted then Fact_base.quarantine_detector t.base `Flood ~key
 
 let feed_drdos_detector t (packet : Dsim.Packet.t) event =
   let key = Dsim.Addr.host packet.dst in
-  let system, _ = Fact_base.drdos_detector (base t) ~key in
+  let system, _ = Fact_base.drdos_detector t.base ~key in
   let orphan =
     Efsm.Event.make
       ~args:event.Efsm.Event.args (Efsm.Event.Data "SIP") ~at:event.Efsm.Event.at
       Drdos_machine.orphan_response
   in
-  Efsm.System.inject system ~machine:Drdos_machine.machine_name orphan
+  let faulted =
+    contain t ~subject:("victim:" ^ key) ~origin:"drdos detector" (fun () ->
+        checked_inject t system ~machine:Drdos_machine.machine_name orphan)
+  in
+  if faulted then Fact_base.quarantine_detector t.base `Drdos ~key
 
 (* A REGISTER crossing the boundary sensor: intra-enterprise registrations
    never reach this vantage point, so someone outside is rebinding a
@@ -161,17 +284,16 @@ let handle_sip t (packet : Dsim.Packet.t) msg =
            ~subject:(Dsim.Addr.to_string packet.src)
            (Printf.sprintf "SIP message without Call-ID: %s" e))
   | Ok call_id -> (
-      match Fact_base.find_call (base t) call_id with
+      match Fact_base.find_call t.base call_id with
       | Some call ->
           register_event_media t call event;
-          Efsm.System.inject call.Fact_base.system ~machine:Keys.sip_machine event;
-          Fact_base.maybe_finish (base t) call
+          inject_call t call event
       | None -> (
           match msg.Sip.Msg.start with
           | Sip.Msg.Request { meth = Sip.Msg_method.INVITE; _ } ->
-              let call = Fact_base.create_call (base t) ~call_id in
+              let call = Fact_base.create_call t.base ~call_id in
               register_event_media t call event;
-              Efsm.System.inject call.Fact_base.system ~machine:Keys.sip_machine event
+              inject_call t call event
           | Sip.Msg.Request { meth = Sip.Msg_method.REGISTER; _ } ->
               (* Already reported by the boundary-REGISTER check; a
                  registration is not expected to belong to a call. *)
@@ -211,24 +333,39 @@ let handle_rtp t (packet : Dsim.Packet.t) decoded =
   t.rtp_packets <- t.rtp_packets + 1;
   t.busy <- Dsim.Time.add t.busy t.config.Config.rtp_cpu_cost;
   let event = rtp_event ~at:(now t) ~src:packet.src ~dst:packet.dst decoded in
-  (* Stream-level checks (Figure 6) run on every stream the sensor sees. *)
-  let stream_key = Dsim.Addr.to_string packet.dst in
-  let system, _ = Fact_base.spam_detector (base t) ~key:stream_key in
-  Efsm.System.inject system ~machine:Media_spam_machine.machine_name event;
+  (* Stream-level checks (Figure 6) run on every stream the sensor sees —
+     unless the engine is degraded, in which case they are shed first:
+     they are the per-packet bulk of the load and each unknown stream
+     grows a new detector, while SIP signaling checks stay live. *)
+  if degraded t then t.rtp_shed <- t.rtp_shed + 1
+  else begin
+    let stream_key = Dsim.Addr.to_string packet.dst in
+    let system, _ = Fact_base.spam_detector t.base ~key:stream_key in
+    let faulted =
+      contain t ~subject:("stream:" ^ stream_key) ~origin:"spam detector" (fun () ->
+          checked_inject t system ~machine:Media_spam_machine.machine_name event)
+    in
+    if faulted then Fact_base.quarantine_detector t.base `Spam ~key:stream_key
+  end;
   (* Call-level cross-protocol checks (Figure 5) when the stream belongs to
-     a tracked call. *)
-  match Fact_base.call_for_media (base t) packet.dst with
+     a tracked call; these stay live even degraded (they are bounded by the
+     call cap and carry the BYE-DoS/billing-fraud discrimination). *)
+  match Fact_base.call_for_media t.base packet.dst with
   | None -> ()
   | Some call ->
-      Efsm.System.inject call.Fact_base.system ~machine:Keys.rtp_machine event;
-      Fact_base.maybe_finish (base t) call
+      let faulted =
+        contain t ~subject:call.Fact_base.call_id ~origin:"call machine" (fun () ->
+            checked_inject t call.Fact_base.system ~machine:Keys.rtp_machine event;
+            Fact_base.maybe_finish t.base call)
+      in
+      if faulted then Fact_base.quarantine_call t.base call
 
 (* --------------------------------------------------------------- *)
 (* Entry points                                                     *)
 (* --------------------------------------------------------------- *)
 
-let process_packet t packet =
-  match Classifier.classify ~known_media:(Fact_base.known_media (base t)) packet with
+let dispatch t packet =
+  match Classifier.classify ~known_media:(Fact_base.known_media t.base) packet with
   | Classifier.Sip msg -> handle_sip t packet msg
   | Classifier.Rtp decoded -> handle_rtp t packet decoded
   | Classifier.Rtcp _ ->
@@ -243,6 +380,17 @@ let process_packet t packet =
            (Printf.sprintf "unparsable SIP message: %s" e))
   | Classifier.Malformed_rtp _ -> t.malformed_packets <- t.malformed_packets + 1
   | Classifier.Other -> t.other_packets <- t.other_packets + 1
+
+let process_packet t packet =
+  update_degradation t;
+  (* Outer boundary: whatever the inner per-record boundaries miss
+     (classifier, parser, distributor) is contained here, so no packet —
+     however crafted — can unwind the sensor's packet loop. *)
+  ignore
+    (contain t
+       ~subject:(Dsim.Addr.to_string packet.Dsim.Packet.src)
+       ~origin:"packet pipeline"
+       (fun () -> dispatch t packet))
 
 let tap t packet = process_packet t packet
 
@@ -280,9 +428,11 @@ let counters t =
     alerts_raised = List.length t.alerts;
     alerts_suppressed = t.suppressed;
     anomalies = t.anomalies;
+    faults = t.faults;
+    rtp_shed = t.rtp_shed;
   }
 
 let cpu_busy t = t.busy
-let fact_base t = base t
-let memory_stats t = Fact_base.stats (base t)
+let fact_base t = t.base
+let memory_stats t = Fact_base.stats t.base
 let on_alert t listener = t.listeners <- listener :: t.listeners

@@ -3,7 +3,15 @@
     Glues the pipeline together: Packet Classifier → Event Distributor →
     per-call communicating machines and standalone detectors in the Call
     State Fact Base → alerts.  Also carries the inline deployment cost
-    model (§7.2–§7.4): per-packet forwarding latency and CPU busy time. *)
+    model (§7.2–§7.4): per-packet forwarding latency and CPU busy time.
+
+    The engine is its own last line of defense: every machine injection and
+    timer callback runs inside a containment boundary (a faulting call or
+    detector is quarantined, counted, and reported as an [Engine_fault]
+    alert, never unwinding the packet loop), and when state occupancy
+    crosses the configured high-water mark the engine degrades gracefully —
+    stream-level RTP analysis is shed first while SIP signaling checks stay
+    live. *)
 
 type counters = {
   sip_packets : int;
@@ -16,6 +24,10 @@ type counters = {
   alerts_raised : int;  (** Distinct alerts after de-duplication. *)
   alerts_suppressed : int;  (** Duplicates of an already-raised alert. *)
   anomalies : int;
+  faults : int;
+      (** Exceptions contained at a boundary (machine, timer, listener,
+          packet pipeline). *)
+  rtp_shed : int;  (** RTP packets whose stream-level analysis was shed while degraded. *)
 }
 
 type t
@@ -47,6 +59,12 @@ val cpu_busy : t -> Dsim.Time.t
 val fact_base : t -> Fact_base.t
 
 val memory_stats : t -> Fact_base.stats
+
+val degraded : t -> bool
+(** Whether stream-level RTP analysis is currently shed. *)
+
+val degraded_intervals : t -> (Dsim.Time.t * Dsim.Time.t option) list
+(** Degraded periods, oldest first; [None] marks a still-open interval. *)
 
 val on_alert : t -> (Alert.t -> unit) -> unit
 (** Registers an additional listener for distinct alerts. *)

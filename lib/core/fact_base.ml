@@ -9,7 +9,9 @@ type call = {
   mutable finish_pending : bool;
 }
 
-type detector = { d_system : Efsm.System.t; d_machine : Efsm.Machine.t }
+type detector = { d_system : Efsm.System.t; d_machine : Efsm.Machine.t; d_created : Dsim.Time.t }
+
+type detector_kind = [ `Flood | `Spam | `Drdos ]
 
 type t = {
   config : Config.t;
@@ -22,30 +24,47 @@ type t = {
     event:Efsm.Event.t ->
     detail:string ->
     unit;
+  on_pressure : subject:string -> detail:string -> unit;
   calls : (string, call) Hashtbl.t;
   media_index : (string, string) Hashtbl.t; (* media addr -> call id *)
   floods : (string, detector) Hashtbl.t;
   spams : (string, detector) Hashtbl.t;
   drdoses : (string, detector) Hashtbl.t;
+  (* Creation-order queues back oldest-first eviction in O(1) amortized:
+     entries are validated lazily against the live tables, so a record
+     deleted through the normal lifecycle just leaves a stale entry to be
+     skipped.  created_at disambiguates a Call-ID reused after deletion. *)
+  call_order : (string * Dsim.Time.t) Queue.t;
+  detector_order : (detector_kind * string * Dsim.Time.t) Queue.t;
   mutable peak : int;
   mutable created : int;
   mutable deleted : int;
+  mutable calls_evicted : int;
+  mutable detectors_evicted : int;
+  mutable swept : int;
 }
 
-let create ~config ~timer_host ~on_alert ~on_anomaly =
+let create ?(on_pressure = fun ~subject:_ ~detail:_ -> ()) ~config ~timer_host ~on_alert
+    ~on_anomaly () =
   {
     config;
     timer_host;
     on_alert;
     on_anomaly;
+    on_pressure;
     calls = Hashtbl.create 256;
     media_index = Hashtbl.create 256;
     floods = Hashtbl.create 64;
     spams = Hashtbl.create 256;
     drdoses = Hashtbl.create 64;
+    call_order = Queue.create ();
+    detector_order = Queue.create ();
     peak = 0;
     created = 0;
     deleted = 0;
+    calls_evicted = 0;
+    detectors_evicted = 0;
+    swept = 0;
   }
 
 let find_call t call_id = Hashtbl.find_opt t.calls call_id
@@ -61,32 +80,66 @@ let system_callbacks t ~subject =
   in
   (on_alert, on_anomaly)
 
-let create_call t ~call_id =
-  if Hashtbl.mem t.calls call_id then
-    invalid_arg (Printf.sprintf "Fact_base.create_call: duplicate %S" call_id);
-  let on_alert, on_anomaly = system_callbacks t ~subject:call_id in
-  let system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
-  let sip = Efsm.System.add_machine system (Sip_call_machine.spec t.config) in
-  let rtp = Efsm.System.add_machine system (Rtp_call_machine.spec t.config) in
-  let call =
-    {
-      call_id;
-      system;
-      sip;
-      rtp;
-      created_at = t.timer_host.Efsm.System.now ();
-      media_addrs = [];
-      closing = false;
-      finish_pending = false;
-    }
-  in
-  Hashtbl.replace t.calls call_id call;
-  t.created <- t.created + 1;
-  let active = Hashtbl.length t.calls in
-  if active > t.peak then t.peak <- active;
-  call
-
 let media_key addr = Dsim.Addr.to_string addr
+
+let delete_call t call =
+  Efsm.System.release call.system;
+  List.iter (fun addr -> Hashtbl.remove t.media_index (media_key addr)) call.media_addrs;
+  if Hashtbl.mem t.calls call.call_id then begin
+    Hashtbl.remove t.calls call.call_id;
+    t.deleted <- t.deleted + 1
+  end
+
+(* Drop the oldest live call; stale queue entries (normal deletions,
+   Call-ID reuse) are skipped. *)
+let rec evict_oldest_call t =
+  match Queue.take_opt t.call_order with
+  | None -> ()
+  | Some (call_id, created_at) -> (
+      match Hashtbl.find_opt t.calls call_id with
+      | Some call when Dsim.Time.equal call.created_at created_at ->
+          delete_call t call;
+          t.calls_evicted <- t.calls_evicted + 1;
+          (* Constant subject: the engine dedups alerts by kind|subject, so
+             a sustained flood logs one alert while counters carry the
+             totals — the alert log must not grow with the attack. *)
+          t.on_pressure ~subject:"fact-base/calls"
+            ~detail:
+              (Printf.sprintf "call %s evicted: %d-call cap reached" call_id
+                 t.config.Config.max_calls)
+      | Some _ | None -> evict_oldest_call t)
+
+let create_call t ~call_id =
+  match Hashtbl.find_opt t.calls call_id with
+  | Some call ->
+      (* Attacker-controlled input must never raise: a duplicate Call-ID
+         resumes the existing record. *)
+      call
+  | None ->
+      let cap = t.config.Config.max_calls in
+      if cap > 0 && Hashtbl.length t.calls >= cap then evict_oldest_call t;
+      let on_alert, on_anomaly = system_callbacks t ~subject:call_id in
+      let system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
+      let sip = Efsm.System.add_machine system (Sip_call_machine.spec t.config) in
+      let rtp = Efsm.System.add_machine system (Rtp_call_machine.spec t.config) in
+      let call =
+        {
+          call_id;
+          system;
+          sip;
+          rtp;
+          created_at = t.timer_host.Efsm.System.now ();
+          media_addrs = [];
+          closing = false;
+          finish_pending = false;
+        }
+      in
+      Hashtbl.replace t.calls call_id call;
+      Queue.add (call_id, call.created_at) t.call_order;
+      t.created <- t.created + 1;
+      let active = Hashtbl.length t.calls in
+      if active > t.peak then t.peak <- active;
+      call
 
 let register_media t call addr =
   if not (List.exists (Dsim.Addr.equal addr) call.media_addrs) then begin
@@ -101,33 +154,73 @@ let call_for_media t addr =
 
 let known_media t addr = Hashtbl.mem t.media_index (media_key addr)
 
-let detector table t ~key ~make_spec ~subject_prefix =
+let detector_table t = function
+  | `Flood -> t.floods
+  | `Spam -> t.spams
+  | `Drdos -> t.drdoses
+
+let detector_count t =
+  Hashtbl.length t.floods + Hashtbl.length t.spams + Hashtbl.length t.drdoses
+
+let occupancy t = Hashtbl.length t.calls + detector_count t
+
+let kind_label = function `Flood -> "flood" | `Spam -> "spam" | `Drdos -> "drdos"
+
+let remove_detector t kind ~key =
+  let table = detector_table t kind in
+  match Hashtbl.find_opt table key with
+  | None -> false
+  | Some d ->
+      Efsm.System.release d.d_system;
+      Hashtbl.remove table key;
+      true
+
+let rec evict_oldest_detector t =
+  match Queue.take_opt t.detector_order with
+  | None -> ()
+  | Some (kind, key, created) -> (
+      match Hashtbl.find_opt (detector_table t kind) key with
+      | Some d when Dsim.Time.equal d.d_created created ->
+          ignore (remove_detector t kind ~key);
+          t.detectors_evicted <- t.detectors_evicted + 1;
+          t.on_pressure ~subject:"fact-base/detectors"
+            ~detail:
+              (Printf.sprintf "detector %s evicted: %d-detector cap reached"
+                 (kind_label kind ^ ":" ^ key)
+                 t.config.Config.max_detectors)
+      | Some _ | None -> evict_oldest_detector t)
+
+let detector kind t ~key ~make_spec ~subject_prefix =
+  let table = detector_table t kind in
   match Hashtbl.find_opt table key with
   | Some d -> (d.d_system, d.d_machine)
   | None ->
+      let cap = t.config.Config.max_detectors in
+      if cap > 0 && detector_count t >= cap then evict_oldest_detector t;
       let subject = subject_prefix ^ key in
       let on_alert, on_anomaly = system_callbacks t ~subject in
       let d_system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
       let d_machine = Efsm.System.add_machine d_system (make_spec t.config) in
-      Hashtbl.replace table key { d_system; d_machine };
+      let d_created = t.timer_host.Efsm.System.now () in
+      Hashtbl.replace table key { d_system; d_machine; d_created };
+      Queue.add (kind, key, d_created) t.detector_order;
       (d_system, d_machine)
 
 let flood_detector t ~key =
-  detector t.floods t ~key ~make_spec:Invite_flood_machine.spec ~subject_prefix:"dst:"
+  detector `Flood t ~key ~make_spec:Invite_flood_machine.spec ~subject_prefix:"dst:"
 
 let spam_detector t ~key =
-  detector t.spams t ~key ~make_spec:Media_spam_machine.spec ~subject_prefix:"stream:"
+  detector `Spam t ~key ~make_spec:Media_spam_machine.spec ~subject_prefix:"stream:"
 
 let drdos_detector t ~key =
-  detector t.drdoses t ~key ~make_spec:Drdos_machine.spec ~subject_prefix:"victim:"
+  detector `Drdos t ~key ~make_spec:Drdos_machine.spec ~subject_prefix:"victim:"
 
-let delete_call t call =
-  Efsm.System.release call.system;
-  List.iter (fun addr -> Hashtbl.remove t.media_index (media_key addr)) call.media_addrs;
-  if Hashtbl.mem t.calls call.call_id then begin
-    Hashtbl.remove t.calls call.call_id;
-    t.deleted <- t.deleted + 1
-  end
+(* --------------------------------------------------------------- *)
+(* Fault quarantine                                                 *)
+(* --------------------------------------------------------------- *)
+
+let quarantine_call t call = delete_call t call
+let quarantine_detector t kind ~key = ignore (remove_detector t kind ~key)
 
 let rtp_done call =
   Efsm.Machine.is_final call.rtp
@@ -169,11 +262,31 @@ let sweep t ~max_age =
   List.iter (delete_call t) stale;
   List.length stale
 
+let schedule_sweep t =
+  let interval = t.config.Config.sweep_interval in
+  let max_age = t.config.Config.call_max_age in
+  if Dsim.Time.( > ) interval Dsim.Time.zero && Dsim.Time.( > ) max_age Dsim.Time.zero then
+    let rec tick () =
+      let reclaimed = sweep t ~max_age in
+      if reclaimed > 0 then begin
+        t.swept <- t.swept + reclaimed;
+        t.on_pressure ~subject:"sweep"
+          ~detail:
+            (Printf.sprintf "scheduled sweep reclaimed %d record(s) older than %.0f s" reclaimed
+               (Dsim.Time.to_sec max_age))
+      end;
+      ignore (t.timer_host.Efsm.System.set interval tick)
+    in
+    ignore (t.timer_host.Efsm.System.set interval tick)
+
 type stats = {
   active_calls : int;
   peak_calls : int;
   calls_created : int;
   calls_deleted : int;
+  calls_evicted : int;
+  detectors_evicted : int;
+  calls_swept : int;
   detectors : int;
   modeled_bytes : int;
   measured_bytes : int;
@@ -190,7 +303,10 @@ let stats t =
     peak_calls = t.peak;
     calls_created = t.created;
     calls_deleted = t.deleted;
-    detectors = Hashtbl.length t.floods + Hashtbl.length t.spams + Hashtbl.length t.drdoses;
+    calls_evicted = t.calls_evicted;
+    detectors_evicted = t.detectors_evicted;
+    calls_swept = t.swept;
+    detectors = detector_count t;
     modeled_bytes = active * per_call;
     measured_bytes = measured;
   }

@@ -5,7 +5,14 @@
     maintained at the memory" per call) plus the standalone detector
     machines keyed by destination or stream.  Completed calls are deleted
     after a linger period; the memory model mirrors §7.3's ≈450 B SIP +
-    ≈40 B RTP per-call figures alongside the measured footprint. *)
+    ≈40 B RTP per-call figures alongside the measured footprint.
+
+    Because every record here is created by attacker-controlled input, the
+    base governs its own size: optional caps on calls and detectors evict
+    the oldest record when reached, and a scheduled sweep reclaims records
+    older than [call_max_age] (abandoned setups, machines parked in attack
+    states).  Every reclamation is reported through [on_pressure] so the
+    engine can surface it as a [Resource_pressure] alert. *)
 
 type call = {
   call_id : string;
@@ -18,20 +25,27 @@ type call = {
   mutable finish_pending : bool;
 }
 
+type detector_kind = [ `Flood | `Spam | `Drdos ]
+
 type t
 
 val create :
+  ?on_pressure:(subject:string -> detail:string -> unit) ->
   config:Config.t ->
   timer_host:Efsm.System.timer_host ->
   on_alert:(machine:string -> state:string -> subject:string -> detail:string -> unit) ->
-  on_anomaly:(machine:string -> state:string -> subject:string -> event:Efsm.Event.t -> detail:string -> unit) ->
+  on_anomaly:
+    (machine:string -> state:string -> subject:string -> event:Efsm.Event.t -> detail:string -> unit) ->
+  unit ->
   t
 
 val find_call : t -> string -> call option
 
 val create_call : t -> call_id:string -> call
 (** Instantiates the SIP and RTP machines inside a fresh communicating
-    system.  Raises [Invalid_argument] on a duplicate Call-ID. *)
+    system.  Total: a duplicate Call-ID returns the existing record (wire
+    input must never raise).  When [max_calls] is set and reached, the
+    oldest record is evicted first. *)
 
 val register_media : t -> call -> Dsim.Addr.t -> unit
 (** Binds a media address to the call for RTP routing. *)
@@ -47,6 +61,20 @@ val spam_detector : t -> key:string -> Efsm.System.t * Efsm.Machine.t
 
 val drdos_detector : t -> key:string -> Efsm.System.t * Efsm.Machine.t
 
+val occupancy : t -> int
+(** Active calls plus detectors — the engine's degradation signal. *)
+
+val delete_call : t -> call -> unit
+(** Releases the call's timers and removes it from the base and the media
+    index.  Idempotent. *)
+
+val quarantine_call : t -> call -> unit
+(** Removes a call whose machine faulted so the fault cannot recur; the
+    engine raises the matching [Engine_fault] alert. *)
+
+val quarantine_detector : t -> detector_kind -> key:string -> unit
+(** Same, for a standalone detector. *)
+
 val maybe_finish : t -> call -> unit
 (** If both machines reached their final states, marks the call closing and
     schedules its deletion after the configured linger. *)
@@ -55,13 +83,20 @@ val sweep : t -> max_age:Dsim.Time.t -> int
 (** Forcibly deletes calls older than [max_age]; returns how many.  Covers
     abandoned setups that never reach a final state. *)
 
+val schedule_sweep : t -> unit
+(** Starts the periodic ageing sweep on the base's timer host, driven by
+    [sweep_interval] and [call_max_age]; a no-op when either is zero. *)
+
 (** {1 Statistics} *)
 
 type stats = {
   active_calls : int;
   peak_calls : int;
   calls_created : int;
-  calls_deleted : int;
+  calls_deleted : int;  (** All removals: lifecycle, sweep, eviction, quarantine. *)
+  calls_evicted : int;  (** Subset of deletions forced by the [max_calls] cap. *)
+  detectors_evicted : int;
+  calls_swept : int;  (** Deletions by the scheduled ageing sweep. *)
   detectors : int;
   modeled_bytes : int;  (** Paper's per-call memory model. *)
   measured_bytes : int;  (** Actual local-variable footprint. *)

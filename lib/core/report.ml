@@ -10,6 +10,8 @@ let all_kinds =
     Alert.Drdos;
     Alert.Registration_hijack;
     Alert.Spec_deviation;
+    Alert.Resource_pressure;
+    Alert.Engine_fault;
   ]
 
 let alerts ppf engine =
@@ -46,6 +48,25 @@ let summary ppf engine =
     stats.Fact_base.modeled_bytes
     ((Engine.config engine).Config.sip_state_bytes + (Engine.config engine).Config.rtp_state_bytes)
     stats.Fact_base.measured_bytes stats.Fact_base.detectors;
+  if
+    stats.Fact_base.calls_evicted + stats.Fact_base.detectors_evicted
+    + stats.Fact_base.calls_swept
+    > 0
+  then
+    Format.fprintf ppf "governance: %d calls evicted, %d detectors evicted, %d swept@."
+      stats.Fact_base.calls_evicted stats.Fact_base.detectors_evicted stats.Fact_base.calls_swept;
+  if c.Engine.faults > 0 then
+    Format.fprintf ppf "faults contained: %d@." c.Engine.faults;
+  (match Engine.degraded_intervals engine with
+  | [] -> ()
+  | intervals ->
+      Format.fprintf ppf "degraded intervals (%d RTP packets shed):@." c.Engine.rtp_shed;
+      List.iter
+        (fun (start, stop) ->
+          match stop with
+          | Some stop -> Format.fprintf ppf "  %a .. %a@." Dsim.Time.pp start Dsim.Time.pp stop
+          | None -> Format.fprintf ppf "  %a .. (still degraded)@." Dsim.Time.pp start)
+        intervals);
   Format.fprintf ppf "analysis cpu: %a@." Dsim.Time.pp (Engine.cpu_busy engine)
 
 let full ppf engine =

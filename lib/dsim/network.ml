@@ -31,7 +31,35 @@ and t = {
   mutable routes_dirty : bool;
   delivered : Stat.Counter.t;
   dropped : Stat.Counter.t;
+  mutable faults : fault_profile option;
+  mutable burst_remaining : int;
+  mutable truncated : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable burst_lost : int;
 }
+
+and fault_profile = {
+  truncate_prob : float;
+  corrupt_prob : float;
+  duplicate_prob : float;
+  reorder_prob : float;
+  reorder_delay : Time.t;
+  burst_loss_prob : float;
+  burst_length : int;
+}
+
+let pristine =
+  {
+    truncate_prob = 0.0;
+    corrupt_prob = 0.0;
+    duplicate_prob = 0.0;
+    reorder_prob = 0.0;
+    reorder_delay = Time.zero;
+    burst_loss_prob = 0.0;
+    burst_length = 0;
+  }
 
 let create sched rng =
   {
@@ -45,6 +73,13 @@ let create sched rng =
     routes_dirty = true;
     delivered = Stat.Counter.create ();
     dropped = Stat.Counter.create ();
+    faults = None;
+    burst_remaining = 0;
+    truncated = 0;
+    corrupted = 0;
+    duplicated = 0;
+    reordered = 0;
+    burst_lost = 0;
   }
 
 let scheduler t = t.sched
@@ -178,9 +213,80 @@ and transmit t link packet =
   let lost = link.loss_prob > 0.0 && Rng.bool t.rng link.loss_prob in
   if lost then link.lost_packets <- link.lost_packets + 1;
   let peer = t.nodes.(link.peer) in
-  ignore
-    (Scheduler.schedule_at t.sched arrival (fun () ->
-         if lost then Stat.Counter.incr t.dropped else arrive_at t peer packet))
+  if lost then ignore (Scheduler.schedule_at t.sched arrival (fun () -> Stat.Counter.incr t.dropped))
+  else
+    match t.faults with
+    | None -> ignore (Scheduler.schedule_at t.sched arrival (fun () -> arrive_at t peer packet))
+    | Some profile -> deliver_faulty t profile ~arrival peer packet
+
+(* The fault-injection layer: applied per link traversal, after the link's
+   own Bernoulli loss.  Order: burst loss kills the packet outright;
+   surviving bytes may be truncated then corrupted; the mangled packet may
+   be duplicated; each copy may be independently held back (reordering). *)
+and deliver_faulty t p ~arrival peer packet =
+  let drop =
+    if t.burst_remaining > 0 then begin
+      t.burst_remaining <- t.burst_remaining - 1;
+      true
+    end
+    else if p.burst_loss_prob > 0.0 && Rng.bool t.rng p.burst_loss_prob then begin
+      t.burst_remaining <- Stdlib.max 0 (p.burst_length - 1);
+      true
+    end
+    else false
+  in
+  if drop then begin
+    t.burst_lost <- t.burst_lost + 1;
+    ignore (Scheduler.schedule_at t.sched arrival (fun () -> Stat.Counter.incr t.dropped))
+  end
+  else begin
+    let payload = (packet : Packet.t).payload in
+    let payload =
+      if String.length payload > 0 && p.truncate_prob > 0.0 && Rng.bool t.rng p.truncate_prob
+      then begin
+        t.truncated <- t.truncated + 1;
+        String.sub payload 0 (Rng.int t.rng (String.length payload))
+      end
+      else payload
+    in
+    let payload =
+      if String.length payload > 0 && p.corrupt_prob > 0.0 && Rng.bool t.rng p.corrupt_prob
+      then begin
+        t.corrupted <- t.corrupted + 1;
+        let bytes = Bytes.of_string payload in
+        let flips = 1 + Rng.int t.rng 4 in
+        for _ = 1 to flips do
+          let i = Rng.int t.rng (Bytes.length bytes) in
+          Bytes.set bytes i
+            (Char.chr (Char.code (Bytes.get bytes i) lxor (1 + Rng.int t.rng 255)))
+        done;
+        Bytes.to_string bytes
+      end
+      else payload
+    in
+    let packet = if payload == (packet : Packet.t).payload then packet else Packet.with_payload packet payload in
+    let copies =
+      if p.duplicate_prob > 0.0 && Rng.bool t.rng p.duplicate_prob then begin
+        t.duplicated <- t.duplicated + 1;
+        2
+      end
+      else 1
+    in
+    for _ = 1 to copies do
+      let arrival =
+        if
+          p.reorder_prob > 0.0
+          && Time.( > ) p.reorder_delay Time.zero
+          && Rng.bool t.rng p.reorder_prob
+        then begin
+          t.reordered <- t.reordered + 1;
+          Time.add arrival (Time.of_sec (Rng.float t.rng (Time.to_sec p.reorder_delay)))
+        end
+        else arrival
+      in
+      ignore (Scheduler.schedule_at t.sched arrival (fun () -> arrive_at t peer packet))
+    done
+  end
 
 let send t ~from packet = arrive_at t from packet
 
@@ -215,3 +321,24 @@ let link_stats t =
 let packets_delivered t = Stat.Counter.get t.delivered
 let packets_dropped t = Stat.Counter.get t.dropped
 let bytes_forwarded _t node = node.bytes_seen
+
+let set_fault_profile t profile =
+  t.faults <- profile;
+  if profile = None then t.burst_remaining <- 0
+
+type fault_stats = {
+  truncated : int;
+  corrupted : int;
+  duplicated : int;
+  reordered : int;
+  burst_lost : int;
+}
+
+let fault_stats (t : t) =
+  {
+    truncated = t.truncated;
+    corrupted = t.corrupted;
+    duplicated = t.duplicated;
+    reordered = t.reordered;
+    burst_lost = t.burst_lost;
+  }

@@ -66,3 +66,38 @@ type link_stats = {
 
 val link_stats : t -> link_stats list
 (** One entry per link direction, in node order. *)
+
+(** {1 Fault injection}
+
+    An adversarial transmission layer for torture-testing whatever listens
+    on the network — the intrusion detection sensor in particular.  When a
+    profile is installed, every link traversal may lose the packet in a
+    burst, truncate or bit-flip its payload, duplicate it, or hold a copy
+    back so it arrives out of order.  All randomness is drawn from the
+    network's deterministic {!Rng}, so a torture run replays exactly. *)
+
+type fault_profile = {
+  truncate_prob : float;  (** Chance the payload is cut to a random prefix. *)
+  corrupt_prob : float;  (** Chance 1–4 payload bytes are bit-flipped. *)
+  duplicate_prob : float;  (** Chance the packet is delivered twice. *)
+  reorder_prob : float;  (** Chance a copy is held back. *)
+  reorder_delay : Time.t;  (** Maximum hold-back when reordered. *)
+  burst_loss_prob : float;  (** Chance a loss burst starts at this packet. *)
+  burst_length : int;  (** Packets consumed by one burst. *)
+}
+
+val pristine : fault_profile
+(** All probabilities zero — a convenient base for [{ pristine with ... }]. *)
+
+val set_fault_profile : t -> fault_profile option -> unit
+(** Installs (or clears) the fault layer for the whole network. *)
+
+type fault_stats = {
+  truncated : int;
+  corrupted : int;
+  duplicated : int;
+  reordered : int;
+  burst_lost : int;
+}
+
+val fault_stats : t -> fault_stats

@@ -15,3 +15,5 @@ let make alloc ~src ~dst ~sent_at payload =
   let id = alloc.next in
   alloc.next <- alloc.next + 1;
   { id; src; dst; payload; sent_at }
+
+let with_payload t payload = { t with payload }

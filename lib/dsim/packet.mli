@@ -26,3 +26,7 @@ type allocator
 val allocator : unit -> allocator
 
 val make : allocator -> src:Addr.t -> dst:Addr.t -> sent_at:Time.t -> string -> t
+
+val with_payload : t -> string -> t
+(** Same packet identity with different wire bytes — how the fault
+    injector models in-flight truncation and corruption. *)

@@ -211,6 +211,67 @@ let t_rtp_torture () =
   check "extension truncated" true
     (Result.is_error (Rtp.Rtp_packet.decode (Bytes.to_string ext_short)))
 
+(* --- engine fuzz ------------------------------------------------------ *)
+
+(* Random, truncated and corrupted wire bytes straight into the analysis
+   engine.  The contract under test is the containment boundary's: no input,
+   however crafted, may escape as an exception, and every packet lands in
+   exactly one classification counter. *)
+
+let t_engine_fuzz () =
+  let st = Random.State.make [| 0xf00d |] in
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create sched in
+  let alloc = Dsim.Packet.allocator () in
+  let invite i =
+    Printf.sprintf
+      "INVITE sip:bob@b.example SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bKf%d\r\nFrom: <sip:a@x>;tag=f%d\r\nTo: <sip:bob@b.example>\r\nCall-ID: fuzz-%d\r\nCSeq: 1 INVITE\r\n\r\n"
+      i i i
+  in
+  let random_bytes n = String.init n (fun _ -> Char.chr (Random.State.int st 256)) in
+  let corrupt s =
+    let b = Bytes.of_string s in
+    for _ = 0 to 3 do
+      Bytes.set b (Random.State.int st (Bytes.length b)) (Char.chr (Random.State.int st 256))
+    done;
+    Bytes.to_string b
+  in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    let payload =
+      match i mod 4 with
+      | 0 -> random_bytes (Random.State.int st 512)
+      | 1 ->
+          let v = invite i in
+          String.sub v 0 (Random.State.int st (String.length v))
+      | 2 -> corrupt (invite i)
+      | _ -> invite i
+    in
+    let port = if i mod 3 = 0 then 20000 + (i mod 100) else 5060 in
+    let p =
+      Dsim.Packet.make alloc
+        ~src:(Dsim.Addr.v "203.0.113.66" 5060)
+        ~dst:(Dsim.Addr.v "10.2.0.2" port)
+        ~sent_at:Dsim.Time.zero payload
+    in
+    (* Any escaping exception fails the test here. *)
+    Vids.Engine.process_packet engine p
+  done;
+  let c = Vids.Engine.counters engine in
+  check "rejections recorded" true (c.Vids.Engine.malformed_packets > 0);
+  check "valid invites survived" true (c.Vids.Engine.sip_packets > 0);
+  (* Accounting: each packet hits at least one counter unless a contained
+     fault cut the pipeline short (a parsable SIP message without a
+     Call-ID counts as both sip and malformed). *)
+  let classified =
+    c.Vids.Engine.sip_packets + c.Vids.Engine.rtp_packets + c.Vids.Engine.rtcp_packets
+    + c.Vids.Engine.other_packets + c.Vids.Engine.malformed_packets
+  in
+  check "no packet lost to the accounting" true
+    (classified + c.Vids.Engine.faults >= n
+    && classified <= n + c.Vids.Engine.malformed_packets);
+  Alcotest.(check int) "no faults needed containing" 0 c.Vids.Engine.faults
+
 let suite =
   [
     ( "torture.sip",
@@ -233,4 +294,5 @@ let suite =
       ] );
     ("torture.sdp", [ tc "sdp cases" t_sdp_torture ]);
     ("torture.rtp", [ tc "rtp cases" t_rtp_torture ]);
+    ("torture.engine", [ tc "wire-byte fuzz" t_engine_fuzz ]);
   ]
