@@ -4,6 +4,7 @@
    Subcommands:
      simulate   run the Figure-7 workload and print performance metrics
      detect     run attack scenarios and print the alert log
+     recover    rebuild a crashed engine from checkpoint + journal + trace
      parse      parse a SIP message from a file and dump its structure
      export-fsm print the Graphviz rendering of a protocol/attack machine *)
 
@@ -44,6 +45,42 @@ let apply_governance g config =
   |> opt g.degrade_high_water (fun c v -> { c with Vids.Config.degrade_high_water = v })
   |> opt g.degrade_low_water (fun c v -> { c with Vids.Config.degrade_low_water = v })
 
+(* Periodic checkpointing shared by [simulate], [detect] and [analyze]:
+   every interval, snapshot the engine to --checkpoint-file (rotating the
+   previous file to FILE.1) and append a marker to the write-ahead journal
+   at FILE.journal, which also receives every alert and eviction as it
+   happens.  [vids-cli recover] consumes all three files. *)
+type checkpointing = { interval : float; file : string }
+
+let start_checkpointing ck sched engine ~horizon =
+  if ck.interval <= 0.0 then None
+  else begin
+    let journal_path = ck.file ^ ".journal" in
+    let writer = Vids.Journal.create_writer journal_path in
+    Vids.Journal.attach writer engine;
+    let seq = ref 0 in
+    let period = sec ck.interval in
+    let rec arm at =
+      if Dsim.Time.( < ) at horizon then
+        ignore
+          (Dsim.Scheduler.schedule_at sched at (fun () ->
+               incr seq;
+               let now = Dsim.Scheduler.now sched in
+               Vids.Snapshot.save ~path:ck.file
+                 (Vids.Snapshot.capture ~seq:!seq ~at:now engine);
+               Vids.Journal.append writer (Vids.Journal.Checkpoint { at = now; seq = !seq });
+               arm (Dsim.Time.add at period)))
+    in
+    arm period;
+    Some (writer, ck.file, journal_path)
+  end
+
+let finish_checkpointing = function
+  | None -> ()
+  | Some (writer, snapshot_path, journal_path) ->
+      Vids.Journal.close_writer writer;
+      Format.printf "checkpoints: %s (journal %s)@." snapshot_path journal_path
+
 let governance_summary engine =
   let stats = Vids.Engine.memory_stats engine in
   let c = Vids.Engine.counters engine in
@@ -57,7 +94,7 @@ let governance_summary engine =
       stats.Vids.Fact_base.calls_evicted stats.Vids.Fact_base.detectors_evicted
       stats.Vids.Fact_base.calls_swept c.Vids.Engine.faults c.Vids.Engine.rtp_shed
 
-let simulate seed n_ua mode_str minutes mean_gap mean_talk governance =
+let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpointing =
   match mode_of_string mode_str with
   | Error e ->
       prerr_endline e;
@@ -65,6 +102,12 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance =
   | Ok mode ->
       let config = apply_governance governance Vids.Config.default in
       let tb = T.make ~seed ~n_ua ~vids:mode ~config () in
+      let ck =
+        match tb.T.engine with
+        | Some engine ->
+            start_checkpointing checkpointing tb.T.sched engine ~horizon:(sec (60.0 *. minutes))
+        | None -> None
+      in
       let profile =
         {
           Voip.Call_generator.mean_interarrival = sec mean_gap;
@@ -73,6 +116,7 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance =
         }
       in
       T.run_workload tb ~profile ~duration:(sec (60.0 *. minutes)) ();
+      finish_checkpointing ck;
       let m = tb.T.metrics in
       Format.printf "workload: %d calls attempted, %d established, %d completed, %d failed@."
         (Voip.Metrics.attempted m) (Voip.Metrics.established m) (Voip.Metrics.completed m)
@@ -107,10 +151,12 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance =
 let all_attacks = [ "bye-dos"; "cancel-dos"; "hijack"; "media-spam"; "billing-fraud";
                     "invite-flood"; "rtp-flood"; "drdos" ]
 
-let detect seed attacks governance =
+let detect seed attacks governance checkpointing =
   let attacks = if attacks = [] then all_attacks else attacks in
   let config = apply_governance governance Vids.Config.default in
   let tb = T.make ~seed ~vids:T.Monitor ~config () in
+  let horizon = sec (40.0 +. (25.0 *. float_of_int (List.length attacks))) in
+  let ck = start_checkpointing checkpointing tb.T.sched (T.engine_exn tb) ~horizon in
   let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
   let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
   let unknown = ref [] in
@@ -145,7 +191,8 @@ let detect seed attacks governance =
         (String.concat ", " !unknown) (String.concat ", " all_attacks);
       1
   | [] ->
-      T.run_until tb (sec (40.0 +. (25.0 *. float_of_int (List.length attacks))));
+      T.run_until tb horizon;
+      finish_checkpointing ck;
       let engine = T.engine_exn tb in
       List.iter (fun a -> Format.printf "%a@." Vids.Alert.pp a) (Vids.Engine.alerts engine);
       let c = Vids.Engine.counters engine in
@@ -198,7 +245,7 @@ let record seed attacks path =
   Format.printf "wrote %d packets to %s@." (List.length records) path;
   0
 
-let analyze path =
+let analyze path checkpointing =
   let ic = open_in path in
   let loaded = Vids.Trace.load ic in
   close_in ic;
@@ -208,8 +255,63 @@ let analyze path =
       1
   | Ok records ->
       Format.printf "replaying %d packets...@." (List.length records);
-      let engine = Vids.Trace.replay records in
+      let engine =
+        if checkpointing.interval <= 0.0 then Vids.Trace.replay records
+        else begin
+          (* Build the replay by hand so checkpoints ride the same clock. *)
+          let sched = Dsim.Scheduler.create () in
+          let engine = Vids.Engine.create sched in
+          let last =
+            List.fold_left (fun acc r -> Dsim.Time.max acc r.Vids.Trace.at) Dsim.Time.zero
+              records
+          in
+          let horizon = Dsim.Time.add last (sec 60.0) in
+          (* Packets first: at equal instants a packet must beat a
+             checkpoint, so a record at exactly the checkpoint time is
+             inside the snapshot rather than lost (recovery replays only
+             strictly-later records). *)
+          ignore (Vids.Trace.schedule_into sched engine records);
+          let ck = start_checkpointing checkpointing sched engine ~horizon in
+          Dsim.Scheduler.run_until sched horizon;
+          finish_checkpointing ck;
+          engine
+        end
+      in
       Vids.Report.full Format.std_formatter engine;
+      0
+
+(* ------------------------------------------------------------------ *)
+(* recover: crash recovery from checkpoint + journal + trace           *)
+(* ------------------------------------------------------------------ *)
+
+let recover snapshot_path journal_path trace_path until =
+  let until = Option.map sec until in
+  match
+    Vids.Recovery.recover_files ?journal_path ?trace_path ?until ~snapshot_path ()
+  with
+  | Error e ->
+      Format.eprintf "recovery failed: %s@." e;
+      1
+  | Ok fr ->
+      let o = fr.Vids.Recovery.outcome in
+      Format.printf "recovered from %s (checkpoint #%d at %a)%s@." fr.Vids.Recovery.snapshot_path
+        o.Vids.Recovery.snapshot_seq Dsim.Time.pp o.Vids.Recovery.snapshot_at
+        (if fr.Vids.Recovery.used_fallback then " [fallback]" else "");
+      List.iter
+        (fun (path, reason) -> Format.printf "rejected %s: %s@." path reason)
+        fr.Vids.Recovery.rejected;
+      Format.printf "journal: %d alert(s) merged, %d eviction(s) noted, %d line(s) skipped@."
+        o.Vids.Recovery.journal_alerts o.Vids.Recovery.journal_evictions
+        (List.length fr.Vids.Recovery.journal_skipped);
+      List.iter
+        (fun (line, reason) -> Format.printf "  journal line %d skipped: %s@." line reason)
+        fr.Vids.Recovery.journal_skipped;
+      List.iter
+        (fun (line, reason) -> Format.printf "  trace line %d skipped: %s@." line reason)
+        fr.Vids.Recovery.trace_skipped;
+      Format.printf "replayed %d packet(s) recorded after the checkpoint@.@."
+        o.Vids.Recovery.replayed;
+      Vids.Report.full Format.std_formatter o.Vids.Recovery.engine;
       0
 
 (* ------------------------------------------------------------------ *)
@@ -348,6 +450,23 @@ let governance_term =
   Term.(
     const make $ governed $ max_calls $ max_detectors $ call_max_age $ sweep_interval $ high $ low)
 
+let checkpoint_term =
+  let interval =
+    Arg.(
+      value & opt float 0.0
+      & info [ "checkpoint-interval" ] ~docv:"SEC"
+          ~doc:"Snapshot the engine every $(docv) of virtual time (0 = off).")
+  in
+  let file =
+    Arg.(
+      value & opt string "vids.checkpoint"
+      & info [ "checkpoint-file" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint path; the previous snapshot rotates to $(docv).1 and the write-ahead \
+             journal lives at $(docv).journal.")
+  in
+  Term.(const (fun interval file -> { interval; file }) $ interval $ file)
+
 let simulate_cmd =
   let n_ua = Arg.(value & opt int 10 & info [ "uas" ] ~doc:"UAs per enterprise network.") in
   let mode =
@@ -360,7 +479,9 @@ let simulate_cmd =
   let talk = Arg.(value & opt float 45.0 & info [ "mean-talk" ] ~doc:"Mean call seconds.") in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the enterprise workload and report performance")
-    Term.(const simulate $ seed_arg $ n_ua $ mode $ minutes $ gap $ talk $ governance_term)
+    Term.(
+      const simulate $ seed_arg $ n_ua $ mode $ minutes $ gap $ talk $ governance_term
+      $ checkpoint_term)
 
 let detect_cmd =
   let attacks =
@@ -368,7 +489,7 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Launch attack scenarios and print the vIDS alert log")
-    Term.(const detect $ seed_arg $ attacks $ governance_term)
+    Term.(const detect $ seed_arg $ attacks $ governance_term $ checkpoint_term)
 
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -389,7 +510,36 @@ let analyze_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Replay a recorded trace through vIDS offline")
-    Term.(const analyze $ file)
+    Term.(const analyze $ file $ checkpoint_term)
+
+let recover_cmd =
+  let snapshot =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"SNAPSHOT"
+          ~doc:"Checkpoint file; a corrupt or missing primary falls back to $(docv).1.")
+  in
+  let journal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE" ~doc:"Write-ahead journal to merge (loaded leniently).")
+  in
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Recorded packet trace; records after the checkpoint are replayed.")
+  in
+  let until =
+    Arg.(
+      value & opt (some float) None
+      & info [ "until" ] ~docv:"SEC"
+          ~doc:"Stop the recovered clock at $(docv) instead of draining every pending event.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild a crashed engine from checkpoint + journal + trace and print its report")
+    Term.(const recover $ snapshot $ journal $ trace $ until)
 
 let check_specs_cmd =
   Cmd.v
@@ -409,6 +559,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            simulate_cmd; detect_cmd; record_cmd; analyze_cmd; parse_cmd; check_specs_cmd;
-            export_cmd;
+            simulate_cmd; detect_cmd; record_cmd; analyze_cmd; recover_cmd; parse_cmd;
+            check_specs_cmd; export_cmd;
           ]))

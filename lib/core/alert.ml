@@ -26,9 +26,25 @@ let kind_to_string = function
   | Resource_pressure -> "resource-pressure"
   | Engine_fault -> "engine-fault"
 
+let all_kinds =
+  [
+    Invite_flood; Bye_dos; Cancel_dos; Media_spam; Rtp_flood; Call_hijack; Billing_fraud; Drdos;
+    Registration_hijack; Spec_deviation; Resource_pressure; Engine_fault;
+  ]
+
+let kind_of_string s = List.find_opt (fun k -> String.equal (kind_to_string k) s) all_kinds
+
 let pp_kind ppf kind = Format.pp_print_string ppf (kind_to_string kind)
 
 type severity = Info | Warning | Critical
+
+let severity_to_string = function Info -> "info" | Warning -> "warning" | Critical -> "critical"
+
+let severity_of_string = function
+  | "info" -> Some Info
+  | "warning" -> Some Warning
+  | "critical" -> Some Critical
+  | _ -> None
 
 let default_severity = function
   | Invite_flood | Bye_dos | Cancel_dos | Media_spam | Rtp_flood | Call_hijack | Billing_fraud

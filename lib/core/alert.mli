@@ -23,9 +23,18 @@ type kind =
 
 val kind_to_string : kind -> string
 
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}; used by the snapshot and journal codecs. *)
+
+val all_kinds : kind list
+
 val pp_kind : Format.formatter -> kind -> unit
 
 type severity = Info | Warning | Critical
+
+val severity_to_string : severity -> string
+
+val severity_of_string : string -> severity option
 
 type t = {
   kind : kind;

@@ -1,0 +1,124 @@
+(* Shared wire helpers for the crash-safety subsystem: hex, CRC-32, and
+   self-delimiting token codecs for events and alerts.  Every decoder is
+   total — malformed input yields [Error], never an exception — because
+   snapshots and journals are read back after crashes that may have torn
+   them mid-write. *)
+
+let hex = Efsm.Value.hex_of_string
+let unhex = Efsm.Value.string_of_hex
+
+(* --------------------------------------------------------------- *)
+(* CRC-32 (IEEE 802.3, reflected)                                   *)
+(* --------------------------------------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+  !c lxor 0xFFFFFFFF
+
+let crc32_hex s = Printf.sprintf "%08x" (crc32 s)
+
+(* --------------------------------------------------------------- *)
+(* Token-list plumbing                                              *)
+(* --------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let int_tok s = match int_of_string_opt s with Some n -> Ok n | None -> Error ("bad int " ^ s)
+let time_tok s = Result.map Dsim.Time.of_us (int_tok s)
+
+let opt_time_tok = function
+  | "-" -> Ok None
+  | s -> Result.map (fun t -> Some t) (time_tok s)
+
+let opt_time_str = function None -> "-" | Some t -> string_of_int (Dsim.Time.to_us t)
+
+let take = function [] -> Error "truncated record" | tok :: rest -> Ok (tok, rest)
+
+(* --------------------------------------------------------------- *)
+(* Events                                                           *)
+(* --------------------------------------------------------------- *)
+
+let channel_to_token = function
+  | Efsm.Event.Data proto -> "D" ^ hex proto
+  | Efsm.Event.Sync { from_machine } -> "S" ^ hex from_machine
+  | Efsm.Event.Timer -> "T"
+
+let channel_of_token tok =
+  if String.length tok = 0 then Error "empty channel token"
+  else
+    let body = String.sub tok 1 (String.length tok - 1) in
+    match tok.[0] with
+    | 'D' -> Result.map (fun proto -> Efsm.Event.Data proto) (unhex body)
+    | 'S' -> Result.map (fun from_machine -> Efsm.Event.Sync { from_machine }) (unhex body)
+    | 'T' -> if body = "" then Ok Efsm.Event.Timer else Error "bad timer channel token"
+    | _ -> Error "unknown channel token"
+
+(* [<name-hex> <at_us> <chan> <argc> (<key-hex> <value>)*] — the explicit
+   argument count makes the encoding self-delimiting inside a longer
+   token list. *)
+let event_to_tokens (e : Efsm.Event.t) =
+  hex e.Efsm.Event.name
+  :: string_of_int (Dsim.Time.to_us e.Efsm.Event.at)
+  :: channel_to_token e.Efsm.Event.channel
+  :: string_of_int (List.length e.Efsm.Event.args)
+  :: List.concat_map
+       (fun (k, v) -> [ hex k; Efsm.Value.to_token v ])
+       e.Efsm.Event.args
+
+let event_of_tokens tokens =
+  let* name_hex, rest = take tokens in
+  let* name = unhex name_hex in
+  let* at_tok, rest = take rest in
+  let* at = time_tok at_tok in
+  let* chan_tok, rest = take rest in
+  let* channel = channel_of_token chan_tok in
+  let* argc_tok, rest = take rest in
+  let* argc = int_tok argc_tok in
+  if argc < 0 || argc > 1024 then Error "unreasonable event arg count"
+  else
+    let rec args acc n rest =
+      if n = 0 then Ok (List.rev acc, rest)
+      else
+        let* k_hex, rest = take rest in
+        let* k = unhex k_hex in
+        let* v_tok, rest = take rest in
+        let* v = Efsm.Value.of_token v_tok in
+        args ((k, v) :: acc) (n - 1) rest
+    in
+    let* args, rest = args [] argc rest in
+    Ok (Efsm.Event.make ~args channel ~at name, rest)
+
+(* --------------------------------------------------------------- *)
+(* Alerts                                                           *)
+(* --------------------------------------------------------------- *)
+
+let alert_to_tokens (a : Alert.t) =
+  [
+    string_of_int (Dsim.Time.to_us a.Alert.at);
+    Alert.kind_to_string a.Alert.kind;
+    Alert.severity_to_string a.Alert.severity;
+    hex a.Alert.subject;
+    hex a.Alert.detail;
+  ]
+
+let alert_of_tokens = function
+  | [ at_tok; kind_tok; sev_tok; subject_hex; detail_hex ] -> (
+      let* at = time_tok at_tok in
+      let* subject = unhex subject_hex in
+      let* detail = unhex detail_hex in
+      match (Alert.kind_of_string kind_tok, Alert.severity_of_string sev_tok) with
+      | Some kind, Some severity -> Ok (Alert.make ~kind ~severity ~at ~subject detail)
+      | None, _ -> Error ("unknown alert kind " ^ kind_tok)
+      | _, None -> Error ("unknown alert severity " ^ sev_tok))
+  | _ -> Error "malformed alert record"

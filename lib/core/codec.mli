@@ -1,0 +1,38 @@
+(** Wire helpers shared by the snapshot and journal codecs.
+
+    All decoders are total: a torn or corrupted input line comes back as
+    [Error], never an exception, because these formats are read during
+    crash recovery when anything may be half-written. *)
+
+val hex : string -> string
+
+val unhex : string -> (string, string) result
+
+val crc32 : string -> int
+(** IEEE CRC-32 of the bytes, as a non-negative int. *)
+
+val crc32_hex : string -> string
+(** Zero-padded 8-digit lowercase hex. *)
+
+val int_tok : string -> (int, string) result
+
+val time_tok : string -> (Dsim.Time.t, string) result
+
+val opt_time_tok : string -> (Dsim.Time.t option, string) result
+(** ["-"] denotes [None]. *)
+
+val opt_time_str : Dsim.Time.t option -> string
+
+val take : string list -> (string * string list, string) result
+(** Pops the next token or fails on a truncated record. *)
+
+val event_to_tokens : Efsm.Event.t -> string list
+(** Self-delimiting: an explicit argument count precedes the key/value
+    pairs, so the encoding can be embedded in a longer token list. *)
+
+val event_of_tokens : string list -> (Efsm.Event.t * string list, string) result
+(** Returns the decoded event and the unconsumed tail. *)
+
+val alert_to_tokens : Alert.t -> string list
+
+val alert_of_tokens : string list -> (Alert.t, string) result

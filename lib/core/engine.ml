@@ -19,7 +19,16 @@ type t = {
   base : Fact_base.t;
   mutable alerts : Alert.t list; (* newest first *)
   seen : (string, unit) Hashtbl.t; (* alert dedup keys *)
+  (* Dedup keys of alerts recovered from the write-ahead journal but not
+     yet reproduced by replay.  The first re-raise of such a key "claims"
+     it: the alert is already in the log, so the raise neither appends nor
+     counts as a suppressed duplicate — exactly-once semantics that let a
+     journal merge plus trace-suffix replay converge with an uninterrupted
+     run. *)
+  journal_pending : (string, unit) Hashtbl.t;
   mutable listeners : (Alert.t -> unit) list;
+  mutable eviction_listeners : (at:Dsim.Time.t -> subject:string -> detail:string -> unit) list;
+  mutable downtime_log : (Dsim.Time.t * Dsim.Time.t * int) list; (* newest first *)
   mutable busy : Dsim.Time.t;
   mutable sip_packets : int;
   mutable rtp_packets : int;
@@ -42,7 +51,14 @@ let now t = Dsim.Scheduler.now t.sched
 
 let raise_alert t alert =
   let key = Alert.dedup_key alert in
-  if Hashtbl.mem t.seen key then t.suppressed <- t.suppressed + 1
+  if Hashtbl.mem t.journal_pending key then begin
+    (* Claimed: the journal merge already logged this alert (and notified
+       nobody — it was delivered before the crash), so the replayed raise
+       is the original one, not a duplicate. *)
+    Hashtbl.remove t.journal_pending key;
+    Hashtbl.replace t.seen key ()
+  end
+  else if Hashtbl.mem t.seen key then t.suppressed <- t.suppressed + 1
   else begin
     Hashtbl.replace t.seen key ();
     t.alerts <- alert :: t.alerts;
@@ -124,7 +140,13 @@ let create ?(config = Config.default) sched =
   let with_engine f = match !self with Some t -> f t | None -> () in
   let on_pressure ~subject ~detail =
     with_engine (fun t ->
-        raise_alert t (Alert.make ~kind:Alert.Resource_pressure ~at:(now t) ~subject detail))
+        raise_alert t (Alert.make ~kind:Alert.Resource_pressure ~at:(now t) ~subject detail);
+        (* Unlike the deduplicated alert above, eviction listeners see every
+           reclamation — the journal needs each one for forensics. *)
+        List.iter
+          (fun listener ->
+            try listener ~at:(now t) ~subject ~detail with _ -> t.faults <- t.faults + 1)
+          t.eviction_listeners)
   in
   (* Map a machine's attack state to the alert taxonomy. *)
   let kind_of_attack_state state =
@@ -173,7 +195,10 @@ let create ?(config = Config.default) sched =
       base;
       alerts = [];
       seen = Hashtbl.create 64;
+      journal_pending = Hashtbl.create 8;
       listeners = [];
+      eviction_listeners = [];
+      downtime_log = [];
       busy = Dsim.Time.zero;
       sip_packets = 0;
       rtp_packets = 0;
@@ -436,3 +461,66 @@ let cpu_busy t = t.busy
 let fact_base t = t.base
 let memory_stats t = Fact_base.stats t.base
 let on_alert t listener = t.listeners <- listener :: t.listeners
+let on_eviction t listener = t.eviction_listeners <- listener :: t.eviction_listeners
+
+(* --------------------------------------------------------------- *)
+(* Crash safety                                                     *)
+(* --------------------------------------------------------------- *)
+
+let merge_journal_alert t alert =
+  let key = Alert.dedup_key alert in
+  if not (Hashtbl.mem t.seen key || Hashtbl.mem t.journal_pending key) then begin
+    t.alerts <- alert :: t.alerts;
+    Hashtbl.replace t.journal_pending key ()
+  end
+
+let record_downtime t ~start ~stop ~missed = t.downtime_log <- (start, stop, missed) :: t.downtime_log
+let downtime_intervals t = List.rev t.downtime_log
+
+module Persist = struct
+  type dump = {
+    p_counters : counters;
+    p_injects : int;
+    p_busy : Dsim.Time.t;
+    p_inline_free_at : Dsim.Time.t;
+    p_degraded_since : Dsim.Time.t option;
+    p_degraded_log : (Dsim.Time.t * Dsim.Time.t) list; (* oldest first *)
+    p_alerts : Alert.t list; (* oldest first *)
+    p_downtime : (Dsim.Time.t * Dsim.Time.t * int) list; (* oldest first *)
+  }
+
+  let dump t =
+    {
+      p_counters = counters t;
+      p_injects = t.injects;
+      p_busy = t.busy;
+      p_inline_free_at = t.inline_free_at;
+      p_degraded_since = t.degraded_since;
+      p_degraded_log = List.rev t.degraded_log;
+      p_alerts = alerts t;
+      p_downtime = downtime_intervals t;
+    }
+
+  let restore t d =
+    let c = d.p_counters in
+    t.sip_packets <- c.sip_packets;
+    t.rtp_packets <- c.rtp_packets;
+    t.rtcp_packets <- c.rtcp_packets;
+    t.other_packets <- c.other_packets;
+    t.malformed_packets <- c.malformed_packets;
+    t.orphan_requests <- c.orphan_requests;
+    t.orphan_responses <- c.orphan_responses;
+    t.suppressed <- c.alerts_suppressed;
+    t.anomalies <- c.anomalies;
+    t.faults <- c.faults;
+    t.injects <- d.p_injects;
+    t.rtp_shed <- c.rtp_shed;
+    t.busy <- d.p_busy;
+    t.inline_free_at <- d.p_inline_free_at;
+    t.degraded_since <- d.p_degraded_since;
+    t.degraded_log <- List.rev d.p_degraded_log;
+    t.alerts <- List.rev d.p_alerts;
+    Hashtbl.reset t.seen;
+    List.iter (fun a -> Hashtbl.replace t.seen (Alert.dedup_key a) ()) d.p_alerts;
+    t.downtime_log <- List.rev d.p_downtime
+end

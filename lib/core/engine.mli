@@ -68,3 +68,51 @@ val degraded_intervals : t -> (Dsim.Time.t * Dsim.Time.t option) list
 
 val on_alert : t -> (Alert.t -> unit) -> unit
 (** Registers an additional listener for distinct alerts. *)
+
+val on_eviction : t -> (at:Dsim.Time.t -> subject:string -> detail:string -> unit) -> unit
+(** Registers a listener for every resource reclamation (cap evictions,
+    ageing sweeps).  Unlike {!on_alert}, which deduplicates, this fires per
+    event — it feeds the write-ahead journal. *)
+
+(** {1 Crash safety}
+
+    Hooks for the checkpoint/recovery subsystem ({!Snapshot}, {!Journal},
+    {!Recovery}).  The contract is deterministic convergence: restoring a
+    snapshot, merging the journal suffix, and replaying the trace suffix
+    recorded after the snapshot's timestamp yields the same engine state as
+    a run that never crashed. *)
+
+val merge_journal_alert : t -> Alert.t -> unit
+(** Adds an alert recovered from the write-ahead journal to the log.  The
+    alert's dedup key is marked pending rather than seen: the first
+    re-raise during replay "claims" it (no duplicate log entry, no
+    suppressed count, no listener notification — it was already delivered
+    before the crash), keeping replay exactly-once. *)
+
+val record_downtime : t -> start:Dsim.Time.t -> stop:Dsim.Time.t -> missed:int -> unit
+(** Records a crash/recovery outage: packets in [start, stop) were not
+    analyzed.  Persisted across further checkpoints and surfaced by
+    [Report.summary]. *)
+
+val downtime_intervals : t -> (Dsim.Time.t * Dsim.Time.t * int) list
+(** Recorded outages, oldest first, with packets missed during each. *)
+
+(** Engine-internal mutable state as plain data, for {!Snapshot} only. *)
+module Persist : sig
+  type dump = {
+    p_counters : counters;
+    p_injects : int;  (** Chaos self-test injection count, for determinism. *)
+    p_busy : Dsim.Time.t;
+    p_inline_free_at : Dsim.Time.t;
+    p_degraded_since : Dsim.Time.t option;
+    p_degraded_log : (Dsim.Time.t * Dsim.Time.t) list;  (** Oldest first. *)
+    p_alerts : Alert.t list;  (** Oldest first. *)
+    p_downtime : (Dsim.Time.t * Dsim.Time.t * int) list;  (** Oldest first. *)
+  }
+
+  val dump : t -> dump
+
+  val restore : t -> dump -> unit
+  (** Overwrites counters, cost-model state, degradation history, the alert
+      log and the dedup set ([alerts_raised] is derived and ignored). *)
+end

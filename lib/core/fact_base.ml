@@ -7,6 +7,10 @@ type call = {
   mutable media_addrs : Dsim.Addr.t list;
   mutable closing : bool;
   mutable finish_pending : bool;
+  (* Absolute deadlines of the lifecycle timers, recorded so a checkpoint
+     can re-arm them at the same virtual time after a restore. *)
+  mutable delete_at : Dsim.Time.t option;
+  mutable recheck_at : Dsim.Time.t option;
 }
 
 type detector = { d_system : Efsm.System.t; d_machine : Efsm.Machine.t; d_created : Dsim.Time.t }
@@ -42,6 +46,8 @@ type t = {
   mutable calls_evicted : int;
   mutable detectors_evicted : int;
   mutable swept : int;
+  mutable sweep_timer : Dsim.Scheduler.timer option;
+  mutable sweep_next : Dsim.Time.t option;
 }
 
 let create ?(on_pressure = fun ~subject:_ ~detail:_ -> ()) ~config ~timer_host ~on_alert
@@ -65,6 +71,8 @@ let create ?(on_pressure = fun ~subject:_ ~detail:_ -> ()) ~config ~timer_host ~
     calls_evicted = 0;
     detectors_evicted = 0;
     swept = 0;
+    sweep_timer = None;
+    sweep_next = None;
   }
 
 let find_call t call_id = Hashtbl.find_opt t.calls call_id
@@ -132,6 +140,8 @@ let create_call t ~call_id =
           media_addrs = [];
           closing = false;
           finish_pending = false;
+          delete_at = None;
+          recheck_at = None;
         }
       in
       Hashtbl.replace t.calls call_id call;
@@ -226,30 +236,45 @@ let rtp_done call =
   Efsm.Machine.is_final call.rtp
   || String.equal (Efsm.Machine.state call.rtp) Rtp_call_machine.st_init
 
-let schedule_delete t call =
+(* Lifecycle timers are armed against an absolute deadline that is also
+   recorded on the call, so a checkpoint can re-arm them at the same
+   virtual time after a restore. *)
+let delay_until t at =
+  let now = t.timer_host.Efsm.System.now () in
+  if Dsim.Time.( > ) at now then Dsim.Time.sub at now else Dsim.Time.zero
+
+let arm_delete_at t call at =
   call.closing <- true;
+  call.delete_at <- Some at;
+  ignore (t.timer_host.Efsm.System.set (delay_until t at) (fun () -> delete_call t call))
+
+let schedule_delete t call =
+  arm_delete_at t call
+    (Dsim.Time.add (t.timer_host.Efsm.System.now ()) t.config.Config.closed_call_linger)
+
+let arm_recheck_at t call at =
+  call.finish_pending <- true;
+  call.recheck_at <- Some at;
   ignore
-    (t.timer_host.Efsm.System.set t.config.Config.closed_call_linger (fun () ->
-         delete_call t call))
+    (t.timer_host.Efsm.System.set (delay_until t at) (fun () ->
+         call.recheck_at <- None;
+         if (not call.closing) && Efsm.Machine.is_final call.sip && rtp_done call then
+           schedule_delete t call))
 
 let maybe_finish t call =
   if (not call.closing) && Efsm.Machine.is_final call.sip then
     if rtp_done call then schedule_delete t call
-    else if not call.finish_pending then begin
+    else if not call.finish_pending then
       (* The RTP machine is waiting out the in-flight grace timer; no
          further packet may arrive to re-trigger this check, so look once
          more after the grace period.  A single re-check only: a machine
          parked in an attack state never becomes final, and re-polling
          forever would keep an otherwise-drained scheduler alive — such
          records are left for [sweep]. *)
-      call.finish_pending <- true;
-      ignore
-        (t.timer_host.Efsm.System.set
-           (Dsim.Time.add t.config.Config.bye_inflight_timer (Dsim.Time.of_ms 50.0))
-           (fun () ->
-             if (not call.closing) && Efsm.Machine.is_final call.sip && rtp_done call then
-               schedule_delete t call))
-    end
+      arm_recheck_at t call
+        (Dsim.Time.add
+           (t.timer_host.Efsm.System.now ())
+           (Dsim.Time.add t.config.Config.bye_inflight_timer (Dsim.Time.of_ms 50.0)))
 
 let sweep t ~max_age =
   let now = t.timer_host.Efsm.System.now () in
@@ -262,22 +287,136 @@ let sweep t ~max_age =
   List.iter (delete_call t) stale;
   List.length stale
 
-let schedule_sweep t =
+let arm_sweep t ~delay =
   let interval = t.config.Config.sweep_interval in
   let max_age = t.config.Config.call_max_age in
-  if Dsim.Time.( > ) interval Dsim.Time.zero && Dsim.Time.( > ) max_age Dsim.Time.zero then
-    let rec tick () =
-      let reclaimed = sweep t ~max_age in
-      if reclaimed > 0 then begin
-        t.swept <- t.swept + reclaimed;
-        t.on_pressure ~subject:"sweep"
-          ~detail:
-            (Printf.sprintf "scheduled sweep reclaimed %d record(s) older than %.0f s" reclaimed
-               (Dsim.Time.to_sec max_age))
-      end;
-      ignore (t.timer_host.Efsm.System.set interval tick)
-    in
-    ignore (t.timer_host.Efsm.System.set interval tick)
+  let rec arm delay =
+    t.sweep_next <- Some (Dsim.Time.add (t.timer_host.Efsm.System.now ()) delay);
+    t.sweep_timer <- Some (t.timer_host.Efsm.System.set delay tick)
+  and tick () =
+    let reclaimed = sweep t ~max_age in
+    if reclaimed > 0 then begin
+      t.swept <- t.swept + reclaimed;
+      t.on_pressure ~subject:"sweep"
+        ~detail:
+          (Printf.sprintf "scheduled sweep reclaimed %d record(s) older than %.0f s" reclaimed
+             (Dsim.Time.to_sec max_age))
+    end;
+    arm interval
+  in
+  arm delay
+
+let sweep_enabled t =
+  Dsim.Time.( > ) t.config.Config.sweep_interval Dsim.Time.zero
+  && Dsim.Time.( > ) t.config.Config.call_max_age Dsim.Time.zero
+
+let schedule_sweep t = if sweep_enabled t then arm_sweep t ~delay:t.config.Config.sweep_interval
+
+let next_sweep_at t = t.sweep_next
+
+let set_next_sweep t at =
+  (match t.sweep_timer with
+  | Some handle ->
+      t.timer_host.Efsm.System.cancel handle;
+      t.sweep_timer <- None;
+      t.sweep_next <- None
+  | None -> ());
+  match at with
+  | None -> ()
+  | Some at ->
+      if sweep_enabled t then
+        arm_sweep t
+          ~delay:
+            (let now = t.timer_host.Efsm.System.now () in
+             if Dsim.Time.( > ) at now then Dsim.Time.sub at now else Dsim.Time.zero)
+
+(* --------------------------------------------------------------- *)
+(* Checkpoint support                                               *)
+(* --------------------------------------------------------------- *)
+
+let kind_of_label = function
+  | "flood" -> Some `Flood
+  | "spam" -> Some `Spam
+  | "drdos" -> Some `Drdos
+  | _ -> None
+
+(* Live records in creation order, straight from the eviction queues
+   (stale entries skipped).  Creation order is deterministic for a given
+   packet stream, which keeps snapshots canonical: two engines that
+   processed the same traffic serialize identically. *)
+let calls_in_creation_order t =
+  Queue.fold
+    (fun acc (call_id, created_at) ->
+      match Hashtbl.find_opt t.calls call_id with
+      | Some call when Dsim.Time.equal call.created_at created_at -> call :: acc
+      | Some _ | None -> acc)
+    [] t.call_order
+  |> List.rev
+
+let detectors_in_creation_order t =
+  Queue.fold
+    (fun acc (kind, key, created) ->
+      match Hashtbl.find_opt (detector_table t kind) key with
+      | Some d when Dsim.Time.equal d.d_created created ->
+          (kind, key, d.d_system, d.d_machine, d.d_created) :: acc
+      | Some _ | None -> acc)
+    [] t.detector_order
+  |> List.rev
+
+(* Rebuild a record from a snapshot: fresh machines wired to the usual
+   callbacks, but no counter bumps and no eviction — aggregate counters are
+   restored separately and a snapshot never exceeds the caps it was taken
+   under. *)
+let restore_call t ~call_id ~created_at =
+  if Hashtbl.mem t.calls call_id then
+    invalid_arg (Printf.sprintf "Fact_base.restore_call: duplicate call %S" call_id);
+  let on_alert, on_anomaly = system_callbacks t ~subject:call_id in
+  let system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
+  let sip = Efsm.System.add_machine system (Sip_call_machine.spec t.config) in
+  let rtp = Efsm.System.add_machine system (Rtp_call_machine.spec t.config) in
+  let call =
+    {
+      call_id;
+      system;
+      sip;
+      rtp;
+      created_at;
+      media_addrs = [];
+      closing = false;
+      finish_pending = false;
+      delete_at = None;
+      recheck_at = None;
+    }
+  in
+  Hashtbl.replace t.calls call_id call;
+  Queue.add (call_id, created_at) t.call_order;
+  call
+
+let restore_detector t kind ~key ~created_at =
+  let table = detector_table t kind in
+  if Hashtbl.mem table key then
+    invalid_arg
+      (Printf.sprintf "Fact_base.restore_detector: duplicate %s detector %S" (kind_label kind) key);
+  let make_spec, subject_prefix =
+    match kind with
+    | `Flood -> (Invite_flood_machine.spec, "dst:")
+    | `Spam -> (Media_spam_machine.spec, "stream:")
+    | `Drdos -> (Drdos_machine.spec, "victim:")
+  in
+  let on_alert, on_anomaly = system_callbacks t ~subject:(subject_prefix ^ key) in
+  let d_system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
+  let d_machine = Efsm.System.add_machine d_system (make_spec t.config) in
+  Hashtbl.replace table key { d_system; d_machine; d_created = created_at };
+  Queue.add (kind, key, created_at) t.detector_order;
+  (d_system, d_machine)
+
+let set_counters t ~peak ~created ~deleted ~calls_evicted ~detectors_evicted ~swept =
+  t.peak <- peak;
+  t.created <- created;
+  t.deleted <- deleted;
+  t.calls_evicted <- calls_evicted;
+  t.detectors_evicted <- detectors_evicted;
+  t.swept <- swept
 
 type stats = {
   active_calls : int;

@@ -23,6 +23,11 @@ type call = {
   mutable media_addrs : Dsim.Addr.t list;
   mutable closing : bool;
   mutable finish_pending : bool;
+  mutable delete_at : Dsim.Time.t option;
+      (** Absolute deadline of the pending linger-deletion timer, recorded
+          so checkpoints can re-arm it at the same virtual time. *)
+  mutable recheck_at : Dsim.Time.t option;
+      (** Absolute deadline of the pending finish re-check timer. *)
 }
 
 type detector_kind = [ `Flood | `Spam | `Drdos ]
@@ -86,6 +91,56 @@ val sweep : t -> max_age:Dsim.Time.t -> int
 val schedule_sweep : t -> unit
 (** Starts the periodic ageing sweep on the base's timer host, driven by
     [sweep_interval] and [call_max_age]; a no-op when either is zero. *)
+
+(** {1 Checkpoint support}
+
+    These accessors exist for {!Snapshot}: they expose the base's full
+    mutable state for capture and rebuild it verbatim on restore, without
+    the counter bumps, eviction checks or pressure callbacks of the normal
+    creation paths. *)
+
+val calls_in_creation_order : t -> call list
+(** Live calls, oldest first — the canonical serialization order (and the
+    eviction order, so restoring in this order preserves both). *)
+
+val detectors_in_creation_order :
+  t -> (detector_kind * string * Efsm.System.t * Efsm.Machine.t * Dsim.Time.t) list
+
+val restore_call : t -> call_id:string -> created_at:Dsim.Time.t -> call
+(** Rebuilds an empty call record (machines in their initial states) under
+    the given identity.  Raises [Invalid_argument] on a duplicate. *)
+
+val restore_detector :
+  t -> detector_kind -> key:string -> created_at:Dsim.Time.t -> Efsm.System.t * Efsm.Machine.t
+
+val arm_delete_at : t -> call -> Dsim.Time.t -> unit
+(** Marks the call closing and schedules its deletion at the absolute time
+    (immediately if already past). *)
+
+val arm_recheck_at : t -> call -> Dsim.Time.t -> unit
+(** Re-arms the single finish re-check at the absolute time. *)
+
+val next_sweep_at : t -> Dsim.Time.t option
+(** When the next scheduled ageing sweep is due, if armed. *)
+
+val set_next_sweep : t -> Dsim.Time.t option -> unit
+(** Cancels any armed sweep and, when given a time (and sweeping is
+    enabled by the config), re-arms the periodic sweep to first fire
+    then. *)
+
+val set_counters :
+  t ->
+  peak:int ->
+  created:int ->
+  deleted:int ->
+  calls_evicted:int ->
+  detectors_evicted:int ->
+  swept:int ->
+  unit
+
+val kind_label : detector_kind -> string
+
+val kind_of_label : string -> detector_kind option
 
 (** {1 Statistics} *)
 

@@ -1,0 +1,126 @@
+(* Write-ahead alert/eviction journal.
+
+   The journal is the low-latency half of crash safety: checkpoints are
+   periodic, but every alert and resource reclamation is appended (and
+   flushed) the moment it happens, so a crash between checkpoints loses no
+   delivered alert.  Each line carries its own CRC-32; the lenient loader
+   skips torn or corrupted lines — expected at the tail of a file cut by
+   the crash itself — and reports them as (line, reason) diagnostics. *)
+
+type entry =
+  | Alert of Alert.t
+  | Eviction of { at : Dsim.Time.t; subject : string; detail : string }
+  | Checkpoint of { at : Dsim.Time.t; seq : int }
+
+let ( let* ) = Result.bind
+
+let entry_at = function
+  | Alert a -> a.Alert.at
+  | Eviction { at; _ } -> at
+  | Checkpoint { at; _ } -> at
+
+let payload_of_entry = function
+  | Alert a -> String.concat " " ("A" :: Codec.alert_to_tokens a)
+  | Eviction { at; subject; detail } ->
+      Printf.sprintf "E %d %s %s" (Dsim.Time.to_us at) (Codec.hex subject) (Codec.hex detail)
+  | Checkpoint { at; seq } -> Printf.sprintf "C %d %d" (Dsim.Time.to_us at) seq
+
+let entry_to_line entry =
+  let payload = payload_of_entry entry in
+  Codec.crc32_hex payload ^ " " ^ payload
+
+let entry_of_line line =
+  match String.index_opt line ' ' with
+  | None -> Error "missing CRC field"
+  | Some i ->
+      let crc = String.sub line 0 i in
+      let payload = String.sub line (i + 1) (String.length line - i - 1) in
+      if not (String.equal crc (Codec.crc32_hex payload)) then Error "CRC mismatch (torn line?)"
+      else (
+        match String.split_on_char ' ' payload with
+        | "A" :: toks ->
+            let* alert = Codec.alert_of_tokens toks in
+            Ok (Alert alert)
+        | [ "E"; at; subject; detail ] ->
+            let* at = Codec.time_tok at in
+            let* subject = Codec.unhex subject in
+            let* detail = Codec.unhex detail in
+            Ok (Eviction { at; subject; detail })
+        | [ "C"; at; seq ] ->
+            let* at = Codec.time_tok at in
+            let* seq = Codec.int_tok seq in
+            Ok (Checkpoint { at; seq })
+        | tag :: _ -> Error ("unknown journal tag " ^ tag)
+        | [] -> Error "empty journal payload")
+
+(* --------------------------------------------------------------- *)
+(* Writer                                                           *)
+(* --------------------------------------------------------------- *)
+
+type writer = { oc : out_channel; mutable closed : bool }
+
+let create_writer path = { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path; closed = false }
+
+let append w entry =
+  if not w.closed then begin
+    output_string w.oc (entry_to_line entry);
+    output_char w.oc '\n';
+    (* Flush per entry: the journal is only worth its latency cost if the
+       line is on disk before the alert's consequences are visible. *)
+    flush w.oc
+  end
+
+let close_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.oc
+  end
+
+let attach w engine =
+  Engine.on_alert engine (fun alert -> append w (Alert alert));
+  Engine.on_eviction engine (fun ~at ~subject ~detail -> append w (Eviction { at; subject; detail }))
+
+(* --------------------------------------------------------------- *)
+(* Loading                                                          *)
+(* --------------------------------------------------------------- *)
+
+let load_lenient_channel ic =
+  let entries = ref [] in
+  let skipped = ref [] in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then
+         match entry_of_line line with
+         | Ok entry -> entries := entry :: !entries
+         | Error reason -> skipped := (!line_no, reason) :: !skipped
+     done
+   with End_of_file -> ());
+  (List.rev !entries, List.rev !skipped)
+
+let load_lenient path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let result = load_lenient_channel ic in
+      close_in ic;
+      Ok result
+
+(* --------------------------------------------------------------- *)
+(* Recovery suffix                                                  *)
+(* --------------------------------------------------------------- *)
+
+let suffix_after ~seq ~at entries =
+  let rec after_marker acc found = function
+    | [] -> if found then Some (List.rev acc) else None
+    | Checkpoint c :: rest when c.seq = seq -> after_marker [] true rest
+    | e :: rest -> after_marker (if found then e :: acc else acc) found rest
+  in
+  match after_marker [] false entries with
+  | Some suffix -> suffix
+  | None ->
+      (* No marker for this checkpoint (e.g. the journal rotated, or the
+         snapshot predates journaling): fall back to timestamps. *)
+      List.filter (fun e -> Dsim.Time.compare (entry_at e) at > 0) entries

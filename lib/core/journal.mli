@@ -1,0 +1,59 @@
+(** Write-ahead alert/eviction journal.
+
+    Checkpoints ({!Snapshot}) are periodic; the journal is continuous.
+    Every distinct alert and every resource reclamation is appended and
+    flushed the moment it happens, so a crash between checkpoints loses no
+    delivered alert.  [Checkpoint] marker entries pair the journal with
+    snapshot sequence numbers so recovery can split it at exactly the
+    right point.
+
+    Each line carries its own CRC-32.  The loader is lenient by design:
+    a line torn by the crash itself (the expected failure mode for an
+    append-only file) is skipped and reported, never fatal. *)
+
+type entry =
+  | Alert of Alert.t
+  | Eviction of { at : Dsim.Time.t; subject : string; detail : string }
+  | Checkpoint of { at : Dsim.Time.t; seq : int }
+      (** Written right after a snapshot with this sequence number is
+          durably saved. *)
+
+val entry_at : entry -> Dsim.Time.t
+
+val entry_to_line : entry -> string
+(** One line, no newline: [<crc32> <tag> <fields…>] with strings
+    hex-armored. *)
+
+val entry_of_line : string -> (entry, string) result
+(** Total: CRC mismatches and malformed fields are [Error]. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val create_writer : string -> writer
+(** Opens (append, create) the journal file. *)
+
+val append : writer -> entry -> unit
+(** Appends and flushes one entry. *)
+
+val close_writer : writer -> unit
+
+val attach : writer -> Engine.t -> unit
+(** Subscribes the writer to the engine's alert and eviction streams so
+    every subsequent event is journaled write-ahead. *)
+
+(** {1 Reading} *)
+
+val load_lenient_channel : in_channel -> entry list * (int * string) list
+(** Reads every line; undecodable lines come back as [(line_no, reason)]
+    diagnostics instead of aborting the load. *)
+
+val load_lenient : string -> (entry list * (int * string) list, string) result
+(** [Error] only when the file itself cannot be opened. *)
+
+val suffix_after : seq:int -> at:Dsim.Time.t -> entry list -> entry list
+(** Entries recorded after the [Checkpoint] marker with the given sequence
+    number — the part of the journal the snapshot does not already cover.
+    When no such marker exists (rotated journal, pre-journal snapshot),
+    falls back to entries timestamped strictly after [at]. *)

@@ -1,0 +1,53 @@
+(** Deterministic crash recovery.
+
+    Composes the crash-safety pieces: restore the latest valid
+    {!Snapshot}, merge the {!Journal} suffix recorded after its checkpoint
+    marker (exactly-once: replayed alerts claim their journaled twins), and
+    replay the {!Trace} records timestamped strictly after the snapshot.
+    The recovered engine's {!Snapshot.digest} equals that of a run that
+    never crashed — the convergence property the test suite checks. *)
+
+type outcome = {
+  engine : Engine.t;
+  sched : Dsim.Scheduler.t;
+  snapshot_seq : int;
+  snapshot_at : Dsim.Time.t;
+  journal_alerts : int;  (** Journal alerts merged ahead of replay. *)
+  journal_evictions : int;  (** Journaled reclamations in the suffix (informational). *)
+  replayed : int;  (** Trace records replayed after the snapshot instant. *)
+}
+
+val recover :
+  ?config:Config.t ->
+  ?journal:Journal.entry list ->
+  ?trace:Trace.record list ->
+  ?until:Dsim.Time.t ->
+  Snapshot.t ->
+  (outcome, string) result
+(** Pure-data recovery.  [until] bounds the clock ([run_until]); omit it to
+    drain the queue — but beware that configs with a periodic sweep re-arm
+    it forever, so bound governed runs. *)
+
+type file_report = {
+  outcome : outcome;
+  snapshot_path : string;  (** The snapshot actually used. *)
+  used_fallback : bool;  (** True when the primary was rejected and [path.1] used. *)
+  rejected : (string * string) list;
+      (** Snapshots rejected before one loaded, with diagnostics. *)
+  journal_skipped : (int * string) list;  (** Torn/corrupt journal lines skipped. *)
+  trace_skipped : (int * string) list;  (** Malformed trace lines skipped. *)
+}
+
+val recover_files :
+  ?config:Config.t ->
+  ?journal_path:string ->
+  ?trace_path:string ->
+  ?until:Dsim.Time.t ->
+  snapshot_path:string ->
+  unit ->
+  (file_report, string) result
+(** File-level recovery with fault tolerance end to end: a corrupted or
+    truncated primary snapshot falls back to the rotated
+    [Snapshot.previous_path]; journal and trace files are loaded leniently
+    (missing files are treated as empty).  [Error] only when no snapshot
+    at all can be validated. *)

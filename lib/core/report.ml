@@ -1,18 +1,4 @@
-let all_kinds =
-  [
-    Alert.Invite_flood;
-    Alert.Bye_dos;
-    Alert.Cancel_dos;
-    Alert.Media_spam;
-    Alert.Rtp_flood;
-    Alert.Call_hijack;
-    Alert.Billing_fraud;
-    Alert.Drdos;
-    Alert.Registration_hijack;
-    Alert.Spec_deviation;
-    Alert.Resource_pressure;
-    Alert.Engine_fault;
-  ]
+let all_kinds = Alert.all_kinds
 
 let alerts ppf engine =
   let all = Engine.alerts engine in
@@ -67,6 +53,22 @@ let summary ppf engine =
           | Some stop -> Format.fprintf ppf "  %a .. %a@." Dsim.Time.pp start Dsim.Time.pp stop
           | None -> Format.fprintf ppf "  %a .. (still degraded)@." Dsim.Time.pp start)
         intervals);
+  (match Engine.downtime_intervals engine with
+  | [] -> ()
+  | outages ->
+      let total_missed = List.fold_left (fun acc (_, _, m) -> acc + m) 0 outages in
+      let total_down =
+        List.fold_left
+          (fun acc (start, stop, _) -> Dsim.Time.add acc (Dsim.Time.sub stop start))
+          Dsim.Time.zero outages
+      in
+      Format.fprintf ppf "downtime intervals (%a down, %d packets missed):@." Dsim.Time.pp
+        total_down total_missed;
+      List.iter
+        (fun (start, stop, missed) ->
+          Format.fprintf ppf "  %a .. %a (%d packets missed)@." Dsim.Time.pp start Dsim.Time.pp
+            stop missed)
+        outages);
   Format.fprintf ppf "analysis cpu: %a@." Dsim.Time.pp (Engine.cpu_busy engine)
 
 let full ppf engine =

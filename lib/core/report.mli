@@ -7,7 +7,8 @@ val alerts : Format.formatter -> Engine.t -> unit
 
 val summary : Format.formatter -> Engine.t -> unit
 (** Traffic counters, alert totals by severity, fact-base occupancy and
-    modeled memory. *)
+    modeled memory; when present, degraded intervals and crash/recovery
+    downtime intervals with the packets missed during each outage. *)
 
 val full : Format.formatter -> Engine.t -> unit
 (** [summary] followed by [alerts]. *)

@@ -1,0 +1,67 @@
+(** Versioned, checksummed snapshots of the full engine state.
+
+    A snapshot is the checkpoint half of the crash-safety story: it captures
+    every piece of engine state an uninterrupted run depends on — per-call
+    EFSM systems (current states, variable vectors, queued synchronization
+    events, armed timers with absolute deadlines), standalone detector
+    machines, fact-base counters and eviction order, engine counters, the
+    cost model, the alert log and dedup set, and degradation/downtime
+    history.
+
+    The on-disk format is a line-oriented text file with a version header
+    ([VIDS-SNAPSHOT 1 <seq> <at_us>]) and an [END <crc32> <length>] trailer.
+    {!of_string} is total: truncation, bit corruption and version skew are
+    reported as [Error] with a diagnostic, never as an exception or a
+    partially applied state.
+
+    Serialization is canonical — records in creation order, bindings sorted —
+    so two engines that analyzed the same traffic produce byte-identical
+    snapshots.  {!digest} exploits this to measure post-recovery divergence,
+    which must be zero. *)
+
+type t
+
+val capture : ?seq:int -> at:Dsim.Time.t -> Engine.t -> t
+(** Photographs the engine at virtual time [at] (pass the scheduler's
+    current time).  [seq] is the checkpoint sequence number used to pair the
+    snapshot with its journal marker; defaults to 0. *)
+
+val seq : t -> int
+
+val at : t -> Dsim.Time.t
+(** Virtual time of capture; recovery replays trace records strictly after
+    this instant. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Total parse with header, CRC and length verification. *)
+
+val restore :
+  ?config:Config.t ->
+  ?before_timers:(Dsim.Scheduler.t -> Engine.t -> unit) ->
+  t ->
+  (Dsim.Scheduler.t * Engine.t, string) result
+(** Rebuilds a live engine on a fresh scheduler advanced to the snapshot's
+    time.  [before_timers] runs after all state is rebuilt but before any
+    restored timer is re-armed: recovery uses it to schedule the trace
+    replay suffix so that, at equal virtual times, packets still fire before
+    timers exactly as in an uninterrupted run (where all packets are
+    scheduled up front).  Internal inconsistencies (unknown machine or
+    state names — possible only if the file was hand-edited yet still
+    checksums) come back as [Error]. *)
+
+val save : path:string -> t -> unit
+(** Atomic write (temp file + rename).  An existing snapshot at [path] is
+    rotated to [path ^ ".1"] first, so a crash torn mid-write always leaves
+    one intact predecessor. *)
+
+val previous_path : string -> string
+(** Where {!save} rotates the prior snapshot: [path ^ ".1"]. *)
+
+val load : string -> (t, string) result
+
+val digest : at:Dsim.Time.t -> Engine.t -> string
+(** Canonical serialization with the sequence number zeroed and downtime
+    history (legitimate recovery metadata) excluded: two engines are in
+    equivalent states iff their digests are equal. *)

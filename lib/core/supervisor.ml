@@ -1,0 +1,221 @@
+(* Supervised engine lifecycle: chaos kills, checkpoints, restarts.
+
+   The supervisor drives an engine over a packet trace inside the virtual
+   clock and kills it at the requested instants.  Everything since the last
+   durable checkpoint dies with the process; the supervisor restarts it
+   under a bounded restart budget with exponential backoff (or promotes a
+   warm standby after a short failover delay), recovers from the latest
+   valid snapshot + journal + recorded-trace suffix, and accounts for the
+   packets that crossed the wire while the sensor was down — an inline
+   sensor forwards them unanalyzed, so they are missed forever, not
+   replayed.
+
+   Checkpoints round-trip through the wire format (to_string/of_string), so
+   every supervised run also exercises the codec on the exact bytes a real
+   checkpoint file would hold. *)
+
+type policy = {
+  checkpoint_every : Dsim.Time.t;  (** Checkpoint grid period (virtual time). *)
+  max_restarts : int;
+  backoff_initial : Dsim.Time.t;  (** Downtime of the first cold restart. *)
+  backoff_factor : float;  (** Growth per consecutive crash without a checkpoint. *)
+  warm_standby : bool;  (** Keep a restored engine validated at each checkpoint. *)
+  failover_delay : Dsim.Time.t;  (** Downtime when promoting the warm standby. *)
+  replay_suffix : bool;  (** Replay recorded packets after the snapshot instant. *)
+  drain : Dsim.Time.t;  (** How long to keep running after the last packet. *)
+}
+
+let default_policy =
+  {
+    checkpoint_every = Dsim.Time.of_sec 5.0;
+    max_restarts = 5;
+    backoff_initial = Dsim.Time.of_ms 200.0;
+    backoff_factor = 2.0;
+    warm_standby = false;
+    failover_delay = Dsim.Time.of_ms 20.0;
+    replay_suffix = true;
+    drain = Dsim.Time.of_sec 1.0;
+  }
+
+type report = {
+  crashes : int;
+  restarts : int;
+  gave_up : bool;  (** Restart budget exhausted before the trace ended. *)
+  packets_missed : int;
+  downtime_total : Dsim.Time.t;
+  checkpoints : int;
+  standby_promotions : int;
+  engine : Engine.t;  (** The final incarnation (the dead one if [gave_up]). *)
+  sched : Dsim.Scheduler.t;
+  end_at : Dsim.Time.t;
+}
+
+let run ?(policy = default_policy) ?config ~trace ~kill_at () =
+  let records = List.stable_sort (fun a b -> Dsim.Time.compare a.Trace.at b.Trace.at) trace in
+  let end_at =
+    match List.rev records with
+    | [] -> policy.drain
+    | last :: _ -> Dsim.Time.add last.Trace.at policy.drain
+  in
+  let kills =
+    List.sort_uniq Dsim.Time.compare kill_at
+    |> List.filter (fun t -> Dsim.Time.( > ) t Dsim.Time.zero && Dsim.Time.( < ) t end_at)
+  in
+  let in_window lo hi =
+    List.filter (fun r -> Dsim.Time.( >= ) r.Trace.at lo && Dsim.Time.( < ) r.Trace.at hi) records
+  in
+  (* The journal and the latest checkpoint model durable storage: they
+     survive crashes.  Everything else dies with the incarnation. *)
+  let journal = ref [] (* newest first *) in
+  let snapshot = ref None in
+  let seq = ref 0 in
+  let checkpoints = ref 0 in
+  let standby_ok = ref false in
+  let consecutive = ref 0 in
+  let crashes = ref 0 in
+  let restarts = ref 0 in
+  let standby_promotions = ref 0 in
+  let missed = ref 0 in
+  let downtime_total = ref Dsim.Time.zero in
+  let gave_up = ref false in
+  let journal_entries () = List.rev !journal in
+  let journal_alerts entries =
+    List.filter_map (function Journal.Alert a -> Some a | _ -> None) entries
+  in
+  let attach_journal engine =
+    Engine.on_alert engine (fun alert -> journal := Journal.Alert alert :: !journal);
+    Engine.on_eviction engine (fun ~at ~subject ~detail ->
+        journal := Journal.Eviction { at; subject; detail } :: !journal)
+  in
+  let checkpoint sched engine () =
+    let at = Dsim.Scheduler.now sched in
+    let snap = Snapshot.capture ~seq:(!seq + 1) ~at engine in
+    match Snapshot.of_string (Snapshot.to_string snap) with
+    | Error _ -> () (* an unwritable checkpoint keeps the previous one *)
+    | Ok snap ->
+        incr seq;
+        snapshot := Some snap;
+        journal := Journal.Checkpoint { at; seq = !seq } :: !journal;
+        incr checkpoints;
+        (* A completed checkpoint is the health signal that resets backoff. *)
+        consecutive := 0;
+        if policy.warm_standby then
+          standby_ok :=
+            (match Snapshot.restore ?config snap with Ok _ -> true | Error _ -> false)
+  in
+  let schedule_checkpoints sched engine ~stop =
+    if Dsim.Time.( > ) policy.checkpoint_every Dsim.Time.zero then begin
+      let period = Dsim.Time.to_us policy.checkpoint_every in
+      let first = ((Dsim.Time.to_us (Dsim.Scheduler.now sched) / period) + 1) * period in
+      let t = ref (Dsim.Time.of_us first) in
+      while Dsim.Time.( < ) !t stop do
+        ignore (Dsim.Scheduler.schedule_at sched !t (checkpoint sched engine));
+        t := Dsim.Time.add !t policy.checkpoint_every
+      done
+    end
+  in
+  let cold_start ~start ~stop =
+    let sched = Dsim.Scheduler.create () in
+    Dsim.Scheduler.run_until sched start;
+    let engine =
+      match config with Some c -> Engine.create ~config:c sched | None -> Engine.create sched
+    in
+    attach_journal engine;
+    (* With no snapshot the journal is all that survives: replaying it
+       restores the alert log even though the machine state is lost. *)
+    List.iter (Engine.merge_journal_alert engine) (journal_alerts (journal_entries ()));
+    ignore (Trace.schedule_into sched engine (in_window start stop));
+    schedule_checkpoints sched engine ~stop;
+    (sched, engine)
+  in
+  (* [died] is the instant the previous incarnation was killed; the
+     recorded trace stops there, so the replay suffix does too. *)
+  let incarnation ~start ~stop ~died =
+    match (!snapshot, died) with
+    | Some snap, Some died when Dsim.Time.( <= ) (Snapshot.at snap) died -> (
+        let snap_at = Snapshot.at snap in
+        let suffix =
+          Journal.suffix_after ~seq:(Snapshot.seq snap) ~at:snap_at (journal_entries ())
+        in
+        let replayable =
+          if policy.replay_suffix then
+            List.filter
+              (fun r ->
+                Dsim.Time.( > ) r.Trace.at snap_at && Dsim.Time.( < ) r.Trace.at died)
+              records
+          else []
+        in
+        let before_timers sched engine =
+          attach_journal engine;
+          List.iter (Engine.merge_journal_alert engine) (journal_alerts suffix);
+          ignore (Trace.schedule_into sched engine replayable);
+          ignore (Trace.schedule_into sched engine (in_window start stop));
+          schedule_checkpoints sched engine ~stop
+        in
+        match Snapshot.restore ?config ~before_timers snap with
+        | Ok (sched, engine) -> (sched, engine)
+        | Error _ -> cold_start ~start ~stop)
+    | _ -> cold_start ~start ~stop
+  in
+  let backoff () =
+    let us = float_of_int (Dsim.Time.to_us policy.backoff_initial) in
+    let n = max 1 !consecutive in
+    Dsim.Time.of_us
+      (int_of_float (us *. (policy.backoff_factor ** float_of_int (n - 1))))
+  in
+  let rec segments ~start ~died kills =
+    let stop, killed, rest =
+      match kills with [] -> (end_at, false, []) | k :: r -> (k, true, r)
+    in
+    let ((sched, engine) as inc) = incarnation ~start ~stop ~died in
+    (match died with
+    | Some kill when Dsim.Time.( > ) start kill ->
+        let seg_missed = List.length (in_window kill start) in
+        Engine.record_downtime engine ~start:kill ~stop:start ~missed:seg_missed
+    | _ -> ());
+    Dsim.Scheduler.run_until sched stop;
+    if not killed then (inc, stop)
+    else begin
+      incr crashes;
+      if !restarts >= policy.max_restarts then begin
+        gave_up := true;
+        missed := !missed + List.length (in_window stop end_at);
+        downtime_total := Dsim.Time.add !downtime_total (Dsim.Time.sub end_at stop);
+        (inc, stop)
+      end
+      else begin
+        incr restarts;
+        incr consecutive;
+        let outage =
+          if policy.warm_standby && !standby_ok then begin
+            incr standby_promotions;
+            standby_ok := false;
+            policy.failover_delay
+          end
+          else backoff ()
+        in
+        let restart_at = Dsim.Time.min (Dsim.Time.add stop outage) end_at in
+        missed := !missed + List.length (in_window stop restart_at);
+        downtime_total := Dsim.Time.add !downtime_total (Dsim.Time.sub restart_at stop);
+        if Dsim.Time.( >= ) restart_at end_at then (inc, stop)
+        else
+          (* Kills landing inside the outage hit a process that is not up;
+             they are absorbed by the same restart. *)
+          let rest = List.filter (fun k -> Dsim.Time.( > ) k restart_at) rest in
+          segments ~start:restart_at ~died:(Some stop) rest
+      end
+    end
+  in
+  let (sched, engine), _last = segments ~start:Dsim.Time.zero ~died:None kills in
+  {
+    crashes = !crashes;
+    restarts = !restarts;
+    gave_up = !gave_up;
+    packets_missed = !missed;
+    downtime_total = !downtime_total;
+    checkpoints = !checkpoints;
+    standby_promotions = !standby_promotions;
+    engine;
+    sched;
+    end_at;
+  }

@@ -1,0 +1,51 @@
+(** Supervised engine lifecycle: chaos kills, checkpoints, restarts.
+
+    Drives an engine over a trace inside the virtual clock, kills it at
+    chosen instants (losing everything since the last checkpoint), and
+    brings it back: restore the latest valid snapshot, merge the journal,
+    replay the recorded-trace suffix, resume live analysis.  Restarts are
+    bounded by a budget with exponential backoff; with [warm_standby] a
+    restored engine validated at each checkpoint is promoted after a short
+    failover delay instead.  Packets on the wire during an outage are
+    counted as missed — an inline sensor forwards them unanalyzed. *)
+
+type policy = {
+  checkpoint_every : Dsim.Time.t;  (** Checkpoint grid period (virtual time). *)
+  max_restarts : int;
+  backoff_initial : Dsim.Time.t;  (** Downtime of the first cold restart. *)
+  backoff_factor : float;  (** Growth per consecutive crash without a checkpoint. *)
+  warm_standby : bool;  (** Keep a restored engine validated at each checkpoint. *)
+  failover_delay : Dsim.Time.t;  (** Downtime when promoting the warm standby. *)
+  replay_suffix : bool;  (** Replay recorded packets after the snapshot instant. *)
+  drain : Dsim.Time.t;  (** How long to keep running after the last packet. *)
+}
+
+val default_policy : policy
+(** 5 s checkpoints, 5 restarts, 200 ms backoff doubling per consecutive
+    crash, no standby, suffix replay on. *)
+
+type report = {
+  crashes : int;
+  restarts : int;
+  gave_up : bool;  (** Restart budget exhausted before the trace ended. *)
+  packets_missed : int;
+  downtime_total : Dsim.Time.t;
+  checkpoints : int;
+  standby_promotions : int;
+  engine : Engine.t;  (** The final incarnation (the dead one if [gave_up]). *)
+  sched : Dsim.Scheduler.t;
+  end_at : Dsim.Time.t;  (** Run horizon: last packet plus [drain]. *)
+}
+
+val run :
+  ?policy:policy ->
+  ?config:Config.t ->
+  trace:Trace.record list ->
+  kill_at:Dsim.Time.t list ->
+  unit ->
+  report
+(** Simulates the supervised sensor over [trace], crashing the engine at
+    each [kill_at] instant (kills at or before time zero, past the end, or
+    landing inside an ongoing outage are absorbed).  Checkpoints round-trip
+    through the snapshot wire format, so the codec is exercised on every
+    run. *)

@@ -63,6 +63,18 @@ let load ic =
   in
   go [] 1
 
+let load_lenient ic =
+  let rec go acc skipped line_number =
+    match input_line ic with
+    | exception End_of_file -> (List.rev acc, List.rev skipped)
+    | "" -> go acc skipped (line_number + 1)
+    | line -> (
+        match record_of_line line with
+        | Ok r -> go (r :: acc) skipped (line_number + 1)
+        | Error e -> go acc ((line_number, e) :: skipped) (line_number + 1))
+  in
+  go [] [] 1
+
 type recorder = { mutable entries : record list }
 
 let recorder () = { entries = [] }
@@ -72,11 +84,7 @@ let tap t sched (packet : Dsim.Packet.t) =
 
 let records t = List.rev t.entries
 
-let replay ?config records =
-  let sched = Dsim.Scheduler.create () in
-  let engine =
-    match config with Some c -> Engine.create ~config:c sched | None -> Engine.create sched
-  in
+let schedule_into sched engine records =
   let alloc = Dsim.Packet.allocator () in
   let sorted = List.stable_sort (fun a b -> Dsim.Time.compare a.at b.at) records in
   List.iter
@@ -86,5 +94,22 @@ let replay ?config records =
              Engine.process_packet engine
                (Dsim.Packet.make alloc ~src:r.src ~dst:r.dst ~sent_at:r.at r.payload))))
     sorted;
+  List.length sorted
+
+let replay ?config records =
+  let sched = Dsim.Scheduler.create () in
+  let engine =
+    match config with Some c -> Engine.create ~config:c sched | None -> Engine.create sched
+  in
+  ignore (schedule_into sched engine records);
   Dsim.Scheduler.run sched;
   engine
+
+let replay_until ?config ~until records =
+  let sched = Dsim.Scheduler.create () in
+  let engine =
+    match config with Some c -> Engine.create ~config:c sched | None -> Engine.create sched
+  in
+  ignore (schedule_into sched engine records);
+  Dsim.Scheduler.run_until sched until;
+  (sched, engine)

@@ -29,6 +29,11 @@ val save : out_channel -> record list -> unit
 val load : in_channel -> (record list, string) result
 (** Stops at the first malformed line with its line number. *)
 
+val load_lenient : in_channel -> record list * (int * string) list
+(** Best-effort load for damaged captures (e.g. a file torn by a crash):
+    malformed lines are skipped and reported as [(line, reason)] instead of
+    aborting. *)
+
 (** {1 Capture} *)
 
 type recorder
@@ -43,7 +48,22 @@ val records : recorder -> record list
 
 (** {1 Replay} *)
 
+val schedule_into : Dsim.Scheduler.t -> Engine.t -> record list -> int
+(** Schedules every record as a packet-arrival event on an existing
+    scheduler/engine pair (without running), returning how many were
+    scheduled.  {!replay} is built on this; {!Recovery} uses it to queue the
+    post-checkpoint suffix before restored timers are re-armed.  Records at
+    times before the scheduler's clock raise [Invalid_argument] — filter
+    first. *)
+
 val replay : ?config:Config.t -> record list -> Engine.t
 (** Runs an engine over the trace under virtual time and returns it (with
     its alerts, counters and fact base) for inspection.  Records need not
     be sorted. *)
+
+val replay_until :
+  ?config:Config.t -> until:Dsim.Time.t -> record list -> Dsim.Scheduler.t * Engine.t
+(** Like {!replay} but stops the clock at a fixed horizon instead of
+    draining the queue — required under configs whose periodic sweep
+    re-arms itself forever, and for digest comparison at a common instant
+    (see [Snapshot.digest]). *)

@@ -43,6 +43,7 @@ let cancel timer =
   | Fired | Cancelled -> ()
 
 let is_cancelled timer = timer.state = Cancelled
+let fire_time timer = timer.fire_at
 let pending t = t.live
 
 let step t =

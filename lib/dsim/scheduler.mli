@@ -26,6 +26,10 @@ val cancel : timer -> unit
 
 val is_cancelled : timer -> bool
 
+val fire_time : timer -> Time.t
+(** Absolute time the timer is (or was) due to fire; used when
+    checkpointing pending timers. *)
+
 val pending : t -> int
 (** Number of live (non-cancelled) queued events. *)
 

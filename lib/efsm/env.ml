@@ -21,6 +21,9 @@ let bindings table =
 
 let local_bindings t = bindings t.locals
 let global_bindings t = bindings t.shared
+let reset_locals t = Hashtbl.reset t.locals
+let globals_bindings (g : globals) = bindings g
+let globals_put (g : globals) name value = Hashtbl.replace g name value
 
 let value_bytes = function
   | Value.Int _ | Value.Bool _ | Value.Float _ -> 8

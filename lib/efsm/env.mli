@@ -30,6 +30,17 @@ val local_bindings : t -> (string * Value.t) list
 
 val global_bindings : t -> (string * Value.t) list
 
+(** {1 Checkpoint support} *)
+
+val reset_locals : t -> unit
+(** Drops every local binding; used when restoring a machine from a
+    snapshot. *)
+
+val globals_bindings : globals -> (string * Value.t) list
+(** Sorted by name, like {!local_bindings}. *)
+
+val globals_put : globals -> string -> Value.t -> unit
+
 val estimated_bytes : t -> int
 (** Rough memory footprint of the locals (strings dominate), used by the
     fact base to report the paper's per-call memory cost. *)

@@ -98,3 +98,14 @@ let step t event =
 
 let trace t = List.rev t.trace
 let configuration t = (t.state, Env.local_bindings t.env)
+
+let restore t ~state ~vars ~trace =
+  if not (List.mem state (states t.spec)) then
+    Error (Printf.sprintf "%s: unknown state %S in snapshot" t.spec.spec_name state)
+  else begin
+    t.state <- state;
+    Env.reset_locals t.env;
+    List.iter (fun (name, value) -> Env.set t.env Local name value) vars;
+    t.trace <- List.rev trace;
+    Ok ()
+  end

@@ -97,3 +97,14 @@ val trace : t -> (Dsim.Time.t * string) list
 
 val configuration : t -> string * (string * Value.t) list
 (** Current state and local variable bindings. *)
+
+val restore :
+  t ->
+  state:string ->
+  vars:(string * Value.t) list ->
+  trace:(Dsim.Time.t * string) list ->
+  (unit, string) result
+(** Overwrites the instance's configuration from a snapshot: current state
+    (validated against the spec's state set), local variables and transition
+    history ([trace] oldest first).  Global variables belong to the system
+    and are restored separately. *)

@@ -56,7 +56,18 @@ let cancel_timer t machine_name id =
       t.timer_host.cancel handle;
       Hashtbl.remove t.timers (machine_name, id)
 
-let rec apply_effects t machine_name effects =
+let rec arm_timer t machine_name id ~delay =
+  cancel_timer t machine_name id;
+  let handle =
+    t.timer_host.set delay (fun () ->
+        Hashtbl.remove t.timers (machine_name, id);
+        let event = Event.make Event.Timer ~at:(t.timer_host.now ()) id in
+        feed t machine_name event ~is_data:false;
+        drain_sync t)
+  in
+  Hashtbl.replace t.timers (machine_name, id) handle
+
+and apply_effects t machine_name effects =
   List.iter
     (fun effect ->
       match effect with
@@ -66,16 +77,7 @@ let rec apply_effects t machine_name effects =
               ~at:(t.timer_host.now ()) event_name
           in
           Queue.add (target, event) t.sync_queue
-      | Machine.Set_timer { id; delay } ->
-          cancel_timer t machine_name id;
-          let handle =
-            t.timer_host.set delay (fun () ->
-                Hashtbl.remove t.timers (machine_name, id);
-                let event = Event.make Event.Timer ~at:(t.timer_host.now ()) id in
-                feed t machine_name event ~is_data:false;
-                drain_sync t)
-          in
-          Hashtbl.replace t.timers (machine_name, id) handle
+      | Machine.Set_timer { id; delay } -> arm_timer t machine_name id ~delay
       | Machine.Cancel_timer id -> cancel_timer t machine_name id)
     effects
 
@@ -127,6 +129,24 @@ let inject t ~machine event =
 
 let queued_sync t = Queue.length t.sync_queue
 let all_final t = Hashtbl.fold (fun _ m acc -> acc && Machine.is_final m) t.machines true
+
+(* --------------------------------------------------------------- *)
+(* Checkpoint support                                               *)
+(* --------------------------------------------------------------- *)
+
+let pending_sync t = List.of_seq (Queue.to_seq t.sync_queue)
+let push_sync t ~target event = Queue.add (target, event) t.sync_queue
+
+let pending_timers t =
+  Hashtbl.fold
+    (fun (machine, id) handle acc -> (machine, id, Dsim.Scheduler.fire_time handle) :: acc)
+    t.timers []
+  |> List.sort compare
+
+let restore_timer t ~machine ~id ~fire_at =
+  let now = t.timer_host.now () in
+  let delay = if Dsim.Time.( > ) fire_at now then Dsim.Time.sub fire_at now else Dsim.Time.zero in
+  arm_timer t machine id ~delay
 
 let estimated_bytes t =
   Hashtbl.fold (fun _ m acc -> acc + Env.estimated_bytes (Machine.env m)) t.machines 0

@@ -56,5 +56,25 @@ val all_final : t -> bool
 val estimated_bytes : t -> int
 (** Sum of the machines' local variable footprints. *)
 
+(** {1 Checkpoint support}
+
+    A system's transient channel state — queued δ synchronization events and
+    armed timers — must survive a checkpoint/restore cycle for recovery to
+    converge with an uninterrupted run. *)
+
+val pending_sync : t -> (string * Event.t) list
+(** Queued synchronization events in FIFO order, with their target machine. *)
+
+val push_sync : t -> target:string -> Event.t -> unit
+(** Re-enqueues a synchronization event during restore (appends in call
+    order, preserving FIFO). *)
+
+val pending_timers : t -> (string * string * Dsim.Time.t) list
+(** Armed timers as (machine, timer id, absolute fire time), sorted. *)
+
+val restore_timer : t -> machine:string -> id:string -> fire_at:Dsim.Time.t -> unit
+(** Re-arms a timer to fire at [fire_at] (immediately if that is already in
+    the past), routing expiry to the owning machine as usual. *)
+
 val release : t -> unit
 (** Cancels all pending timers; call when the call record is deleted. *)

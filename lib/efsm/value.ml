@@ -50,6 +50,62 @@ let to_string t = Format.asprintf "%a" pp t
 let type_error expected got =
   raise (Type_error (Printf.sprintf "expected %s, got %s" expected (to_string got)))
 
+(* Wire tokens for checkpointing: compact, space-free, and exact (floats
+   round-trip through their bit pattern, strings through hex). *)
+
+let hex_of_string s =
+  let buffer = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buffer (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buffer
+
+let string_of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then Error "odd-length hex"
+  else
+    try
+      Ok (String.init (n / 2) (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
+    with Failure _ -> Error "invalid hex digit"
+
+let to_token = function
+  | Int n -> Printf.sprintf "i%d" n
+  | Str s -> "s" ^ hex_of_string s
+  | Bool b -> if b then "b1" else "b0"
+  | Float f -> Printf.sprintf "f%Lx" (Int64.bits_of_float f)
+  | Addr (h, p) -> Printf.sprintf "a%s:%d" (hex_of_string h) p
+  | Unset -> "u"
+
+let of_token token =
+  if String.length token = 0 then Error "empty value token"
+  else
+    let body = String.sub token 1 (String.length token - 1) in
+    match token.[0] with
+    | 'i' -> (
+        match int_of_string_opt body with
+        | Some n -> Ok (Int n)
+        | None -> Error "bad int token")
+    | 's' -> Result.map (fun s -> Str s) (string_of_hex body)
+    | 'b' -> (
+        match body with
+        | "0" -> Ok (Bool false)
+        | "1" -> Ok (Bool true)
+        | _ -> Error "bad bool token")
+    | 'f' -> (
+        match Int64.of_string_opt ("0x" ^ body) with
+        | Some bits -> Ok (Float (Int64.float_of_bits bits))
+        | None -> Error "bad float token")
+    | 'a' -> (
+        match String.index_opt body ':' with
+        | None -> Error "bad addr token"
+        | Some i -> (
+            let host_hex = String.sub body 0 i in
+            let port_str = String.sub body (i + 1) (String.length body - i - 1) in
+            match (string_of_hex host_hex, int_of_string_opt port_str) with
+            | Ok host, Some port -> Ok (Addr (host, port))
+            | Error e, _ -> Error e
+            | _, None -> Error "bad addr port"))
+    | 'u' -> if body = "" then Ok Unset else Error "bad unset token"
+    | _ -> Error "unknown value token"
+
 let as_int = function Int n -> n | v -> type_error "int" v
 let as_str = function Str s -> s | v -> type_error "string" v
 let as_bool = function Bool b -> b | v -> type_error "bool" v

@@ -19,6 +19,20 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+(** {1 Checkpoint serialization}
+
+    Space-free wire tokens: [of_token (to_token v) = Ok v] for every value,
+    exactly — floats round-trip through their IEEE bit pattern and strings
+    through hex, so arbitrary bytes survive. *)
+
+val to_token : t -> string
+
+val of_token : string -> (t, string) result
+
+val hex_of_string : string -> string
+
+val string_of_hex : string -> (string, string) result
+
 (** Coercions; raise [Type_error] with a descriptive message. *)
 
 exception Type_error of string
