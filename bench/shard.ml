@@ -1,0 +1,319 @@
+(* Shard bench: throughput scaling and cross-shard determinism.
+
+   Two questions, answered in BENCH_shard.json:
+
+   1. How does throughput scale with the shard count?  The same call-heavy
+      trace (full dialogs with media, abandoned calls, an INVITE flood and
+      a DRDoS burst) is replayed through [Shard_engine.run_trace] at 1, 2,
+      4 and 8 shards, and through the sequential [Vids.Trace.replay] as
+      the baseline.
+   2. Is the sharded engine deterministic and faithful?  The merged
+      partition-local alert multiset (everything except the two
+      cross-shard detectors) must be digest-identical to the sequential
+      engine's at every shard count, and every sequential INVITE-flood /
+      DRDoS alert must have an aggregated counterpart on the same subject
+      within one detector window.  Violations fail the run, and so CI.
+
+   Scale comes from argv: [shard.exe 5000 2] runs 5000 calls up to 2
+   shards (the CI smoke preset); the default is 100000 calls up to 8
+   shards.  The >= 2x speedup gate at 4 shards is enforced only when the
+   machine has at least 4 cores and 4 shards were run. *)
+
+let ms = Dsim.Time.of_ms
+let sip_addr host = Dsim.Addr.v host 5060
+
+let invite ~call_id ~media_host ~port =
+  let body =
+    Printf.sprintf
+      "v=0\r\no=alice 0 0 IN IP4 %s\r\ns=-\r\nc=IN IP4 %s\r\nt=0 0\r\nm=audio %d RTP/AVP 18\r\n"
+      media_host media_host port
+  in
+  Printf.sprintf
+    "INVITE sip:bob@b.example SIP/2.0\r\n\
+     Via: SIP/2.0/UDP 10.1.0.2:5060;branch=z9hG4bK%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>\r\n\
+     Call-ID: %s\r\n\
+     CSeq: 1 INVITE\r\n\
+     Contact: <sip:alice@10.1.0.10:5060>\r\n\
+     Content-Type: application/sdp\r\n\
+     Content-Length: %d\r\n\r\n%s"
+    call_id call_id call_id (String.length body) body
+
+let response ~call_id ~code ~cseq ~media_host ~port =
+  let body =
+    match media_host with
+    | None -> ""
+    | Some host ->
+        Printf.sprintf
+          "v=0\r\no=bob 0 0 IN IP4 %s\r\ns=-\r\nc=IN IP4 %s\r\nt=0 0\r\nm=audio %d RTP/AVP 18\r\n"
+          host host port
+  in
+  Printf.sprintf
+    "SIP/2.0 %d X\r\n\
+     Via: SIP/2.0/UDP 10.1.0.2:5060;branch=z9hG4bK%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>;tag=tb-%s\r\n\
+     Call-ID: %s\r\nCSeq: %s\r\n%sContent-Length: %d\r\n\r\n%s"
+    code call_id call_id call_id call_id cseq
+    (if media_host <> None then "Content-Type: application/sdp\r\n" else "")
+    (String.length body) body
+
+let ack ~call_id =
+  Printf.sprintf
+    "ACK sip:bob@10.2.0.10 SIP/2.0\r\n\
+     Via: SIP/2.0/UDP 10.1.0.10:5060;branch=z9hG4bKa-%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>;tag=tb-%s\r\n\
+     Call-ID: %s\r\nCSeq: 1 ACK\r\n\r\n"
+    call_id call_id call_id call_id
+
+let bye ~call_id =
+  Printf.sprintf
+    "BYE sip:bob@10.2.0.10 SIP/2.0\r\n\
+     Via: SIP/2.0/UDP 10.1.0.10:5060;branch=z9hG4bKb-%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>;tag=tb-%s\r\n\
+     Call-ID: %s\r\nCSeq: 2 BYE\r\n\r\n"
+    call_id call_id call_id call_id
+
+let rtp_bytes ~seq =
+  Rtp.Rtp_packet.encode
+    (Rtp.Rtp_packet.make ~payload_type:18 ~sequence:seq
+       ~timestamp:(Int32.of_int (160 * seq)) ~ssrc:77l (String.make 20 'v'))
+
+(* Every 10 ms a new call starts; two in three run a full dialog with a
+   media burst, one in three is abandoned after the INVITE.  Each call gets
+   its own media hosts so the dispatcher's address bindings never collide
+   across calls (address reuse is the one documented partition epsilon and
+   not what this bench measures).  An INVITE flood and a DRDoS burst ride
+   on top so the cross-shard aggregation path is exercised too. *)
+let make_trace ~calls =
+  let records = ref [] in
+  let add at src dst payload = records := { Vids.Trace.at; src; dst; payload } :: !records in
+  let a_sig = sip_addr "10.1.0.2" and b_sig = sip_addr "10.2.0.2" in
+  for i = 0 to calls - 1 do
+    let call_id = Printf.sprintf "bench-%d" i in
+    let t0 = ms (float_of_int (10 * i)) in
+    let a_media = Printf.sprintf "10.1.%d.%d" (1 + (i / 250)) (i mod 250) in
+    let b_media = Printf.sprintf "10.2.%d.%d" (1 + (i / 250)) (i mod 250) in
+    let port = 20000 in
+    let ( +& ) a b = Dsim.Time.add a b in
+    add t0 a_sig b_sig (invite ~call_id ~media_host:a_media ~port);
+    if i mod 3 <> 2 then begin
+      add (t0 +& ms 20.)
+        b_sig a_sig (response ~call_id ~code:180 ~cseq:"1 INVITE" ~media_host:None ~port);
+      add (t0 +& ms 40.)
+        b_sig a_sig (response ~call_id ~code:200 ~cseq:"1 INVITE" ~media_host:(Some b_media) ~port);
+      add (t0 +& ms 60.) a_sig b_sig (ack ~call_id);
+      let media_src = Dsim.Addr.v a_media port in
+      let media_dst = Dsim.Addr.v b_media port in
+      for s = 0 to 4 do
+        add (t0 +& ms (80. +. (20. *. float_of_int s))) media_src media_dst (rtp_bytes ~seq:s)
+      done;
+      add (t0 +& ms 600.) a_sig b_sig (bye ~call_id);
+      add (t0 +& ms 620.)
+        b_sig a_sig (response ~call_id ~code:200 ~cseq:"2 BYE" ~media_host:None ~port)
+    end
+  done;
+  (* Partition-local alert fodder, so the determinism digest compares a
+     non-empty multiset: a malformed SIP message from a distinct source
+     every 40th call (Spec_deviation keyed by source), and three rogue RTP
+     floods to addresses no SDP ever advertised (Rtp_flood keyed by
+     destination). *)
+  for i = 0 to (calls / 40) - 1 do
+    add
+      (ms (float_of_int ((10 * 40 * i) + 5)))
+      (sip_addr (Printf.sprintf "10.7.%d.%d" (1 + (i / 250)) (i mod 250)))
+      b_sig "NOT/A SIP MESSAGE\r\n\r\n"
+  done;
+  for stream = 0 to 2 do
+    let rogue_src = Dsim.Addr.v (Printf.sprintf "10.5.0.%d" stream) 22000 in
+    let rogue_dst = Dsim.Addr.v (Printf.sprintf "10.6.0.%d" stream) 22000 in
+    for s = 0 to 199 do
+      add
+        (Dsim.Time.add (ms (float_of_int (100 * stream))) (ms (float_of_int (4 * s))))
+        rogue_src rogue_dst (rtp_bytes ~seq:s)
+    done
+  done;
+  (* INVITE flood: 12 INVITEs with distinct Call-IDs toward one callee in
+     200 ms — the Call-IDs scatter across shards, so only aggregation can
+     see the burst. *)
+  let flood_t0 = ms (float_of_int (10 * calls)) in
+  for k = 0 to 11 do
+    let call_id = Printf.sprintf "flood-%d" k in
+    add
+      (Dsim.Time.add flood_t0 (ms (float_of_int (17 * k))))
+      (sip_addr (Printf.sprintf "10.9.0.%d" k))
+      b_sig
+      (invite ~call_id ~media_host:"10.9.1.1" ~port:21000)
+  done;
+  (* DRDoS: 40 orphan responses from scattered reflectors toward one
+     victim in 2 s. *)
+  let drdos_t0 = Dsim.Time.add flood_t0 (ms 2000.) in
+  let victim = sip_addr "10.66.0.1" in
+  for k = 0 to 39 do
+    let call_id = Printf.sprintf "reflect-%d" k in
+    add
+      (Dsim.Time.add drdos_t0 (ms (float_of_int (50 * k))))
+      (sip_addr (Printf.sprintf "10.8.%d.%d" (k / 100) (k mod 100)))
+      victim
+      (response ~call_id ~code:200 ~cseq:"1 INVITE" ~media_host:None ~port:21000)
+  done;
+  List.rev !records
+
+(* ------------------------------------------------------------------ *)
+
+let is_global (a : Vids.Alert.t) =
+  match a.Vids.Alert.kind with
+  | Vids.Alert.Invite_flood | Vids.Alert.Drdos -> true
+  | _ -> false
+
+(* Canonical digest of the partition-local alert multiset. *)
+let local_digest alerts =
+  alerts
+  |> List.filter (fun a -> not (is_global a))
+  |> List.map (fun (a : Vids.Alert.t) ->
+         Printf.sprintf "%s|%s|%d"
+           (Vids.Alert.kind_to_string a.kind)
+           a.subject
+           (Dsim.Time.to_us a.at))
+  |> List.sort String.compare
+  |> String.concat "\n"
+  |> fun s -> Digest.to_hex (Digest.string s)
+
+(* Every sequential cross-shard alert must have an aggregated counterpart
+   on the same (kind, subject) within one detector window. *)
+let globals_covered ~config sequential sharded =
+  let window (a : Vids.Alert.t) =
+    match a.Vids.Alert.kind with
+    | Vids.Alert.Invite_flood -> config.Vids.Config.invite_flood_window
+    | _ -> config.Vids.Config.drdos_window
+  in
+  List.for_all
+    (fun (s : Vids.Alert.t) ->
+      List.exists
+        (fun (a : Vids.Alert.t) ->
+          a.kind = s.kind && String.equal a.subject s.subject
+          && Dsim.Time.to_us (window s)
+             >= abs (Dsim.Time.to_us a.at - Dsim.Time.to_us s.at))
+        sharded)
+    (List.filter is_global sequential)
+
+type run = {
+  shards : int;
+  wall_s : float;
+  records_per_s : float;
+  speedup : float;
+  stalls : int;
+  alerts : int;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  deterministic : bool;
+  globals_ok : bool;
+}
+
+let json_of_run r =
+  Printf.sprintf
+    "    {\"shards\": %d, \"wall_s\": %.4f, \"records_per_s\": %.0f, \"speedup\": %.2f, \
+     \"stalls\": %d, \"alerts\": %d, \"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": %.2f, \
+     \"deterministic\": %b, \"globals_covered\": %b}"
+    r.shards r.wall_s r.records_per_s r.speedup r.stalls r.alerts r.p50_us r.p95_us r.p99_us
+    r.deterministic r.globals_ok
+
+let () =
+  let calls = try int_of_string Sys.argv.(1) with _ -> 100_000 in
+  let max_shards = try int_of_string Sys.argv.(2) with _ -> 8 in
+  let config = Vids.Config.default in
+  let trace = make_trace ~calls in
+  let n_records = List.length trace in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "trace: %d calls, %d records; %d cores recommended\n%!" calls n_records cores;
+  let t0 = Unix.gettimeofday () in
+  let sequential = Vids.Trace.replay ~config trace in
+  let seq_wall = Unix.gettimeofday () -. t0 in
+  let seq_alerts = Vids.Engine.alerts sequential in
+  let seq_digest = local_digest seq_alerts in
+  Printf.printf "sequential: %.2f s, %.0f records/s, %d alerts\n%!" seq_wall
+    (float_of_int n_records /. seq_wall)
+    (List.length seq_alerts);
+  let shard_counts = List.filter (fun n -> n <= max_shards) [ 1; 2; 4; 8 ] in
+  let runs =
+    List.map
+      (fun shards ->
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          Shard.Shard_engine.run_trace ~config ~measure_latency:true ~shards trace
+        in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let stalls =
+          Array.fold_left (fun acc s -> acc + s.Shard.Shard_engine.stalls) 0
+            outcome.Shard.Shard_engine.per_shard
+        in
+        let q = Option.get outcome.Shard.Shard_engine.latency in
+        let us f = 1e6 *. f in
+        let run =
+          {
+            shards;
+            wall_s;
+            records_per_s = float_of_int n_records /. wall_s;
+            speedup = seq_wall /. wall_s;
+            stalls;
+            alerts = List.length outcome.Shard.Shard_engine.alerts;
+            p50_us = us (Dsim.Stat.Quantiles.p50 q);
+            p95_us = us (Dsim.Stat.Quantiles.p95 q);
+            p99_us = us (Dsim.Stat.Quantiles.p99 q);
+            deterministic =
+              String.equal seq_digest (local_digest outcome.Shard.Shard_engine.alerts);
+            globals_ok =
+              globals_covered ~config seq_alerts outcome.Shard.Shard_engine.alerts;
+          }
+        in
+        Printf.printf
+          "%d shards: %.2f s, %.0f records/s, speedup %.2fx, %d stalls, %d alerts, \
+           deterministic=%b, globals=%b\n\
+           %!"
+          shards wall_s run.records_per_s run.speedup stalls run.alerts run.deterministic
+          run.globals_ok;
+        run)
+      shard_counts
+  in
+  let deterministic = List.for_all (fun r -> r.deterministic && r.globals_ok) runs in
+  let speedup_at_4 =
+    match List.find_opt (fun r -> r.shards = 4) runs with
+    | Some r -> r.speedup
+    | None -> 0.
+  in
+  (* The 2x gate is meaningful only with enough cores to actually run four
+     workers in parallel. *)
+  let gate_enforced = cores >= 4 && List.exists (fun r -> r.shards = 4) runs in
+  let gate_passed = (not gate_enforced) || speedup_at_4 >= 2.0 in
+  let oc = open_out "BENCH_shard.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"shard\",\n\
+    \  \"calls\": %d,\n\
+    \  \"records\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"sequential_wall_s\": %.4f,\n\
+    \  \"sequential_records_per_s\": %.0f,\n\
+    \  \"deterministic\": %b,\n\
+    \  \"speedup_at_4\": %.2f,\n\
+    \  \"gate\": {\"required_speedup_at_4\": 2.0, \"enforced\": %b, \"passed\": %b},\n\
+    \  \"scaling\": [\n%s\n  ]\n\
+     }\n"
+    calls n_records cores seq_wall
+    (float_of_int n_records /. seq_wall)
+    deterministic speedup_at_4 gate_enforced gate_passed
+    (String.concat ",\n" (List.map json_of_run runs));
+  close_out oc;
+  print_endline "wrote BENCH_shard.json";
+  if not deterministic then begin
+    prerr_endline "FAIL: sharded alert multiset diverged from the sequential engine";
+    exit 1
+  end;
+  if not gate_passed then begin
+    Printf.eprintf "FAIL: speedup at 4 shards %.2fx < 2.0x\n" speedup_at_4;
+    exit 1
+  end

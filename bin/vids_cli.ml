@@ -81,6 +81,39 @@ let finish_checkpointing = function
       Vids.Journal.close_writer writer;
       Format.printf "checkpoints: %s (journal %s)@." snapshot_path journal_path
 
+(* Sharded analysis shared by [simulate], [detect] and [analyze]: with
+   --shards N > 1 the engine is replaced by [Shard_engine] worker domains
+   fed from a tap on the vIDS node (monitor semantics — a sharded engine
+   cannot sit inline), checkpointing per shard under --checkpoint-file. *)
+let shard_checkpoint checkpointing =
+  if checkpointing.interval <= 0.0 then None
+  else
+    Some
+      { Shard.Shard_engine.prefix = checkpointing.file; every = sec checkpointing.interval }
+
+let start_sharded ~shards ~config ~checkpointing ~horizon tb =
+  let eng =
+    Shard.Shard_engine.create ~config ?checkpoint:(shard_checkpoint checkpointing)
+      ~horizon ~shards ()
+  in
+  Dsim.Network.set_tap tb.T.vids_node
+    (Some
+       (fun packet ->
+         Shard.Shard_engine.feed eng
+           (Vids.Trace.record_of_packet ~at:(Dsim.Scheduler.now tb.T.sched) packet)));
+  eng
+
+let finish_sharded ~checkpointing eng =
+  let outcome = Shard.Shard_engine.finish eng in
+  Shard.Shard_engine.report Format.std_formatter outcome;
+  (match shard_checkpoint checkpointing with
+  | None -> ()
+  | Some ck ->
+      Format.printf "checkpoints: %s.shard0..%d (journals ….journal)@."
+        ck.Shard.Shard_engine.prefix
+        (outcome.Shard.Shard_engine.shards - 1));
+  outcome
+
 let governance_summary engine =
   let stats = Vids.Engine.memory_stats engine in
   let c = Vids.Engine.counters engine in
@@ -94,18 +127,23 @@ let governance_summary engine =
       stats.Vids.Fact_base.calls_evicted stats.Vids.Fact_base.detectors_evicted
       stats.Vids.Fact_base.calls_swept c.Vids.Engine.faults c.Vids.Engine.rtp_shed
 
-let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpointing =
+let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpointing shards =
   match mode_of_string mode_str with
   | Error e ->
       prerr_endline e;
       1
   | Ok mode ->
       let config = apply_governance governance Vids.Config.default in
-      let tb = T.make ~seed ~n_ua ~vids:mode ~config () in
+      let sharded = shards > 1 && mode <> T.Off in
+      let tb = T.make ~seed ~n_ua ~vids:(if sharded then T.Off else mode) ~config () in
+      let horizon = sec (60.0 *. minutes) in
+      let shard_eng =
+        if sharded then Some (start_sharded ~shards ~config ~checkpointing ~horizon tb)
+        else None
+      in
       let ck =
         match tb.T.engine with
-        | Some engine ->
-            start_checkpointing checkpointing tb.T.sched engine ~horizon:(sec (60.0 *. minutes))
+        | Some engine -> start_checkpointing checkpointing tb.T.sched engine ~horizon
         | None -> None
       in
       let profile =
@@ -115,7 +153,7 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
           min_duration = sec 5.0;
         }
       in
-      T.run_workload tb ~profile ~duration:(sec (60.0 *. minutes)) ();
+      T.run_workload tb ~profile ~duration:horizon ();
       finish_checkpointing ck;
       let m = tb.T.metrics in
       Format.printf "workload: %d calls attempted, %d established, %d completed, %d failed@."
@@ -142,6 +180,9 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
               + Vids.Config.default.Vids.Config.rtp_state_bytes));
           governance_summary engine;
           List.iter (fun a -> Format.printf "  %a@." Vids.Alert.pp a) (Vids.Engine.alerts engine));
+      (match shard_eng with
+      | None -> ()
+      | Some eng -> ignore (finish_sharded ~checkpointing eng));
       0
 
 (* ------------------------------------------------------------------ *)
@@ -151,12 +192,19 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
 let all_attacks = [ "bye-dos"; "cancel-dos"; "hijack"; "media-spam"; "billing-fraud";
                     "invite-flood"; "rtp-flood"; "drdos" ]
 
-let detect seed attacks governance checkpointing =
+let detect seed attacks governance checkpointing shards =
   let attacks = if attacks = [] then all_attacks else attacks in
   let config = apply_governance governance Vids.Config.default in
-  let tb = T.make ~seed ~vids:T.Monitor ~config () in
+  let sharded = shards > 1 in
+  let tb = T.make ~seed ~vids:(if sharded then T.Off else T.Monitor) ~config () in
   let horizon = sec (40.0 +. (25.0 *. float_of_int (List.length attacks))) in
-  let ck = start_checkpointing checkpointing tb.T.sched (T.engine_exn tb) ~horizon in
+  let shard_eng =
+    if sharded then Some (start_sharded ~shards ~config ~checkpointing ~horizon tb) else None
+  in
+  let ck =
+    if sharded then None
+    else start_checkpointing checkpointing tb.T.sched (T.engine_exn tb) ~horizon
+  in
   let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
   let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
   let unknown = ref [] in
@@ -190,16 +238,24 @@ let detect seed attacks governance checkpointing =
       Format.eprintf "unknown attacks: %s (choose from %s)@."
         (String.concat ", " !unknown) (String.concat ", " all_attacks);
       1
-  | [] ->
+  | [] -> (
       T.run_until tb horizon;
       finish_checkpointing ck;
-      let engine = T.engine_exn tb in
-      List.iter (fun a -> Format.printf "%a@." Vids.Alert.pp a) (Vids.Engine.alerts engine);
-      let c = Vids.Engine.counters engine in
-      Format.printf "%d distinct alert(s); %d duplicates suppressed@." c.Vids.Engine.alerts_raised
-        c.Vids.Engine.alerts_suppressed;
-      governance_summary engine;
-      0
+      match shard_eng with
+      | Some eng ->
+          let outcome = finish_sharded ~checkpointing eng in
+          let c = outcome.Shard.Shard_engine.counters in
+          Format.printf "%d distinct alert(s); %d duplicates suppressed@."
+            c.Vids.Engine.alerts_raised c.Vids.Engine.alerts_suppressed;
+          0
+      | None ->
+          let engine = T.engine_exn tb in
+          List.iter (fun a -> Format.printf "%a@." Vids.Alert.pp a) (Vids.Engine.alerts engine);
+          let c = Vids.Engine.counters engine in
+          Format.printf "%d distinct alert(s); %d duplicates suppressed@."
+            c.Vids.Engine.alerts_raised c.Vids.Engine.alerts_suppressed;
+          governance_summary engine;
+          0)
 
 (* ------------------------------------------------------------------ *)
 (* record / analyze: offline trace workflow                            *)
@@ -245,7 +301,7 @@ let record seed attacks path =
   Format.printf "wrote %d packets to %s@." (List.length records) path;
   0
 
-let analyze path checkpointing =
+let analyze path checkpointing shards =
   let ic = open_in path in
   let loaded = Vids.Trace.load ic in
   close_in ic;
@@ -253,6 +309,30 @@ let analyze path checkpointing =
   | Error e ->
       Format.eprintf "trace error: %s@." e;
       1
+  | Ok records when shards > 1 ->
+      Format.printf "replaying %d packets across %d shards...@." (List.length records) shards;
+      let horizon =
+        (* Mirror the sequential checkpointing path's bounded drain; an
+           unbounded drain otherwise. *)
+        if checkpointing.interval <= 0.0 then None
+        else
+          Some
+            (Dsim.Time.add
+               (List.fold_left
+                  (fun acc r -> Dsim.Time.max acc r.Vids.Trace.at)
+                  Dsim.Time.zero records)
+               (sec 60.0))
+      in
+      let eng =
+        Shard.Shard_engine.create ?checkpoint:(shard_checkpoint checkpointing) ?horizon
+          ~shards ()
+      in
+      List.iter (Shard.Shard_engine.feed eng)
+        (List.stable_sort
+           (fun (a : Vids.Trace.record) b -> Dsim.Time.compare a.at b.at)
+           records);
+      ignore (finish_sharded ~checkpointing eng);
+      0
   | Ok records ->
       Format.printf "replaying %d packets...@." (List.length records);
       let engine =
@@ -284,8 +364,42 @@ let analyze path checkpointing =
 (* recover: crash recovery from checkpoint + journal + trace           *)
 (* ------------------------------------------------------------------ *)
 
-let recover snapshot_path journal_path trace_path until =
+let recover_sharded snapshot_path trace_path until shards =
+  match trace_path with
+  | None ->
+      Format.eprintf "sharded recovery needs --trace to re-partition the traffic@.";
+      1
+  | Some trace_path -> (
+      let ic = open_in trace_path in
+      let loaded = Vids.Trace.load ic in
+      close_in ic;
+      match loaded with
+      | Error e ->
+          Format.eprintf "trace error: %s@." e;
+          1
+      | Ok trace -> (
+          match
+            Shard.Shard_engine.recover ?horizon:until ~prefix:snapshot_path ~shards ~trace ()
+          with
+          | Error e ->
+              Format.eprintf "recovery failed: %s@." e;
+              1
+          | Ok r ->
+              Format.printf "recovered %d shards from %s.shard* (checkpoint #%d at %a)@."
+                shards snapshot_path r.Shard.Shard_engine.snapshot_seq Dsim.Time.pp
+                r.Shard.Shard_engine.snapshot_at;
+              Array.iteri
+                (fun i fb -> if fb then Format.printf "  shard %d used its rotated snapshot@." i)
+                r.Shard.Shard_engine.used_fallback;
+              Format.printf "replayed %d packet(s) recorded after the checkpoint@.@."
+                r.Shard.Shard_engine.replayed;
+              Shard.Shard_engine.report Format.std_formatter r.Shard.Shard_engine.outcome;
+              0))
+
+let recover snapshot_path journal_path trace_path until shards =
   let until = Option.map sec until in
+  if shards > 1 then recover_sharded snapshot_path trace_path until shards
+  else
   match
     Vids.Recovery.recover_files ?journal_path ?trace_path ?until ~snapshot_path ()
   with
@@ -467,6 +581,14 @@ let checkpoint_term =
   in
   Term.(const (fun interval file -> { interval; file }) $ interval $ file)
 
+let shards_term =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the analysis across $(docv) worker domains (1 = the sequential engine). \
+           More than one shard implies monitor semantics and per-shard checkpoint files.")
+
 let simulate_cmd =
   let n_ua = Arg.(value & opt int 10 & info [ "uas" ] ~doc:"UAs per enterprise network.") in
   let mode =
@@ -481,7 +603,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the enterprise workload and report performance")
     Term.(
       const simulate $ seed_arg $ n_ua $ mode $ minutes $ gap $ talk $ governance_term
-      $ checkpoint_term)
+      $ checkpoint_term $ shards_term)
 
 let detect_cmd =
   let attacks =
@@ -489,7 +611,7 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Launch attack scenarios and print the vIDS alert log")
-    Term.(const detect $ seed_arg $ attacks $ governance_term $ checkpoint_term)
+    Term.(const detect $ seed_arg $ attacks $ governance_term $ checkpoint_term $ shards_term)
 
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -510,7 +632,7 @@ let analyze_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Replay a recorded trace through vIDS offline")
-    Term.(const analyze $ file $ checkpoint_term)
+    Term.(const analyze $ file $ checkpoint_term $ shards_term)
 
 let recover_cmd =
   let snapshot =
@@ -539,7 +661,7 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Rebuild a crashed engine from checkpoint + journal + trace and print its report")
-    Term.(const recover $ snapshot $ journal $ trace $ until)
+    Term.(const recover $ snapshot $ journal $ trace $ until $ shards_term)
 
 let check_specs_cmd =
   Cmd.v

@@ -1,5 +1,6 @@
 type call = {
   call_id : string;
+  key : int; (* interned Call-ID id; all secondary structures use this *)
   system : Efsm.System.t;
   sip : Efsm.Machine.t;
   rtp : Efsm.Machine.t;
@@ -29,8 +30,13 @@ type t = {
     detail:string ->
     unit;
   on_pressure : subject:string -> detail:string -> unit;
-  calls : (string, call) Hashtbl.t;
-  media_index : (string, string) Hashtbl.t; (* media addr -> call id *)
+  (* Call-ID strings are interned to dense ints ({!Intern}): the string is
+     hashed once per lookup — with the same FNV hash the shard partitioner
+     uses — and the call table, media index and eviction queue all key on
+     the cheap int instead of rehashing the string. *)
+  ids : Intern.t;
+  calls : (int, call) Hashtbl.t;
+  media_index : (string, int) Hashtbl.t; (* media addr -> interned call id *)
   floods : (string, detector) Hashtbl.t;
   spams : (string, detector) Hashtbl.t;
   drdoses : (string, detector) Hashtbl.t;
@@ -38,7 +44,7 @@ type t = {
      entries are validated lazily against the live tables, so a record
      deleted through the normal lifecycle just leaves a stale entry to be
      skipped.  created_at disambiguates a Call-ID reused after deletion. *)
-  call_order : (string * Dsim.Time.t) Queue.t;
+  call_order : (int * Dsim.Time.t) Queue.t;
   detector_order : (detector_kind * string * Dsim.Time.t) Queue.t;
   mutable peak : int;
   mutable created : int;
@@ -58,6 +64,7 @@ let create ?(on_pressure = fun ~subject:_ ~detail:_ -> ()) ~config ~timer_host ~
     on_alert;
     on_anomaly;
     on_pressure;
+    ids = Intern.create ();
     calls = Hashtbl.create 256;
     media_index = Hashtbl.create 256;
     floods = Hashtbl.create 64;
@@ -75,7 +82,10 @@ let create ?(on_pressure = fun ~subject:_ ~detail:_ -> ()) ~config ~timer_host ~
     sweep_next = None;
   }
 
-let find_call t call_id = Hashtbl.find_opt t.calls call_id
+let find_call t call_id =
+  match Intern.find t.ids call_id with
+  | None -> None
+  | Some key -> Hashtbl.find_opt t.calls key
 
 let system_callbacks t ~subject =
   let on_alert (n : Efsm.System.notification) =
@@ -93,8 +103,8 @@ let media_key addr = Dsim.Addr.to_string addr
 let delete_call t call =
   Efsm.System.release call.system;
   List.iter (fun addr -> Hashtbl.remove t.media_index (media_key addr)) call.media_addrs;
-  if Hashtbl.mem t.calls call.call_id then begin
-    Hashtbl.remove t.calls call.call_id;
+  if Hashtbl.mem t.calls call.key then begin
+    Hashtbl.remove t.calls call.key;
     t.deleted <- t.deleted + 1
   end
 
@@ -103,8 +113,8 @@ let delete_call t call =
 let rec evict_oldest_call t =
   match Queue.take_opt t.call_order with
   | None -> ()
-  | Some (call_id, created_at) -> (
-      match Hashtbl.find_opt t.calls call_id with
+  | Some (key, created_at) -> (
+      match Hashtbl.find_opt t.calls key with
       | Some call when Dsim.Time.equal call.created_at created_at ->
           delete_call t call;
           t.calls_evicted <- t.calls_evicted + 1;
@@ -113,12 +123,13 @@ let rec evict_oldest_call t =
              totals — the alert log must not grow with the attack. *)
           t.on_pressure ~subject:"fact-base/calls"
             ~detail:
-              (Printf.sprintf "call %s evicted: %d-call cap reached" call_id
+              (Printf.sprintf "call %s evicted: %d-call cap reached" call.call_id
                  t.config.Config.max_calls)
       | Some _ | None -> evict_oldest_call t)
 
 let create_call t ~call_id =
-  match Hashtbl.find_opt t.calls call_id with
+  let key = Intern.intern t.ids call_id in
+  match Hashtbl.find_opt t.calls key with
   | Some call ->
       (* Attacker-controlled input must never raise: a duplicate Call-ID
          resumes the existing record. *)
@@ -133,6 +144,7 @@ let create_call t ~call_id =
       let call =
         {
           call_id;
+          key;
           system;
           sip;
           rtp;
@@ -144,8 +156,8 @@ let create_call t ~call_id =
           recheck_at = None;
         }
       in
-      Hashtbl.replace t.calls call_id call;
-      Queue.add (call_id, call.created_at) t.call_order;
+      Hashtbl.replace t.calls key call;
+      Queue.add (key, call.created_at) t.call_order;
       t.created <- t.created + 1;
       let active = Hashtbl.length t.calls in
       if active > t.peak then t.peak <- active;
@@ -154,13 +166,13 @@ let create_call t ~call_id =
 let register_media t call addr =
   if not (List.exists (Dsim.Addr.equal addr) call.media_addrs) then begin
     call.media_addrs <- addr :: call.media_addrs;
-    Hashtbl.replace t.media_index (media_key addr) call.call_id
+    Hashtbl.replace t.media_index (media_key addr) call.key
   end
 
 let call_for_media t addr =
   match Hashtbl.find_opt t.media_index (media_key addr) with
   | None -> None
-  | Some call_id -> find_call t call_id
+  | Some key -> Hashtbl.find_opt t.calls key
 
 let known_media t addr = Hashtbl.mem t.media_index (media_key addr)
 
@@ -346,8 +358,8 @@ let kind_of_label = function
    processed the same traffic serialize identically. *)
 let calls_in_creation_order t =
   Queue.fold
-    (fun acc (call_id, created_at) ->
-      match Hashtbl.find_opt t.calls call_id with
+    (fun acc (key, created_at) ->
+      match Hashtbl.find_opt t.calls key with
       | Some call when Dsim.Time.equal call.created_at created_at -> call :: acc
       | Some _ | None -> acc)
     [] t.call_order
@@ -368,7 +380,8 @@ let detectors_in_creation_order t =
    restored separately and a snapshot never exceeds the caps it was taken
    under. *)
 let restore_call t ~call_id ~created_at =
-  if Hashtbl.mem t.calls call_id then
+  let key = Intern.intern t.ids call_id in
+  if Hashtbl.mem t.calls key then
     invalid_arg (Printf.sprintf "Fact_base.restore_call: duplicate call %S" call_id);
   let on_alert, on_anomaly = system_callbacks t ~subject:call_id in
   let system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
@@ -377,6 +390,7 @@ let restore_call t ~call_id ~created_at =
   let call =
     {
       call_id;
+      key;
       system;
       sip;
       rtp;
@@ -388,8 +402,8 @@ let restore_call t ~call_id ~created_at =
       recheck_at = None;
     }
   in
-  Hashtbl.replace t.calls call_id call;
-  Queue.add (call_id, created_at) t.call_order;
+  Hashtbl.replace t.calls key call;
+  Queue.add (key, created_at) t.call_order;
   call
 
 let restore_detector t kind ~key ~created_at =

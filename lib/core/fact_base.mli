@@ -16,6 +16,9 @@
 
 type call = {
   call_id : string;
+  key : int;
+      (** Interned Call-ID id ({!Intern.intern}); the call table, media index
+          and eviction queue all key on this instead of the string. *)
   system : Efsm.System.t;
   sip : Efsm.Machine.t;
   rtp : Efsm.Machine.t;

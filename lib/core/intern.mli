@@ -1,0 +1,32 @@
+(** Hash-consed string keys for the hot path.
+
+    The fact base looks calls up by Call-ID on every SIP packet, and the
+    sharded engine partitions traffic by hashing the same Call-ID.  Interning
+    maps each distinct key string to a small integer id, so the string is
+    hashed exactly once per operation (with {!hash}, the same function the
+    shard partitioner uses) and every secondary structure — the call table,
+    the media index, the eviction queue — works on cheap integer keys instead
+    of rehashing and re-comparing the string. *)
+
+val hash : string -> int
+(** FNV-1a over the bytes, folded to a non-negative OCaml [int].  This is
+    {e the} partition/intern hash: [Shard.Partition] routes by
+    [hash call_id mod shards] and the intern table buckets by the same
+    value, so one computation serves both. *)
+
+type t
+(** An intern table.  Ids are dense, starting at 0, in first-intern order. *)
+
+val create : ?size:int -> unit -> t
+
+val intern : t -> string -> int
+(** The id for this string, allocating one on first sight. *)
+
+val find : t -> string -> int option
+(** The id if already interned, without allocating. *)
+
+val name : t -> int -> string
+(** The string behind an id.  Raises [Invalid_argument] on an unknown id. *)
+
+val count : t -> int
+(** Number of distinct strings interned. *)

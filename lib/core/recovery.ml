@@ -22,7 +22,7 @@ type outcome = {
   replayed : int;
 }
 
-let recover ?config ?(journal = []) ?(trace = []) ?until snapshot =
+let recover ?config ?prepare ?(journal = []) ?(trace = []) ?until snapshot =
   let snapshot_at = Snapshot.at snapshot in
   let snapshot_seq = Snapshot.seq snapshot in
   let suffix = Journal.suffix_after ~seq:snapshot_seq ~at:snapshot_at journal in
@@ -35,6 +35,9 @@ let recover ?config ?(journal = []) ?(trace = []) ?until snapshot =
   in
   let replayed = ref 0 in
   let before_timers sched engine =
+    (* Caller hook first: a shard coordinator uses it to re-attach the
+       global-event listener before any packet or journal entry lands. *)
+    (match prepare with None -> () | Some f -> f sched engine);
     List.iter (Engine.merge_journal_alert engine) alerts;
     replayed := Trace.schedule_into sched engine packets
   in

@@ -19,14 +19,19 @@ type outcome = {
 
 val recover :
   ?config:Config.t ->
+  ?prepare:(Dsim.Scheduler.t -> Engine.t -> unit) ->
   ?journal:Journal.entry list ->
   ?trace:Trace.record list ->
   ?until:Dsim.Time.t ->
   Snapshot.t ->
   (outcome, string) result
-(** Pure-data recovery.  [until] bounds the clock ([run_until]); omit it to
-    drain the queue — but beware that configs with a periodic sweep re-arm
-    it forever, so bound governed runs. *)
+(** Pure-data recovery.  [prepare] runs on the restored engine before the
+    journal merge, the replay scheduling and the timer re-arm — the hook a
+    shard coordinator uses to re-attach {!Engine.set_global_listener} so
+    replayed packets feed the cross-shard aggregation again.  [until]
+    bounds the clock ([run_until]); omit it to drain the queue — but beware
+    that configs with a periodic sweep re-arm it forever, so bound governed
+    runs. *)
 
 type file_report = {
   outcome : outcome;

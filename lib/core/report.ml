@@ -43,6 +43,9 @@ let summary ppf engine =
       stats.Fact_base.calls_evicted stats.Fact_base.detectors_evicted stats.Fact_base.calls_swept;
   if c.Engine.faults > 0 then
     Format.fprintf ppf "faults contained: %d@." c.Engine.faults;
+  if c.Engine.backpressure_stalls > 0 then
+    Format.fprintf ppf "backpressure: %d producer stalls on the feed queue@."
+      c.Engine.backpressure_stalls;
   (match Engine.degraded_intervals engine with
   | [] -> ()
   | intervals ->

@@ -69,3 +69,12 @@ let run_until t limit =
     | Some _ | None -> continue := false
   done;
   if Time.( < ) t.clock limit then t.clock <- limit
+
+let advance_to t target =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some timer when Time.( < ) timer.fire_at target -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if Time.( < ) t.clock target then t.clock <- target

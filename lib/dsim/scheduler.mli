@@ -42,3 +42,12 @@ val run : t -> unit
 val run_until : t -> Time.t -> unit
 (** [run_until t limit] runs events with timestamps [<= limit], then advances
     the clock to [limit]. *)
+
+val advance_to : t -> Time.t -> unit
+(** [advance_to t target] runs events with timestamps strictly before
+    [target], then sets the clock to [target], leaving events due exactly at
+    [target] queued.  This is the streaming counterpart of pre-scheduling a
+    packet trace: a consumer that advances to each packet's timestamp and
+    then processes the packet by hand reproduces the batch-replay ordering
+    where same-instant packets beat timers.  A [target] before the current
+    clock is a no-op (the clock never moves backwards). *)

@@ -73,6 +73,50 @@ let percentile xs p =
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
   end
 
+module Quantiles = struct
+  type t = {
+    capacity : int;
+    rng : Rng.t;
+    samples : float array; (* retained reservoir; first [filled] slots live *)
+    mutable filled : int;
+    mutable seen : int;
+  }
+
+  let create ?(capacity = 8192) ?(seed = 0x51a7) () =
+    if capacity <= 0 then invalid_arg "Quantiles.create: capacity must be positive";
+    { capacity; rng = Rng.create seed; samples = Array.make capacity 0.0; filled = 0; seen = 0 }
+
+  let add t x =
+    t.seen <- t.seen + 1;
+    if t.filled < t.capacity then begin
+      t.samples.(t.filled) <- x;
+      t.filled <- t.filled + 1
+    end
+    else begin
+      (* Algorithm R: keep each of the [seen] samples with equal probability. *)
+      let slot = Rng.int t.rng t.seen in
+      if slot < t.capacity then t.samples.(slot) <- x
+    end
+
+  let count t = t.seen
+
+  let quantile t p = percentile (Array.sub t.samples 0 t.filled) p
+
+  let p50 t = quantile t 50.0
+  let p95 t = quantile t 95.0
+  let p99 t = quantile t 99.0
+
+  let merge a b =
+    let merged = create ~capacity:(a.capacity + b.capacity) () in
+    Array.iter (add merged) (Array.sub a.samples 0 a.filled);
+    Array.iter (add merged) (Array.sub b.samples 0 b.filled);
+    merged.seen <- a.seen + b.seen;
+    merged
+
+  let pp ppf t =
+    Format.fprintf ppf "p50=%.6g p95=%.6g p99=%.6g (n=%d)" (p50 t) (p95 t) (p99 t) t.seen
+end
+
 module Histogram = struct
   type t = { lo : float; hi : float; width : float; counts : int array; mutable total : int }
 

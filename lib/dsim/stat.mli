@@ -55,6 +55,43 @@ val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]]; sorts a copy.  Returns [nan] on
     an empty array. *)
 
+(** Streaming quantile estimator with bounded memory.
+
+    Keeps every sample exactly until [capacity] is reached, then degrades
+    gracefully to uniform reservoir sampling (Vitter's algorithm R, driven by
+    a deterministic {!Rng} stream so runs stay reproducible).  Built for the
+    per-packet latency distributions of the benchmarks, where millions of
+    samples must reduce to p50/p95/p99 without holding them all. *)
+module Quantiles : sig
+  type t
+
+  val create : ?capacity:int -> ?seed:int -> unit -> t
+  (** [capacity] defaults to 8192 retained samples; raises
+      [Invalid_argument] when not positive. *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+  (** Total samples observed (not the retained subset size). *)
+
+  val quantile : t -> float -> float
+  (** [quantile t p] with [p] in [\[0,100\]]; [nan] when empty.  Exact until
+      [capacity] samples, an unbiased estimate beyond. *)
+
+  val p50 : t -> float
+
+  val p95 : t -> float
+
+  val p99 : t -> float
+
+  val merge : t -> t -> t
+  (** A fresh estimator over both retained sample sets — how per-shard
+      latency distributions combine into one report. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** ["p50=… p95=… p99=… (n=…)"]. *)
+end
+
 (** Fixed-width-bin histogram over a known range. *)
 module Histogram : sig
   type t

@@ -1,0 +1,68 @@
+type t = {
+  shards : int;
+  (* Calls the engines will have created (an INVITE was seen): SDP from a
+     message of such a call binds its media address to the call's shard,
+     mirroring [Engine]'s register rules.  Never pruned — the dispatcher
+     cannot see shard-local deletions, and a stale binding only costs a
+     rebind when the address is reused. *)
+  known_calls : (string, unit) Hashtbl.t;
+  media_map : (string, int) Hashtbl.t; (* media addr string -> shard *)
+}
+
+let create ~shards =
+  if shards <= 0 then invalid_arg "Partition.create: shards must be positive";
+  { shards; known_calls = Hashtbl.create 256; media_map = Hashtbl.create 256 }
+
+let shards t = t.shards
+
+let hash_to_shard t s = Vids.Intern.hash s mod t.shards
+
+(* Mirror of [Vids.Sip_event.sdp_args]'s media extraction: the first audio
+   media of an SDP body, with its connection address. *)
+let sdp_media_addr (msg : Sip.Msg.t) =
+  match (Sip.Msg.content_type msg, msg.Sip.Msg.body) with
+  | Some ct, body when String.length body > 0 && String.equal ct "application/sdp" -> (
+      match Sdp.parse body with
+      | Error _ -> None
+      | Ok description -> (
+          match Sdp.first_audio description with
+          | None -> None
+          | Some media ->
+              Option.map
+                (fun (host, port) -> Dsim.Addr.v host port)
+                (Sdp.media_addr description media)))
+  | _ -> None
+
+let route_sip t (r : Vids.Trace.record) =
+  match Sip.Msg.parse r.payload with
+  | Error _ ->
+      (* The engine reports an unparsable message under its source address;
+         route by the same key so duplicates from one source dedup locally. *)
+      hash_to_shard t (Dsim.Addr.to_string r.src)
+  | Ok msg -> (
+      match Sip.Msg.call_id msg with
+      | Error _ -> hash_to_shard t (Dsim.Addr.to_string r.src)
+      | Ok call_id ->
+          let shard = hash_to_shard t call_id in
+          let is_invite =
+            match msg.Sip.Msg.start with
+            | Sip.Msg.Request { meth = Sip.Msg_method.INVITE; _ } -> true
+            | Sip.Msg.Request _ | Sip.Msg.Response _ -> false
+          in
+          if is_invite then Hashtbl.replace t.known_calls call_id ();
+          (if is_invite || Hashtbl.mem t.known_calls call_id then
+             match sdp_media_addr msg with
+             | None -> ()
+             | Some addr -> Hashtbl.replace t.media_map (Dsim.Addr.to_string addr) shard);
+          shard)
+
+let route t (r : Vids.Trace.record) =
+  let sip_port = Vids.Classifier.sip_port in
+  if Dsim.Addr.port r.src = sip_port || Dsim.Addr.port r.dst = sip_port then route_sip t r
+  else
+    let dst = Dsim.Addr.to_string r.dst in
+    match Hashtbl.find_opt t.media_map dst with
+    | Some shard -> shard
+    | None -> hash_to_shard t dst
+
+let media_bindings t = Hashtbl.length t.media_map

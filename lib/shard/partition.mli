@@ -1,0 +1,41 @@
+(** Deterministic traffic partitioning for the sharded engine.
+
+    Every analysis the per-shard engines run locally is keyed by either a
+    Call-ID (the per-call EFSM systems) or a destination address (the media
+    spam/flood detectors, the media index).  The dispatcher therefore only
+    has to guarantee two invariants for partition-local detection to equal
+    the sequential engine's:
+
+    - every SIP message of one call lands on the same shard
+      ([Vids.Intern.hash] of the Call-ID, the same hash the fact base's
+      intern table uses, modulo the shard count); and
+    - every media packet of one destination address lands on the same
+      shard — on the shard of the owning call when the dispatcher saw the
+      SDP that advertised the address, so the call's RTP machine is fed.
+
+    SIP messages that cannot be keyed (unparsable, or no Call-ID) route by
+    source address, matching the subject of the alert the engine will raise
+    for them, so their deduplication stays shard-local too.
+
+    Known approximations, accepted and checked by the property tests: a
+    media stream that starts before its SDP is seen routes by destination
+    hash and may keep its spam detector on a different shard from the call;
+    and the dispatcher never unbinds a media address, so an address reused
+    by a later call on another shard keeps its original owner until rebound
+    by a new SDP. *)
+
+type t
+
+val create : shards:int -> t
+(** Raises [Invalid_argument] when [shards <= 0]. *)
+
+val shards : t -> int
+
+val route : t -> Vids.Trace.record -> int
+(** The shard index in [\[0, shards)] this packet belongs to.  Stateful:
+    SIP messages carrying SDP bind their media address to the call's shard
+    for subsequent media routing.  Must be called from a single dispatcher
+    domain, in timestamp order. *)
+
+val media_bindings : t -> int
+(** Number of media addresses currently bound to a shard (diagnostics). *)

@@ -1,0 +1,738 @@
+module E = Vids.Engine
+
+let snapshot_path prefix i = Printf.sprintf "%s.shard%d" prefix i
+let journal_path prefix i = snapshot_path prefix i ^ ".journal"
+
+type checkpoint = { prefix : string; every : Dsim.Time.t }
+
+(* --------------------------------------------------------------- *)
+(* Epoch buckets for the deferred global detectors                   *)
+(* --------------------------------------------------------------- *)
+
+(* Per-(key, epoch) candidate-event counts, where an epoch is the
+   detector's own window length anchored at virtual time zero.  Closed
+   epochs are journaled as synthetic Eviction entries (subject
+   [epoch_subject]) so recovery can rebuild pre-checkpoint counts. *)
+module Bucket = struct
+  let epoch_subject = "shard-epoch"
+
+  type t = {
+    label : string; (* "flood" | "drdos" *)
+    window_us : int;
+    counts : (string, (int, int) Hashtbl.t) Hashtbl.t; (* key -> epoch -> count *)
+    mutable journaled_below : int; (* epochs < this are already journaled *)
+  }
+
+  let create ~label ~window =
+    {
+      label;
+      window_us = Stdlib.max 1 (Dsim.Time.to_us window);
+      counts = Hashtbl.create 32;
+      journaled_below = 0;
+    }
+
+  let epoch_of t at = Dsim.Time.to_us at / t.window_us
+  let epoch_end t epoch = Dsim.Time.of_us ((epoch + 1) * t.window_us)
+
+  let per_key t key =
+    match Hashtbl.find_opt t.counts key with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.replace t.counts key h;
+        h
+
+  let add t ~key ~epoch n =
+    let h = per_key t key in
+    Hashtbl.replace h epoch ((Option.value (Hashtbl.find_opt h epoch) ~default:0) + n)
+
+  let set t ~key ~epoch n = Hashtbl.replace (per_key t key) epoch n
+  let mem t ~key ~epoch =
+    match Hashtbl.find_opt t.counts key with
+    | None -> false
+    | Some h -> Hashtbl.mem h epoch
+
+  (* Journal every count of every epoch in [journaled_below, below). *)
+  let close_below t writer below =
+    if below > t.journaled_below then begin
+      (match writer with
+      | None -> ()
+      | Some w ->
+          Hashtbl.iter
+            (fun key h ->
+              Hashtbl.iter
+                (fun epoch count ->
+                  if epoch >= t.journaled_below && epoch < below then
+                    Vids.Journal.append w
+                      (Vids.Journal.Eviction
+                         {
+                           at = epoch_end t epoch;
+                           subject = epoch_subject;
+                           detail = Printf.sprintf "%s %s %d %d" t.label key epoch count;
+                         }))
+                h)
+            t.counts);
+      t.journaled_below <- below
+    end
+
+  let bump t writer ~at key =
+    let epoch = epoch_of t at in
+    close_below t writer epoch;
+    add t ~key ~epoch 1
+
+  (* "label key epoch count", parsed from the right so a key containing
+     spaces survives the round trip. *)
+  let parse_delta detail =
+    match String.split_on_char ' ' detail with
+    | label :: (_ :: _ :: _ as rest) -> (
+        let rec last2 acc = function
+          | [ e; c ] -> (List.rev acc, e, c)
+          | x :: tl -> last2 (x :: acc) tl
+          | [] -> ([], "", "")
+        in
+        let key_parts, e, c = last2 [] rest in
+        match (key_parts, int_of_string_opt e, int_of_string_opt c) with
+        | _ :: _, Some epoch, Some count ->
+            Some (label, String.concat " " key_parts, epoch, count)
+        | _ -> None)
+    | _ -> None
+end
+
+(* --------------------------------------------------------------- *)
+(* Worker domains                                                    *)
+(* --------------------------------------------------------------- *)
+
+type msg =
+  | Rec of Vids.Trace.record
+  | Tick of Dsim.Time.t
+      (* A checkpoint boundary every shard must take, whether or not any of
+         its own records crossed it — keeps snapshot sequence numbers (and
+         so the recoverable instants) aligned across shards. *)
+
+type worker_result = {
+  w_engine : E.t;
+  w_flood : Bucket.t;
+  w_drdos : Bucket.t;
+  w_latency : Dsim.Stat.Quantiles.t option;
+  w_processed : int;
+}
+
+let attach_bucket_listener engine ~flood ~drdos ~writer =
+  E.set_global_listener engine
+    (Some
+       (fun ~at ev ->
+         match ev with
+         | E.Invite_flood_candidate key -> Bucket.bump flood writer ~at key
+         | E.Drdos_candidate key -> Bucket.bump drdos writer ~at key))
+
+let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon () =
+  let sched = Dsim.Scheduler.create () in
+  let engine = E.create ~config sched in
+  let flood = Bucket.create ~label:"flood" ~window:config.Vids.Config.invite_flood_window in
+  let drdos = Bucket.create ~label:"drdos" ~window:config.Vids.Config.drdos_window in
+  let journal =
+    match checkpoint with
+    | None -> None
+    | Some ck ->
+        let w = Vids.Journal.create_writer (journal_path ck.prefix index) in
+        Vids.Journal.attach w engine;
+        Some w
+  in
+  attach_bucket_listener engine ~flood ~drdos ~writer:journal;
+  let alloc = Dsim.Packet.allocator () in
+  let seq = ref 0 in
+  let next_ck = ref (match checkpoint with Some ck -> ck.every | None -> Dsim.Time.zero) in
+  let latency = if measure_latency then Some (Dsim.Stat.Quantiles.create ()) else None in
+  let processed = ref 0 in
+  let do_checkpoint ck at =
+    (* Same-instant ordering as the sequential offline path: records at
+       exactly the boundary were already processed (strict [>] below), so
+       they are inside the snapshot; timers due exactly at the boundary
+       stay pending and are captured as armed. *)
+    Dsim.Scheduler.advance_to sched at;
+    incr seq;
+    Bucket.close_below flood journal (Bucket.epoch_of flood at);
+    Bucket.close_below drdos journal (Bucket.epoch_of drdos at);
+    Vids.Snapshot.save
+      ~path:(snapshot_path ck.prefix index)
+      (Vids.Snapshot.capture ~seq:!seq ~at engine);
+    Option.iter
+      (fun w -> Vids.Journal.append w (Vids.Journal.Checkpoint { at; seq = !seq }))
+      journal
+  in
+  let checkpoints_below at ~strict =
+    match checkpoint with
+    | None -> ()
+    | Some ck ->
+        while
+          (if strict then Dsim.Time.( > ) at !next_ck else Dsim.Time.( >= ) at !next_ck)
+        do
+          do_checkpoint ck !next_ck;
+          next_ck := Dsim.Time.add !next_ck ck.every
+        done
+  in
+  let handle = function
+    | Tick at -> checkpoints_below at ~strict:false
+    | Rec (r : Vids.Trace.record) ->
+        checkpoints_below r.at ~strict:true;
+        Dsim.Scheduler.advance_to sched r.at;
+        let packet = Dsim.Packet.make alloc ~src:r.src ~dst:r.dst ~sent_at:r.at r.payload in
+        (match latency with
+        | None -> E.process_packet engine packet
+        | Some q ->
+            let t0 = Unix.gettimeofday () in
+            E.process_packet engine packet;
+            Dsim.Stat.Quantiles.add q (Unix.gettimeofday () -. t0));
+        incr processed
+  in
+  let rec loop spins =
+    match Spsc.pop queue with
+    | Some m ->
+        handle m;
+        loop 0
+    | None ->
+        (* The producer publishes every push before setting [closed], so one
+           more drain after observing the flag sees everything. *)
+        if Atomic.get closed then
+          match Spsc.pop queue with
+          | Some m ->
+              handle m;
+              loop 0
+          | None -> ()
+        else begin
+          Spsc.backoff spins;
+          loop (spins + 1)
+        end
+  in
+  loop 0;
+  (match horizon with
+  | Some h -> Dsim.Scheduler.run_until sched h
+  | None -> Dsim.Scheduler.run sched);
+  Option.iter Vids.Journal.close_writer journal;
+  {
+    w_engine = engine;
+    w_flood = flood;
+    w_drdos = drdos;
+    w_latency = latency;
+    w_processed = !processed;
+  }
+
+(* --------------------------------------------------------------- *)
+(* Coordinator                                                       *)
+(* --------------------------------------------------------------- *)
+
+type shard_stat = {
+  fed : int;
+  stalls : int;
+  counters : E.counters;
+  memory : Vids.Fact_base.stats;
+}
+
+type outcome = {
+  shards : int;
+  alerts : Vids.Alert.t list;
+  counters : E.counters;
+  global_alerts : Vids.Alert.t list;
+  per_shard : shard_stat array;
+  engines : E.t array;
+  latency : Dsim.Stat.Quantiles.t option;
+}
+
+type t = {
+  n : int;
+  partition : Partition.t;
+  queues : msg Spsc.t array;
+  closed : bool Atomic.t;
+  domains : worker_result Domain.t array;
+  checkpoint : checkpoint option;
+  config : Vids.Config.t; (* the worker config, deferral already applied *)
+  fed_per_shard : int array;
+  mutable next_tick : Dsim.Time.t;
+  mutable last_at : Dsim.Time.t;
+  mutable finished : outcome option;
+}
+
+(* Shards cannot see cross-call totals, so with more than one of them the
+   INVITE-flood and DRDoS machines are deferred to the coordinator's
+   aggregation; a single shard keeps them local and behaves exactly like
+   the sequential engine. *)
+let shard_config ~shards config =
+  if shards > 1 then { config with Vids.Config.defer_global_detectors = true } else config
+
+let create ?(config = Vids.Config.default) ?(queue_capacity = 1024) ?checkpoint
+    ?(measure_latency = false) ?horizon ~shards () =
+  if shards <= 0 then invalid_arg "Shard_engine.create: shards must be positive";
+  let config = shard_config ~shards config in
+  let queues = Array.init shards (fun _ -> Spsc.create ~capacity:queue_capacity) in
+  let closed = Atomic.make false in
+  let domains =
+    Array.init shards (fun index ->
+        let queue = queues.(index) in
+        Domain.spawn (worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon))
+  in
+  {
+    n = shards;
+    partition = Partition.create ~shards;
+    queues;
+    closed;
+    domains;
+    checkpoint;
+    config;
+    fed_per_shard = Array.make shards 0;
+    next_tick = (match checkpoint with Some ck -> ck.every | None -> Dsim.Time.zero);
+    last_at = Dsim.Time.zero;
+    finished = None;
+  }
+
+let feed t (r : Vids.Trace.record) =
+  if t.finished <> None then invalid_arg "Shard_engine.feed: already finished";
+  if Dsim.Time.( < ) r.at t.last_at then
+    invalid_arg "Shard_engine.feed: records must arrive in non-decreasing time order";
+  t.last_at <- r.at;
+  (match t.checkpoint with
+  | None -> ()
+  | Some ck ->
+      (* Broadcast each crossed checkpoint boundary so every shard takes
+         snapshot [k] at virtual time [k * every], records or not. *)
+      while Dsim.Time.( > ) r.at t.next_tick do
+        Array.iter (fun q -> Spsc.push q (Tick t.next_tick)) t.queues;
+        t.next_tick <- Dsim.Time.add t.next_tick ck.every
+      done);
+  let shard = Partition.route t.partition r in
+  Spsc.push t.queues.(shard) (Rec r);
+  t.fed_per_shard.(shard) <- t.fed_per_shard.(shard) + 1
+
+let fed t = Array.fold_left ( + ) 0 t.fed_per_shard
+
+(* --------------------------------------------------------------- *)
+(* Cross-shard aggregation                                           *)
+(* --------------------------------------------------------------- *)
+
+(* Sum per-shard buckets, then flag every key whose two consecutive epochs
+   total more than the threshold.  Any burst the sequential anchored window
+   flags lies within two fixed epochs, so this is a conservative superset
+   firing at most one epoch later. *)
+let aggregate_detector ~kind ~subject_prefix ~threshold ~detail (buckets : Bucket.t array) =
+  if Array.length buckets = 0 then []
+  else begin
+    let window_us = buckets.(0).Bucket.window_us in
+    let totals : (string, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 32 in
+    Array.iter
+      (fun (b : Bucket.t) ->
+        Hashtbl.iter
+          (fun key h ->
+            let into =
+              match Hashtbl.find_opt totals key with
+              | Some h -> h
+              | None ->
+                  let h = Hashtbl.create 8 in
+                  Hashtbl.replace totals key h;
+                  h
+            in
+            Hashtbl.iter
+              (fun epoch count ->
+                Hashtbl.replace into epoch
+                  ((Option.value (Hashtbl.find_opt into epoch) ~default:0) + count))
+              h)
+          b.Bucket.counts)
+      buckets;
+    let keys = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) totals []) in
+    List.filter_map
+      (fun key ->
+        let h = Hashtbl.find totals key in
+        let epochs = List.sort Stdlib.compare (Hashtbl.fold (fun e _ acc -> e :: acc) h []) in
+        let count e = Option.value (Hashtbl.find_opt h e) ~default:0 in
+        let crossing =
+          List.find_opt (fun e -> count (e - 1) + count e > threshold) epochs
+        in
+        Option.map
+          (fun e ->
+            Vids.Alert.make ~kind
+              ~at:(Dsim.Time.of_us ((e + 1) * window_us))
+              ~subject:(subject_prefix ^ key) detail)
+          crossing)
+      keys
+  end
+
+let aggregate_global ~config ~shards (floods : Bucket.t array) (drdoses : Bucket.t array) =
+  let flood_alerts =
+    aggregate_detector ~kind:Vids.Alert.Invite_flood ~subject_prefix:"dst:"
+      ~threshold:config.Vids.Config.invite_flood_threshold
+      ~detail:
+        (Printf.sprintf "more than %d INVITEs within the window (aggregated across %d shards)"
+           config.Vids.Config.invite_flood_threshold shards)
+      floods
+  in
+  let drdos_alerts =
+    aggregate_detector ~kind:Vids.Alert.Drdos ~subject_prefix:"victim:"
+      ~threshold:config.Vids.Config.drdos_threshold
+      ~detail:
+        (Printf.sprintf
+           "more than %d unsolicited SIP responses within the window (aggregated across %d \
+            shards)"
+           config.Vids.Config.drdos_threshold shards)
+      drdoses
+  in
+  flood_alerts @ drdos_alerts
+
+(* --------------------------------------------------------------- *)
+(* Merge                                                             *)
+(* --------------------------------------------------------------- *)
+
+let alert_order (a : Vids.Alert.t) (b : Vids.Alert.t) =
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  Dsim.Time.compare a.at b.at <?> fun () ->
+  String.compare (Vids.Alert.kind_to_string a.kind) (Vids.Alert.kind_to_string b.kind)
+  <?> fun () ->
+  String.compare a.subject b.subject <?> fun () -> String.compare a.detail b.detail
+
+(* Earliest instance of each dedup key survives (the list is sorted by
+   time); later cross-shard duplicates count as suppressed, exactly as the
+   sequential engine would have counted them. *)
+let dedup_sorted alerts =
+  let seen = Hashtbl.create 64 in
+  let dropped = ref 0 in
+  let kept =
+    List.filter
+      (fun a ->
+        let key = Vids.Alert.dedup_key a in
+        if Hashtbl.mem seen key then begin
+          incr dropped;
+          false
+        end
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      alerts
+  in
+  (kept, !dropped)
+
+let zero_counters =
+  {
+    E.sip_packets = 0;
+    rtp_packets = 0;
+    rtcp_packets = 0;
+    other_packets = 0;
+    malformed_packets = 0;
+    orphan_requests = 0;
+    orphan_responses = 0;
+    alerts_raised = 0;
+    alerts_suppressed = 0;
+    anomalies = 0;
+    faults = 0;
+    rtp_shed = 0;
+    backpressure_stalls = 0;
+  }
+
+let add_counters (a : E.counters) (b : E.counters) =
+  {
+    E.sip_packets = a.sip_packets + b.sip_packets;
+    rtp_packets = a.rtp_packets + b.rtp_packets;
+    rtcp_packets = a.rtcp_packets + b.rtcp_packets;
+    other_packets = a.other_packets + b.other_packets;
+    malformed_packets = a.malformed_packets + b.malformed_packets;
+    orphan_requests = a.orphan_requests + b.orphan_requests;
+    orphan_responses = a.orphan_responses + b.orphan_responses;
+    alerts_raised = a.alerts_raised + b.alerts_raised;
+    alerts_suppressed = a.alerts_suppressed + b.alerts_suppressed;
+    anomalies = a.anomalies + b.anomalies;
+    faults = a.faults + b.faults;
+    rtp_shed = a.rtp_shed + b.rtp_shed;
+    backpressure_stalls = a.backpressure_stalls + b.backpressure_stalls;
+  }
+
+let merge_results ~n ~config ~fed_per_shard ~stalls_per_shard (results : worker_result array) =
+  let engines = Array.map (fun r -> r.w_engine) results in
+  Array.iteri (fun i e -> E.add_backpressure_stalls e stalls_per_shard.(i)) engines;
+  let global_alerts =
+    if n > 1 then
+      aggregate_global ~config ~shards:n
+        (Array.map (fun r -> r.w_flood) results)
+        (Array.map (fun r -> r.w_drdos) results)
+    else []
+  in
+  let all =
+    List.sort alert_order
+      (global_alerts @ List.concat_map E.alerts (Array.to_list engines))
+  in
+  let merged, cross_dups = dedup_sorted all in
+  let summed =
+    Array.fold_left (fun acc e -> add_counters acc (E.counters e)) zero_counters engines
+  in
+  let counters =
+    {
+      summed with
+      E.alerts_raised = List.length merged;
+      alerts_suppressed = summed.E.alerts_suppressed + cross_dups;
+    }
+  in
+  let per_shard =
+    Array.mapi
+      (fun i e ->
+        {
+          fed = fed_per_shard.(i);
+          stalls = stalls_per_shard.(i);
+          counters = E.counters e;
+          memory = E.memory_stats e;
+        })
+      engines
+  in
+  let latency =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r.w_latency) with
+        | None, q | q, None -> q
+        | Some a, Some b -> Some (Dsim.Stat.Quantiles.merge a b))
+      None results
+  in
+  {
+    shards = n;
+    alerts = merged;
+    counters;
+    global_alerts;
+    per_shard;
+    engines;
+    latency;
+  }
+
+let finish t =
+  match t.finished with
+  | Some outcome -> outcome
+  | None ->
+      Atomic.set t.closed true;
+      let results = Array.map Domain.join t.domains in
+      let stalls = Array.map Spsc.stalls t.queues in
+      let outcome =
+        merge_results ~n:t.n ~config:t.config ~fed_per_shard:t.fed_per_shard
+          ~stalls_per_shard:stalls results
+      in
+      t.finished <- Some outcome;
+      outcome
+
+let run_trace ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ~shards records =
+  let t = create ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ~shards () in
+  let sorted =
+    List.stable_sort (fun (a : Vids.Trace.record) b -> Dsim.Time.compare a.at b.at) records
+  in
+  List.iter (feed t) sorted;
+  finish t
+
+(* --------------------------------------------------------------- *)
+(* Report                                                            *)
+(* --------------------------------------------------------------- *)
+
+let report ppf (o : outcome) =
+  let c = o.counters in
+  let sum f = Array.fold_left (fun acc s -> acc + f s.memory) 0 o.per_shard in
+  Format.fprintf ppf "shards: %d workers, %d records dispatched@." o.shards
+    (Array.fold_left (fun acc s -> acc + s.fed) 0 o.per_shard);
+  Format.fprintf ppf "traffic: %d SIP, %d RTP, %d RTCP, %d other, %d malformed@." c.E.sip_packets
+    c.E.rtp_packets c.E.rtcp_packets c.E.other_packets c.E.malformed_packets;
+  Format.fprintf ppf "orphans: %d requests, %d responses@." c.E.orphan_requests
+    c.E.orphan_responses;
+  let by_severity severity =
+    List.length (List.filter (fun a -> a.Vids.Alert.severity = severity) o.alerts)
+  in
+  Format.fprintf ppf
+    "alerts: %d distinct (%d critical, %d warning), %d duplicates suppressed, %d cross-shard@."
+    c.E.alerts_raised (by_severity Vids.Alert.Critical) (by_severity Vids.Alert.Warning)
+    c.E.alerts_suppressed (List.length o.global_alerts);
+  Format.fprintf ppf "calls: %d active, %d created, %d deleted@."
+    (sum (fun m -> m.Vids.Fact_base.active_calls))
+    (sum (fun m -> m.Vids.Fact_base.calls_created))
+    (sum (fun m -> m.Vids.Fact_base.calls_deleted));
+  Format.fprintf ppf "memory: %d B modeled, %d B measured; %d detectors@."
+    (sum (fun m -> m.Vids.Fact_base.modeled_bytes))
+    (sum (fun m -> m.Vids.Fact_base.measured_bytes))
+    (sum (fun m -> m.Vids.Fact_base.detectors));
+  if c.E.backpressure_stalls > 0 then
+    Format.fprintf ppf "backpressure: %d producer stalls on the feed queues@."
+      c.E.backpressure_stalls;
+  (match o.latency with
+  | None -> ()
+  | Some q -> Format.fprintf ppf "per-packet latency: %a@." Dsim.Stat.Quantiles.pp q);
+  Format.fprintf ppf "analysis cpu: %a@."
+    Dsim.Time.pp
+    (Array.fold_left (fun acc e -> Dsim.Time.add acc (E.cpu_busy e)) Dsim.Time.zero o.engines);
+  Format.fprintf ppf "@.";
+  (if o.alerts = [] then Format.fprintf ppf "no alerts.@."
+   else
+     List.iter
+       (fun kind ->
+         match List.filter (fun a -> a.Vids.Alert.kind = kind) o.alerts with
+         | [] -> ()
+         | group ->
+             Format.fprintf ppf "%a (%d):@." Vids.Alert.pp_kind kind (List.length group);
+             List.iter (fun a -> Format.fprintf ppf "  %a@." Vids.Alert.pp a) group)
+       Vids.Alert.all_kinds);
+  Format.fprintf ppf "@.";
+  Array.iteri
+    (fun i s ->
+      Format.fprintf ppf
+        "shard %d: %d records, %d sip, %d rtp, %d alerts, %d stalls, %d active calls@." i s.fed
+        s.counters.E.sip_packets s.counters.E.rtp_packets s.counters.E.alerts_raised s.stalls
+        s.memory.Vids.Fact_base.active_calls)
+    o.per_shard
+
+(* --------------------------------------------------------------- *)
+(* Recovery                                                          *)
+(* --------------------------------------------------------------- *)
+
+type recovery = {
+  outcome : outcome;
+  snapshot_seq : int;
+  snapshot_at : Dsim.Time.t;
+  replayed : int;
+  used_fallback : bool array;
+}
+
+let ( let* ) = Result.bind
+
+(* Candidate snapshots for one shard: primary first, rotated fallback
+   second.  Either may be missing or torn. *)
+let shard_candidates prefix i =
+  let path = snapshot_path prefix i in
+  let try_load p fb =
+    match Vids.Snapshot.load p with Ok s -> [ (s, fb) ] | Error _ -> []
+  in
+  try_load path false @ try_load (Vids.Snapshot.previous_path path) true
+
+let recover ?(config = Vids.Config.default) ?horizon ~prefix ~shards:n ~trace () =
+  if n <= 0 then invalid_arg "Shard_engine.recover: shards must be positive";
+  let worker_config = shard_config ~shards:n config in
+  let candidates = Array.init n (shard_candidates prefix) in
+  let* target_seq =
+    Array.to_seqi candidates
+    |> Seq.fold_left
+         (fun acc (i, cands) ->
+           let* acc = acc in
+           match cands with
+           | [] -> Error (Printf.sprintf "shard %d: no loadable snapshot" i)
+           | _ ->
+               let best =
+                 List.fold_left (fun m (s, _) -> Stdlib.max m (Vids.Snapshot.seq s)) 0 cands
+               in
+               Ok (Stdlib.min acc best))
+         (Ok max_int)
+  in
+  let* chosen =
+    Array.to_seqi candidates
+    |> Seq.fold_left
+         (fun acc (i, cands) ->
+           let* acc = acc in
+           match List.find_opt (fun (s, _) -> Vids.Snapshot.seq s = target_seq) cands with
+           | Some pick -> Ok (pick :: acc)
+           | None ->
+               Error
+                 (Printf.sprintf
+                    "shard %d: no snapshot at consistent checkpoint #%d (shards diverged by \
+                     more than one rotation)"
+                    i target_seq))
+         (Ok [])
+  in
+  let chosen = Array.of_list (List.rev chosen) in
+  (* Deterministic re-partition of the full trace rebuilds the dispatch
+     decisions — including media bindings — every shard saw live. *)
+  let sorted =
+    List.stable_sort (fun (a : Vids.Trace.record) b -> Dsim.Time.compare a.at b.at) trace
+  in
+  let partition = Partition.create ~shards:n in
+  let shard_traces = Array.make n [] in
+  List.iter
+    (fun r ->
+      let s = Partition.route partition r in
+      shard_traces.(s) <- r :: shard_traces.(s))
+    sorted;
+  let shard_traces = Array.map List.rev shard_traces in
+  let journals =
+    Array.init n (fun i ->
+        match Vids.Journal.load_lenient (journal_path prefix i) with
+        | Ok (entries, _skipped) -> entries
+        | Error _ -> [])
+  in
+  (* Buckets: journaled counts are authoritative for their (key, epoch);
+     the replayed suffix fills only the epochs the journal never closed. *)
+  let journaled_of label entries bucket =
+    List.iter
+      (function
+        | Vids.Journal.Eviction { subject; detail; _ }
+          when String.equal subject Bucket.epoch_subject -> (
+            match Bucket.parse_delta detail with
+            | Some (l, key, epoch, count) when String.equal l label ->
+                Bucket.set bucket ~key ~epoch count
+            | Some _ | None -> ())
+        | Vids.Journal.Alert _ | Vids.Journal.Eviction _ | Vids.Journal.Checkpoint _ -> ())
+      entries;
+    bucket
+  in
+  let recover_shard i =
+    let snap, _fallback = chosen.(i) in
+    let replay_flood =
+      Bucket.create ~label:"flood" ~window:worker_config.Vids.Config.invite_flood_window
+    in
+    let replay_drdos =
+      Bucket.create ~label:"drdos" ~window:worker_config.Vids.Config.drdos_window
+    in
+    let prepare _sched engine =
+      attach_bucket_listener engine ~flood:replay_flood ~drdos:replay_drdos ~writer:None
+    in
+    let* o =
+      Vids.Recovery.recover ~config:worker_config ~prepare ~journal:journals.(i)
+        ~trace:shard_traces.(i) ?until:horizon snap
+    in
+    let flood =
+      journaled_of "flood" journals.(i)
+        (Bucket.create ~label:"flood" ~window:worker_config.Vids.Config.invite_flood_window)
+    in
+    let drdos =
+      journaled_of "drdos" journals.(i)
+        (Bucket.create ~label:"drdos" ~window:worker_config.Vids.Config.drdos_window)
+    in
+    let fill into (from : Bucket.t) =
+      Hashtbl.iter
+        (fun key h ->
+          Hashtbl.iter
+            (fun epoch count ->
+              if not (Bucket.mem into ~key ~epoch) then Bucket.set into ~key ~epoch count)
+            h)
+        from.Bucket.counts
+    in
+    fill flood replay_flood;
+    fill drdos replay_drdos;
+    Ok
+      ( {
+          w_engine = o.Vids.Recovery.engine;
+          w_flood = flood;
+          w_drdos = drdos;
+          w_latency = None;
+          w_processed = o.Vids.Recovery.replayed;
+        },
+        o.Vids.Recovery.replayed )
+  in
+  let* results =
+    let rec go i acc =
+      if i = n then Ok (List.rev acc)
+      else
+        match recover_shard i with
+        | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+        | Ok r -> go (i + 1) (r :: acc)
+    in
+    go 0 []
+  in
+  let results = Array.of_list results in
+  let workers = Array.map fst results in
+  let replayed = Array.fold_left (fun acc (_, r) -> acc + r) 0 results in
+  let outcome =
+    merge_results ~n ~config:worker_config
+      ~fed_per_shard:(Array.map List.length shard_traces)
+      ~stalls_per_shard:(Array.make n 0) workers
+  in
+  Ok
+    {
+      outcome;
+      snapshot_seq = target_seq;
+      snapshot_at = Vids.Snapshot.at (fst chosen.(0));
+      replayed;
+      used_fallback = Array.map snd chosen;
+    }

@@ -1,0 +1,156 @@
+(** Sharded multi-core analysis engine.
+
+    Scales the single-threaded {!Vids.Engine} across OCaml 5 domains while
+    keeping its detection semantics: a dispatcher partitions traffic by
+    Call-ID / media binding ({!Partition}), each of N worker domains owns a
+    private engine on a private virtual clock fed through a bounded
+    {!Spsc} queue (backpressure blocks and is counted, never dropped), and
+    a coordinator merges the per-shard results into one report.
+
+    Partition-local analyses (per-call machines, media spam/flood, all
+    Spec_deviation checks) are exact: each is keyed by Call-ID or
+    destination address, which the partition keeps on one shard, so the
+    merged alert multiset equals the sequential engine's.  The two
+    detectors that need {e cross-call} totals — INVITE flooding and DRDoS
+    reflection — are deferred on the shards
+    ([Config.defer_global_detectors]): workers count their candidate
+    events per (key, epoch) bucket, where an epoch is the detector's own
+    window length, and the coordinator sums the buckets across shards at
+    the end of the run.  A key whose two consecutive epochs total more
+    than the threshold is flagged; any burst the sequential anchored
+    window flags spans at most two fixed epochs, so the aggregate detector
+    is a conservative superset that fires within one epoch of the
+    sequential alert.
+
+    Worker clocks replay the batch semantics exactly: for each record the
+    worker advances its scheduler to the record's timestamp
+    ({!Dsim.Scheduler.advance_to} — timers strictly earlier fire first,
+    same-instant packets beat timers) and then processes the packet.
+
+    With [shards = 1] no deferral happens and the single worker behaves
+    exactly like the sequential engine. *)
+
+type checkpoint = {
+  prefix : string;
+      (** Shard [i] snapshots to [prefix ^ ".shard" ^ i] (rotating the
+          previous one to [….1]) with a write-ahead journal at
+          [… ^ ".journal"]. *)
+  every : Dsim.Time.t;  (** Virtual-time checkpoint period. *)
+}
+
+val snapshot_path : string -> int -> string
+val journal_path : string -> int -> string
+
+type shard_stat = {
+  fed : int;  (** Records routed to this shard. *)
+  stalls : int;  (** Producer stalls pushing into this shard's queue. *)
+  counters : Vids.Engine.counters;
+  memory : Vids.Fact_base.stats;
+}
+
+type outcome = {
+  shards : int;
+  alerts : Vids.Alert.t list;
+      (** Merged: per-shard alerts plus coordinator global alerts, sorted
+          by (time, kind, subject, detail) and de-duplicated across shards
+          keeping the earliest — deterministic for a given trace and shard
+          count. *)
+  counters : Vids.Engine.counters;
+      (** Field-wise sums; [alerts_raised] is the merged distinct count and
+          cross-shard duplicates are added to [alerts_suppressed], so the
+          totals match a sequential run. *)
+  global_alerts : Vids.Alert.t list;
+      (** The coordinator's cross-shard INVITE-flood / DRDoS alerts
+          (already included in [alerts]). *)
+  per_shard : shard_stat array;
+  engines : Vids.Engine.t array;
+      (** The worker engines, safe to inspect once {!finish} returned. *)
+  latency : Dsim.Stat.Quantiles.t option;
+      (** Merged per-packet wall-clock processing latency, when measured. *)
+}
+
+type t
+
+val create :
+  ?config:Vids.Config.t ->
+  ?queue_capacity:int ->
+  ?checkpoint:checkpoint ->
+  ?measure_latency:bool ->
+  ?horizon:Dsim.Time.t ->
+  shards:int ->
+  unit ->
+  t
+(** Spawns [shards] worker domains.  [queue_capacity] (default 1024) bounds
+    each feed queue.  [horizon], when given, bounds the end-of-run drain
+    ([run_until] instead of [run]) — required for governed configs whose
+    periodic sweep re-arms forever.  With [shards > 1] the worker engines
+    run with [defer_global_detectors] set.  Raises [Invalid_argument] when
+    [shards <= 0]. *)
+
+val feed : t -> Vids.Trace.record -> unit
+(** Routes one record to its shard, blocking (and counting a stall) when
+    that queue is full.  Records must arrive in non-decreasing timestamp
+    order; a decreasing timestamp raises [Invalid_argument].  Call from
+    one dispatcher thread only. *)
+
+val fed : t -> int
+(** Records dispatched so far. *)
+
+val finish : t -> outcome
+(** Closes the queues, joins every worker domain, runs the cross-shard
+    aggregation and merge.  Idempotent: later calls return the same
+    outcome.  No worker engine may be touched before this returns. *)
+
+val run_trace :
+  ?config:Vids.Config.t ->
+  ?queue_capacity:int ->
+  ?checkpoint:checkpoint ->
+  ?measure_latency:bool ->
+  ?horizon:Dsim.Time.t ->
+  shards:int ->
+  Vids.Trace.record list ->
+  outcome
+(** Sort (stable, by timestamp), dispatch, finish — the sharded
+    counterpart of [Vids.Trace.replay]. *)
+
+val report : Format.formatter -> outcome -> unit
+(** The merged report in [Vids.Report.full]'s shape — aggregate traffic /
+    alert / memory summary, the alert log grouped by kind — followed by a
+    per-shard load table. *)
+
+(** {1 Recovery}
+
+    Each worker checkpoints independently at the same virtual-time
+    boundaries, so snapshot sequence number [k] means virtual time
+    [k * every] on every shard.  Recovery picks the highest checkpoint
+    sequence available on {e all} shards (using a shard's rotated [.1]
+    snapshot when its primary is ahead of or torn relative to the others),
+    restores every shard to that consistent instant, re-partitions the
+    full trace with a fresh {!Partition} (deterministic, so media bindings
+    rebuild identically), and replays each shard's post-checkpoint suffix.
+
+    Global-detector state is not part of the engine snapshots; instead
+    workers journal each closed (key, epoch) count as it closes.  Recovery
+    rebuilds the buckets from the journal where present and from the
+    replayed suffix otherwise, so at most the still-open epoch's
+    pre-checkpoint counts are lost — the aggregate detector's one-epoch
+    slack already covers that. *)
+
+type recovery = {
+  outcome : outcome;
+  snapshot_seq : int;  (** The consistent checkpoint all shards restored to. *)
+  snapshot_at : Dsim.Time.t;
+  replayed : int;  (** Trace records replayed across all shards. *)
+  used_fallback : bool array;  (** Shards restored from their rotated [.1] snapshot. *)
+}
+
+val recover :
+  ?config:Vids.Config.t ->
+  ?horizon:Dsim.Time.t ->
+  prefix:string ->
+  shards:int ->
+  trace:Vids.Trace.record list ->
+  unit ->
+  (recovery, string) result
+(** [Error] when any shard has no loadable snapshot at the consistent
+    sequence number. *)

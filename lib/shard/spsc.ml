@@ -1,0 +1,62 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next slot to pop; consumer-advanced *)
+  tail : int Atomic.t; (* next slot to push; producer-advanced *)
+  mutable stall_count : int; (* producer-side only *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spsc.create: capacity must be positive";
+  let cap = pow2 capacity 2 in
+  { slots = Array.make cap None; mask = cap - 1; head = Atomic.make 0; tail = Atomic.make 0; stall_count = 0 }
+
+let capacity t = Array.length t.slots
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    (* Plain array store, then the Atomic tail bump publishes it: the
+       consumer reads tail first, so it never sees the slot unwritten. *)
+    t.slots.(tail land t.mask) <- Some x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+(* Spin briefly, then sleep: on a machine with fewer cores than domains
+   the peer may not even be running, and burning the shared core only
+   delays it further. *)
+let backoff spins =
+  if spins < 1024 then Domain.cpu_relax () else Unix.sleepf 0.0001
+
+let push t x =
+  if not (try_push t x) then begin
+    t.stall_count <- t.stall_count + 1;
+    let spins = ref 0 in
+    while not (try_push t x) do
+      backoff !spins;
+      incr spins
+    done
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head >= tail then None
+  else begin
+    let slot = head land t.mask in
+    let x = t.slots.(slot) in
+    (* Clear before the head bump hands the slot back to the producer:
+       afterwards the producer may overwrite it at any moment, and a live
+       [Some] in a recycled slot would also pin the element for GC. *)
+    t.slots.(slot) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end
+
+let stalls t = t.stall_count
+let length t = Atomic.get t.tail - Atomic.get t.head

@@ -1,0 +1,47 @@
+(** Bounded single-producer / single-consumer queue.
+
+    The feed channel between the dispatcher domain and one shard worker:
+    the dispatcher is the only producer, the worker the only consumer.
+    Backed by a power-of-two ring of [Atomic] head/tail indices — the
+    producer publishes a slot by storing it {e before} bumping the tail,
+    the consumer reads the tail before the slot, so under the OCaml memory
+    model every [pop] observes a fully written element.
+
+    A full queue {e blocks} the producer ([push] spins, then sleeps —
+    {!backoff}) rather than dropping: an IDS that sheds input under load
+    silently is blind exactly when it matters.  Every blocked push is
+    counted, so the stall total surfaces in the merged report
+    ([backpressure_stalls]) instead of vanishing. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Rounds [capacity] up to a power of two (minimum 2).  Raises
+    [Invalid_argument] when not positive. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Blocks (spinning) while the queue is full.  Producer domain only. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when full, without blocking. *)
+
+val pop : 'a t -> 'a option
+(** [None] when currently empty (not a close signal).  Consumer domain
+    only. *)
+
+val stalls : 'a t -> int
+(** Pushes that found the queue full and had to wait, as counted by the
+    producer.  Read it after the producer is done (or joined) — it is
+    plain producer-side state, not synchronized. *)
+
+val length : 'a t -> int
+(** Snapshot of the occupancy; racy by nature, for reporting only. *)
+
+val backoff : int -> unit
+(** [backoff spins] after the [spins]-th consecutive failed attempt:
+    [Domain.cpu_relax] for the first ~1k, a short sleep beyond — with
+    more domains than cores the peer is probably descheduled, and burning
+    the shared core only delays it.  Used by [push] internally and by the
+    worker's empty-queue wait. *)

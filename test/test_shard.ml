@@ -1,0 +1,525 @@
+(* Sharded engine: SPSC queue, partitioning, sequential equivalence,
+   cross-shard aggregation, checkpoint/recovery consistency — plus the
+   satellites that ride with the subsystem (Call-ID interning, latency
+   quantiles, backpressure accounting). *)
+
+let time = Alcotest.testable Dsim.Time.pp Dsim.Time.equal
+
+let q ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Trace fodder (same dialog shapes as bench/shard.ml, smaller)        *)
+(* ------------------------------------------------------------------ *)
+
+let ms = Dsim.Time.of_ms
+let sip_addr host = Dsim.Addr.v host 5060
+
+let invite ~call_id ~media_host ~port =
+  let body =
+    Printf.sprintf
+      "v=0\r\no=alice 0 0 IN IP4 %s\r\ns=-\r\nc=IN IP4 %s\r\nt=0 0\r\nm=audio %d RTP/AVP 18\r\n"
+      media_host media_host port
+  in
+  Printf.sprintf
+    "INVITE sip:bob@b.example SIP/2.0\r\n\
+     Via: SIP/2.0/UDP 10.1.0.2:5060;branch=z9hG4bK%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>\r\n\
+     Call-ID: %s\r\nCSeq: 1 INVITE\r\n\
+     Contact: <sip:alice@10.1.0.10:5060>\r\n\
+     Content-Type: application/sdp\r\nContent-Length: %d\r\n\r\n%s"
+    call_id call_id call_id (String.length body) body
+
+let response ~call_id ~code ~cseq ~media_host ~port =
+  let body =
+    match media_host with
+    | None -> ""
+    | Some host ->
+        Printf.sprintf
+          "v=0\r\no=bob 0 0 IN IP4 %s\r\ns=-\r\nc=IN IP4 %s\r\nt=0 0\r\nm=audio %d RTP/AVP 18\r\n"
+          host host port
+  in
+  Printf.sprintf
+    "SIP/2.0 %d X\r\nVia: SIP/2.0/UDP 10.1.0.2:5060;branch=z9hG4bK%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>;tag=tb-%s\r\n\
+     Call-ID: %s\r\nCSeq: %s\r\n%sContent-Length: %d\r\n\r\n%s"
+    code call_id call_id call_id call_id cseq
+    (if media_host <> None then "Content-Type: application/sdp\r\n" else "")
+    (String.length body) body
+
+let ack ~call_id =
+  Printf.sprintf
+    "ACK sip:bob@10.2.0.10 SIP/2.0\r\nVia: SIP/2.0/UDP 10.1.0.10:5060;branch=z9hG4bKa-%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\nTo: <sip:bob@b.example>;tag=tb-%s\r\n\
+     Call-ID: %s\r\nCSeq: 1 ACK\r\n\r\n"
+    call_id call_id call_id call_id
+
+let bye ~call_id =
+  Printf.sprintf
+    "BYE sip:bob@10.2.0.10 SIP/2.0\r\nVia: SIP/2.0/UDP 10.1.0.10:5060;branch=z9hG4bKb-%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\nTo: <sip:bob@b.example>;tag=tb-%s\r\n\
+     Call-ID: %s\r\nCSeq: 2 BYE\r\n\r\n"
+    call_id call_id call_id call_id
+
+let rtp_bytes ~seq =
+  Rtp.Rtp_packet.encode
+    (Rtp.Rtp_packet.make ~payload_type:18 ~sequence:seq
+       ~timestamp:(Int32.of_int (160 * seq)) ~ssrc:77l (String.make 20 'v'))
+
+(* [shape] picks the dialog per call: 0 = full dialog with media, 1 =
+   abandoned after INVITE, 2 = full dialog whose BYE is never answered,
+   3 = a malformed SIP message instead of a call. *)
+let make_trace shapes =
+  let records = ref [] in
+  let add at src dst payload = records := { Vids.Trace.at; src; dst; payload } :: !records in
+  let a_sig = sip_addr "10.1.0.2" and b_sig = sip_addr "10.2.0.2" in
+  List.iteri
+    (fun i shape ->
+      let call_id = Printf.sprintf "t-%d" i in
+      let t0 = ms (float_of_int (30 * i)) in
+      let ( +& ) a b = Dsim.Time.add a b in
+      if shape = 3 then
+        add t0 (sip_addr (Printf.sprintf "10.7.0.%d" (i mod 200))) b_sig "JUNK\r\n\r\n"
+      else begin
+        let a_media = Printf.sprintf "10.1.%d.%d" (1 + (i / 200)) (i mod 200) in
+        let b_media = Printf.sprintf "10.2.%d.%d" (1 + (i / 200)) (i mod 200) in
+        let port = 20000 in
+        add t0 a_sig b_sig (invite ~call_id ~media_host:a_media ~port);
+        if shape <> 1 then begin
+          add (t0 +& ms 20.)
+            b_sig a_sig (response ~call_id ~code:200 ~cseq:"1 INVITE" ~media_host:(Some b_media) ~port);
+          add (t0 +& ms 40.) a_sig b_sig (ack ~call_id);
+          let media_src = Dsim.Addr.v a_media port in
+          let media_dst = Dsim.Addr.v b_media port in
+          for s = 0 to 3 do
+            add (t0 +& ms (60. +. (20. *. float_of_int s))) media_src media_dst (rtp_bytes ~seq:s)
+          done;
+          add (t0 +& ms 400.) a_sig b_sig (bye ~call_id);
+          if shape <> 2 then
+            add (t0 +& ms 420.)
+              b_sig a_sig (response ~call_id ~code:200 ~cseq:"2 BYE" ~media_host:None ~port)
+        end
+      end)
+    shapes;
+  List.rev !records
+
+let is_global (a : Vids.Alert.t) =
+  match a.Vids.Alert.kind with
+  | Vids.Alert.Invite_flood | Vids.Alert.Drdos -> true
+  | _ -> false
+
+let local_multiset alerts =
+  alerts
+  |> List.filter (fun a -> not (is_global a))
+  |> List.map (fun (a : Vids.Alert.t) ->
+         Printf.sprintf "%s|%s|%d"
+           (Vids.Alert.kind_to_string a.kind)
+           a.subject (Dsim.Time.to_us a.at))
+  |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
+(* SPSC queue                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spsc_fifo () =
+  let t = Shard.Spsc.create ~capacity:4 in
+  Alcotest.(check bool) "empty pop" true (Shard.Spsc.pop t = None);
+  (* Several wraparounds of the 4-slot ring. *)
+  for i = 0 to 19 do
+    Shard.Spsc.push t i;
+    Shard.Spsc.push t (i + 100);
+    Alcotest.(check (option int)) "fifo a" (Some i) (Shard.Spsc.pop t);
+    Alcotest.(check (option int)) "fifo b" (Some (i + 100)) (Shard.Spsc.pop t)
+  done;
+  Alcotest.(check int) "no stalls" 0 (Shard.Spsc.stalls t);
+  Alcotest.(check int) "drained" 0 (Shard.Spsc.length t)
+
+let spsc_capacity_and_stalls () =
+  let t = Shard.Spsc.create ~capacity:3 in
+  Alcotest.(check int) "rounded up to a power of two" 4 (Shard.Spsc.capacity t);
+  for i = 0 to 3 do
+    Alcotest.(check bool) "fits" true (Shard.Spsc.try_push t i)
+  done;
+  Alcotest.(check bool) "full" false (Shard.Spsc.try_push t 99);
+  (* A blocked [push] must count one stall per element once the consumer
+     frees a slot. *)
+  let d =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.02;
+        Shard.Spsc.pop t)
+  in
+  Shard.Spsc.push t 4;
+  Alcotest.(check (option int)) "consumer got head" (Some 0) (Domain.join d);
+  Alcotest.(check int) "one stall" 1 (Shard.Spsc.stalls t)
+
+let spsc_cross_domain () =
+  let t = Shard.Spsc.create ~capacity:8 in
+  let n = 50_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec next acc got =
+          if got = n then List.rev acc
+          else
+            match Shard.Spsc.pop t with
+            | Some v -> next (v :: acc) (got + 1)
+            | None ->
+                Domain.cpu_relax ();
+                next acc got
+        in
+        next [] 0)
+  in
+  for i = 0 to n - 1 do
+    Shard.Spsc.push t i
+  done;
+  let received = Domain.join consumer in
+  Alcotest.(check int) "all delivered" n (List.length received);
+  Alcotest.(check bool) "in order" true (received = List.init n Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Partition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let partition_call_affinity () =
+  let p = Shard.Partition.create ~shards:3 in
+  let trace = make_trace [ 0; 0; 1; 2; 0; 3 ] in
+  (* Every SIP message of one Call-ID routes to one shard, and every media
+     packet of a negotiated address routes to its call's shard. *)
+  let by_call = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Vids.Trace.record) ->
+      let shard = Shard.Partition.route p r in
+      match Sip.Msg.parse r.payload with
+      | Ok msg -> (
+          match Sip.Msg.call_id msg with
+          | Ok cid -> (
+              match Hashtbl.find_opt by_call cid with
+              | None -> Hashtbl.add by_call cid shard
+              | Some s -> Alcotest.(check int) ("call " ^ cid) s shard)
+          | Error _ -> ())
+      | Error _ -> ())
+    trace;
+  Alcotest.(check bool) "media bound" true (Shard.Partition.media_bindings p > 0)
+
+let partition_media_follows_call () =
+  let p = Shard.Partition.create ~shards:4 in
+  let trace = make_trace [ 0 ] in
+  let call_shard = ref (-1) in
+  List.iter
+    (fun (r : Vids.Trace.record) ->
+      let shard = Shard.Partition.route p r in
+      if Dsim.Addr.port r.dst = 5060 || Dsim.Addr.port r.src = 5060 then begin
+        if !call_shard = -1 then call_shard := shard
+      end
+      else Alcotest.(check int) "rtp on the call's shard" !call_shard shard)
+    trace
+
+(* ------------------------------------------------------------------ *)
+(* Shard engine vs sequential                                          *)
+(* ------------------------------------------------------------------ *)
+
+let shards_match_sequential () =
+  let trace = make_trace (List.init 40 (fun i -> i mod 4)) in
+  let sequential = Vids.Trace.replay trace in
+  let expected = local_multiset (Vids.Engine.alerts sequential) in
+  List.iter
+    (fun shards ->
+      let outcome = Shard.Shard_engine.run_trace ~shards trace in
+      Alcotest.(check (list string))
+        (Printf.sprintf "alert multiset at %d shards" shards)
+        expected
+        (local_multiset outcome.Shard.Shard_engine.alerts);
+      let c = outcome.Shard.Shard_engine.counters in
+      let s = Vids.Engine.counters sequential in
+      Alcotest.(check int) "sip packets" s.Vids.Engine.sip_packets c.Vids.Engine.sip_packets;
+      Alcotest.(check int) "rtp packets" s.Vids.Engine.rtp_packets c.Vids.Engine.rtp_packets;
+      Alcotest.(check int)
+        "malformed" s.Vids.Engine.malformed_packets c.Vids.Engine.malformed_packets)
+    [ 1; 2; 3 ]
+
+let single_shard_is_sequential () =
+  (* With one shard nothing is deferred: even the global detectors must
+     agree exactly, alert times included. *)
+  let flood =
+    List.init 10 (fun k ->
+        {
+          Vids.Trace.at = ms (float_of_int (40 * k));
+          src = sip_addr (Printf.sprintf "10.9.0.%d" k);
+          dst = sip_addr "10.2.0.2";
+          payload = invite ~call_id:(Printf.sprintf "f-%d" k) ~media_host:"10.9.1.1" ~port:21000;
+        })
+  in
+  let trace = make_trace [ 0; 1; 2 ] @ flood in
+  let sequential = Vids.Trace.replay trace in
+  let outcome = Shard.Shard_engine.run_trace ~shards:1 trace in
+  let all alerts =
+    List.sort String.compare
+      (List.map
+         (fun (a : Vids.Alert.t) ->
+           Printf.sprintf "%s|%s|%d"
+             (Vids.Alert.kind_to_string a.kind)
+             a.subject (Dsim.Time.to_us a.at))
+         alerts)
+  in
+  Alcotest.(check (list string))
+    "identical alert log" (all (Vids.Engine.alerts sequential))
+    (all outcome.Shard.Shard_engine.alerts);
+  Alcotest.(check (list string)) "no coordinator alerts" []
+    (all outcome.Shard.Shard_engine.global_alerts)
+
+let aggregated_flood_detected () =
+  (* 10 INVITEs with distinct Call-IDs inside one second scatter across
+     shards; only the coordinator can see the burst. *)
+  let flood =
+    List.init 10 (fun k ->
+        {
+          Vids.Trace.at = ms (float_of_int (40 * k));
+          src = sip_addr (Printf.sprintf "10.9.0.%d" k);
+          dst = sip_addr "10.2.0.2";
+          payload = invite ~call_id:(Printf.sprintf "f-%d" k) ~media_host:"10.9.1.1" ~port:21000;
+        })
+  in
+  let sequential = Vids.Trace.replay flood in
+  let seq_flood =
+    List.filter (fun (a : Vids.Alert.t) -> a.kind = Vids.Alert.Invite_flood)
+      (Vids.Engine.alerts sequential)
+  in
+  Alcotest.(check bool) "sequential sees the flood" true (seq_flood <> []);
+  let outcome = Shard.Shard_engine.run_trace ~shards:3 flood in
+  match outcome.Shard.Shard_engine.global_alerts with
+  | [ a ] ->
+      Alcotest.(check bool) "kind" true (a.Vids.Alert.kind = Vids.Alert.Invite_flood);
+      let s = List.hd seq_flood in
+      Alcotest.(check string) "subject" s.Vids.Alert.subject a.Vids.Alert.subject;
+      let window = Vids.Config.default.Vids.Config.invite_flood_window in
+      Alcotest.(check bool) "within one window of sequential" true
+        (abs (Dsim.Time.to_us a.Vids.Alert.at - Dsim.Time.to_us s.Vids.Alert.at)
+        <= Dsim.Time.to_us window)
+  | other ->
+      Alcotest.failf "expected exactly one aggregated alert, got %d" (List.length other)
+
+let backpressure_counted () =
+  let trace = make_trace (List.init 30 (fun _ -> 0)) in
+  let outcome = Shard.Shard_engine.run_trace ~queue_capacity:2 ~shards:2 trace in
+  let stalls =
+    Array.fold_left (fun acc s -> acc + s.Shard.Shard_engine.stalls) 0
+      outcome.Shard.Shard_engine.per_shard
+  in
+  Alcotest.(check bool) "tiny queues stall the producer" true (stalls > 0);
+  Alcotest.(check int) "stalls surface in the merged counters" stalls
+    outcome.Shard.Shard_engine.counters.Vids.Engine.backpressure_stalls;
+  (* Stalled records are delivered late, never dropped. *)
+  let fed = Array.fold_left (fun acc s -> acc + s.Shard.Shard_engine.fed) 0
+      outcome.Shard.Shard_engine.per_shard in
+  Alcotest.(check int) "nothing dropped" (List.length trace) fed
+
+let latency_measured () =
+  let trace = make_trace [ 0; 0; 1 ] in
+  let outcome = Shard.Shard_engine.run_trace ~measure_latency:true ~shards:2 trace in
+  match outcome.Shard.Shard_engine.latency with
+  | None -> Alcotest.fail "expected a merged latency distribution"
+  | Some qt ->
+      Alcotest.(check int) "one sample per record" (List.length trace)
+        (Dsim.Stat.Quantiles.count qt);
+      Alcotest.(check bool) "quantiles ordered" true
+        (Dsim.Stat.Quantiles.p50 qt <= Dsim.Stat.Quantiles.p99 qt)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / recovery                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_prefix f =
+  let prefix = Filename.temp_file "vids-shard" ".ck" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun suffix ->
+          List.iter
+            (fun i ->
+              let p = Shard.Shard_engine.snapshot_path prefix i ^ suffix in
+              if Sys.file_exists p then Sys.remove p)
+            [ 0; 1; 2; 3 ])
+        [| ""; ".1"; ".journal" |];
+      if Sys.file_exists prefix then Sys.remove prefix)
+    (fun () -> f prefix)
+
+let recovery_consistent () =
+  with_prefix (fun prefix ->
+      let shards = 3 in
+      let trace = make_trace (List.init 60 (fun i -> i mod 4)) in
+      let checkpoint = { Shard.Shard_engine.prefix; every = Dsim.Time.of_sec 0.4 } in
+      let live = Shard.Shard_engine.run_trace ~checkpoint ~shards trace in
+      (* Snapshot files exist for every shard and agree on the sequence
+         number (the dispatcher broadcasts every boundary). *)
+      let seqs =
+        List.init shards (fun i ->
+            match Vids.Snapshot.load (Shard.Shard_engine.snapshot_path prefix i) with
+            | Ok s -> Vids.Snapshot.seq s
+            | Error e -> Alcotest.failf "shard %d snapshot: %s" i e)
+      in
+      (match seqs with
+      | s :: rest -> List.iter (Alcotest.(check int) "aligned checkpoints" s) rest
+      | [] -> ());
+      match Shard.Shard_engine.recover ~prefix ~shards ~trace () with
+      | Error e -> Alcotest.failf "recover: %s" e
+      | Ok r ->
+          Alcotest.(check bool) "replayed a suffix" true (r.Shard.Shard_engine.replayed > 0);
+          let key (a : Vids.Alert.t) =
+            Printf.sprintf "%s|%s|%d"
+              (Vids.Alert.kind_to_string a.kind)
+              a.subject (Dsim.Time.to_us a.at)
+          in
+          let sort l = List.sort String.compare (List.map key l) in
+          Alcotest.(check (list string))
+            "recovered alert log equals the uninterrupted run"
+            (sort live.Shard.Shard_engine.alerts)
+            (sort r.Shard.Shard_engine.outcome.Shard.Shard_engine.alerts);
+          (* Per-shard engine states converge too (canonical digests). *)
+          Array.iteri
+            (fun i live_e ->
+              let at =
+                Dsim.Time.add
+                  (List.fold_left
+                     (fun acc (rc : Vids.Trace.record) -> Dsim.Time.max acc rc.at)
+                     Dsim.Time.zero trace)
+                  (Dsim.Time.of_sec 120.0)
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "shard %d digest" i)
+                (Vids.Snapshot.digest ~at live_e)
+                (Vids.Snapshot.digest ~at
+                   r.Shard.Shard_engine.outcome.Shard.Shard_engine.engines.(i)))
+            live.Shard.Shard_engine.engines)
+
+let snapshot_keeps_backpressure () =
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create sched in
+  Vids.Engine.add_backpressure_stalls engine 7;
+  let snap = Vids.Snapshot.capture ~at:Dsim.Time.zero engine in
+  match Vids.Snapshot.of_string (Vids.Snapshot.to_string snap) with
+  | Error e -> Alcotest.fail e
+  | Ok snap -> (
+      match Vids.Snapshot.restore snap with
+      | Error e -> Alcotest.fail e
+      | Ok (_, restored) ->
+          Alcotest.(check int) "stalls survive the round trip" 7
+            (Vids.Engine.counters restored).Vids.Engine.backpressure_stalls)
+
+(* ------------------------------------------------------------------ *)
+(* Satellites: interning, quantiles, advance_to                        *)
+(* ------------------------------------------------------------------ *)
+
+let intern_basics () =
+  let t = Vids.Intern.create () in
+  let a = Vids.Intern.intern t "alpha" in
+  let b = Vids.Intern.intern t "beta" in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "stable" a (Vids.Intern.intern t "alpha");
+  Alcotest.(check (option int)) "find" (Some b) (Vids.Intern.find t "beta");
+  Alcotest.(check (option int)) "miss" None (Vids.Intern.find t "gamma");
+  Alcotest.(check string) "name" "beta" (Vids.Intern.name t b);
+  Alcotest.(check int) "count" 2 (Vids.Intern.count t);
+  Alcotest.(check bool) "hash deterministic" true
+    (Vids.Intern.hash "Call-ID-1" = Vids.Intern.hash "Call-ID-1");
+  Alcotest.(check bool) "hash non-negative" true (Vids.Intern.hash "x" >= 0)
+
+let quantiles_exact_and_merged () =
+  let qt = Dsim.Stat.Quantiles.create () in
+  for i = 1 to 100 do
+    Dsim.Stat.Quantiles.add qt (float_of_int i)
+  done;
+  Alcotest.(check (float 1.0)) "p50" 50.0 (Dsim.Stat.Quantiles.p50 qt);
+  Alcotest.(check (float 1.0)) "p95" 95.0 (Dsim.Stat.Quantiles.p95 qt);
+  Alcotest.(check (float 1.0)) "p99" 99.0 (Dsim.Stat.Quantiles.p99 qt);
+  let a = Dsim.Stat.Quantiles.create () and b = Dsim.Stat.Quantiles.create () in
+  for i = 1 to 50 do
+    Dsim.Stat.Quantiles.add a (float_of_int i);
+    Dsim.Stat.Quantiles.add b (float_of_int (50 + i))
+  done;
+  let m = Dsim.Stat.Quantiles.merge a b in
+  Alcotest.(check int) "merged count" 100 (Dsim.Stat.Quantiles.count m);
+  Alcotest.(check (float 1.0)) "merged p50" 50.0 (Dsim.Stat.Quantiles.p50 m)
+
+let advance_to_semantics () =
+  let sched = Dsim.Scheduler.create () in
+  let fired = ref [] in
+  let note name () = fired := name :: !fired in
+  ignore (Dsim.Scheduler.schedule_at sched (ms 10.) (note "a"));
+  ignore (Dsim.Scheduler.schedule_at sched (ms 20.) (note "b"));
+  ignore (Dsim.Scheduler.schedule_at sched (ms 30.) (note "c"));
+  Dsim.Scheduler.advance_to sched (ms 20.);
+  (* Strictly-earlier timers fire; the timer at exactly the target stays
+     pending (same-instant packets beat timers). *)
+  Alcotest.(check (list string)) "only earlier timers" [ "a" ] (List.rev !fired);
+  Alcotest.(check time) "clock at target" (ms 20.) (Dsim.Scheduler.now sched);
+  Dsim.Scheduler.run sched;
+  Alcotest.(check (list string)) "rest fire in order" [ "a"; "b"; "c" ] (List.rev !fired)
+
+(* ------------------------------------------------------------------ *)
+(* Property: sequential vs sharded on generated traces                 *)
+(* ------------------------------------------------------------------ *)
+
+let trace_gen =
+  QCheck.Gen.(
+    pair (int_range 2 3) (list_size (int_range 5 40) (int_range 0 3)))
+
+let prop_sharded_equals_sequential =
+  q ~count:25 "sharded run = sequential run (partition-local alerts)"
+    (QCheck.make
+       ~print:(fun (n, shapes) ->
+         Printf.sprintf "shards=%d shapes=[%s]" n
+           (String.concat ";" (List.map string_of_int shapes)))
+       trace_gen)
+    (fun (shards, shapes) ->
+      let trace = make_trace shapes in
+      let sequential = Vids.Trace.replay trace in
+      let outcome = Shard.Shard_engine.run_trace ~shards trace in
+      let locals_equal =
+        local_multiset (Vids.Engine.alerts sequential)
+        = local_multiset outcome.Shard.Shard_engine.alerts
+      in
+      (* Every sequential cross-shard alert has an aggregated counterpart
+         on the same subject within one detector window. *)
+      let globals_covered =
+        List.for_all
+          (fun (s : Vids.Alert.t) ->
+            let window =
+              match s.kind with
+              | Vids.Alert.Invite_flood -> Vids.Config.default.Vids.Config.invite_flood_window
+              | _ -> Vids.Config.default.Vids.Config.drdos_window
+            in
+            List.exists
+              (fun (a : Vids.Alert.t) ->
+                a.kind = s.kind
+                && String.equal a.subject s.subject
+                && abs (Dsim.Time.to_us a.at - Dsim.Time.to_us s.at) <= Dsim.Time.to_us window)
+              outcome.Shard.Shard_engine.alerts)
+          (List.filter is_global (Vids.Engine.alerts sequential))
+      in
+      locals_equal && globals_covered)
+
+let suite =
+  [
+    ( "shard",
+      [
+        Alcotest.test_case "spsc: fifo across wraparound" `Quick spsc_fifo;
+        Alcotest.test_case "spsc: capacity rounding and stalls" `Quick spsc_capacity_and_stalls;
+        Alcotest.test_case "spsc: cross-domain delivery in order" `Quick spsc_cross_domain;
+        Alcotest.test_case "partition: call affinity" `Quick partition_call_affinity;
+        Alcotest.test_case "partition: media follows its call" `Quick partition_media_follows_call;
+        Alcotest.test_case "engine: 1..3 shards match sequential" `Quick shards_match_sequential;
+        Alcotest.test_case "engine: 1 shard is exactly sequential" `Quick single_shard_is_sequential;
+        Alcotest.test_case "engine: cross-shard flood aggregation" `Quick aggregated_flood_detected;
+        Alcotest.test_case "engine: backpressure counted, nothing dropped" `Quick backpressure_counted;
+        Alcotest.test_case "engine: per-packet latency quantiles" `Quick latency_measured;
+        Alcotest.test_case "recovery: all shards converge" `Quick recovery_consistent;
+        Alcotest.test_case "snapshot: backpressure survives round trip" `Quick
+          snapshot_keeps_backpressure;
+        Alcotest.test_case "intern: ids, find, hash" `Quick intern_basics;
+        Alcotest.test_case "stat: quantiles exact and merged" `Quick quantiles_exact_and_merged;
+        Alcotest.test_case "scheduler: advance_to fires strictly-earlier timers" `Quick
+          advance_to_semantics;
+        prop_sharded_equals_sequential;
+      ] );
+  ]
