@@ -1,0 +1,38 @@
+(* Helpers shared by the bench executables: wall-clock timing and JSON
+   result files.  Every bench emits a BENCH_*.json artifact consumed by
+   CI; the file writing, the "wrote ..." announcement and the timing
+   boilerplate live here so the benches only format their own rows. *)
+
+(** JSON emission (RFC 8259 strings, finite-safe floats) — the same
+    helpers the telemetry exporters use. *)
+module Json = Obs.Json
+
+(** [timed f] runs [f ()] and returns its result with the elapsed
+    wall-clock seconds. *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(** [time f] is the elapsed wall-clock seconds of [f ()] alone. *)
+let time f = snd (timed f)
+
+(** [best_of n f] runs [f] [n] times and returns the fastest wall-clock
+    seconds — the standard way to compare two pipelines while shrugging
+    off scheduler noise.  [n] must be positive. *)
+let best_of n f =
+  if n <= 0 then invalid_arg "Bench_common.best_of: n must be positive";
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t = time f in
+    if t < !best then best := t
+  done;
+  !best
+
+(** [write_json ~path contents] writes the artifact and announces it on
+    stdout, the contract CI greps for. *)
+let write_json ~path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s\n" path

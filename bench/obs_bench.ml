@@ -1,0 +1,217 @@
+(* Observability bench: what does leaving telemetry on cost, and does it
+   change detection?
+
+   Two questions, answered in BENCH_obs.json:
+
+   1. Overhead — the same dialog-rich trace (full dialogs with media,
+      abandoned calls, a rogue RTP flood) is replayed through a bare
+      engine and through one carrying a full metrics registry + flight
+      recorder.  Best-of-N wall times; the gate requires the instrumented
+      run within 5% of the baseline (plus a 10 ms epsilon so micro runs
+      aren't judged on scheduler noise).
+   2. Transparency — telemetry must be write-only: the canonical
+      [Vids.Snapshot.digest] of the two engines must be byte-identical.
+      Divergence fails the run, and so CI.
+
+   The instrumented run's exports are written next to the JSON artifact
+   (obs_sample.prom, obs_sample_trace.jsonl) so CI uploads a sample of
+   both exporter formats.
+
+   Scale comes from argv: [obs_bench.exe 400 3] replays 400 calls with
+   best-of-3 timing (the CI smoke preset); the default is 2000 calls,
+   best-of-5. *)
+
+let ms = Dsim.Time.of_ms
+let sip_addr host = Dsim.Addr.v host 5060
+
+let invite ~call_id ~port =
+  let body =
+    Printf.sprintf
+      "v=0\r\no=alice 0 0 IN IP4 10.1.0.10\r\ns=-\r\nc=IN IP4 10.1.0.10\r\nt=0 0\r\nm=audio %d RTP/AVP 18\r\n"
+      port
+  in
+  Printf.sprintf
+    "INVITE sip:bob@b.example SIP/2.0\r\n\
+     Via: SIP/2.0/UDP 10.1.0.2:5060;branch=z9hG4bK%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>\r\n\
+     Call-ID: %s\r\n\
+     CSeq: 1 INVITE\r\n\
+     Contact: <sip:alice@10.1.0.10:5060>\r\n\
+     Content-Type: application/sdp\r\n\
+     Content-Length: %d\r\n\r\n%s"
+    call_id call_id call_id (String.length body) body
+
+let response ~call_id ~code ~cseq ~sdp ~port =
+  let body =
+    if sdp then
+      Printf.sprintf
+        "v=0\r\no=bob 0 0 IN IP4 10.2.0.10\r\ns=-\r\nc=IN IP4 10.2.0.10\r\nt=0 0\r\nm=audio %d RTP/AVP 18\r\n"
+        port
+    else ""
+  in
+  Printf.sprintf
+    "SIP/2.0 %d X\r\n\
+     Via: SIP/2.0/UDP 10.1.0.2:5060;branch=z9hG4bK%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>;tag=tb-%s\r\n\
+     Call-ID: %s\r\nCSeq: %s\r\n%sContent-Length: %d\r\n\r\n%s"
+    code call_id call_id call_id call_id cseq
+    (if sdp then "Content-Type: application/sdp\r\n" else "")
+    (String.length body) body
+
+let ack ~call_id =
+  Printf.sprintf
+    "ACK sip:bob@10.2.0.10 SIP/2.0\r\n\
+     Via: SIP/2.0/UDP 10.1.0.10:5060;branch=z9hG4bKa-%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>;tag=tb-%s\r\n\
+     Call-ID: %s\r\nCSeq: 1 ACK\r\n\r\n"
+    call_id call_id call_id call_id
+
+let bye ~call_id =
+  Printf.sprintf
+    "BYE sip:bob@10.2.0.10 SIP/2.0\r\n\
+     Via: SIP/2.0/UDP 10.1.0.10:5060;branch=z9hG4bKb-%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>;tag=tb-%s\r\n\
+     Call-ID: %s\r\nCSeq: 2 BYE\r\n\r\n"
+    call_id call_id call_id call_id
+
+let rtp_bytes ~seq =
+  Rtp.Rtp_packet.encode
+    (Rtp.Rtp_packet.make ~payload_type:18 ~sequence:seq
+       ~timestamp:(Int32.of_int (160 * seq)) ~ssrc:77l (String.make 20 'v'))
+
+(* Every 50 ms a new call starts; two in three run a full dialog with a
+   media burst, one in three is abandoned after the INVITE.  Three rogue
+   RTP floods ride on top so the Media_spam detector (and its alerts)
+   exercise the telemetry path too. *)
+let make_trace ~calls =
+  let records = ref [] in
+  let add at src dst payload = records := { Vids.Trace.at; src; dst; payload } :: !records in
+  let a_sig = sip_addr "10.1.0.2" and b_sig = sip_addr "10.2.0.2" in
+  for i = 0 to calls - 1 do
+    let call_id = Printf.sprintf "obs-%d" i in
+    let t0 = ms (float_of_int (50 * i)) in
+    let port = 16384 + (2 * (i mod 2048)) in
+    let ( +& ) a b = Dsim.Time.add a b in
+    add t0 a_sig b_sig (invite ~call_id ~port);
+    if i mod 3 <> 2 then begin
+      add (t0 +& ms 20.) b_sig a_sig (response ~call_id ~code:180 ~cseq:"1 INVITE" ~sdp:false ~port);
+      add (t0 +& ms 40.) b_sig a_sig (response ~call_id ~code:200 ~cseq:"1 INVITE" ~sdp:true ~port);
+      add (t0 +& ms 60.) a_sig b_sig (ack ~call_id);
+      let media_src = Dsim.Addr.v "10.1.0.10" port in
+      let media_dst = Dsim.Addr.v "10.2.0.10" port in
+      for s = 0 to 4 do
+        add (t0 +& ms (80. +. (20. *. float_of_int s))) media_src media_dst (rtp_bytes ~seq:s)
+      done;
+      add (t0 +& ms 600.) a_sig b_sig (bye ~call_id);
+      add (t0 +& ms 620.) b_sig a_sig (response ~call_id ~code:200 ~cseq:"2 BYE" ~sdp:false ~port)
+    end
+  done;
+  for stream = 0 to 2 do
+    let rogue_src = Dsim.Addr.v (Printf.sprintf "10.5.0.%d" stream) 22000 in
+    let rogue_dst = Dsim.Addr.v (Printf.sprintf "10.6.0.%d" stream) 22000 in
+    for s = 0 to 199 do
+      add
+        (Dsim.Time.add (ms (float_of_int (100 * stream))) (ms (float_of_int (4 * s))))
+        rogue_src rogue_dst (rtp_bytes ~seq:s)
+    done
+  done;
+  List.rev !records
+
+(* One replay over a private clock; with [telemetry] the engine carries a
+   full registry + flight recorder, the exact configuration the CLI's
+   --metrics-out/--trace-out flags produce. *)
+let replay ~telemetry ~horizon trace =
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create sched in
+  let obs =
+    if not telemetry then None
+    else begin
+      let metrics = Obs.Metrics.create () in
+      let flight = Obs.Trace.create ~capacity:256 () in
+      Vids.Engine.set_telemetry engine ~metrics ~flight ();
+      Some (metrics, flight)
+    end
+  in
+  ignore (Vids.Trace.schedule_into sched engine trace);
+  Dsim.Scheduler.run_until sched horizon;
+  (engine, obs)
+
+let () =
+  let calls = try int_of_string Sys.argv.(1) with _ -> 2000 in
+  let repeats = try int_of_string Sys.argv.(2) with _ -> 5 in
+  let trace = make_trace ~calls in
+  let n_records = List.length trace in
+  let horizon = ms (float_of_int ((50 * calls) + 700)) in
+  Printf.printf "trace: %d calls, %d records, best of %d\n%!" calls n_records repeats;
+  let base_s =
+    Bench_common.best_of repeats (fun () -> ignore (replay ~telemetry:false ~horizon trace))
+  in
+  let inst_s =
+    Bench_common.best_of repeats (fun () -> ignore (replay ~telemetry:true ~horizon trace))
+  in
+  (* Transparency: one fresh run per mode, digests compared at the horizon. *)
+  let bare_engine, _ = replay ~telemetry:false ~horizon trace in
+  let inst_engine, obs = replay ~telemetry:true ~horizon trace in
+  let metrics, flight = Option.get obs in
+  let bare_digest = Vids.Snapshot.digest ~at:horizon bare_engine in
+  let inst_digest = Vids.Snapshot.digest ~at:horizon inst_engine in
+  let transparent = String.equal bare_digest inst_digest in
+  let overhead = (inst_s -. base_s) /. base_s in
+  (* The 5% gate carries a 10 ms epsilon so sub-second smoke runs aren't
+     judged on scheduler noise. *)
+  let gate_passed = inst_s <= (base_s *. 1.05) +. 0.010 in
+  Printf.printf "baseline:     %.3f s (%.0f records/s)\n" base_s (float_of_int n_records /. base_s);
+  Printf.printf "instrumented: %.3f s (%.0f records/s), overhead %+.2f%%\n" inst_s
+    (float_of_int n_records /. inst_s)
+    (100. *. overhead);
+  Printf.printf "digest identical with telemetry on: %b\n" transparent;
+  let snap = Obs.Metrics.snapshot metrics in
+  let packets_seen = Obs.Metrics.total snap "vids_packets_total" in
+  Printf.printf "registry: %d rows, %d packets counted; flight recorder: %d events\n"
+    (List.length snap.Obs.Metrics.rows)
+    packets_seen
+    (Obs.Trace.recorded flight);
+  (* Sample exports for the CI artifact. *)
+  Obs.Export.write_metrics ~path:"obs_sample.prom" snap;
+  (try Sys.remove "obs_sample_trace.jsonl" with Sys_error _ -> ());
+  Obs.Export.append_trace ~reason:"bench end of run" ~path:"obs_sample_trace.jsonl"
+    (Obs.Trace.entries flight);
+  print_endline "wrote obs_sample.prom, obs_sample_trace.jsonl";
+  let module J = Bench_common.Json in
+  Bench_common.write_json ~path:"BENCH_obs.json"
+    (J.obj
+       [
+         ("bench", J.quote "obs");
+         ("calls", J.int calls);
+         ("records", J.int n_records);
+         ("repeats", J.int repeats);
+         ("baseline_s", J.float base_s);
+         ("instrumented_s", J.float inst_s);
+         ("overhead_fraction", J.float overhead);
+         ("baseline_records_per_s", J.float (float_of_int n_records /. base_s));
+         ("instrumented_records_per_s", J.float (float_of_int n_records /. inst_s));
+         ("digest_identical", J.bool transparent);
+         ("registry_rows", J.int (List.length snap.Obs.Metrics.rows));
+         ("packets_counted", J.int packets_seen);
+         ("flight_events", J.int (Obs.Trace.recorded flight));
+         ( "gate",
+           J.obj
+             [
+               ("max_overhead_fraction", J.float 0.05);
+               ("epsilon_s", J.float 0.010);
+               ("passed", J.bool gate_passed);
+             ] );
+       ]
+    ^ "\n");
+  if not transparent then begin
+    prerr_endline "FAIL: telemetry changed the engine digest";
+    exit 1
+  end;
+  if not gate_passed then begin
+    Printf.eprintf "FAIL: telemetry overhead %.2f%% exceeds the 5%% gate\n" (100. *. overhead);
+    exit 1
+  end

@@ -112,20 +112,21 @@ let checkpoint_cost ~calls =
   let horizon = ms (float_of_int ((50 * calls) + 700)) in
   let sched, engine = Vids.Trace.replay_until ~until:horizon trace in
   let at = Dsim.Scheduler.now sched in
-  let t0 = Unix.gettimeofday () in
-  let snap = Vids.Snapshot.capture ~seq:1 ~at engine in
-  let text = Vids.Snapshot.to_string snap in
-  let capture_s = Unix.gettimeofday () -. t0 in
-  let t1 = Unix.gettimeofday () in
-  let reparsed =
-    match Vids.Snapshot.of_string text with
-    | Ok s -> s
-    | Error e -> failwith ("snapshot reparse failed: " ^ e)
+  let text, capture_s =
+    Bench_common.timed (fun () ->
+        Vids.Snapshot.to_string (Vids.Snapshot.capture ~seq:1 ~at engine))
   in
-  (match Vids.Snapshot.restore reparsed with
-  | Ok _ -> ()
-  | Error e -> failwith ("snapshot restore failed: " ^ e));
-  let parse_restore_s = Unix.gettimeofday () -. t1 in
+  let parse_restore_s =
+    Bench_common.time (fun () ->
+        let reparsed =
+          match Vids.Snapshot.of_string text with
+          | Ok s -> s
+          | Error e -> failwith ("snapshot reparse failed: " ^ e)
+        in
+        match Vids.Snapshot.restore reparsed with
+        | Ok _ -> ()
+        | Error e -> failwith ("snapshot restore failed: " ^ e))
+  in
   let stats = Vids.Engine.memory_stats engine in
   {
     occupancy = stats.Vids.Fact_base.active_calls + stats.Vids.Fact_base.detectors;
@@ -156,11 +157,12 @@ let recovery_run ~label ~config ~trace ~horizon ~cut =
     | Ok s -> s
     | Error e -> failwith ("checkpoint round-trip failed: " ^ e)
   in
-  let t0 = Unix.gettimeofday () in
-  match Vids.Recovery.recover ?config ~trace ~until:horizon snap with
+  let recovered_result, recover_s =
+    Bench_common.timed (fun () -> Vids.Recovery.recover ?config ~trace ~until:horizon snap)
+  in
+  match recovered_result with
   | Error e -> failwith ("recovery failed: " ^ e)
   | Ok outcome ->
-      let recover_s = Unix.gettimeofday () -. t0 in
       let recovered = Vids.Snapshot.digest ~at:horizon outcome.Vids.Recovery.engine in
       {
         label;
@@ -216,17 +218,15 @@ let () =
     runs;
   let divergence_zero = List.for_all (fun r -> not r.divergent) runs in
   Printf.printf "post-recovery divergence zero: %b\n" divergence_zero;
-  let oc = open_out "BENCH_recovery.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"recovery\",\n\
-    \  \"divergence_zero\": %b,\n\
-    \  \"checkpoint_cost\": [\n%s\n  ],\n\
-    \  \"recovery\": [\n%s\n  ]\n\
-     }\n"
-    divergence_zero
-    (String.concat ",\n" (List.map json_of_cost costs))
-    (String.concat ",\n" (List.map json_of_recovery runs));
-  close_out oc;
-  print_endline "wrote BENCH_recovery.json";
+  Bench_common.write_json ~path:"BENCH_recovery.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"bench\": \"recovery\",\n\
+       \  \"divergence_zero\": %b,\n\
+       \  \"checkpoint_cost\": [\n%s\n  ],\n\
+       \  \"recovery\": [\n%s\n  ]\n\
+        }\n"
+       divergence_zero
+       (String.concat ",\n" (List.map json_of_cost costs))
+       (String.concat ",\n" (List.map json_of_recovery runs)));
   if not divergence_zero then exit 1

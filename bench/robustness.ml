@@ -34,23 +34,28 @@ type result = {
 }
 
 let churn ~label ~config ~n =
-  let t0 = Unix.gettimeofday () in
-  let sched = Dsim.Scheduler.create () in
-  let engine = Vids.Engine.create ~config sched in
-  let alloc = Dsim.Packet.allocator () in
-  let src = Dsim.Addr.v "203.0.113.66" 5060 in
-  let dst = Dsim.Addr.v "10.2.0.2" 5060 in
-  for i = 0 to n - 1 do
-    (* One packet per simulated millisecond, advancing the clock so sweep
-       timers get a chance to fire. *)
-    let at = Dsim.Time.of_ms (float_of_int i) in
-    Dsim.Scheduler.run_until sched at;
-    let packet = Dsim.Packet.make alloc ~src ~dst ~sent_at:at (invite ~call_id:(Printf.sprintf "churn-%d" i)) in
-    Vids.Engine.process_packet engine packet
-  done;
-  Dsim.Scheduler.run_until sched (Dsim.Time.add (Dsim.Time.of_ms (float_of_int n)) (sec 1.0));
-  let stats = Vids.Engine.memory_stats engine in
-  let counters = Vids.Engine.counters engine in
+  let (stats, counters, engine), wall_s =
+    Bench_common.timed (fun () ->
+        let sched = Dsim.Scheduler.create () in
+        let engine = Vids.Engine.create ~config sched in
+        let alloc = Dsim.Packet.allocator () in
+        let src = Dsim.Addr.v "203.0.113.66" 5060 in
+        let dst = Dsim.Addr.v "10.2.0.2" 5060 in
+        for i = 0 to n - 1 do
+          (* One packet per simulated millisecond, advancing the clock so
+             sweep timers get a chance to fire. *)
+          let at = Dsim.Time.of_ms (float_of_int i) in
+          Dsim.Scheduler.run_until sched at;
+          let packet =
+            Dsim.Packet.make alloc ~src ~dst ~sent_at:at
+              (invite ~call_id:(Printf.sprintf "churn-%d" i))
+          in
+          Vids.Engine.process_packet engine packet
+        done;
+        Dsim.Scheduler.run_until sched
+          (Dsim.Time.add (Dsim.Time.of_ms (float_of_int n)) (sec 1.0));
+        (Vids.Engine.memory_stats engine, Vids.Engine.counters engine, engine))
+  in
   Gc.full_major ();
   let live = (Gc.stat ()).Gc.live_words in
   (* Keep the engine reachable until after the heap measurement. *)
@@ -64,7 +69,7 @@ let churn ~label ~config ~n =
     calls_swept = stats.Vids.Fact_base.calls_swept;
     alerts = counters.Vids.Engine.alerts_raised;
     live_words = live;
-    wall_s = Unix.gettimeofday () -. t0;
+    wall_s;
   }
 
 let json_of_result r =
@@ -98,11 +103,9 @@ let () =
   in
   Printf.printf "governed run bounded by max_calls=%d: %b\n"
     governed_config.Vids.Config.max_calls bounded;
-  let oc = open_out "BENCH_robustness.json" in
-  Printf.fprintf oc
-    "{\n  \"bench\": \"robustness\",\n  \"max_calls\": %d,\n  \"bounded\": %b,\n  \"results\": [\n%s\n  ]\n}\n"
-    governed_config.Vids.Config.max_calls bounded
-    (String.concat ",\n" (List.map json_of_result results));
-  close_out oc;
-  print_endline "wrote BENCH_robustness.json";
+  Bench_common.write_json ~path:"BENCH_robustness.json"
+    (Printf.sprintf
+       "{\n  \"bench\": \"robustness\",\n  \"max_calls\": %d,\n  \"bounded\": %b,\n  \"results\": [\n%s\n  ]\n}\n"
+       governed_config.Vids.Config.max_calls bounded
+       (String.concat ",\n" (List.map json_of_result results)));
   if not bounded then exit 1

@@ -230,9 +230,7 @@ let () =
   let n_records = List.length trace in
   let cores = Domain.recommended_domain_count () in
   Printf.printf "trace: %d calls, %d records; %d cores recommended\n%!" calls n_records cores;
-  let t0 = Unix.gettimeofday () in
-  let sequential = Vids.Trace.replay ~config trace in
-  let seq_wall = Unix.gettimeofday () -. t0 in
+  let sequential, seq_wall = Bench_common.timed (fun () -> Vids.Trace.replay ~config trace) in
   let seq_alerts = Vids.Engine.alerts sequential in
   let seq_digest = local_digest seq_alerts in
   Printf.printf "sequential: %.2f s, %.0f records/s, %d alerts\n%!" seq_wall
@@ -242,11 +240,10 @@ let () =
   let runs =
     List.map
       (fun shards ->
-        let t0 = Unix.gettimeofday () in
-        let outcome =
-          Shard.Shard_engine.run_trace ~config ~measure_latency:true ~shards trace
+        let outcome, wall_s =
+          Bench_common.timed (fun () ->
+              Shard.Shard_engine.run_trace ~config ~measure_latency:true ~shards trace)
         in
-        let wall_s = Unix.gettimeofday () -. t0 in
         let stalls =
           Array.fold_left (fun acc s -> acc + s.Shard.Shard_engine.stalls) 0
             outcome.Shard.Shard_engine.per_shard
@@ -289,26 +286,24 @@ let () =
      workers in parallel. *)
   let gate_enforced = cores >= 4 && List.exists (fun r -> r.shards = 4) runs in
   let gate_passed = (not gate_enforced) || speedup_at_4 >= 2.0 in
-  let oc = open_out "BENCH_shard.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"shard\",\n\
-    \  \"calls\": %d,\n\
-    \  \"records\": %d,\n\
-    \  \"cores\": %d,\n\
-    \  \"sequential_wall_s\": %.4f,\n\
-    \  \"sequential_records_per_s\": %.0f,\n\
-    \  \"deterministic\": %b,\n\
-    \  \"speedup_at_4\": %.2f,\n\
-    \  \"gate\": {\"required_speedup_at_4\": 2.0, \"enforced\": %b, \"passed\": %b},\n\
-    \  \"scaling\": [\n%s\n  ]\n\
-     }\n"
-    calls n_records cores seq_wall
-    (float_of_int n_records /. seq_wall)
-    deterministic speedup_at_4 gate_enforced gate_passed
-    (String.concat ",\n" (List.map json_of_run runs));
-  close_out oc;
-  print_endline "wrote BENCH_shard.json";
+  Bench_common.write_json ~path:"BENCH_shard.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"bench\": \"shard\",\n\
+       \  \"calls\": %d,\n\
+       \  \"records\": %d,\n\
+       \  \"cores\": %d,\n\
+       \  \"sequential_wall_s\": %.4f,\n\
+       \  \"sequential_records_per_s\": %.0f,\n\
+       \  \"deterministic\": %b,\n\
+       \  \"speedup_at_4\": %.2f,\n\
+       \  \"gate\": {\"required_speedup_at_4\": 2.0, \"enforced\": %b, \"passed\": %b},\n\
+       \  \"scaling\": [\n%s\n  ]\n\
+        }\n"
+       calls n_records cores seq_wall
+       (float_of_int n_records /. seq_wall)
+       deterministic speedup_at_4 gate_enforced gate_passed
+       (String.concat ",\n" (List.map json_of_run runs)));
   if not deterministic then begin
     prerr_endline "FAIL: sharded alert multiset diverged from the sequential engine";
     exit 1

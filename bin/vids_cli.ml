@@ -13,6 +13,71 @@ let sec = Dsim.Time.of_sec
 module T = Voip.Testbed
 
 (* ------------------------------------------------------------------ *)
+(* Exit codes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* 0 = clean, 1 = operational error, 124 = cmdliner usage error; 3 is
+   reserved for "the run completed and attack alerts were raised", so
+   scripts can distinguish detection from failure. *)
+let exit_attacks_detected = 3
+
+let exit_for_alerts alerts =
+  if List.exists (fun (a : Vids.Alert.t) -> Vids.Alert.is_attack a.Vids.Alert.kind) alerts then
+    exit_attacks_detected
+  else 0
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing: --metrics-out / --trace-out / --trace-ring      *)
+(* ------------------------------------------------------------------ *)
+
+type obs_opts = {
+  metrics_out : string option;
+  trace_out : string option;
+  trace_ring : int;
+}
+
+let telemetry_wanted o = o.metrics_out <> None || o.trace_out <> None
+
+(* Build the registry + flight recorder pair and wire quarantine dumps to
+   the trace file as they happen; the caller attaches them to an engine. *)
+let make_obs o =
+  if not (telemetry_wanted o) then None
+  else begin
+    let metrics = Obs.Metrics.create () in
+    let flight = Obs.Trace.create ~capacity:o.trace_ring () in
+    (match o.trace_out with
+    | Some path ->
+        Obs.Trace.on_dump flight (fun ~reason entries ->
+            Obs.Export.append_trace ~reason ~path entries)
+    | None -> ());
+    Some (metrics, flight)
+  end
+
+let start_obs o engine =
+  match make_obs o with
+  | None -> None
+  | Some (metrics, flight) ->
+      Vids.Engine.set_telemetry engine ~metrics ~flight ();
+      Some (metrics, flight)
+
+(* Export destinations are announced on stderr so that --json keeps
+   stdout machine-parseable. *)
+let finish_obs o t =
+  match t with
+  | None -> ()
+  | Some (metrics, flight) ->
+      (match o.metrics_out with
+      | Some path ->
+          Obs.Export.write_metrics ~path (Obs.Metrics.snapshot metrics);
+          Format.eprintf "metrics: %s@." path
+      | None -> ());
+      (match o.trace_out with
+      | Some path ->
+          Obs.Export.append_trace ~reason:"end of run" ~path (Obs.Trace.entries flight);
+          Format.eprintf "trace: %s@." path
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -52,11 +117,20 @@ let apply_governance g config =
    happens.  [vids-cli recover] consumes all three files. *)
 type checkpointing = { interval : float; file : string }
 
-let start_checkpointing ck sched engine ~horizon =
+let start_checkpointing ?obs ck sched engine ~horizon =
   if ck.interval <= 0.0 then None
   else begin
+    let registry = Option.map fst obs in
+    let flight = Option.map snd obs in
+    let ck_hist =
+      Option.map
+        (fun m ->
+          Obs.Metrics.histogram m "vids_checkpoint_seconds"
+            ~help:"Wall-clock duration of one checkpoint (capture + save + journal marker)")
+        registry
+    in
     let journal_path = ck.file ^ ".journal" in
-    let writer = Vids.Journal.create_writer journal_path in
+    let writer = Vids.Journal.create_writer ?registry journal_path in
     Vids.Journal.attach writer engine;
     let seq = ref 0 in
     let period = sec ck.interval in
@@ -66,9 +140,17 @@ let start_checkpointing ck sched engine ~horizon =
           (Dsim.Scheduler.schedule_at sched at (fun () ->
                incr seq;
                let now = Dsim.Scheduler.now sched in
+               let t0 = match ck_hist with None -> 0.0 | Some _ -> Unix.gettimeofday () in
                Vids.Snapshot.save ~path:ck.file
                  (Vids.Snapshot.capture ~seq:!seq ~at:now engine);
                Vids.Journal.append writer (Vids.Journal.Checkpoint { at = now; seq = !seq });
+               Option.iter
+                 (fun h -> Obs.Metrics.observe h (Unix.gettimeofday () -. t0))
+                 ck_hist;
+               Option.iter
+                 (fun fl ->
+                   Obs.Trace.record fl ~at:now (Obs.Trace.Checkpoint { seq = !seq }))
+                 flight;
                arm (Dsim.Time.add at period)))
     in
     arm period;
@@ -79,7 +161,9 @@ let finish_checkpointing = function
   | None -> ()
   | Some (writer, snapshot_path, journal_path) ->
       Vids.Journal.close_writer writer;
-      Format.printf "checkpoints: %s (journal %s)@." snapshot_path journal_path
+      (* stderr, like the telemetry export announcements, so --json keeps
+         stdout machine-parseable. *)
+      Format.eprintf "checkpoints: %s (journal %s)@." snapshot_path journal_path
 
 (* Sharded analysis shared by [simulate], [detect] and [analyze]: with
    --shards N > 1 the engine is replaced by [Shard_engine] worker domains
@@ -91,10 +175,11 @@ let shard_checkpoint checkpointing =
     Some
       { Shard.Shard_engine.prefix = checkpointing.file; every = sec checkpointing.interval }
 
-let start_sharded ~shards ~config ~checkpointing ~horizon tb =
+let start_sharded ?(obs = { metrics_out = None; trace_out = None; trace_ring = 256 }) ~shards
+    ~config ~checkpointing ~horizon tb =
   let eng =
     Shard.Shard_engine.create ~config ?checkpoint:(shard_checkpoint checkpointing)
-      ~horizon ~shards ()
+      ~telemetry:(telemetry_wanted obs) ~trace_ring:obs.trace_ring ~horizon ~shards ()
   in
   Dsim.Network.set_tap tb.T.vids_node
     (Some
@@ -103,16 +188,93 @@ let start_sharded ~shards ~config ~checkpointing ~horizon tb =
            (Vids.Trace.record_of_packet ~at:(Dsim.Scheduler.now tb.T.sched) packet)));
   eng
 
-let finish_sharded ~checkpointing eng =
-  let outcome = Shard.Shard_engine.finish eng in
-  Shard.Shard_engine.report Format.std_formatter outcome;
-  (match shard_checkpoint checkpointing with
+(* One merged export for the whole sharded run: worker registries were
+   folded by the coordinator, worker flight tails are appended per shard. *)
+let export_sharded_obs obs (outcome : Shard.Shard_engine.outcome) =
+  (match (obs.metrics_out, outcome.Shard.Shard_engine.metrics) with
+  | Some path, Some snap ->
+      Obs.Export.write_metrics ~path snap;
+      Format.eprintf "metrics: %s (merged across %d shards)@." path
+        outcome.Shard.Shard_engine.shards
+  | _ -> ());
+  match obs.trace_out with
+  | Some path ->
+      Array.iteri
+        (fun i entries ->
+          Obs.Export.append_trace ~reason:(Printf.sprintf "shard %d end of run" i) ~path entries)
+        outcome.Shard.Shard_engine.flights;
+      Format.eprintf "trace: %s@." path
   | None -> ()
-  | Some ck ->
-      Format.printf "checkpoints: %s.shard0..%d (journals ….journal)@."
-        ck.Shard.Shard_engine.prefix
-        (outcome.Shard.Shard_engine.shards - 1));
+
+let finish_sharded ?obs ?(print_report = true) ~checkpointing eng =
+  let outcome = Shard.Shard_engine.finish eng in
+  if print_report then begin
+    Shard.Shard_engine.report Format.std_formatter outcome;
+    match shard_checkpoint checkpointing with
+    | None -> ()
+    | Some ck ->
+        Format.printf "checkpoints: %s.shard0..%d (journals ….journal)@."
+          ck.Shard.Shard_engine.prefix
+          (outcome.Shard.Shard_engine.shards - 1)
+  end;
+  Option.iter (fun o -> export_sharded_obs o outcome) obs;
   outcome
+
+(* The sharded counterpart of [Vids.Report.json]: merged counters and the
+   merged alert log, plus the per-shard load table. *)
+let shard_outcome_json (o : Shard.Shard_engine.outcome) =
+  let module J = Obs.Json in
+  let c = o.Shard.Shard_engine.counters in
+  let counters =
+    J.obj
+      [
+        ("sip_packets", J.int c.Vids.Engine.sip_packets);
+        ("rtp_packets", J.int c.Vids.Engine.rtp_packets);
+        ("rtcp_packets", J.int c.Vids.Engine.rtcp_packets);
+        ("other_packets", J.int c.Vids.Engine.other_packets);
+        ("malformed_packets", J.int c.Vids.Engine.malformed_packets);
+        ("orphan_requests", J.int c.Vids.Engine.orphan_requests);
+        ("orphan_responses", J.int c.Vids.Engine.orphan_responses);
+        ("alerts_raised", J.int c.Vids.Engine.alerts_raised);
+        ("alerts_suppressed", J.int c.Vids.Engine.alerts_suppressed);
+        ("anomalies", J.int c.Vids.Engine.anomalies);
+        ("faults", J.int c.Vids.Engine.faults);
+        ("rtp_shed", J.int c.Vids.Engine.rtp_shed);
+        ("backpressure_stalls", J.int c.Vids.Engine.backpressure_stalls);
+      ]
+  in
+  let alert_json (a : Vids.Alert.t) =
+    J.obj
+      [
+        ("kind", J.quote (Vids.Alert.kind_to_string a.Vids.Alert.kind));
+        ("severity", J.quote (Vids.Alert.severity_to_string a.Vids.Alert.severity));
+        ("at_us", J.int (Dsim.Time.to_us a.Vids.Alert.at));
+        ("subject", J.quote a.Vids.Alert.subject);
+        ("detail", J.quote a.Vids.Alert.detail);
+      ]
+  in
+  let shard_json i (s : Shard.Shard_engine.shard_stat) =
+    J.obj
+      [
+        ("shard", J.int i);
+        ("fed", J.int s.Shard.Shard_engine.fed);
+        ("stalls", J.int s.Shard.Shard_engine.stalls);
+        ("alerts_raised", J.int s.Shard.Shard_engine.counters.Vids.Engine.alerts_raised);
+        ("active_calls", J.int s.Shard.Shard_engine.memory.Vids.Fact_base.active_calls);
+      ]
+  in
+  let alerts = o.Shard.Shard_engine.alerts in
+  J.obj
+    [
+      ("shards", J.int o.Shard.Shard_engine.shards);
+      ("counters", counters);
+      ( "attacks_detected",
+        J.bool (List.exists (fun (a : Vids.Alert.t) -> Vids.Alert.is_attack a.Vids.Alert.kind) alerts)
+      );
+      ("alerts", J.arr (List.map alert_json alerts));
+      ( "per_shard",
+        J.arr (Array.to_list (Array.mapi shard_json o.Shard.Shard_engine.per_shard)) );
+    ]
 
 let governance_summary engine =
   let stats = Vids.Engine.memory_stats engine in
@@ -127,7 +289,7 @@ let governance_summary engine =
       stats.Vids.Fact_base.calls_evicted stats.Vids.Fact_base.detectors_evicted
       stats.Vids.Fact_base.calls_swept c.Vids.Engine.faults c.Vids.Engine.rtp_shed
 
-let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpointing shards =
+let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpointing shards obs =
   match mode_of_string mode_str with
   | Error e ->
       prerr_endline e;
@@ -138,12 +300,16 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
       let tb = T.make ~seed ~n_ua ~vids:(if sharded then T.Off else mode) ~config () in
       let horizon = sec (60.0 *. minutes) in
       let shard_eng =
-        if sharded then Some (start_sharded ~shards ~config ~checkpointing ~horizon tb)
+        if sharded then Some (start_sharded ~obs ~shards ~config ~checkpointing ~horizon tb)
         else None
+      in
+      let obs_state =
+        match tb.T.engine with Some engine -> start_obs obs engine | None -> None
       in
       let ck =
         match tb.T.engine with
-        | Some engine -> start_checkpointing checkpointing tb.T.sched engine ~horizon
+        | Some engine ->
+            start_checkpointing ?obs:obs_state checkpointing tb.T.sched engine ~horizon
         | None -> None
       in
       let profile =
@@ -180,9 +346,10 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
               + Vids.Config.default.Vids.Config.rtp_state_bytes));
           governance_summary engine;
           List.iter (fun a -> Format.printf "  %a@." Vids.Alert.pp a) (Vids.Engine.alerts engine));
+      finish_obs obs obs_state;
       (match shard_eng with
       | None -> ()
-      | Some eng -> ignore (finish_sharded ~checkpointing eng));
+      | Some eng -> ignore (finish_sharded ~obs ~checkpointing eng));
       0
 
 (* ------------------------------------------------------------------ *)
@@ -192,18 +359,20 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
 let all_attacks = [ "bye-dos"; "cancel-dos"; "hijack"; "media-spam"; "billing-fraud";
                     "invite-flood"; "rtp-flood"; "drdos" ]
 
-let detect seed attacks governance checkpointing shards =
+let detect seed attacks governance checkpointing shards obs json =
   let attacks = if attacks = [] then all_attacks else attacks in
   let config = apply_governance governance Vids.Config.default in
   let sharded = shards > 1 in
   let tb = T.make ~seed ~vids:(if sharded then T.Off else T.Monitor) ~config () in
   let horizon = sec (40.0 +. (25.0 *. float_of_int (List.length attacks))) in
   let shard_eng =
-    if sharded then Some (start_sharded ~shards ~config ~checkpointing ~horizon tb) else None
+    if sharded then Some (start_sharded ~obs ~shards ~config ~checkpointing ~horizon tb)
+    else None
   in
+  let obs_state = if sharded then None else start_obs obs (T.engine_exn tb) in
   let ck =
     if sharded then None
-    else start_checkpointing checkpointing tb.T.sched (T.engine_exn tb) ~horizon
+    else start_checkpointing ?obs:obs_state checkpointing tb.T.sched (T.engine_exn tb) ~horizon
   in
   let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
   let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
@@ -243,19 +412,28 @@ let detect seed attacks governance checkpointing shards =
       finish_checkpointing ck;
       match shard_eng with
       | Some eng ->
-          let outcome = finish_sharded ~checkpointing eng in
-          let c = outcome.Shard.Shard_engine.counters in
-          Format.printf "%d distinct alert(s); %d duplicates suppressed@."
-            c.Vids.Engine.alerts_raised c.Vids.Engine.alerts_suppressed;
-          0
+          let outcome = finish_sharded ~obs ~print_report:(not json) ~checkpointing eng in
+          if json then print_endline (shard_outcome_json outcome)
+          else begin
+            let c = outcome.Shard.Shard_engine.counters in
+            Format.printf "%d distinct alert(s); %d duplicates suppressed@."
+              c.Vids.Engine.alerts_raised c.Vids.Engine.alerts_suppressed
+          end;
+          exit_for_alerts outcome.Shard.Shard_engine.alerts
       | None ->
           let engine = T.engine_exn tb in
-          List.iter (fun a -> Format.printf "%a@." Vids.Alert.pp a) (Vids.Engine.alerts engine);
-          let c = Vids.Engine.counters engine in
-          Format.printf "%d distinct alert(s); %d duplicates suppressed@."
-            c.Vids.Engine.alerts_raised c.Vids.Engine.alerts_suppressed;
-          governance_summary engine;
-          0)
+          if json then print_endline (Vids.Report.json engine)
+          else begin
+            List.iter
+              (fun a -> Format.printf "%a@." Vids.Alert.pp a)
+              (Vids.Engine.alerts engine);
+            let c = Vids.Engine.counters engine in
+            Format.printf "%d distinct alert(s); %d duplicates suppressed@."
+              c.Vids.Engine.alerts_raised c.Vids.Engine.alerts_suppressed;
+            governance_summary engine
+          end;
+          finish_obs obs obs_state;
+          exit_for_alerts (Vids.Engine.alerts engine))
 
 (* ------------------------------------------------------------------ *)
 (* record / analyze: offline trace workflow                            *)
@@ -301,7 +479,7 @@ let record seed attacks path =
   Format.printf "wrote %d packets to %s@." (List.length records) path;
   0
 
-let analyze path checkpointing shards =
+let analyze path checkpointing shards obs json =
   let ic = open_in path in
   let loaded = Vids.Trace.load ic in
   close_in ic;
@@ -310,7 +488,8 @@ let analyze path checkpointing shards =
       Format.eprintf "trace error: %s@." e;
       1
   | Ok records when shards > 1 ->
-      Format.printf "replaying %d packets across %d shards...@." (List.length records) shards;
+      if not json then
+        Format.printf "replaying %d packets across %d shards...@." (List.length records) shards;
       let horizon =
         (* Mirror the sequential checkpointing path's bounded drain; an
            unbounded drain otherwise. *)
@@ -325,22 +504,26 @@ let analyze path checkpointing shards =
       in
       let eng =
         Shard.Shard_engine.create ?checkpoint:(shard_checkpoint checkpointing) ?horizon
-          ~shards ()
+          ~telemetry:(telemetry_wanted obs) ~trace_ring:obs.trace_ring ~shards ()
       in
       List.iter (Shard.Shard_engine.feed eng)
         (List.stable_sort
            (fun (a : Vids.Trace.record) b -> Dsim.Time.compare a.at b.at)
            records);
-      ignore (finish_sharded ~checkpointing eng);
-      0
+      let outcome = finish_sharded ~obs ~print_report:(not json) ~checkpointing eng in
+      if json then print_endline (shard_outcome_json outcome);
+      exit_for_alerts outcome.Shard.Shard_engine.alerts
   | Ok records ->
-      Format.printf "replaying %d packets...@." (List.length records);
-      let engine =
-        if checkpointing.interval <= 0.0 then Vids.Trace.replay records
+      if not json then Format.printf "replaying %d packets...@." (List.length records);
+      let plain = checkpointing.interval <= 0.0 && not (telemetry_wanted obs) in
+      let engine, obs_state =
+        if plain then (Vids.Trace.replay records, None)
         else begin
-          (* Build the replay by hand so checkpoints ride the same clock. *)
+          (* Build the replay by hand so checkpoints and telemetry ride the
+             same clock. *)
           let sched = Dsim.Scheduler.create () in
           let engine = Vids.Engine.create sched in
+          let obs_state = start_obs obs engine in
           let last =
             List.fold_left (fun acc r -> Dsim.Time.max acc r.Vids.Trace.at) Dsim.Time.zero
               records
@@ -351,20 +534,22 @@ let analyze path checkpointing shards =
              inside the snapshot rather than lost (recovery replays only
              strictly-later records). *)
           ignore (Vids.Trace.schedule_into sched engine records);
-          let ck = start_checkpointing checkpointing sched engine ~horizon in
+          let ck = start_checkpointing ?obs:obs_state checkpointing sched engine ~horizon in
           Dsim.Scheduler.run_until sched horizon;
           finish_checkpointing ck;
-          engine
+          (engine, obs_state)
         end
       in
-      Vids.Report.full Format.std_formatter engine;
-      0
+      if json then print_endline (Vids.Report.json engine)
+      else Vids.Report.full Format.std_formatter engine;
+      finish_obs obs obs_state;
+      exit_for_alerts (Vids.Engine.alerts engine)
 
 (* ------------------------------------------------------------------ *)
 (* recover: crash recovery from checkpoint + journal + trace           *)
 (* ------------------------------------------------------------------ *)
 
-let recover_sharded snapshot_path trace_path until shards =
+let recover_sharded snapshot_path trace_path until shards obs =
   match trace_path with
   | None ->
       Format.eprintf "sharded recovery needs --trace to re-partition the traffic@.";
@@ -379,7 +564,8 @@ let recover_sharded snapshot_path trace_path until shards =
           1
       | Ok trace -> (
           match
-            Shard.Shard_engine.recover ?horizon:until ~prefix:snapshot_path ~shards ~trace ()
+            Shard.Shard_engine.recover ?horizon:until
+              ~telemetry:(telemetry_wanted obs) ~prefix:snapshot_path ~shards ~trace ()
           with
           | Error e ->
               Format.eprintf "recovery failed: %s@." e;
@@ -394,20 +580,44 @@ let recover_sharded snapshot_path trace_path until shards =
               Format.printf "replayed %d packet(s) recorded after the checkpoint@.@."
                 r.Shard.Shard_engine.replayed;
               Shard.Shard_engine.report Format.std_formatter r.Shard.Shard_engine.outcome;
+              Option.iter
+                (fun o -> export_sharded_obs o r.Shard.Shard_engine.outcome)
+                (if telemetry_wanted obs then Some obs else None);
               0))
 
-let recover snapshot_path journal_path trace_path until shards =
+let recover snapshot_path journal_path trace_path until shards obs =
   let until = Option.map sec until in
-  if shards > 1 then recover_sharded snapshot_path trace_path until shards
+  if shards > 1 then recover_sharded snapshot_path trace_path until shards obs
   else
+  let obs_state = make_obs obs in
+  let prepare =
+    Option.map
+      (fun (metrics, flight) _sched engine ->
+        Vids.Engine.set_telemetry engine ~metrics ~flight ())
+      obs_state
+  in
+  let t0 = Unix.gettimeofday () in
   match
-    Vids.Recovery.recover_files ?journal_path ?trace_path ?until ~snapshot_path ()
+    Vids.Recovery.recover_files ?prepare ?journal_path ?trace_path ?until ~snapshot_path ()
   with
   | Error e ->
       Format.eprintf "recovery failed: %s@." e;
       1
   | Ok fr ->
       let o = fr.Vids.Recovery.outcome in
+      Option.iter
+        (fun (metrics, _) ->
+          let h =
+            Obs.Metrics.histogram metrics "vids_recovery_seconds"
+              ~help:"Wall-clock duration of snapshot restore + journal merge + replay"
+          in
+          Obs.Metrics.observe h (Unix.gettimeofday () -. t0);
+          let replayed =
+            Obs.Metrics.counter metrics "vids_recovery_replayed_total"
+              ~help:"Trace records replayed after the restored checkpoint"
+          in
+          Obs.Metrics.add replayed o.Vids.Recovery.replayed)
+        obs_state;
       Format.printf "recovered from %s (checkpoint #%d at %a)%s@." fr.Vids.Recovery.snapshot_path
         o.Vids.Recovery.snapshot_seq Dsim.Time.pp o.Vids.Recovery.snapshot_at
         (if fr.Vids.Recovery.used_fallback then " [fallback]" else "");
@@ -426,6 +636,7 @@ let recover snapshot_path journal_path trace_path until shards =
       Format.printf "replayed %d packet(s) recorded after the checkpoint@.@."
         o.Vids.Recovery.replayed;
       Vids.Report.full Format.std_formatter o.Vids.Recovery.engine;
+      finish_obs obs obs_state;
       0
 
 (* ------------------------------------------------------------------ *)
@@ -589,6 +800,41 @@ let shards_term =
           "Partition the analysis across $(docv) worker domains (1 = the sequential engine). \
            More than one shard implies monitor semantics and per-shard checkpoint files.")
 
+let obs_term =
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the end-of-run metrics export to $(docv): Prometheus text exposition, or \
+             JSONL when $(docv) ends in .json/.jsonl.  Enables telemetry.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Append flight-recorder dumps (machine quarantines, supervisor restarts, end of \
+             run) to $(docv) as JSONL.  Enables telemetry.")
+  in
+  let trace_ring =
+    Arg.(
+      value & opt int 256
+      & info [ "trace-ring" ] ~docv:"N"
+          ~doc:"Capacity of the flight-recorder ring (most recent $(docv) pipeline events).")
+  in
+  Term.(
+    const (fun metrics_out trace_out trace_ring -> { metrics_out; trace_out; trace_ring })
+    $ metrics_out $ trace_out $ trace_ring)
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the final report as one JSON object on stdout (progress and export \
+           announcements go to stderr).")
+
 let simulate_cmd =
   let n_ua = Arg.(value & opt int 10 & info [ "uas" ] ~doc:"UAs per enterprise network.") in
   let mode =
@@ -603,7 +849,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the enterprise workload and report performance")
     Term.(
       const simulate $ seed_arg $ n_ua $ mode $ minutes $ gap $ talk $ governance_term
-      $ checkpoint_term $ shards_term)
+      $ checkpoint_term $ shards_term $ obs_term)
 
 let detect_cmd =
   let attacks =
@@ -611,7 +857,9 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Launch attack scenarios and print the vIDS alert log")
-    Term.(const detect $ seed_arg $ attacks $ governance_term $ checkpoint_term $ shards_term)
+    Term.(
+      const detect $ seed_arg $ attacks $ governance_term $ checkpoint_term $ shards_term
+      $ obs_term $ json_flag)
 
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -632,7 +880,7 @@ let analyze_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Replay a recorded trace through vIDS offline")
-    Term.(const analyze $ file $ checkpoint_term $ shards_term)
+    Term.(const analyze $ file $ checkpoint_term $ shards_term $ obs_term $ json_flag)
 
 let recover_cmd =
   let snapshot =
@@ -661,7 +909,7 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Rebuild a crashed engine from checkpoint + journal + trace and print its report")
-    Term.(const recover $ snapshot $ journal $ trace $ until $ shards_term)
+    Term.(const recover $ snapshot $ journal $ trace $ until $ shards_term $ obs_term)
 
 let check_specs_cmd =
   Cmd.v

@@ -53,6 +53,12 @@ let default_severity = function
   | Registration_hijack | Spec_deviation | Resource_pressure -> Warning
   | Engine_fault -> Critical
 
+let is_attack = function
+  | Invite_flood | Bye_dos | Cancel_dos | Media_spam | Rtp_flood | Call_hijack | Billing_fraud
+  | Drdos | Registration_hijack ->
+      true
+  | Spec_deviation | Resource_pressure | Engine_fault -> false
+
 type t = { kind : kind; severity : severity; at : Dsim.Time.t; subject : string; detail : string }
 
 let make ~kind ?severity ~at ~subject detail =

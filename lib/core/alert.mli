@@ -30,6 +30,11 @@ val all_kinds : kind list
 
 val pp_kind : Format.formatter -> kind -> unit
 
+val is_attack : kind -> bool
+(** Whether this kind reports hostile traffic, as opposed to the engine's
+    own health ([Engine_fault], [Resource_pressure]) or bare protocol
+    deviations.  Drives the CLI's attacks-detected exit status. *)
+
 type severity = Info | Warning | Critical
 
 val severity_to_string : severity -> string

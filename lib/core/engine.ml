@@ -21,10 +21,37 @@ type global_event =
   | Invite_flood_candidate of string  (* INVITE toward this user\@host *)
   | Drdos_candidate of string  (* orphan response toward this victim host *)
 
+(* Pre-resolved telemetry handles, so the per-packet cost of metrics is a
+   field load and an integer bump — no registry lookups on the hot path.
+   Strictly write-only with respect to the engine: nothing here feeds back
+   into analysis, so [Snapshot.digest] is identical with telemetry on or
+   off. *)
+type instruments = {
+  i_registry : Obs.Metrics.t; (* for the rare, label-dynamic counters *)
+  i_sip : Obs.Metrics.counter;
+  i_rtp : Obs.Metrics.counter;
+  i_rtcp : Obs.Metrics.counter;
+  i_other : Obs.Metrics.counter;
+  i_malformed : Obs.Metrics.counter;
+  i_inject_call : Obs.Metrics.counter;
+  i_inject_flood : Obs.Metrics.counter;
+  i_inject_spam : Obs.Metrics.counter;
+  i_inject_drdos : Obs.Metrics.counter;
+  i_suppressed : Obs.Metrics.counter;
+  i_anomalies : Obs.Metrics.counter;
+  i_faults : Obs.Metrics.counter;
+  i_evictions : Obs.Metrics.counter;
+  i_rtp_shed : Obs.Metrics.counter;
+  i_occupancy : Obs.Metrics.gauge;
+  i_occupancy_hist : Obs.Metrics.histogram;
+}
+
 type t = {
   config : Config.t;
   sched : Dsim.Scheduler.t;
   base : Fact_base.t;
+  mutable inst : instruments option;
+  mutable flight : Obs.Trace.t option;
   mutable alerts : Alert.t list; (* newest first *)
   seen : (string, unit) Hashtbl.t; (* alert dedup keys *)
   (* Dedup keys of alerts recovered from the write-ahead journal but not
@@ -59,6 +86,33 @@ type t = {
 
 let now t = Dsim.Scheduler.now t.sched
 
+(* --------------------------------------------------------------- *)
+(* Telemetry hooks                                                  *)
+(* --------------------------------------------------------------- *)
+
+let tick t f = match t.inst with None -> () | Some i -> Obs.Metrics.incr (f i)
+
+let trace t ev =
+  match t.flight with None -> () | Some fl -> Obs.Trace.record fl ~at:(now t) ev
+
+(* A quarantine is the flight recorder's raison d'être: dump the tail so
+   the event sequence that led to the fault survives as an artifact. *)
+let trace_quarantine t ~subject ~origin =
+  match t.flight with
+  | None -> ()
+  | Some fl ->
+      Obs.Trace.record fl ~at:(now t) (Obs.Trace.Quarantine { subject; origin });
+      ignore (Obs.Trace.dump fl ~reason:(Printf.sprintf "quarantine %s (%s)" subject origin))
+
+let count_alert t (alert : Alert.t) =
+  match t.inst with
+  | None -> ()
+  | Some i ->
+      Obs.Metrics.incr
+        (Obs.Metrics.counter i.i_registry "vids_alerts_total"
+           ~help:"Distinct alerts raised, by kind"
+           ~labels:[ ("kind", Alert.kind_to_string alert.Alert.kind) ])
+
 let raise_alert t alert =
   let key = Alert.dedup_key alert in
   if Hashtbl.mem t.journal_pending key then begin
@@ -68,10 +122,17 @@ let raise_alert t alert =
     Hashtbl.remove t.journal_pending key;
     Hashtbl.replace t.seen key ()
   end
-  else if Hashtbl.mem t.seen key then t.suppressed <- t.suppressed + 1
+  else if Hashtbl.mem t.seen key then begin
+    t.suppressed <- t.suppressed + 1;
+    tick t (fun i -> i.i_suppressed)
+  end
   else begin
     Hashtbl.replace t.seen key ();
     t.alerts <- alert :: t.alerts;
+    count_alert t alert;
+    trace t
+      (Obs.Trace.Alert
+         { kind = Alert.kind_to_string alert.Alert.kind; subject = alert.Alert.subject });
     (* A listener is foreign code; its failure must neither lose the alert
        nor unwind the packet loop (and raising another alert from here
        could recurse) — contain it to a counter. *)
@@ -97,6 +158,7 @@ let contain t ~subject ~origin f =
   | (Stack_overflow | Out_of_memory) as fatal -> raise fatal
   | exn ->
       t.faults <- t.faults + 1;
+      tick t (fun i -> i.i_faults);
       raise_alert t
         (Alert.make ~kind:Alert.Engine_fault ~at:(now t) ~subject
            (Printf.sprintf "%s: contained exception %s" origin (Printexc.to_string exn)));
@@ -151,6 +213,8 @@ let create ?(config = Config.default) sched =
   let on_pressure ~subject ~detail =
     with_engine (fun t ->
         raise_alert t (Alert.make ~kind:Alert.Resource_pressure ~at:(now t) ~subject detail);
+        tick t (fun i -> i.i_evictions);
+        trace t (Obs.Trace.Eviction { subject; detail });
         (* Unlike the deduplicated alert above, eviction listeners see every
            reclamation — the journal needs each one for forensics. *)
         List.iter
@@ -170,13 +234,15 @@ let create ?(config = Config.default) sched =
     else if String.equal state Drdos_machine.st_attack then Alert.Drdos
     else Alert.Spec_deviation
   in
-  let on_alert ~machine:_ ~state ~subject ~detail =
+  let on_alert ~machine ~state ~subject ~detail =
     with_engine (fun t ->
+        trace t (Obs.Trace.Transition { machine; subject; state });
         raise_alert t (Alert.make ~kind:(kind_of_attack_state state) ~at:(now t) ~subject detail))
   in
   let on_anomaly ~machine ~state ~subject ~event ~detail =
     with_engine (fun t ->
         t.anomalies <- t.anomalies + 1;
+        tick t (fun i -> i.i_anomalies);
         let subject = Printf.sprintf "%s/%s@%s" subject event.Efsm.Event.name state in
         raise_alert t
           (Alert.make ~kind:Alert.Spec_deviation ~at:(now t) ~subject
@@ -203,6 +269,8 @@ let create ?(config = Config.default) sched =
       config;
       sched;
       base;
+      inst = None;
+      flight = None;
       alerts = [];
       seen = Hashtbl.create 64;
       journal_pending = Hashtbl.create 8;
@@ -235,6 +303,59 @@ let create ?(config = Config.default) sched =
 
 let config t = t.config
 
+let set_telemetry t ?metrics ?flight () =
+  t.flight <- flight;
+  match metrics with
+  | None -> t.inst <- None
+  | Some m ->
+      Obs.Metrics.set_clock m (fun () -> now t);
+      let packets cls =
+        Obs.Metrics.counter m "vids_packets_total"
+          ~help:"Packets seen by the classifier, by class" ~labels:[ ("class", cls) ]
+      in
+      let injects target =
+        Obs.Metrics.counter m "vids_injects_total"
+          ~help:"Events injected into state machines, by target" ~labels:[ ("target", target) ]
+      in
+      t.inst <-
+        Some
+          {
+            i_registry = m;
+            i_sip = packets "sip";
+            i_rtp = packets "rtp";
+            i_rtcp = packets "rtcp";
+            i_other = packets "other";
+            i_malformed = packets "malformed";
+            i_inject_call = injects "call";
+            i_inject_flood = injects "flood";
+            i_inject_spam = injects "spam";
+            i_inject_drdos = injects "drdos";
+            i_suppressed =
+              Obs.Metrics.counter m "vids_alerts_suppressed_total"
+                ~help:"Duplicate alerts dropped by de-duplication";
+            i_anomalies =
+              Obs.Metrics.counter m "vids_anomalies_total"
+                ~help:"Protocol-deviation anomalies flagged by machines";
+            i_faults =
+              Obs.Metrics.counter m "vids_faults_total"
+                ~help:"Exceptions contained at an engine boundary";
+            i_evictions =
+              Obs.Metrics.counter m "vids_evictions_total"
+                ~help:"State records reclaimed by resource governance";
+            i_rtp_shed =
+              Obs.Metrics.counter m "vids_rtp_shed_total"
+                ~help:"RTP packets whose stream analysis was shed while degraded";
+            i_occupancy =
+              Obs.Metrics.gauge m "vids_fact_base_occupancy"
+                ~help:"Live state records in the fact base";
+            i_occupancy_hist =
+              Obs.Metrics.histogram m "vids_fact_base_occupancy_hist"
+                ~help:"Fact-base occupancy sampled per packet";
+          }
+
+let metrics_registry t = match t.inst with Some i -> Some i.i_registry | None -> None
+let flight_recorder t = t.flight
+
 (* --------------------------------------------------------------- *)
 (* SIP distribution                                                 *)
 (* --------------------------------------------------------------- *)
@@ -248,13 +369,18 @@ let register_event_media t call event =
    deleted so the poisoned state cannot fault again on the next packet,
    while every other call keeps being analyzed. *)
 let inject_call t call event =
+  tick t (fun i -> i.i_inject_call);
+  trace t (Obs.Trace.Dispatch { target = "call"; subject = call.Fact_base.call_id });
   let faulted =
     contain t ~subject:call.Fact_base.call_id ~origin:"call machine"
       (fun () ->
         checked_inject t call.Fact_base.system ~machine:Keys.sip_machine event;
         Fact_base.maybe_finish t.base call)
   in
-  if faulted then Fact_base.quarantine_call t.base call
+  if faulted then begin
+    Fact_base.quarantine_call t.base call;
+    trace_quarantine t ~subject:call.Fact_base.call_id ~origin:"call machine"
+  end
 
 (* The listener is foreign code (the shard worker's epoch counter); contain
    its failures like alert listeners'. *)
@@ -269,12 +395,17 @@ let feed_flood_detector t msg event =
   | Some key ->
       emit_global_event t (Invite_flood_candidate key);
       if not t.config.Config.defer_global_detectors then begin
+        tick t (fun i -> i.i_inject_flood);
+        trace t (Obs.Trace.Dispatch { target = "flood"; subject = key });
         let system, _ = Fact_base.flood_detector t.base ~key in
         let faulted =
           contain t ~subject:("dst:" ^ key) ~origin:"flood detector" (fun () ->
               checked_inject t system ~machine:Invite_flood_machine.machine_name event)
         in
-        if faulted then Fact_base.quarantine_detector t.base `Flood ~key
+        if faulted then begin
+          Fact_base.quarantine_detector t.base `Flood ~key;
+          trace_quarantine t ~subject:("dst:" ^ key) ~origin:"flood detector"
+        end
       end
 
 let feed_drdos_detector t (packet : Dsim.Packet.t) event =
@@ -287,11 +418,16 @@ let feed_drdos_detector t (packet : Dsim.Packet.t) event =
         ~args:event.Efsm.Event.args (Efsm.Event.Data "SIP") ~at:event.Efsm.Event.at
         Drdos_machine.orphan_response
     in
+    tick t (fun i -> i.i_inject_drdos);
+    trace t (Obs.Trace.Dispatch { target = "drdos"; subject = key });
     let faulted =
       contain t ~subject:("victim:" ^ key) ~origin:"drdos detector" (fun () ->
           checked_inject t system ~machine:Drdos_machine.machine_name orphan)
     in
-    if faulted then Fact_base.quarantine_detector t.base `Drdos ~key
+    if faulted then begin
+      Fact_base.quarantine_detector t.base `Drdos ~key;
+      trace_quarantine t ~subject:("victim:" ^ key) ~origin:"drdos detector"
+    end
   end
 
 (* A REGISTER crossing the boundary sensor: intra-enterprise registrations
@@ -318,8 +454,18 @@ let check_boundary_register t msg =
              (Printf.sprintf "REGISTER crossed the boundary sensor binding contact %s" contact))
     | Sip.Msg.Request _ | Sip.Msg.Response _ -> ()
 
+let trace_packet t (packet : Dsim.Packet.t) proto =
+  match t.flight with
+  | None -> ()
+  | Some fl ->
+      Obs.Trace.record fl ~at:(now t)
+        (Obs.Trace.Packet
+           { proto; src = packet.Dsim.Packet.src; dst = packet.Dsim.Packet.dst })
+
 let handle_sip t (packet : Dsim.Packet.t) msg =
   t.sip_packets <- t.sip_packets + 1;
+  tick t (fun i -> i.i_sip);
+  trace_packet t packet "sip";
   t.busy <- Dsim.Time.add t.busy t.config.Config.sip_cpu_cost;
   let event = Sip_event.of_msg ~at:(now t) ~src:packet.src ~dst:packet.dst msg in
   check_boundary_register t msg;
@@ -329,6 +475,7 @@ let handle_sip t (packet : Dsim.Packet.t) msg =
   match Sip.Msg.call_id msg with
   | Error e ->
       t.malformed_packets <- t.malformed_packets + 1;
+      tick t (fun i -> i.i_malformed);
       raise_alert t
         (Alert.make ~kind:Alert.Spec_deviation ~at:(now t)
            ~subject:(Dsim.Addr.to_string packet.src)
@@ -381,21 +528,31 @@ let rtp_event ~at ~src ~dst (p : Rtp.Rtp_packet.t) =
 
 let handle_rtp t (packet : Dsim.Packet.t) decoded =
   t.rtp_packets <- t.rtp_packets + 1;
+  tick t (fun i -> i.i_rtp);
+  trace_packet t packet "rtp";
   t.busy <- Dsim.Time.add t.busy t.config.Config.rtp_cpu_cost;
   let event = rtp_event ~at:(now t) ~src:packet.src ~dst:packet.dst decoded in
   (* Stream-level checks (Figure 6) run on every stream the sensor sees —
      unless the engine is degraded, in which case they are shed first:
      they are the per-packet bulk of the load and each unknown stream
      grows a new detector, while SIP signaling checks stay live. *)
-  if degraded t then t.rtp_shed <- t.rtp_shed + 1
+  if degraded t then begin
+    t.rtp_shed <- t.rtp_shed + 1;
+    tick t (fun i -> i.i_rtp_shed)
+  end
   else begin
     let stream_key = Dsim.Addr.to_string packet.dst in
+    tick t (fun i -> i.i_inject_spam);
+    trace t (Obs.Trace.Dispatch { target = "spam"; subject = stream_key });
     let system, _ = Fact_base.spam_detector t.base ~key:stream_key in
     let faulted =
       contain t ~subject:("stream:" ^ stream_key) ~origin:"spam detector" (fun () ->
           checked_inject t system ~machine:Media_spam_machine.machine_name event)
     in
-    if faulted then Fact_base.quarantine_detector t.base `Spam ~key:stream_key
+    if faulted then begin
+      Fact_base.quarantine_detector t.base `Spam ~key:stream_key;
+      trace_quarantine t ~subject:("stream:" ^ stream_key) ~origin:"spam detector"
+    end
   end;
   (* Call-level cross-protocol checks (Figure 5) when the stream belongs to
      a tracked call; these stay live even degraded (they are bounded by the
@@ -403,12 +560,17 @@ let handle_rtp t (packet : Dsim.Packet.t) decoded =
   match Fact_base.call_for_media t.base packet.dst with
   | None -> ()
   | Some call ->
+      tick t (fun i -> i.i_inject_call);
+      trace t (Obs.Trace.Dispatch { target = "call"; subject = call.Fact_base.call_id });
       let faulted =
         contain t ~subject:call.Fact_base.call_id ~origin:"call machine" (fun () ->
             checked_inject t call.Fact_base.system ~machine:Keys.rtp_machine event;
             Fact_base.maybe_finish t.base call)
       in
-      if faulted then Fact_base.quarantine_call t.base call
+      if faulted then begin
+        Fact_base.quarantine_call t.base call;
+        trace_quarantine t ~subject:call.Fact_base.call_id ~origin:"call machine"
+      end
 
 (* --------------------------------------------------------------- *)
 (* Entry points                                                     *)
@@ -420,19 +582,34 @@ let dispatch t packet =
   | Classifier.Rtp decoded -> handle_rtp t packet decoded
   | Classifier.Rtcp _ ->
       t.rtcp_packets <- t.rtcp_packets + 1;
+      tick t (fun i -> i.i_rtcp);
+      trace_packet t packet "rtcp";
       t.busy <- Dsim.Time.add t.busy t.config.Config.rtp_cpu_cost
   | Classifier.Malformed_sip e ->
       t.malformed_packets <- t.malformed_packets + 1;
+      tick t (fun i -> i.i_malformed);
+      trace_packet t packet "malformed-sip";
       t.busy <- Dsim.Time.add t.busy t.config.Config.sip_cpu_cost;
       raise_alert t
         (Alert.make ~kind:Alert.Spec_deviation ~at:(now t)
            ~subject:(Dsim.Addr.to_string packet.Dsim.Packet.src)
            (Printf.sprintf "unparsable SIP message: %s" e))
-  | Classifier.Malformed_rtp _ -> t.malformed_packets <- t.malformed_packets + 1
-  | Classifier.Other -> t.other_packets <- t.other_packets + 1
+  | Classifier.Malformed_rtp _ ->
+      t.malformed_packets <- t.malformed_packets + 1;
+      tick t (fun i -> i.i_malformed);
+      trace_packet t packet "malformed-rtp"
+  | Classifier.Other ->
+      t.other_packets <- t.other_packets + 1;
+      tick t (fun i -> i.i_other)
 
 let process_packet t packet =
   update_degradation t;
+  (match t.inst with
+  | None -> ()
+  | Some i ->
+      let occ = Float.of_int (Fact_base.occupancy t.base) in
+      Obs.Metrics.set i.i_occupancy occ;
+      Obs.Metrics.observe i.i_occupancy_hist occ);
   (* Outer boundary: whatever the inner per-record boundaries miss
      (classifier, parser, distributor) is contained here, so no packet —
      however crafted — can unwind the sensor's packet loop. *)

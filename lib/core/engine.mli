@@ -98,6 +98,35 @@ val add_backpressure_stalls : t -> int -> unit
 (** Credits producer-side queue stalls to this engine's counters (the stall
     happens outside the engine, in the feed queue). *)
 
+(** {1 Telemetry}
+
+    Optional, attached after creation so every existing construction site
+    (testbed, snapshot restore, supervisor, shard workers) keeps its
+    signature.  Strictly observational: instrumentation never feeds back
+    into analysis, so [Snapshot.digest] and the alert log are identical
+    with telemetry on or off. *)
+
+val set_telemetry : t -> ?metrics:Obs.Metrics.t -> ?flight:Obs.Trace.t -> unit -> unit
+(** Attaches a metrics registry and/or flight recorder.  The registry's
+    clock is re-pointed at this engine's virtual clock; instrument handles
+    are resolved once here so the per-packet cost is a field load and an
+    integer bump.  Passing neither detaches telemetry.
+
+    Metrics exported (all prefixed [vids_]): [packets_total{class}],
+    [injects_total{target}], [alerts_total{kind}],
+    [alerts_suppressed_total], [anomalies_total], [faults_total],
+    [evictions_total], [rtp_shed_total], [fact_base_occupancy] (gauge) and
+    [fact_base_occupancy_hist] (per-packet histogram).
+
+    The flight recorder sees every pipeline step (packet classified, event
+    dispatched, attack-state transition, alert, quarantine, eviction) and
+    auto-dumps its tail — via {!Obs.Trace.on_dump} sinks — whenever a
+    faulting call or detector is quarantined. *)
+
+val metrics_registry : t -> Obs.Metrics.t option
+
+val flight_recorder : t -> Obs.Trace.t option
+
 (** {1 Crash safety}
 
     Hooks for the checkpoint/recovery subsystem ({!Snapshot}, {!Journal},

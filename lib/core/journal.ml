@@ -57,17 +57,35 @@ let entry_of_line line =
 (* Writer                                                           *)
 (* --------------------------------------------------------------- *)
 
-type writer = { oc : out_channel; mutable closed : bool }
+type writer = {
+  oc : out_channel;
+  mutable closed : bool;
+  append_hist : Obs.Metrics.histogram option;
+}
 
-let create_writer path = { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path; closed = false }
+let create_writer ?registry path =
+  let append_hist =
+    Option.map
+      (fun m ->
+        Obs.Metrics.histogram m "vids_journal_append_seconds"
+          ~help:"Wall-clock duration of one journal append+flush")
+      registry
+  in
+  { oc = open_out_gen [ Open_append; Open_creat ] 0o644 path; closed = false; append_hist }
 
 let append w entry =
   if not w.closed then begin
+    (* Wall-clock, not virtual: the flush latency is a property of the
+       host's disk, and that is exactly what the histogram is for. *)
+    let t0 = match w.append_hist with None -> 0.0 | Some _ -> Unix.gettimeofday () in
     output_string w.oc (entry_to_line entry);
     output_char w.oc '\n';
     (* Flush per entry: the journal is only worth its latency cost if the
        line is on disk before the alert's consequences are visible. *)
-    flush w.oc
+    flush w.oc;
+    match w.append_hist with
+    | None -> ()
+    | Some h -> Obs.Metrics.observe h (Unix.gettimeofday () -. t0)
   end
 
 let close_writer w =

@@ -31,8 +31,10 @@ val entry_of_line : string -> (entry, string) result
 
 type writer
 
-val create_writer : string -> writer
-(** Opens (append, create) the journal file. *)
+val create_writer : ?registry:Obs.Metrics.t -> string -> writer
+(** Opens (append, create) the journal file.  With [registry], each
+    append+flush's wall-clock duration is observed into a
+    [vids_journal_append_seconds] histogram. *)
 
 val append : writer -> entry -> unit
 (** Appends and flushes one entry. *)

@@ -82,7 +82,7 @@ let load_with_fallback path =
         | Ok snap -> Ok (snap, fallback, true, [ (path, primary_err) ])
         | Error fallback_err -> Error [ (path, primary_err); (fallback, fallback_err) ])
 
-let recover_files ?config ?journal_path ?trace_path ?until ~snapshot_path () =
+let recover_files ?config ?prepare ?journal_path ?trace_path ?until ~snapshot_path () =
   match load_with_fallback snapshot_path with
   | Error rejected ->
       Error
@@ -109,7 +109,7 @@ let recover_files ?config ?journal_path ?trace_path ?until ~snapshot_path () =
                 close_in ic;
                 r)
       in
-      match recover ?config ~journal ~trace ?until snapshot with
+      match recover ?config ?prepare ~journal ~trace ?until snapshot with
       | Error e -> Error e
       | Ok outcome ->
           Ok

@@ -45,6 +45,7 @@ type file_report = {
 
 val recover_files :
   ?config:Config.t ->
+  ?prepare:(Dsim.Scheduler.t -> Engine.t -> unit) ->
   ?journal_path:string ->
   ?trace_path:string ->
   ?until:Dsim.Time.t ->

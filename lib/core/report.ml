@@ -74,6 +74,89 @@ let summary ppf engine =
         outages);
   Format.fprintf ppf "analysis cpu: %a@." Dsim.Time.pp (Engine.cpu_busy engine)
 
+(* Machine-readable twin of [full]: everything the text report shows, as
+   one JSON object, for scripted post-processing of detect/analyze runs. *)
+let json engine =
+  let module J = Obs.Json in
+  let c = Engine.counters engine in
+  let stats = Engine.memory_stats engine in
+  let counters =
+    J.obj
+      [
+        ("sip_packets", J.int c.Engine.sip_packets);
+        ("rtp_packets", J.int c.Engine.rtp_packets);
+        ("rtcp_packets", J.int c.Engine.rtcp_packets);
+        ("other_packets", J.int c.Engine.other_packets);
+        ("malformed_packets", J.int c.Engine.malformed_packets);
+        ("orphan_requests", J.int c.Engine.orphan_requests);
+        ("orphan_responses", J.int c.Engine.orphan_responses);
+        ("alerts_raised", J.int c.Engine.alerts_raised);
+        ("alerts_suppressed", J.int c.Engine.alerts_suppressed);
+        ("anomalies", J.int c.Engine.anomalies);
+        ("faults", J.int c.Engine.faults);
+        ("rtp_shed", J.int c.Engine.rtp_shed);
+        ("backpressure_stalls", J.int c.Engine.backpressure_stalls);
+      ]
+  in
+  let memory =
+    J.obj
+      [
+        ("active_calls", J.int stats.Fact_base.active_calls);
+        ("calls_created", J.int stats.Fact_base.calls_created);
+        ("calls_deleted", J.int stats.Fact_base.calls_deleted);
+        ("peak_calls", J.int stats.Fact_base.peak_calls);
+        ("modeled_bytes", J.int stats.Fact_base.modeled_bytes);
+        ("measured_bytes", J.int stats.Fact_base.measured_bytes);
+        ("detectors", J.int stats.Fact_base.detectors);
+        ("calls_evicted", J.int stats.Fact_base.calls_evicted);
+        ("detectors_evicted", J.int stats.Fact_base.detectors_evicted);
+        ("calls_swept", J.int stats.Fact_base.calls_swept);
+      ]
+  in
+  let alert_json (a : Alert.t) =
+    J.obj
+      [
+        ("kind", J.quote (Alert.kind_to_string a.Alert.kind));
+        ("severity", J.quote (Alert.severity_to_string a.Alert.severity));
+        ("at_us", J.int (Dsim.Time.to_us a.Alert.at));
+        ("subject", J.quote a.Alert.subject);
+        ("detail", J.quote a.Alert.detail);
+      ]
+  in
+  let degraded =
+    List.map
+      (fun (start, stop) ->
+        J.obj
+          [
+            ("start_us", J.int (Dsim.Time.to_us start));
+            ("stop_us", match stop with Some s -> J.int (Dsim.Time.to_us s) | None -> "null");
+          ])
+      (Engine.degraded_intervals engine)
+  in
+  let downtime =
+    List.map
+      (fun (start, stop, missed) ->
+        J.obj
+          [
+            ("start_us", J.int (Dsim.Time.to_us start));
+            ("stop_us", J.int (Dsim.Time.to_us stop));
+            ("packets_missed", J.int missed);
+          ])
+      (Engine.downtime_intervals engine)
+  in
+  let alerts = Engine.alerts engine in
+  J.obj
+    [
+      ("counters", counters);
+      ("memory", memory);
+      ("cpu_busy_us", J.int (Dsim.Time.to_us (Engine.cpu_busy engine)));
+      ("degraded", J.bool (Engine.degraded engine));
+      ("degraded_intervals", J.arr degraded);
+      ("downtime_intervals", J.arr downtime);
+      ("attacks_detected", J.bool (List.exists (fun a -> Alert.is_attack a.Alert.kind) alerts));
+      ("alerts", J.arr (List.map alert_json alerts));
+    ]
+
 let full ppf engine =
   summary ppf engine;
   Format.fprintf ppf "@.";

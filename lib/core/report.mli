@@ -13,4 +13,10 @@ val summary : Format.formatter -> Engine.t -> unit
 val full : Format.formatter -> Engine.t -> unit
 (** [summary] followed by [alerts]. *)
 
+val json : Engine.t -> string
+(** The full report as one JSON object: counters, memory/governance stats,
+    degraded and downtime intervals, an [attacks_detected] flag
+    ({!Alert.is_attack}), and the distinct alert log — the [--json] output
+    of [detect]/[analyze]. *)
+
 val to_string : (Format.formatter -> Engine.t -> unit) -> Engine.t -> string

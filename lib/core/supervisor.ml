@@ -50,7 +50,27 @@ type report = {
   end_at : Dsim.Time.t;
 }
 
-let run ?(policy = default_policy) ?config ~trace ~kill_at () =
+let run ?(policy = default_policy) ?config ?metrics ?flight ~trace ~kill_at () =
+  (* Supervisor-level instruments; engine-level ones are attached per
+     incarnation, onto the same registry, so counters accumulate across
+     restarts. *)
+  let sup_counter name help =
+    Option.map (fun m -> Obs.Metrics.counter m name ~help) metrics
+  in
+  let crashes_c = sup_counter "vids_supervisor_crashes_total" "Engine incarnations killed" in
+  let restarts_c = sup_counter "vids_supervisor_restarts_total" "Engine restarts attempted" in
+  let promotions_c =
+    sup_counter "vids_supervisor_promotions_total" "Warm standbys promoted"
+  in
+  let checkpoints_c = sup_counter "vids_supervisor_checkpoints_total" "Checkpoints taken" in
+  let checkpoint_h =
+    Option.map
+      (fun m ->
+        Obs.Metrics.histogram m "vids_checkpoint_seconds"
+          ~help:"Wall-clock duration of capture + wire round-trip per checkpoint")
+      metrics
+  in
+  let tick c = Option.iter Obs.Metrics.incr c in
   let records = List.stable_sort (fun a b -> Dsim.Time.compare a.Trace.at b.Trace.at) trace in
   let end_at =
     match List.rev records with
@@ -89,14 +109,21 @@ let run ?(policy = default_policy) ?config ~trace ~kill_at () =
   in
   let checkpoint sched engine () =
     let at = Dsim.Scheduler.now sched in
+    let t0 = match checkpoint_h with None -> 0.0 | Some _ -> Unix.gettimeofday () in
     let snap = Snapshot.capture ~seq:(!seq + 1) ~at engine in
-    match Snapshot.of_string (Snapshot.to_string snap) with
+    let roundtrip = Snapshot.of_string (Snapshot.to_string snap) in
+    Option.iter (fun h -> Obs.Metrics.observe h (Unix.gettimeofday () -. t0)) checkpoint_h;
+    match roundtrip with
     | Error _ -> () (* an unwritable checkpoint keeps the previous one *)
     | Ok snap ->
         incr seq;
         snapshot := Some snap;
         journal := Journal.Checkpoint { at; seq = !seq } :: !journal;
         incr checkpoints;
+        tick checkpoints_c;
+        Option.iter
+          (fun fl -> Obs.Trace.record fl ~at (Obs.Trace.Checkpoint { seq = !seq }))
+          flight;
         (* A completed checkpoint is the health signal that resets backoff. *)
         consecutive := 0;
         if policy.warm_standby then
@@ -120,6 +147,7 @@ let run ?(policy = default_policy) ?config ~trace ~kill_at () =
     let engine =
       match config with Some c -> Engine.create ~config:c sched | None -> Engine.create sched
     in
+    Engine.set_telemetry engine ?metrics ?flight ();
     attach_journal engine;
     (* With no snapshot the journal is all that survives: replaying it
        restores the alert log even though the machine state is lost. *)
@@ -146,6 +174,7 @@ let run ?(policy = default_policy) ?config ~trace ~kill_at () =
           else []
         in
         let before_timers sched engine =
+          Engine.set_telemetry engine ?metrics ?flight ();
           attach_journal engine;
           List.iter (Engine.merge_journal_alert engine) (journal_alerts suffix);
           ignore (Trace.schedule_into sched engine replayable);
@@ -177,6 +206,17 @@ let run ?(policy = default_policy) ?config ~trace ~kill_at () =
     if not killed then (inc, stop)
     else begin
       incr crashes;
+      tick crashes_c;
+      (* The restart is the other moment the flight recorder exists for:
+         dump the tail so the events leading into the kill survive the
+         incarnation that recorded them. *)
+      Option.iter
+        (fun fl ->
+          Obs.Trace.record fl ~at:stop
+            (Obs.Trace.Note
+               { label = "crash"; detail = Printf.sprintf "killed at %d us" (Dsim.Time.to_us stop) });
+          ignore (Obs.Trace.dump fl ~reason:"supervisor restart"))
+        flight;
       if !restarts >= policy.max_restarts then begin
         gave_up := true;
         missed := !missed + List.length (in_window stop end_at);
@@ -185,10 +225,12 @@ let run ?(policy = default_policy) ?config ~trace ~kill_at () =
       end
       else begin
         incr restarts;
+        tick restarts_c;
         incr consecutive;
         let outage =
           if policy.warm_standby && !standby_ok then begin
             incr standby_promotions;
+            tick promotions_c;
             standby_ok := false;
             policy.failover_delay
           end

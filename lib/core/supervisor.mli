@@ -40,6 +40,8 @@ type report = {
 val run :
   ?policy:policy ->
   ?config:Config.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?flight:Obs.Trace.t ->
   trace:Trace.record list ->
   kill_at:Dsim.Time.t list ->
   unit ->
@@ -48,4 +50,11 @@ val run :
     each [kill_at] instant (kills at or before time zero, past the end, or
     landing inside an ongoing outage are absorbed).  Checkpoints round-trip
     through the snapshot wire format, so the codec is exercised on every
-    run. *)
+    run.
+
+    With [metrics]/[flight], every incarnation is instrumented onto the
+    same registry and ring (counters accumulate across restarts); the
+    supervisor adds [vids_supervisor_{crashes,restarts,promotions,
+    checkpoints}_total] and a wall-clock [vids_checkpoint_seconds]
+    histogram, and dumps the flight-recorder tail at every kill so the
+    events leading into a crash survive it. *)

@@ -1,0 +1,75 @@
+(** Pipeline flight recorder: a bounded ring buffer of structured events.
+
+    Cheap enough to leave on in production — recording is one array store
+    plus the event allocation, nothing is formatted until a dump — the
+    ring holds the last [capacity] pipeline events (packet classified,
+    event distributed to a machine, attack-state transition, alert,
+    quarantine, eviction, checkpoint).  When something goes wrong — an
+    [Engine_fault] quarantine, a supervisor restart — {!dump} snapshots
+    the tail and hands it to every registered sink, turning "a fault was
+    contained and counted" into a diagnosable artifact: the exact event
+    sequence that led up to the fault.
+
+    Events carry only plain strings, addresses and the virtual timestamp,
+    so the recorder knows nothing about the engine's types and the
+    engine's behaviour can never depend on what was recorded. *)
+
+type event =
+  | Packet of { proto : string; src : Dsim.Addr.t; dst : Dsim.Addr.t }
+      (** Classifier verdict for one wire packet.  Addresses stay
+          unrendered until a dump: recording must not pay for
+          formatting. *)
+  | Dispatch of { target : string; subject : string }
+      (** The event distributor handing an event to a machine:
+          [target] is [call]/[flood]/[spam]/[drdos], [subject] the
+          Call-ID or detector key. *)
+  | Transition of { machine : string; subject : string; state : string }
+      (** A machine entering a named (attack or anomalous) state. *)
+  | Alert of { kind : string; subject : string }
+  | Quarantine of { subject : string; origin : string }
+      (** A faulting call or detector being removed. *)
+  | Eviction of { subject : string; detail : string }
+      (** Resource governance reclaiming a record. *)
+  | Checkpoint of { seq : int }
+  | Note of { label : string; detail : string }
+      (** Free-form marker (supervisor crashes/restarts, run phases). *)
+
+type entry = {
+  seq : int;  (** Monotone event number since creation (never wraps). *)
+  at : Dsim.Time.t;
+  ev : event;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 256 retained events; raises [Invalid_argument]
+    when not positive. *)
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total events ever recorded (≥ the number retained). *)
+
+val record : t -> at:Dsim.Time.t -> event -> unit
+
+val entries : t -> entry list
+(** The retained tail, oldest first. *)
+
+val clear : t -> unit
+
+val on_dump : t -> (reason:string -> entry list -> unit) -> unit
+(** Registers a sink for {!dump}.  Sink exceptions are swallowed:
+    observation must never unwind the pipeline being observed. *)
+
+val dump : t -> reason:string -> entry list
+(** Snapshots the retained tail, notifies every sink, and returns the
+    entries (oldest first).  The ring is not cleared — overlapping dumps
+    are fine. *)
+
+val event_to_json : event -> string
+
+val entry_to_json : entry -> string
+(** One JSON object: [{"seq": …, "at_us": …, "event": …, …}]. *)
+
+val pp_entry : Format.formatter -> entry -> unit

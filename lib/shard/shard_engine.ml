@@ -115,6 +115,10 @@ type worker_result = {
   w_drdos : Bucket.t;
   w_latency : Dsim.Stat.Quantiles.t option;
   w_processed : int;
+  w_metrics : Obs.Metrics.snapshot option;
+      (* A snapshot, not the registry: plain data, safe to carry across the
+         Domain.join back to the coordinator. *)
+  w_flight : Obs.Trace.entry list;
 }
 
 let attach_bucket_listener engine ~flood ~drdos ~writer =
@@ -125,16 +129,29 @@ let attach_bucket_listener engine ~flood ~drdos ~writer =
          | E.Invite_flood_candidate key -> Bucket.bump flood writer ~at key
          | E.Drdos_candidate key -> Bucket.bump drdos writer ~at key))
 
-let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon () =
+let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon ~telemetry
+    ~trace_ring () =
   let sched = Dsim.Scheduler.create () in
   let engine = E.create ~config sched in
+  (* Per-domain registry and ring: no sharing, no synchronization; the
+     coordinator folds the snapshots after the join. *)
+  let metrics = if telemetry then Some (Obs.Metrics.create ()) else None in
+  let flight = if telemetry then Some (Obs.Trace.create ~capacity:trace_ring ()) else None in
+  E.set_telemetry engine ?metrics ?flight ();
+  let ck_hist =
+    Option.map
+      (fun m ->
+        Obs.Metrics.histogram m "vids_checkpoint_seconds"
+          ~help:"Wall-clock duration of one shard checkpoint (snapshot save + journal marker)")
+      metrics
+  in
   let flood = Bucket.create ~label:"flood" ~window:config.Vids.Config.invite_flood_window in
   let drdos = Bucket.create ~label:"drdos" ~window:config.Vids.Config.drdos_window in
   let journal =
     match checkpoint with
     | None -> None
     | Some ck ->
-        let w = Vids.Journal.create_writer (journal_path ck.prefix index) in
+        let w = Vids.Journal.create_writer ?registry:metrics (journal_path ck.prefix index) in
         Vids.Journal.attach w engine;
         Some w
   in
@@ -149,6 +166,7 @@ let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon (
        exactly the boundary were already processed (strict [>] below), so
        they are inside the snapshot; timers due exactly at the boundary
        stay pending and are captured as armed. *)
+    let t0 = match ck_hist with None -> 0.0 | Some _ -> Unix.gettimeofday () in
     Dsim.Scheduler.advance_to sched at;
     incr seq;
     Bucket.close_below flood journal (Bucket.epoch_of flood at);
@@ -158,7 +176,9 @@ let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon (
       (Vids.Snapshot.capture ~seq:!seq ~at engine);
     Option.iter
       (fun w -> Vids.Journal.append w (Vids.Journal.Checkpoint { at; seq = !seq }))
-      journal
+      journal;
+    Option.iter (fun fl -> Obs.Trace.record fl ~at (Obs.Trace.Checkpoint { seq = !seq })) flight;
+    Option.iter (fun h -> Obs.Metrics.observe h (Unix.gettimeofday () -. t0)) ck_hist
   in
   let checkpoints_below at ~strict =
     match checkpoint with
@@ -215,6 +235,8 @@ let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon (
     w_drdos = drdos;
     w_latency = latency;
     w_processed = !processed;
+    w_metrics = Option.map Obs.Metrics.snapshot metrics;
+    w_flight = (match flight with None -> [] | Some fl -> Obs.Trace.entries fl);
   }
 
 (* --------------------------------------------------------------- *)
@@ -236,6 +258,8 @@ type outcome = {
   per_shard : shard_stat array;
   engines : E.t array;
   latency : Dsim.Stat.Quantiles.t option;
+  metrics : Obs.Metrics.snapshot option;
+  flights : Obs.Trace.entry list array;
 }
 
 type t = {
@@ -247,6 +271,8 @@ type t = {
   checkpoint : checkpoint option;
   config : Vids.Config.t; (* the worker config, deferral already applied *)
   fed_per_shard : int array;
+  coord_metrics : Obs.Metrics.t option; (* dispatcher-side registry *)
+  depth_hists : Obs.Metrics.histogram array; (* per shard, when telemetry is on *)
   mutable next_tick : Dsim.Time.t;
   mutable last_at : Dsim.Time.t;
   mutable finished : outcome option;
@@ -260,7 +286,7 @@ let shard_config ~shards config =
   if shards > 1 then { config with Vids.Config.defer_global_detectors = true } else config
 
 let create ?(config = Vids.Config.default) ?(queue_capacity = 1024) ?checkpoint
-    ?(measure_latency = false) ?horizon ~shards () =
+    ?(measure_latency = false) ?horizon ?(telemetry = false) ?(trace_ring = 256) ~shards () =
   if shards <= 0 then invalid_arg "Shard_engine.create: shards must be positive";
   let config = shard_config ~shards config in
   let queues = Array.init shards (fun _ -> Spsc.create ~capacity:queue_capacity) in
@@ -268,7 +294,19 @@ let create ?(config = Vids.Config.default) ?(queue_capacity = 1024) ?checkpoint
   let domains =
     Array.init shards (fun index ->
         let queue = queues.(index) in
-        Domain.spawn (worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon))
+        Domain.spawn
+          (worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon ~telemetry
+             ~trace_ring))
+  in
+  let coord_metrics = if telemetry then Some (Obs.Metrics.create ()) else None in
+  let depth_hists =
+    match coord_metrics with
+    | None -> [||]
+    | Some m ->
+        Array.init shards (fun i ->
+            Obs.Metrics.histogram m "vids_queue_depth"
+              ~help:"Feed-queue occupancy sampled at each dispatch"
+              ~labels:[ ("shard", string_of_int i) ])
   in
   {
     n = shards;
@@ -279,6 +317,8 @@ let create ?(config = Vids.Config.default) ?(queue_capacity = 1024) ?checkpoint
     checkpoint;
     config;
     fed_per_shard = Array.make shards 0;
+    coord_metrics;
+    depth_hists;
     next_tick = (match checkpoint with Some ck -> ck.every | None -> Dsim.Time.zero);
     last_at = Dsim.Time.zero;
     finished = None;
@@ -300,7 +340,10 @@ let feed t (r : Vids.Trace.record) =
       done);
   let shard = Partition.route t.partition r in
   Spsc.push t.queues.(shard) (Rec r);
-  t.fed_per_shard.(shard) <- t.fed_per_shard.(shard) + 1
+  t.fed_per_shard.(shard) <- t.fed_per_shard.(shard) + 1;
+  if Array.length t.depth_hists > 0 then
+    (* [Spsc.length] is a racy snapshot — fine for a load histogram. *)
+    Obs.Metrics.observe t.depth_hists.(shard) (Float.of_int (Spsc.length t.queues.(shard)))
 
 let fed t = Array.fold_left ( + ) 0 t.fed_per_shard
 
@@ -442,7 +485,8 @@ let add_counters (a : E.counters) (b : E.counters) =
     backpressure_stalls = a.backpressure_stalls + b.backpressure_stalls;
   }
 
-let merge_results ~n ~config ~fed_per_shard ~stalls_per_shard (results : worker_result array) =
+let merge_results ?coord_snapshot ~n ~config ~fed_per_shard ~stalls_per_shard
+    (results : worker_result array) =
   let engines = Array.map (fun r -> r.w_engine) results in
   Array.iteri (fun i e -> E.add_backpressure_stalls e stalls_per_shard.(i)) engines;
   let global_alerts =
@@ -486,6 +530,15 @@ let merge_results ~n ~config ~fed_per_shard ~stalls_per_shard (results : worker_
         | Some a, Some b -> Some (Dsim.Stat.Quantiles.merge a b))
       None results
   in
+  let metrics =
+    let snaps =
+      Option.to_list coord_snapshot
+      @ List.filter_map (fun r -> r.w_metrics) (Array.to_list results)
+    in
+    match snaps with
+    | [] -> None
+    | s :: rest -> Some (List.fold_left Obs.Metrics.merge s rest)
+  in
   {
     shards = n;
     alerts = merged;
@@ -494,6 +547,8 @@ let merge_results ~n ~config ~fed_per_shard ~stalls_per_shard (results : worker_
     per_shard;
     engines;
     latency;
+    metrics;
+    flights = Array.map (fun r -> r.w_flight) results;
   }
 
 let finish t =
@@ -503,15 +558,31 @@ let finish t =
       Atomic.set t.closed true;
       let results = Array.map Domain.join t.domains in
       let stalls = Array.map Spsc.stalls t.queues in
+      (match t.coord_metrics with
+      | None -> ()
+      | Some m ->
+          Array.iteri
+            (fun i s ->
+              Obs.Metrics.add
+                (Obs.Metrics.counter m "vids_queue_stalls_total"
+                   ~help:"Producer stalls pushing into the shard's bounded feed queue"
+                   ~labels:[ ("shard", string_of_int i) ])
+                s)
+            stalls);
+      let coord_snapshot = Option.map Obs.Metrics.snapshot t.coord_metrics in
       let outcome =
-        merge_results ~n:t.n ~config:t.config ~fed_per_shard:t.fed_per_shard
+        merge_results ?coord_snapshot ~n:t.n ~config:t.config ~fed_per_shard:t.fed_per_shard
           ~stalls_per_shard:stalls results
       in
       t.finished <- Some outcome;
       outcome
 
-let run_trace ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ~shards records =
-  let t = create ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ~shards () in
+let run_trace ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ?telemetry
+    ?trace_ring ~shards records =
+  let t =
+    create ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ?telemetry ?trace_ring
+      ~shards ()
+  in
   let sorted =
     List.stable_sort (fun (a : Vids.Trace.record) b -> Dsim.Time.compare a.at b.at) records
   in
@@ -598,7 +669,8 @@ let shard_candidates prefix i =
   in
   try_load path false @ try_load (Vids.Snapshot.previous_path path) true
 
-let recover ?(config = Vids.Config.default) ?horizon ~prefix ~shards:n ~trace () =
+let recover ?(config = Vids.Config.default) ?horizon ?(telemetry = false) ~prefix ~shards:n
+    ~trace () =
   if n <= 0 then invalid_arg "Shard_engine.recover: shards must be positive";
   let worker_config = shard_config ~shards:n config in
   let candidates = Array.init n (shard_candidates prefix) in
@@ -674,7 +746,10 @@ let recover ?(config = Vids.Config.default) ?horizon ~prefix ~shards:n ~trace ()
     let replay_drdos =
       Bucket.create ~label:"drdos" ~window:worker_config.Vids.Config.drdos_window
     in
+    let metrics = if telemetry then Some (Obs.Metrics.create ()) else None in
+    let flight = if telemetry then Some (Obs.Trace.create ()) else None in
     let prepare _sched engine =
+      E.set_telemetry engine ?metrics ?flight ();
       attach_bucket_listener engine ~flood:replay_flood ~drdos:replay_drdos ~writer:None
     in
     let* o =
@@ -707,6 +782,8 @@ let recover ?(config = Vids.Config.default) ?horizon ~prefix ~shards:n ~trace ()
           w_drdos = drdos;
           w_latency = None;
           w_processed = o.Vids.Recovery.replayed;
+          w_metrics = Option.map Obs.Metrics.snapshot metrics;
+          w_flight = (match flight with None -> [] | Some fl -> Obs.Trace.entries fl);
         },
         o.Vids.Recovery.replayed )
   in

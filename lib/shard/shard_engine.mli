@@ -67,6 +67,14 @@ type outcome = {
       (** The worker engines, safe to inspect once {!finish} returned. *)
   latency : Dsim.Stat.Quantiles.t option;
       (** Merged per-packet wall-clock processing latency, when measured. *)
+  metrics : Obs.Metrics.snapshot option;
+      (** With [telemetry]: every per-worker registry folded through
+          {!Obs.Metrics.merge}, plus the coordinator's own queue-depth
+          histograms and per-shard stall counters — one export whose
+          traffic-counter totals equal a sequential instrumented run's. *)
+  flights : Obs.Trace.entry list array;
+      (** With [telemetry]: each worker's flight-recorder tail (empty lists
+          otherwise). *)
 }
 
 type t
@@ -77,6 +85,8 @@ val create :
   ?checkpoint:checkpoint ->
   ?measure_latency:bool ->
   ?horizon:Dsim.Time.t ->
+  ?telemetry:bool ->
+  ?trace_ring:int ->
   shards:int ->
   unit ->
   t
@@ -84,7 +94,13 @@ val create :
     each feed queue.  [horizon], when given, bounds the end-of-run drain
     ([run_until] instead of [run]) — required for governed configs whose
     periodic sweep re-arms forever.  With [shards > 1] the worker engines
-    run with [defer_global_detectors] set.  Raises [Invalid_argument] when
+    run with [defer_global_detectors] set.
+
+    [telemetry] (default false) gives every worker domain a private
+    {!Obs.Metrics} registry and an {!Obs.Trace} ring of [trace_ring]
+    (default 256) entries, plus a dispatcher-side registry sampling
+    [vids_queue_depth{shard}] at each dispatch; {!finish} folds them into
+    [outcome.metrics] / [outcome.flights].  Raises [Invalid_argument] when
     [shards <= 0]. *)
 
 val feed : t -> Vids.Trace.record -> unit
@@ -107,6 +123,8 @@ val run_trace :
   ?checkpoint:checkpoint ->
   ?measure_latency:bool ->
   ?horizon:Dsim.Time.t ->
+  ?telemetry:bool ->
+  ?trace_ring:int ->
   shards:int ->
   Vids.Trace.record list ->
   outcome
@@ -147,10 +165,12 @@ type recovery = {
 val recover :
   ?config:Vids.Config.t ->
   ?horizon:Dsim.Time.t ->
+  ?telemetry:bool ->
   prefix:string ->
   shards:int ->
   trace:Vids.Trace.record list ->
   unit ->
   (recovery, string) result
 (** [Error] when any shard has no loadable snapshot at the consistent
-    sequence number. *)
+    sequence number.  With [telemetry], each restored engine's replay is
+    instrumented and the merged snapshot lands in [outcome.metrics]. *)

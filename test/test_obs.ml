@@ -1,0 +1,577 @@
+(* Telemetry subsystem: the metrics registry (registration, snapshots,
+   merge), the flight recorder (ring semantics, dumps), the exporters, the
+   Quantiles.merge edge cases the registry leans on, and the two
+   engine-level contracts — telemetry is write-only (digest-identical
+   detection with telemetry on) and shard-merged counter totals equal a
+   sequential run's. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let tc name f = Alcotest.test_case name `Quick f
+
+let q ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let sec = Dsim.Time.of_sec
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- Quantiles.merge edge cases --------------------------------------- *)
+
+module Q = Dsim.Stat.Quantiles
+
+let t_quantiles_merge_empty () =
+  let a = Q.create () in
+  List.iter (Q.add a) [ 1.0; 2.0; 3.0; 4.0 ];
+  let empty = Q.create () in
+  let m1 = Q.merge a empty in
+  let m2 = Q.merge empty a in
+  check_int "count survives a+empty" 4 (Q.count m1);
+  check_int "count survives empty+a" 4 (Q.count m2);
+  check_str "p50 unchanged" (string_of_float (Q.p50 a)) (string_of_float (Q.p50 m1));
+  let both_empty = Q.merge (Q.create ()) (Q.create ()) in
+  check_int "empty+empty count" 0 (Q.count both_empty);
+  check "empty quantile is nan" true (Float.is_nan (Q.p50 both_empty))
+
+let t_quantiles_merge_past_capacity () =
+  let a = Q.create ~capacity:8 () in
+  let b = Q.create ~capacity:8 () in
+  for i = 1 to 100 do
+    Q.add a (float_of_int i)
+  done;
+  for i = 101 to 200 do
+    Q.add b (float_of_int i)
+  done;
+  let m = Q.merge a b in
+  check_int "seen counts sum" 200 (Q.count m);
+  (* The reservoir holds a sample of both sides, so the median estimate
+     must land strictly inside the combined range. *)
+  let p50 = Q.p50 m in
+  check "median within range" true (p50 >= 1.0 && p50 <= 200.0)
+
+let t_quantiles_seed_determinism () =
+  let fill seed =
+    let t = Q.create ~capacity:16 ~seed () in
+    for i = 0 to 499 do
+      Q.add t (float_of_int (i * 7 mod 100))
+    done;
+    t
+  in
+  let a = fill 0x51a7 and b = fill 0x51a7 in
+  check_str "same seed, same estimate"
+    (string_of_float (Q.p95 a))
+    (string_of_float (Q.p95 b));
+  let m1 = Q.merge a b and m2 = Q.merge a b in
+  check_str "merge is deterministic"
+    (string_of_float (Q.p95 m1))
+    (string_of_float (Q.p95 m2));
+  check_int "merged seen" 1000 (Q.count m1)
+
+(* --- Metrics registry -------------------------------------------------- *)
+
+module M = Obs.Metrics
+
+let t_register_idempotent () =
+  let m = M.create () in
+  let a = M.counter m "hits" ~labels:[ ("shard", "0") ] in
+  let b = M.counter m "hits" ~labels:[ ("shard", "0") ] in
+  M.incr a;
+  M.incr b;
+  check_int "one instrument behind both handles" 2 (M.counter_value a);
+  (* Label order must not mint a second instrument. *)
+  let c = M.counter m "multi" ~labels:[ ("b", "2"); ("a", "1") ] in
+  let d = M.counter m "multi" ~labels:[ ("a", "1"); ("b", "2") ] in
+  M.incr c;
+  check_int "label order canonicalized" 1 (M.counter_value d)
+
+let t_register_type_mismatch () =
+  let m = M.create () in
+  ignore (M.counter m "x");
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument "Obs.Metrics: x{} already registered as a counter") (fun () ->
+      ignore (M.gauge m "x"))
+
+let t_counter_monotone () =
+  let m = M.create () in
+  let c = M.counter m "n" in
+  M.add c 5;
+  M.add c (-3);
+  M.add c 0;
+  check_int "negative and zero adds ignored" 5 (M.counter_value c)
+
+let t_snapshot_values () =
+  let m = M.create ~clock:(fun () -> sec 2.0) () in
+  let c = M.counter m "reqs" ~labels:[ ("class", "sip") ] in
+  let g = M.gauge m "occupancy" in
+  let h = M.histogram m "lat" in
+  M.add c 7;
+  M.set g 3.5;
+  List.iter (M.observe h) [ 0.001; 0.002; 0.004 ];
+  let snap = M.snapshot m in
+  check_int "stamped by the virtual clock" (Dsim.Time.to_us (sec 2.0))
+    (Dsim.Time.to_us snap.M.at);
+  (match M.find snap ~labels:[ ("class", "sip") ] "reqs" with
+  | Some (M.Counter 7) -> ()
+  | _ -> Alcotest.fail "counter row wrong");
+  (match M.find snap "occupancy" with
+  | Some (M.Gauge v) -> check "gauge value" true (v = 3.5)
+  | _ -> Alcotest.fail "gauge row wrong");
+  (match M.find snap "lat" with
+  | Some (M.Histogram hs) ->
+      check_int "histogram count" 3 hs.M.count;
+      check "histogram sum" true (abs_float (hs.M.sum -. 0.007) < 1e-12);
+      check_int "bucket total = count" 3 (Array.fold_left ( + ) 0 hs.M.buckets)
+  | _ -> Alcotest.fail "histogram row wrong");
+  check_int "total sums counter rows" 7 (M.total snap "reqs")
+
+let t_snapshot_isolated () =
+  let m = M.create () in
+  let c = M.counter m "n" in
+  let h = M.histogram m "h" in
+  M.incr c;
+  M.observe h 1.0;
+  let snap = M.snapshot m in
+  M.incr c;
+  M.observe h 2.0;
+  (match M.find snap "n" with
+  | Some (M.Counter 1) -> ()
+  | _ -> Alcotest.fail "snapshot counter mutated");
+  match M.find snap "h" with
+  | Some (M.Histogram hs) -> check_int "snapshot histogram frozen" 1 hs.M.count
+  | _ -> Alcotest.fail "snapshot histogram mutated"
+
+let t_merge_round_trip () =
+  let mk adds observes =
+    let m = M.create () in
+    let c = M.counter m "hits" ~labels:[ ("class", "sip") ] in
+    let g = M.gauge m "occ" in
+    let h = M.histogram m "lat" in
+    M.add c adds;
+    M.set g (float_of_int adds);
+    List.iter (M.observe h) observes;
+    m
+  in
+  let a = mk 3 [ 0.001; 0.5 ] in
+  let b = mk 5 [ 0.002 ] in
+  (* A row only one side has must pass through. *)
+  let only_a = M.counter a "only_a" in
+  M.incr only_a;
+  let merged = M.merge (M.snapshot a) (M.snapshot b) in
+  check_int "counters sum" 8 (M.total merged "hits");
+  check_int "one-sided row passes through" 1 (M.total merged "only_a");
+  (match M.find merged "occ" with
+  | Some (M.Gauge v) -> check "gauges sum" true (v = 8.0)
+  | _ -> Alcotest.fail "merged gauge wrong");
+  (match M.find merged "lat" with
+  | Some (M.Histogram hs) ->
+      check_int "histogram counts sum" 3 hs.M.count;
+      check_int "buckets sum elementwise" 3 (Array.fold_left ( + ) 0 hs.M.buckets);
+      check_int "reservoirs merge" 3 (Q.count hs.M.quantiles)
+  | _ -> Alcotest.fail "merged histogram wrong");
+  (* Rows stay sorted so exports are deterministic. *)
+  let keys = List.map (fun r -> r.M.name) merged.M.rows in
+  check "rows sorted" true (List.sort String.compare keys = keys)
+
+let t_merge_type_mismatch () =
+  let a = M.create () and b = M.create () in
+  ignore (M.counter a "x");
+  ignore (M.gauge b "x");
+  check "merge rejects mismatched types" true
+    (try
+       ignore (M.merge (M.snapshot a) (M.snapshot b));
+       false
+     with Invalid_argument _ -> true)
+
+let q_merge_totals =
+  q "metrics: split counter increments merge to the whole"
+    QCheck.(list (int_range 0 50))
+    (fun xs ->
+      let whole = M.create () in
+      let cw = M.counter whole "n" in
+      let left = M.create () and right = M.create () in
+      let cl = M.counter left "n" and cr = M.counter right "n" in
+      List.iteri
+        (fun i x ->
+          M.add cw x;
+          M.add (if i mod 2 = 0 then cl else cr) x)
+        xs;
+      let merged = M.merge (M.snapshot left) (M.snapshot right) in
+      M.total merged "n" = M.total (M.snapshot whole) "n")
+
+let q_merge_histogram_buckets =
+  q "metrics: split observations merge to the whole histogram"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let xs = List.map abs_float xs in
+      let whole = M.create () in
+      let hw = M.histogram whole "h" in
+      let left = M.create () and right = M.create () in
+      let hl = M.histogram left "h" and hr = M.histogram right "h" in
+      List.iteri
+        (fun i x ->
+          M.observe hw x;
+          M.observe (if i mod 3 = 0 then hl else hr) x)
+        xs;
+      let buckets snap =
+        match M.find snap "h" with
+        | Some (M.Histogram hs) -> (hs.M.buckets, hs.M.count, hs.M.sum)
+        | _ -> ([||], -1, nan)
+      in
+      let wb, wc, ws = buckets (M.snapshot whole) in
+      let mb, mc, ms = buckets (M.merge (M.snapshot left) (M.snapshot right)) in
+      (* Sums are accumulated in different orders, so compare with a
+         relative tolerance; buckets and counts are integers and exact. *)
+      wb = mb && wc = mc
+      && (xs = [] || abs_float (ws -. ms) <= 1e-9 *. Float.max 1.0 (abs_float ws)))
+
+(* --- Flight recorder ---------------------------------------------------- *)
+
+module Tr = Obs.Trace
+
+let note i = Tr.Note { label = "n"; detail = string_of_int i }
+
+let t_ring_wraparound () =
+  let t = Tr.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Tr.record t ~at:(sec (float_of_int i)) (note i)
+  done;
+  check_int "recorded counts everything" 10 (Tr.recorded t);
+  check_int "capacity" 4 (Tr.capacity t);
+  let tail = Tr.entries t in
+  check_int "retains last capacity" 4 (List.length tail);
+  check_int "oldest retained" 6 (List.hd tail).Tr.seq;
+  check_int "newest retained" 9 (List.nth tail 3).Tr.seq;
+  (* seq is monotone across the wrap. *)
+  let seqs = List.map (fun e -> e.Tr.seq) tail in
+  check "oldest-first order" true (seqs = [ 6; 7; 8; 9 ])
+
+let t_ring_under_capacity () =
+  let t = Tr.create ~capacity:8 () in
+  Tr.record t ~at:(sec 1.0) (note 0);
+  Tr.record t ~at:(sec 2.0) (note 1);
+  check_int "all retained" 2 (List.length (Tr.entries t));
+  Tr.clear t;
+  check_int "clear empties" 0 (List.length (Tr.entries t));
+  check_int "clear resets recorded" 0 (Tr.recorded t)
+
+let t_ring_capacity_validated () =
+  check "zero capacity rejected" true
+    (try
+       ignore (Tr.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let t_dump_sinks () =
+  let t = Tr.create ~capacity:4 () in
+  let calls = ref [] in
+  Tr.on_dump t (fun ~reason entries -> calls := ("first:" ^ reason, List.length entries) :: !calls);
+  (* A sink that throws must not prevent later sinks from running. *)
+  Tr.on_dump t (fun ~reason:_ _ -> failwith "bad sink");
+  Tr.on_dump t (fun ~reason entries -> calls := ("third:" ^ reason, List.length entries) :: !calls);
+  Tr.record t ~at:(sec 1.0) (note 0);
+  Tr.record t ~at:(sec 2.0) (note 1);
+  let returned = Tr.dump t ~reason:"test" in
+  check_int "dump returns the tail" 2 (List.length returned);
+  check_int "both healthy sinks ran" 2 (List.length !calls);
+  (* Registration order; the list accumulated in reverse. *)
+  check_str "first sink first" "first:test" (fst (List.nth !calls 1));
+  check_str "third sink after" "third:test" (fst (List.nth !calls 0));
+  check_int "ring not cleared by dump" 2 (List.length (Tr.entries t))
+
+let t_entry_json () =
+  let e =
+    {
+      Tr.seq = 3;
+      at = Dsim.Time.of_us 1500;
+      ev = Tr.Alert { kind = "BYE-DoS"; subject = "call-\"1\"" };
+    }
+  in
+  let s = Tr.entry_to_json e in
+  check "seq present" true (String.length s > 0 && String.sub s 0 10 = {|{"seq": 3,|});
+  check "quote escaped" true (contains ~needle:{|call-\"1\"|} s)
+
+(* --- Exporters ---------------------------------------------------------- *)
+
+let t_prometheus_format () =
+  let m = M.create () in
+  let c = M.counter m "vids_packets_total" ~help:"Packets" ~labels:[ ("class", "sip") ] in
+  let h = M.histogram m "vids_lat" ~help:"Latency" in
+  M.add c 12;
+  List.iter (M.observe h) [ 0.5e-6; 3e-6; 1e6 ];
+  let text = Obs.Export.prometheus (M.snapshot m) in
+  check "help header" true (contains ~needle:"# HELP vids_packets_total Packets" text);
+  check "type header" true (contains ~needle:"# TYPE vids_packets_total counter" text);
+  check "labeled sample" true (contains ~needle:{|vids_packets_total{class="sip"} 12|} text);
+  check "histogram type" true (contains ~needle:"# TYPE vids_lat histogram" text);
+  check "inf bucket carries the total" true
+    (contains ~needle:{|vids_lat_bucket{le="+Inf"} 3|} text);
+  check "count series" true (contains ~needle:"vids_lat_count 3" text);
+  check "quantile series" true (contains ~needle:{|vids_lat_quantile{quantile="0.95"}|} text);
+  (* Cumulative bucket counts never decrease. *)
+  let last = ref (-1) in
+  let ok = ref true in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if String.length line > 15 && String.sub line 0 15 = "vids_lat_bucket" then begin
+           match String.rindex_opt line ' ' with
+           | Some i ->
+               let v = int_of_string (String.sub line (i + 1) (String.length line - i - 1)) in
+               if v < !last then ok := false;
+               last := v
+           | None -> ()
+         end);
+  check "buckets cumulative" true !ok
+
+let t_jsonl_and_json () =
+  let m = M.create () in
+  M.add (M.counter m "a") 1;
+  M.set (M.gauge m "b") 2.0;
+  let snap = M.snapshot m in
+  let jsonl = Obs.Export.metrics_jsonl snap in
+  check_int "one line per row" 2
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)));
+  let json = Obs.Export.metrics_json snap in
+  check "single object" true (json.[0] = '{' && contains ~needle:{|"metrics"|} json)
+
+let t_write_by_extension () =
+  let dir = Filename.temp_file "obs" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let m = M.create () in
+  M.add (M.counter m "a" ~help:"A") 1;
+  let snap = M.snapshot m in
+  let read p =
+    let ic = open_in p in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let prom = Filename.concat dir "m.prom" and jsl = Filename.concat dir "m.jsonl" in
+  Obs.Export.write_metrics ~path:prom snap;
+  Obs.Export.write_metrics ~path:jsl snap;
+  check "prom file is exposition text" true (String.sub (read prom) 0 6 = "# HELP");
+  check "jsonl file is json" true ((read jsl).[0] = '{');
+  let tr = Filename.concat dir "t.jsonl" in
+  let entries = [ { Tr.seq = 0; at = sec 1.0; ev = note 0 } ] in
+  Obs.Export.append_trace ~reason:"r1" ~path:tr entries;
+  Obs.Export.append_trace ~reason:"r2" ~path:tr entries;
+  let lines = String.split_on_char '\n' (read tr) |> List.filter (fun l -> l <> "") in
+  check_int "two dumps appended" 4 (List.length lines);
+  check "dump marker leads" true (contains ~needle:{|"reason": "r1"|} (List.hd lines));
+  Sys.remove prom;
+  Sys.remove jsl;
+  Sys.remove tr;
+  Unix.rmdir dir
+
+let t_json_helpers () =
+  let module J = Obs.Json in
+  check_str "escaping" {|"a\"b\\c\nd"|} (J.quote "a\"b\\c\nd");
+  check_str "non-finite floats are null" "null" (J.float nan);
+  check_str "finite float round-trips" "0.5" (J.float 0.5);
+  check_str "obj" {|{"a": 1}|} (J.obj [ ("a", J.int 1) ])
+
+(* --- Engine integration ------------------------------------------------- *)
+
+let alloc = Dsim.Packet.allocator ()
+let sip_addr host = Dsim.Addr.v host 5060
+
+let invite ~call_id =
+  Printf.sprintf
+    "INVITE sip:bob@b.example SIP/2.0\r\n\
+     Via: SIP/2.0/UDP 10.1.0.2:5060;branch=z9hG4bK%s\r\n\
+     From: <sip:alice@a.example>;tag=ta-%s\r\n\
+     To: <sip:bob@b.example>\r\n\
+     Call-ID: %s\r\n\
+     CSeq: 1 INVITE\r\n\
+     Contact: <sip:alice@10.1.0.10:5060>\r\n\
+     \r\n"
+    call_id call_id call_id
+
+let rtp_bytes =
+  Rtp.Rtp_packet.encode
+    (Rtp.Rtp_packet.make ~payload_type:18 ~sequence:1 ~timestamp:0l ~ssrc:7l "x")
+
+(* A small mixed workload: calls, rogue RTP, and junk. *)
+let feed_workload sched engine =
+  let feed ~src ~dst payload =
+    Vids.Engine.process_packet engine
+      (Dsim.Packet.make alloc ~src ~dst ~sent_at:(Dsim.Scheduler.now sched) payload)
+  in
+  for i = 0 to 9 do
+    feed ~src:(sip_addr "203.0.113.66") ~dst:(sip_addr "10.2.0.2")
+      (invite ~call_id:(Printf.sprintf "obs-%d" i))
+  done;
+  for i = 0 to 24 do
+    feed
+      ~src:(Dsim.Addr.v "203.0.113.66" 16400)
+      ~dst:(Dsim.Addr.v "10.2.0.10" (20000 + (2 * (i mod 3))))
+      rtp_bytes
+  done;
+  feed ~src:(sip_addr "203.0.113.66") ~dst:(sip_addr "10.2.0.2") "NOT SIP AT ALL"
+
+let run_workload ~telemetry () =
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create sched in
+  let obs =
+    if not telemetry then None
+    else begin
+      let metrics = M.create () in
+      let flight = Tr.create () in
+      Vids.Engine.set_telemetry engine ~metrics ~flight ();
+      Some (metrics, flight)
+    end
+  in
+  feed_workload sched engine;
+  Dsim.Scheduler.run_until sched (sec 30.0);
+  (engine, obs)
+
+let t_telemetry_is_write_only () =
+  let bare, _ = run_workload ~telemetry:false () in
+  let inst, _ = run_workload ~telemetry:true () in
+  check_str "digest identical with telemetry on"
+    (Vids.Snapshot.digest ~at:(sec 30.0) bare)
+    (Vids.Snapshot.digest ~at:(sec 30.0) inst)
+
+let t_counters_match_engine () =
+  let engine, obs = run_workload ~telemetry:true () in
+  let metrics, flight = Option.get obs in
+  let snap = M.snapshot metrics in
+  let c = Vids.Engine.counters engine in
+  check_int "sip packets" c.Vids.Engine.sip_packets
+    (match M.find snap ~labels:[ ("class", "sip") ] "vids_packets_total" with
+    | Some (M.Counter n) -> n
+    | _ -> -1);
+  (match M.find snap ~labels:[ ("class", "rtp") ] "vids_packets_total" with
+  | Some (M.Counter n) -> check_int "rtp packets" c.Vids.Engine.rtp_packets n
+  | _ -> Alcotest.fail "rtp counter missing");
+  (match M.find snap ~labels:[ ("class", "malformed") ] "vids_packets_total" with
+  | Some (M.Counter n) -> check_int "malformed packets" c.Vids.Engine.malformed_packets n
+  | _ -> Alcotest.fail "malformed counter missing");
+  check_int "alerts by kind sum to alerts_raised" c.Vids.Engine.alerts_raised
+    (M.total snap "vids_alerts_total");
+  (* The pipeline leaves a trail in the flight recorder. *)
+  check "flight recorder saw the pipeline" true (Tr.recorded flight > 0);
+  (* The engine's virtual clock stamps the snapshot. *)
+  check_int "snapshot at engine time" (Dsim.Time.to_us (sec 30.0)) (Dsim.Time.to_us snap.M.at)
+
+let t_quarantine_dumps_flight_recorder () =
+  let config = { Vids.Config.default with Vids.Config.chaos_inject_every = 1 } in
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create ~config sched in
+  let metrics = M.create () in
+  let flight = Tr.create () in
+  Vids.Engine.set_telemetry engine ~metrics ~flight ();
+  let dumps = ref [] in
+  Tr.on_dump flight (fun ~reason entries -> dumps := (reason, entries) :: !dumps);
+  Vids.Engine.process_packet engine
+    (Dsim.Packet.make alloc ~src:(sip_addr "203.0.113.66") ~dst:(sip_addr "10.2.0.2")
+       ~sent_at:Dsim.Time.zero
+       (invite ~call_id:"boom"));
+  check "fault was injected" true ((Vids.Engine.counters engine).Vids.Engine.faults > 0);
+  check "quarantine dumped the flight recorder" true (!dumps <> []);
+  let reason, entries = List.hd (List.rev !dumps) in
+  check "dump names the quarantine" true (contains ~needle:"quarantine" reason);
+  check "dump is non-empty" true (entries <> []);
+  check_int "faults counted in telemetry" (Vids.Engine.counters engine).Vids.Engine.faults
+    (M.total (M.snapshot metrics) "vids_faults_total")
+
+(* --- Sharded merge equals sequential ------------------------------------ *)
+
+let t_sharded_totals_equal_sequential () =
+  (* The same trace through a 2-shard telemetry run and a sequential
+     instrumented replay: merged traffic-counter totals must be equal. *)
+  let records = ref [] in
+  let add at src dst payload = records := { Vids.Trace.at; src; dst; payload } :: !records in
+  for i = 0 to 39 do
+    add
+      (Dsim.Time.of_ms (float_of_int (10 * i)))
+      (sip_addr "10.1.0.2") (sip_addr "10.2.0.2")
+      (invite ~call_id:(Printf.sprintf "shard-%d" i))
+  done;
+  for i = 0 to 19 do
+    add
+      (Dsim.Time.of_ms (float_of_int ((10 * i) + 5)))
+      (Dsim.Addr.v "10.5.0.1" 22000)
+      (Dsim.Addr.v (Printf.sprintf "10.6.0.%d" (i mod 4)) 22000)
+      rtp_bytes
+  done;
+  let trace = List.rev !records in
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create sched in
+  let metrics = M.create () in
+  Vids.Engine.set_telemetry engine ~metrics ();
+  ignore (Vids.Trace.schedule_into sched engine trace);
+  Dsim.Scheduler.run_until sched (sec 30.0);
+  let seq_snap = M.snapshot metrics in
+  let outcome =
+    Shard.Shard_engine.run_trace ~telemetry:true ~horizon:(sec 30.0) ~shards:2 trace
+  in
+  let merged =
+    match outcome.Shard.Shard_engine.metrics with
+    | Some s -> s
+    | None -> Alcotest.fail "telemetry run produced no merged snapshot"
+  in
+  List.iter
+    (fun cls ->
+      let get snap =
+        match M.find snap ~labels:[ ("class", cls) ] "vids_packets_total" with
+        | Some (M.Counter n) -> n
+        | _ -> 0
+      in
+      check_int (cls ^ " packets equal") (get seq_snap) (get merged))
+    [ "sip"; "rtp"; "rtcp"; "other"; "malformed" ];
+  check_int "total packets equal"
+    (M.total seq_snap "vids_packets_total")
+    (M.total merged "vids_packets_total");
+  (* Worker flight recorders came back across the domain join. *)
+  check_int "one flight per shard" 2 (Array.length outcome.Shard.Shard_engine.flights)
+
+let suite =
+  [
+    ( "obs.quantiles",
+      [
+        tc "merge with empty preserves" t_quantiles_merge_empty;
+        tc "merge past capacity" t_quantiles_merge_past_capacity;
+        tc "seeded determinism" t_quantiles_seed_determinism;
+      ] );
+    ( "obs.metrics",
+      [
+        tc "registration idempotent" t_register_idempotent;
+        tc "type mismatch rejected" t_register_type_mismatch;
+        tc "counters monotone" t_counter_monotone;
+        tc "snapshot values" t_snapshot_values;
+        tc "snapshot isolated from later writes" t_snapshot_isolated;
+        tc "merge round-trip" t_merge_round_trip;
+        tc "merge type mismatch rejected" t_merge_type_mismatch;
+        q_merge_totals;
+        q_merge_histogram_buckets;
+      ] );
+    ( "obs.trace",
+      [
+        tc "ring wraparound keeps last N" t_ring_wraparound;
+        tc "under capacity + clear" t_ring_under_capacity;
+        tc "capacity validated" t_ring_capacity_validated;
+        tc "dump sinks isolated and ordered" t_dump_sinks;
+        tc "entry json" t_entry_json;
+      ] );
+    ( "obs.export",
+      [
+        tc "prometheus exposition" t_prometheus_format;
+        tc "jsonl and json" t_jsonl_and_json;
+        tc "write picks format by extension" t_write_by_extension;
+        tc "json helpers" t_json_helpers;
+      ] );
+    ( "obs.engine",
+      [
+        tc "telemetry is write-only (digest)" t_telemetry_is_write_only;
+        tc "registry mirrors engine counters" t_counters_match_engine;
+        tc "quarantine dumps the flight recorder" t_quarantine_dumps_flight_recorder;
+      ] );
+    ( "obs.shard",
+      [ tc "merged totals equal sequential" t_sharded_totals_equal_sequential ] );
+  ]
