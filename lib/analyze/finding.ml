@@ -1,0 +1,55 @@
+type severity = Error | Warning | Info
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+type t = {
+  severity : severity;
+  pass : string;
+  machine : string;
+  state : string option;
+  transition : string option;
+  message : string;
+}
+
+let make ?state ?transition ~severity ~pass ~machine message =
+  { severity; pass; machine; state; transition; message }
+
+let is_error f = f.severity = Error
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.machine b.machine in
+    if c <> 0 then c
+    else
+      let c = String.compare a.pass b.pass in
+      if c <> 0 then c else String.compare a.message b.message
+
+let coordinates f =
+  let at =
+    match (f.state, f.transition) with
+    | Some s, Some t -> Printf.sprintf " at %s/%s" s t
+    | Some s, None -> " at " ^ s
+    | None, Some t -> " on " ^ t
+    | None, None -> ""
+  in
+  Printf.sprintf "%s%s" f.machine at
+
+let to_string f =
+  Printf.sprintf "%-7s [%s] %s: %s"
+    (severity_to_string f.severity)
+    f.pass (coordinates f) f.message
+
+let to_json f =
+  let opt = function None -> "null" | Some s -> Obs.Json.quote s in
+  Obs.Json.obj
+    [
+      ("severity", Obs.Json.quote (severity_to_string f.severity));
+      ("pass", Obs.Json.quote f.pass);
+      ("machine", Obs.Json.quote f.machine);
+      ("state", opt f.state);
+      ("transition", opt f.transition);
+      ("message", Obs.Json.quote f.message);
+    ]

@@ -1,0 +1,38 @@
+(** Verifier findings: severity plus machine/state/transition coordinates. *)
+
+type severity = Error | Warning | Info
+
+val severity_rank : severity -> int
+(** [Error] = 0 (most severe) … [Info] = 2. *)
+
+val severity_to_string : severity -> string
+
+type t = {
+  severity : severity;
+  pass : string;  (** Which verifier pass produced it (e.g. ["determinism"]). *)
+  machine : string;
+  state : string option;
+  transition : string option;  (** Transition label. *)
+  message : string;
+}
+
+val make :
+  ?state:string ->
+  ?transition:string ->
+  severity:severity ->
+  pass:string ->
+  machine:string ->
+  string ->
+  t
+
+val is_error : t -> bool
+
+val compare : t -> t -> int
+(** Severity-major ordering for stable reports. *)
+
+val coordinates : t -> string
+
+val to_string : t -> string
+(** One line: [severity [pass] machine at state/transition: message]. *)
+
+val to_json : t -> string

@@ -1,0 +1,102 @@
+let count severity findings =
+  List.length (List.filter (fun (f : Finding.t) -> f.Finding.severity = severity) findings)
+
+let summary report =
+  let all = Verifier.all_findings report in
+  Printf.sprintf "%d machine(s): %d error(s), %d warning(s), %d info"
+    (List.length report.Verifier.machines)
+    (count Finding.Error all) (count Finding.Warning all) (count Finding.Info all)
+
+let render_machine_text (m : Verifier.machine_report) =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer
+    (Printf.sprintf "== %s: determinism %s (%d pair(s) checked), %d finding(s)\n" m.spec_name
+       (if m.determinism_discharged then "statically discharged" else "NOT discharged")
+       m.pairs_checked (List.length m.findings));
+  if m.pruned_transitions <> [] then
+    Buffer.add_string buffer
+      (Printf.sprintf "   pruned transitions: %s\n" (String.concat ", " m.pruned_transitions));
+  List.iter
+    (fun f -> Buffer.add_string buffer ("   " ^ Finding.to_string f ^ "\n"))
+    m.findings;
+  Buffer.contents buffer
+
+let render_text report =
+  let buffer = Buffer.create 1024 in
+  List.iter
+    (fun m -> Buffer.add_string buffer (render_machine_text m))
+    report.Verifier.machines;
+  if report.Verifier.system_findings <> [] then begin
+    Buffer.add_string buffer "== system coupling\n";
+    List.iter
+      (fun f -> Buffer.add_string buffer ("   " ^ Finding.to_string f ^ "\n"))
+      report.Verifier.system_findings
+  end;
+  Buffer.add_string buffer (summary report ^ "\n");
+  Buffer.contents buffer
+
+let render_json report =
+  let all = Verifier.all_findings report in
+  let machine (m : Verifier.machine_report) =
+    Obs.Json.obj
+      [
+        ("name", Obs.Json.quote m.spec_name);
+        ("determinism_discharged", Obs.Json.bool m.determinism_discharged);
+        ("pairs_checked", Obs.Json.int m.pairs_checked);
+        ("reachable_states", Obs.Json.arr (List.map Obs.Json.quote m.reachable));
+        ("pruned_transitions", Obs.Json.arr (List.map Obs.Json.quote m.pruned_transitions));
+        ("findings", Obs.Json.arr (List.map Finding.to_json m.findings));
+      ]
+  in
+  Obs.Json.obj
+    [
+      ("machines", Obs.Json.arr (List.map machine report.Verifier.machines));
+      ("system_findings", Obs.Json.arr (List.map Finding.to_json report.Verifier.system_findings));
+      ("errors", Obs.Json.int (count Finding.Error all));
+      ("warnings", Obs.Json.int (count Finding.Warning all));
+      ("info", Obs.Json.int (count Finding.Info all));
+    ]
+
+(* Split a machine's findings (plus any system findings that name it) into
+   the [state_notes]/[edge_notes] assoc lists [Efsm.Dot.of_spec] takes. *)
+let dot_annotations report (m : Verifier.machine_report) =
+  let relevant =
+    m.Verifier.findings
+    @ List.filter
+        (fun (f : Finding.t) -> String.equal f.Finding.machine m.Verifier.spec_name)
+        report.Verifier.system_findings
+  in
+  let note (f : Finding.t) =
+    Printf.sprintf "%s: %s" (Finding.severity_to_string f.Finding.severity) f.Finding.message
+  in
+  let edge_notes =
+    (* Determinism findings carry compound "a/b" coordinates: annotate
+       both offending edges. *)
+    List.concat_map
+      (fun (f : Finding.t) ->
+        match f.Finding.transition with
+        | Some t -> List.map (fun l -> (l, note f)) (String.split_on_char '/' t)
+        | None -> [])
+      relevant
+  in
+  let state_notes =
+    List.filter_map
+      (fun (f : Finding.t) ->
+        match (f.Finding.transition, f.Finding.state) with
+        | None, Some s -> Some (s, note f)
+        | _ -> None)
+      relevant
+  in
+  (state_notes, edge_notes)
+
+let render_dot report (spec : Efsm.Machine.spec) =
+  match
+    List.find_opt
+      (fun (m : Verifier.machine_report) ->
+        String.equal m.Verifier.spec_name spec.Efsm.Machine.spec_name)
+      report.Verifier.machines
+  with
+  | None -> Efsm.Dot.of_spec spec
+  | Some m ->
+      let state_notes, edge_notes = dot_annotations report m in
+      Efsm.Dot.of_spec ~state_notes ~edge_notes spec

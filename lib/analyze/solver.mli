@@ -1,0 +1,27 @@
+(** Bounded satisfiability for conjunctions of guard predicates.
+
+    Decides the fragment the shipped specs live in exactly — single
+    variable/field subjects under comparisons, equalities against
+    constants, set membership, and boolean structure — by propositional
+    enumeration over a canonical atom table plus per-subject candidate
+    checking.  Everything else (opaque predicates, compound-subject
+    comparisons, variable-to-variable equalities) becomes an
+    uninterpreted atom.
+
+    The over-approximation is one-sided: [Sat] may be spurious (the
+    caller degrades to a warning), [Unsat] is trustworthy. *)
+
+type verdict =
+  | Unsat
+  | Sat of string  (** Human-readable witness, e.g. ["$code=Int 200"]. *)
+  | Unknown of string  (** Formula exceeded the enumeration budget. *)
+
+val max_atoms : int
+(** Atom budget; beyond it [satisfiable] answers [Unknown]. *)
+
+val satisfiable : ?domains:(Efsm.Ir.var * Efsm.Ir.domain) list -> Efsm.Ir.pred list -> verdict
+(** Satisfiability of the conjunction of [preds].  [domains] restricts the
+    values declared variables may take (besides [Unset], which is always
+    possible). *)
+
+val has_opaque : Efsm.Ir.pred -> bool

@@ -1,4 +1,5 @@
 module M = Efsm.Machine
+module I = Efsm.Ir
 module Env = Efsm.Env
 module V = Efsm.Value
 
@@ -10,8 +11,10 @@ let machine_name = "DRDOS"
 let orphan_response = "ORPHAN_RESPONSE"
 let l_count = "l_orphan_count"
 
-let count env = match Env.get env Env.Local l_count with V.Int n -> n | _ -> 0
-let tr = M.transition
+let lv n = (Env.Local, n)
+let vars : I.decl list = [ (lv l_count, I.D_int) ]
+let next_count = I.Add (I.Int_or0 (I.Var (lv l_count)), I.Int_const 1)
+let tr = M.ir_transition
 
 let spec (config : Config.t) =
   let threshold = config.Config.drdos_threshold in
@@ -19,27 +22,25 @@ let spec (config : Config.t) =
     [
       tr ~label:"first_orphan" ~from_state:st_init (M.On_event orphan_response)
         ~to_state:st_counting
-        ~action:(fun env _ ->
-          Env.set env Env.Local l_count (V.Int 1);
-          [ M.Set_timer { id = window_timer_id; delay = config.Config.drdos_window } ])
+        ~acts:
+          [
+            I.Assign (lv l_count, I.Const (V.Int 1));
+            I.Set_timer { id = window_timer_id; delay = config.Config.drdos_window };
+          ]
         ();
       tr ~label:"count" ~from_state:st_counting (M.On_event orphan_response)
         ~to_state:st_counting
-        ~guard:(fun env _ -> count env + 1 <= threshold)
-        ~action:(fun env _ ->
-          Env.set env Env.Local l_count (V.Int (count env + 1));
-          [])
+        ~guard:(I.Cmp (I.Le, next_count, I.Int_const threshold))
+        ~acts:[ I.Assign (lv l_count, I.Of_int next_count) ]
         ();
       tr ~label:"attack" ~from_state:st_counting (M.On_event orphan_response)
         ~to_state:st_attack
-        ~guard:(fun env _ -> count env + 1 > threshold)
-        ~action:(fun _ _ -> [ M.Cancel_timer window_timer_id ])
+        ~guard:(I.Cmp (I.Gt, next_count, I.Int_const threshold))
+        ~acts:[ I.Cancel_timer window_timer_id ]
         ();
       tr ~label:"window_over" ~from_state:st_counting (M.On_timer window_timer_id)
         ~to_state:st_init
-        ~action:(fun env _ ->
-          Env.set env Env.Local l_count (V.Int 0);
-          [])
+        ~acts:[ I.Assign (lv l_count, I.Const (V.Int 0)) ]
         ();
       tr ~label:"attack_more" ~from_state:st_attack (M.On_event orphan_response)
         ~to_state:st_attack ();

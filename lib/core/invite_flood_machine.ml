@@ -1,4 +1,5 @@
 module M = Efsm.Machine
+module I = Efsm.Ir
 module Env = Efsm.Env
 module V = Efsm.Value
 
@@ -9,33 +10,36 @@ let window_timer_id = "flood_window_T1"
 let machine_name = "INVITE_FLOOD"
 let l_count = "l_pck_counter"
 
-let count env = match Env.get env Env.Local l_count with V.Int n -> n | _ -> 0
-let tr = M.transition
+let lv n = (Env.Local, n)
+let vars : I.decl list = [ (lv l_count, I.D_int) ]
+
+(* Unset counters read as 0 (the machine may see its first timer-window
+   reset before any assignment). *)
+let next_count = I.Add (I.Int_or0 (I.Var (lv l_count)), I.Int_const 1)
+let tr = M.ir_transition
 
 let spec (config : Config.t) =
   let threshold = config.Config.invite_flood_threshold in
   let transitions =
     [
       tr ~label:"first_invite" ~from_state:st_init (M.On_event "INVITE") ~to_state:st_counting
-        ~action:(fun env _ ->
-          Env.set env Env.Local l_count (V.Int 1);
-          [ M.Set_timer { id = window_timer_id; delay = config.Config.invite_flood_window } ])
+        ~acts:
+          [
+            I.Assign (lv l_count, I.Const (V.Int 1));
+            I.Set_timer { id = window_timer_id; delay = config.Config.invite_flood_window };
+          ]
         ();
       tr ~label:"count" ~from_state:st_counting (M.On_event "INVITE") ~to_state:st_counting
-        ~guard:(fun env _ -> count env + 1 <= threshold)
-        ~action:(fun env _ ->
-          Env.set env Env.Local l_count (V.Int (count env + 1));
-          [])
+        ~guard:(I.Cmp (I.Le, next_count, I.Int_const threshold))
+        ~acts:[ I.Assign (lv l_count, I.Of_int next_count) ]
         ();
       tr ~label:"flood" ~from_state:st_counting (M.On_event "INVITE") ~to_state:st_flood
-        ~guard:(fun env _ -> count env + 1 > threshold)
-        ~action:(fun _ _ -> [ M.Cancel_timer window_timer_id ])
+        ~guard:(I.Cmp (I.Gt, next_count, I.Int_const threshold))
+        ~acts:[ I.Cancel_timer window_timer_id ]
         ();
       tr ~label:"window_over" ~from_state:st_counting (M.On_timer window_timer_id)
         ~to_state:st_init
-        ~action:(fun env _ ->
-          Env.set env Env.Local l_count (V.Int 0);
-          [])
+        ~acts:[ I.Assign (lv l_count, I.Const (V.Int 0)) ]
         ();
       tr ~label:"flood_more" ~from_state:st_flood (M.On_event "INVITE") ~to_state:st_flood ();
     ]

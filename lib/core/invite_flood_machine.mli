@@ -7,6 +7,9 @@
 
 val spec : Config.t -> Efsm.Machine.spec
 
+val vars : Efsm.Ir.decl list
+(** Declared variable domains, consumed by the static verifier. *)
+
 val st_init : string
 
 val st_counting : string

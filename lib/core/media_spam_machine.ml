@@ -1,4 +1,5 @@
 module M = Efsm.Machine
+module I = Efsm.Ir
 module E = Efsm.Event
 module Env = Efsm.Env
 module V = Efsm.Value
@@ -15,12 +16,24 @@ let l_seq = "l_sequence_number"
 let l_ts = "l_time_stamp"
 let l_count = "l_window_count"
 
+let lv n = (Env.Local, n)
+
+let vars : I.decl list =
+  [
+    (lv l_ssrc, I.D_int);
+    (lv l_seq, I.D_int);
+    (lv l_ts, I.D_int);
+    (lv l_count, I.D_int);
+  ]
+
 let get_int env name = match Env.get env Env.Local name with V.Int n -> n | _ -> 0
 
-let baseline env event =
-  Env.set env Env.Local l_ssrc (E.arg event Keys.ssrc);
-  Env.set env Env.Local l_seq (E.arg event Keys.seq);
-  Env.set env Env.Local l_ts (E.arg event Keys.ts)
+let baseline =
+  [
+    I.Assign (lv l_ssrc, I.Field Keys.ssrc);
+    I.Assign (lv l_seq, I.Field Keys.seq);
+    I.Assign (lv l_ts, I.Field Keys.ts);
+  ]
 
 (* The paper's spam predicate:
    (x.time_stamp_{i+1} - v.time_stamp_i > Δt) or
@@ -31,7 +44,12 @@ let baseline env event =
    the media clock keeps running — the paper's own codec settings enable
    SAD, which the raw rule would flag).  An injector cannot hide behind the
    refinement without giving up the sequence-number advance it needs for
-   its packets to win the receiver's playout. *)
+   its packets to win the receiver's playout.
+
+   The wraparound deltas are beyond the IR's linear arithmetic, so the
+   predicate stays an opaque escape hatch with declared reads; sharing one
+   [pred_name] between the [spam] and [in_order] guards is what lets the
+   solver still discharge their disjointness propositionally. *)
 let is_spam config env event =
   let ssrc_mismatch = not (V.equal (E.arg event Keys.ssrc) (Env.get env Env.Local l_ssrc)) in
   ssrc_mismatch
@@ -51,69 +69,80 @@ let is_spam config env event =
   || ts_jump > ts_limit
   || ts_jump < -(config.Config.spam_ts_gap * 4)
 
-let is_flood config env = get_int env l_count + 1 > config.Config.rtp_flood_threshold
+let spam_pred config =
+  I.Opaque
+    {
+      I.pred_name = "is_spam";
+      pred_reads = [ lv l_ssrc; lv l_seq; lv l_ts ];
+      pred_fields = [ Keys.ssrc; Keys.seq; Keys.ts ];
+      holds = (fun env event -> is_spam config env event);
+    }
 
-let advance env event =
-  (* Only move the baseline forward so reordered packets cannot drag it
-     backwards. *)
-  let seq = E.arg_int event Keys.seq in
-  let ts = E.arg_int event Keys.ts in
-  if Rtp.Rtp_packet.seq_delta (get_int env l_seq) seq > 0 then begin
-    Env.set env Env.Local l_seq (V.Int seq);
-    Env.set env Env.Local l_ts (V.Int ts)
-  end;
-  Env.set env Env.Local l_count (V.Int (get_int env l_count + 1))
+let next_count = I.Add (I.Int_or0 (I.Var (lv l_count)), I.Int_const 1)
 
-let tr = M.transition
+let is_flood config = I.Cmp (I.Gt, next_count, I.Int_const config.Config.rtp_flood_threshold)
+
+(* Only move the baseline forward so reordered packets cannot drag it
+   backwards.  The seq_delta comparison wraps, hence opaque. *)
+let advance =
+  I.Opaque_act
+    {
+      I.act_name = "advance_baseline";
+      act_reads = [ lv l_seq; lv l_count ];
+      act_writes = [ lv l_seq; lv l_ts; lv l_count ];
+      act_emits = [];
+      run =
+        (fun env event ->
+          let seq = E.arg_int event Keys.seq in
+          let ts = E.arg_int event Keys.ts in
+          if Rtp.Rtp_packet.seq_delta (get_int env l_seq) seq > 0 then begin
+            Env.set env Env.Local l_seq (V.Int seq);
+            Env.set env Env.Local l_ts (V.Int ts)
+          end;
+          Env.set env Env.Local l_count (V.Int (get_int env l_count + 1));
+          []);
+    }
+
+let tr = M.ir_transition
 
 let spec (config : Config.t) =
-  let set_window = M.Set_timer { id = window_timer_id; delay = config.Config.rtp_flood_window } in
+  let set_window = I.Set_timer { id = window_timer_id; delay = config.Config.rtp_flood_window } in
+  let spam = spam_pred config in
+  let flood = is_flood config in
   let transitions =
     [
       tr ~label:"first_packet" ~from_state:st_init (M.On_event Keys.rtp_packet)
         ~to_state:st_stream
-        ~action:(fun env event ->
-          baseline env event;
-          Env.set env Env.Local l_count (V.Int 1);
-          [ set_window ])
+        ~acts:(baseline @ [ I.Assign (lv l_count, I.Const (V.Int 1)); set_window ])
         ();
       tr ~label:"flood" ~from_state:st_stream (M.On_event Keys.rtp_packet) ~to_state:st_flood
-        ~guard:(fun env _ -> is_flood config env)
-        ~action:(fun _ _ -> [ M.Cancel_timer window_timer_id ])
+        ~guard:flood
+        ~acts:[ I.Cancel_timer window_timer_id ]
         ();
       tr ~label:"spam" ~from_state:st_stream (M.On_event Keys.rtp_packet) ~to_state:st_spam
-        ~guard:(fun env event -> (not (is_flood config env)) && is_spam config env event)
-        ~action:(fun _ _ -> [ M.Cancel_timer window_timer_id ])
+        ~guard:(I.And [ I.Not flood; spam ])
+        ~acts:[ I.Cancel_timer window_timer_id ]
         ();
       tr ~label:"in_order" ~from_state:st_stream (M.On_event Keys.rtp_packet)
         ~to_state:st_stream
-        ~guard:(fun env event -> (not (is_flood config env)) && not (is_spam config env event))
-        ~action:(fun env event ->
-          advance env event;
-          [])
-        ();
+        ~guard:(I.And [ I.Not flood; I.Not spam ])
+        ~acts:[ advance ] ();
       tr ~label:"window_active" ~from_state:st_stream (M.On_timer window_timer_id)
         ~to_state:st_stream
-        ~guard:(fun env _ -> get_int env l_count > 0)
-        ~action:(fun env _ ->
-          Env.set env Env.Local l_count (V.Int 0);
-          [ set_window ])
+        ~guard:(I.Cmp (I.Gt, I.Int_or0 (I.Var (lv l_count)), I.Int_const 0))
+        ~acts:[ I.Assign (lv l_count, I.Const (V.Int 0)); set_window ]
         ();
       tr ~label:"window_idle" ~from_state:st_stream (M.On_timer window_timer_id)
         ~to_state:st_dormant
-        ~guard:(fun env _ -> get_int env l_count = 0)
+        ~guard:(I.Cmp (I.Ieq, I.Int_or0 (I.Var (lv l_count)), I.Int_const 0))
         ();
       tr ~label:"resume" ~from_state:st_dormant (M.On_event Keys.rtp_packet) ~to_state:st_stream
-        ~guard:(fun env event -> V.equal (E.arg event Keys.ssrc) (Env.get env Env.Local l_ssrc))
-        ~action:(fun env event ->
-          baseline env event;
-          Env.set env Env.Local l_count (V.Int 1);
-          [ set_window ])
+        ~guard:(I.Eq (I.Field Keys.ssrc, I.Var (lv l_ssrc)))
+        ~acts:(baseline @ [ I.Assign (lv l_count, I.Const (V.Int 1)); set_window ])
         ();
       tr ~label:"resume_foreign" ~from_state:st_dormant (M.On_event Keys.rtp_packet)
         ~to_state:st_spam
-        ~guard:(fun env event ->
-          not (V.equal (E.arg event Keys.ssrc) (Env.get env Env.Local l_ssrc)))
+        ~guard:(I.Not (I.Eq (I.Field Keys.ssrc, I.Var (lv l_ssrc))))
         ();
       tr ~label:"spam_more" ~from_state:st_spam (M.On_event Keys.rtp_packet) ~to_state:st_spam
         ();

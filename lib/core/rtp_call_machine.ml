@@ -1,5 +1,5 @@
 module M = Efsm.Machine
-module E = Efsm.Event
+module I = Efsm.Ir
 module Env = Efsm.Env
 module V = Efsm.Value
 
@@ -16,19 +16,33 @@ let l_bye_claimed = "l_bye_claimed_host"
 let l_bye_src_matched = "l_bye_src_matched"
 let l_inflight = "l_inflight_count"
 
-let on_bye config env event =
-  Env.set env Env.Local l_bye_claimed (E.arg event Keys.bye_sender_ip);
-  Env.set env Env.Local l_bye_src_matched (E.arg event "src_matched");
-  Env.set env Env.Local l_inflight (V.Int 0);
-  [ M.Set_timer { id = bye_timer_id; delay = config.Config.bye_inflight_timer } ]
+let lv n = (Env.Local, n)
+
+let vars : I.decl list =
+  [
+    (lv l_bye_claimed, I.D_str);
+    (lv l_bye_src_matched, I.D_bool);
+    (lv l_inflight, I.D_int);
+  ]
+
+let on_bye config =
+  [
+    I.Assign (lv l_bye_claimed, I.Field Keys.bye_sender_ip);
+    I.Assign (lv l_bye_src_matched, I.Field "src_matched");
+    I.Assign (lv l_inflight, I.Const (V.Int 0));
+    I.Set_timer { id = bye_timer_id; delay = config.Config.bye_inflight_timer };
+  ]
 
 (* After timer T: does a straggler packet come from the participant the BYE
    claimed to be, and was that BYE's source genuine? *)
-let from_claimed_and_matched env event =
-  V.equal (E.arg event Keys.src_ip) (Env.get env Env.Local l_bye_claimed)
-  && V.equal (Env.get env Env.Local l_bye_src_matched) (V.Bool true)
+let from_claimed_and_matched =
+  I.And
+    [
+      I.Eq (I.Field Keys.src_ip, I.Var (lv l_bye_claimed));
+      I.Eq (I.Var (lv l_bye_src_matched), I.Const (V.Bool true));
+    ]
 
-let tr = M.transition
+let tr = M.ir_transition
 
 let spec (config : Config.t) =
   let transitions =
@@ -44,20 +58,18 @@ let spec (config : Config.t) =
         ~to_state:st_active ();
       (* --- δ BYE: start the in-flight grace timer (Figure 5) --- *)
       tr ~label:"bye_active" ~from_state:st_active (M.On_sync Keys.delta_bye)
-        ~to_state:st_after_bye
-        ~action:(fun env event -> on_bye config env event)
-        ();
+        ~to_state:st_after_bye ~acts:(on_bye config) ();
       tr ~label:"bye_open" ~from_state:st_open (M.On_sync Keys.delta_bye)
-        ~to_state:st_after_bye
-        ~action:(fun env event -> on_bye config env event)
-        ();
+        ~to_state:st_after_bye ~acts:(on_bye config) ();
       tr ~label:"bye_init" ~from_state:st_init (M.On_sync Keys.delta_bye) ~to_state:st_closed ();
       tr ~label:"inflight" ~from_state:st_after_bye (M.On_event Keys.rtp_packet)
         ~to_state:st_after_bye
-        ~action:(fun env _ ->
-          let n = match Env.get env Env.Local l_inflight with V.Int n -> n | _ -> 0 in
-          Env.set env Env.Local l_inflight (V.Int (n + 1));
-          [])
+        ~acts:
+          [
+            I.Assign
+              ( lv l_inflight,
+                I.Of_int (I.Add (I.Int_or0 (I.Var (lv l_inflight)), I.Int_const 1)) );
+          ]
         ();
       tr ~label:"bye_retrans" ~from_state:st_after_bye (M.On_sync Keys.delta_bye)
         ~to_state:st_after_bye ();
@@ -66,12 +78,10 @@ let spec (config : Config.t) =
       (* --- Media after close: the paper's BYE DoS signature, split by the
          BYE source check into fraud vs spoofed-BYE DoS --- *)
       tr ~label:"billing_fraud" ~from_state:st_closed (M.On_event Keys.rtp_packet)
-        ~to_state:st_billing_fraud
-        ~guard:(fun env event -> from_claimed_and_matched env event)
-        ();
+        ~to_state:st_billing_fraud ~guard:from_claimed_and_matched ();
       tr ~label:"bye_dos" ~from_state:st_closed (M.On_event Keys.rtp_packet)
         ~to_state:st_bye_dos
-        ~guard:(fun env event -> not (from_claimed_and_matched env event))
+        ~guard:(I.Not from_claimed_and_matched)
         ();
       tr ~label:"closed_bye" ~from_state:st_closed (M.On_sync Keys.delta_bye)
         ~to_state:st_closed ();

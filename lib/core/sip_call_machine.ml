@@ -1,5 +1,5 @@
 module M = Efsm.Machine
-module E = Efsm.Event
+module I = Efsm.Ir
 module Env = Efsm.Env
 module V = Efsm.Value
 
@@ -27,180 +27,184 @@ let l_invite_src = "l_invite_src"
 let l_caller_contact = "l_caller_contact"
 let l_callee_contact = "l_callee_contact"
 
+let lv n = (Env.Local, n)
+let gv n = (Env.Global, n)
+let fld k = I.Field k
+let local n = I.Var (lv n)
+let global n = I.Var (gv n)
+
+let vars : I.decl list =
+  [
+    (lv l_call_id, I.D_str);
+    (lv l_from_tag, I.D_str);
+    (lv l_to_tag, I.D_str);
+    (lv l_branch, I.D_str);
+    (lv l_invite_src, I.D_str);
+    (lv l_caller_contact, I.D_str);
+    (lv l_callee_contact, I.D_str);
+    (gv Keys.g_caller_media, I.D_addr);
+    (gv Keys.g_callee_media, I.D_addr);
+    (gv Keys.g_codec, I.D_int);
+  ]
+
 (* ------------------------------------------------------------------ *)
-(* Guard helpers                                                       *)
+(* Guards                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let code_between lo hi event =
-  let c = E.arg_int event Keys.code in
-  c >= lo && c <= hi
+let code = I.Int_of (fld Keys.code)
 
-let cseq_is meth event = String.equal (E.arg_str event Keys.cseq_method) meth
-let is_1xx event = code_between 100 199 event
-let is_2xx_invite event = code_between 200 299 event && cseq_is "INVITE" event
-let is_fail_invite event = code_between 300 699 event && cseq_is "INVITE" event
-let is_2xx_bye event = code_between 200 299 event && cseq_is "BYE" event
-let is_final event = code_between 200 699 event
+let code_between lo hi =
+  I.And [ I.Cmp (I.Ge, code, I.Int_const lo); I.Cmp (I.Le, code, I.Int_const hi) ]
 
-let same_var env name event key = V.equal (E.arg event key) (Env.get env Env.Local name)
+let cseq_is meth = I.Eq (fld Keys.cseq_method, I.Const (V.Str meth))
+let is_1xx = code_between 100 199
+let is_2xx_invite = I.And [ code_between 200 299; cseq_is "INVITE" ]
+let is_fail_invite = I.And [ code_between 300 699; cseq_is "INVITE" ]
+let is_2xx_bye = I.And [ code_between 200 299; cseq_is "BYE" ]
+let is_final = code_between 200 699
+let same_var name key = I.Eq (fld key, local name)
 
 (* Does the From tag of an in-dialog request name one of the two
    participants (in either orientation)? *)
-let dialog_tags_match env event =
-  let from_tag = E.arg event Keys.from_tag in
-  let to_tag = E.arg event Keys.to_tag in
-  let local_from = Env.get env Env.Local l_from_tag in
-  let local_to = Env.get env Env.Local l_to_tag in
-  (V.equal from_tag local_from && V.equal to_tag local_to)
-  || (V.equal from_tag local_to && V.equal to_tag local_from)
+let dialog_tags_match =
+  I.Or
+    [
+      I.And
+        [ I.Eq (fld Keys.from_tag, local l_from_tag); I.Eq (fld Keys.to_tag, local l_to_tag) ];
+      I.And
+        [ I.Eq (fld Keys.from_tag, local l_to_tag); I.Eq (fld Keys.to_tag, local l_from_tag) ];
+    ]
 
-let src_is_participant env event =
-  let src = E.arg event Keys.src_ip in
-  V.equal src (Env.get env Env.Local l_caller_contact)
-  || V.equal src (Env.get env Env.Local l_callee_contact)
+let src_is_participant =
+  I.Or
+    [
+      I.Eq (fld Keys.src_ip, local l_caller_contact);
+      I.Eq (fld Keys.src_ip, local l_callee_contact);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Actions                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let media_args event =
+let media_args =
   [
-    (Keys.media_host, E.arg event Keys.media_host);
-    (Keys.media_port, E.arg event Keys.media_port);
-    (Keys.media_pt, E.arg event Keys.media_pt);
+    (Keys.media_host, fld Keys.media_host);
+    (Keys.media_port, fld Keys.media_port);
+    (Keys.media_pt, fld Keys.media_pt);
   ]
 
-let store_offer_media env event =
-  if E.has_arg event Keys.media_host then begin
-    let host = E.arg_str event Keys.media_host in
-    let port = E.arg_int event Keys.media_port in
-    Env.set env Env.Global Keys.g_caller_media (V.Addr (host, port));
-    Env.set env Env.Global Keys.g_codec (E.arg event Keys.media_pt);
-    [ M.Send_sync { target = Keys.rtp_machine; event_name = Keys.delta_media_offer;
-                    args = media_args event } ]
-  end
-  else []
+let store_offer_media =
+  I.If
+    ( I.Has_field Keys.media_host,
+      [
+        I.Assign (gv Keys.g_caller_media, I.Mk_addr (fld Keys.media_host, fld Keys.media_port));
+        I.Assign (gv Keys.g_codec, fld Keys.media_pt);
+        I.Send_sync
+          { target = Keys.rtp_machine; event_name = Keys.delta_media_offer; args = media_args };
+      ],
+      [] )
 
-let store_answer_media env event =
-  if E.has_arg event Keys.media_host then begin
-    let host = E.arg_str event Keys.media_host in
-    let port = E.arg_int event Keys.media_port in
-    Env.set env Env.Global Keys.g_callee_media (V.Addr (host, port));
-    [ M.Send_sync { target = Keys.rtp_machine; event_name = Keys.delta_media_answer;
-                    args = media_args event } ]
-  end
-  else []
+let store_answer_media =
+  I.If
+    ( I.Has_field Keys.media_host,
+      [
+        I.Assign (gv Keys.g_callee_media, I.Mk_addr (fld Keys.media_host, fld Keys.media_port));
+        I.Send_sync
+          { target = Keys.rtp_machine; event_name = Keys.delta_media_answer; args = media_args };
+      ],
+      [] )
 
-let on_invite env event =
-  Env.set env Env.Local l_call_id (E.arg event Keys.call_id);
-  Env.set env Env.Local l_from_tag (E.arg event Keys.from_tag);
-  Env.set env Env.Local l_branch (E.arg event Keys.branch);
-  Env.set env Env.Local l_invite_src (E.arg event Keys.src_ip);
-  Env.set env Env.Local l_caller_contact (E.arg event Keys.contact_host);
-  store_offer_media env event
+let on_invite =
+  [
+    I.Assign (lv l_call_id, fld Keys.call_id);
+    I.Assign (lv l_from_tag, fld Keys.from_tag);
+    I.Assign (lv l_branch, fld Keys.branch);
+    I.Assign (lv l_invite_src, fld Keys.src_ip);
+    I.Assign (lv l_caller_contact, fld Keys.contact_host);
+    store_offer_media;
+  ]
 
-let on_2xx_invite env event =
-  Env.set env Env.Local l_to_tag (E.arg event Keys.to_tag);
-  Env.set env Env.Local l_callee_contact (E.arg event Keys.contact_host);
-  store_answer_media env event
+let on_2xx_invite =
+  [
+    I.Assign (lv l_to_tag, fld Keys.to_tag);
+    I.Assign (lv l_callee_contact, fld Keys.contact_host);
+    store_answer_media;
+  ]
 
 (* A BYE names its sender via the From tag.  The δ message carries the
    claimed sender's media host (so the RTP machine can attribute later
    packets) and whether the network source actually was that participant's
    contact address — the discriminator between billing fraud and a spoofed
    BYE (paper §3.1). *)
-let on_bye env event =
-  let claimed_is_caller =
-    V.equal (E.arg event Keys.from_tag) (Env.get env Env.Local l_from_tag)
+let on_bye =
+  let delta ~media_global ~contact =
+    [
+      I.Send_sync
+        {
+          target = Keys.rtp_machine;
+          event_name = Keys.delta_bye;
+          args =
+            [
+              (Keys.bye_sender_ip, I.Addr_host (global media_global));
+              ("src_matched", I.Of_pred (I.Eq (fld Keys.src_ip, local contact)));
+            ];
+        };
+    ]
   in
-  let media_global = if claimed_is_caller then Keys.g_caller_media else Keys.g_callee_media in
-  let claimed_media_host =
-    match Env.get env Env.Global media_global with V.Addr (host, _) -> host | _ -> ""
-  in
-  let claimed_contact =
-    Env.get env Env.Local (if claimed_is_caller then l_caller_contact else l_callee_contact)
-  in
-  let src_matched = V.equal (E.arg event Keys.src_ip) claimed_contact in
   [
-    M.Send_sync
-      {
-        target = Keys.rtp_machine;
-        event_name = Keys.delta_bye;
-        args =
-          [
-            (Keys.bye_sender_ip, V.Str claimed_media_host);
-            ("src_matched", V.Bool src_matched);
-          ];
-      };
+    I.If
+      ( I.Eq (fld Keys.from_tag, local l_from_tag),
+        delta ~media_global:Keys.g_caller_media ~contact:l_caller_contact,
+        delta ~media_global:Keys.g_callee_media ~contact:l_callee_contact );
   ]
 
 (* ------------------------------------------------------------------ *)
 (* The specification                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let tr = M.transition
+let tr = M.ir_transition
 
 let spec (_config : Config.t) =
   let transitions =
     [
       (* --- Call setup --- *)
       tr ~label:"inv_new" ~from_state:st_init (M.On_event "INVITE") ~to_state:st_invite_rcvd
-        ~action:(fun env event -> on_invite env event)
-        ();
+        ~acts:on_invite ();
       tr ~label:"inv_retrans" ~from_state:st_invite_rcvd (M.On_event "INVITE")
         ~to_state:st_invite_rcvd
-        ~guard:(fun env event -> same_var env l_branch event Keys.branch)
+        ~guard:(same_var l_branch Keys.branch)
         ();
       tr ~label:"resp_1xx" ~from_state:st_invite_rcvd (M.On_event Keys.response)
-        ~to_state:st_proceeding
-        ~guard:(fun _ event -> is_1xx event)
-        ();
+        ~to_state:st_proceeding ~guard:is_1xx ();
       tr ~label:"resp_1xx_more" ~from_state:st_proceeding (M.On_event Keys.response)
-        ~to_state:st_proceeding
-        ~guard:(fun _ event -> is_1xx event)
-        ();
+        ~to_state:st_proceeding ~guard:is_1xx ();
       tr ~label:"inv_retrans_proc" ~from_state:st_proceeding (M.On_event "INVITE")
         ~to_state:st_proceeding
-        ~guard:(fun env event -> same_var env l_branch event Keys.branch)
+        ~guard:(same_var l_branch Keys.branch)
         ();
       tr ~label:"resp_2xx_direct" ~from_state:st_invite_rcvd (M.On_event Keys.response)
-        ~to_state:st_established
-        ~guard:(fun _ event -> is_2xx_invite event)
-        ~action:(fun env event -> on_2xx_invite env event)
-        ();
+        ~to_state:st_established ~guard:is_2xx_invite ~acts:on_2xx_invite ();
       tr ~label:"resp_2xx" ~from_state:st_proceeding (M.On_event Keys.response)
-        ~to_state:st_established
-        ~guard:(fun _ event -> is_2xx_invite event)
-        ~action:(fun env event -> on_2xx_invite env event)
-        ();
+        ~to_state:st_established ~guard:is_2xx_invite ~acts:on_2xx_invite ();
       tr ~label:"resp_fail_direct" ~from_state:st_invite_rcvd (M.On_event Keys.response)
-        ~to_state:st_failed
-        ~guard:(fun _ event -> is_fail_invite event)
-        ();
+        ~to_state:st_failed ~guard:is_fail_invite ();
       tr ~label:"resp_fail" ~from_state:st_proceeding (M.On_event Keys.response)
-        ~to_state:st_failed
-        ~guard:(fun _ event -> is_fail_invite event)
-        ();
+        ~to_state:st_failed ~guard:is_fail_invite ();
       (* --- Establishment --- *)
       tr ~label:"ack" ~from_state:st_established (M.On_event "ACK") ~to_state:st_confirmed ();
       tr ~label:"resp_2xx_retrans_est" ~from_state:st_established (M.On_event Keys.response)
-        ~to_state:st_established
-        ~guard:(fun _ event -> is_2xx_invite event)
-        ();
+        ~to_state:st_established ~guard:is_2xx_invite ();
       tr ~label:"resp_2xx_retrans_conf" ~from_state:st_confirmed (M.On_event Keys.response)
-        ~to_state:st_confirmed
-        ~guard:(fun _ event -> is_2xx_invite event)
-        ();
+        ~to_state:st_confirmed ~guard:is_2xx_invite ();
       tr ~label:"ack_retrans" ~from_state:st_confirmed (M.On_event "ACK") ~to_state:st_confirmed
         ();
       (* --- Re-INVITE vs hijack --- *)
       tr ~label:"reinvite" ~from_state:st_confirmed (M.On_event "INVITE")
         ~to_state:st_reinvite_pending
-        ~guard:(fun env event -> dialog_tags_match env event && src_is_participant env event)
+        ~guard:(I.And [ dialog_tags_match; src_is_participant ])
         ();
       tr ~label:"hijack" ~from_state:st_confirmed (M.On_event "INVITE") ~to_state:st_hijack
-        ~guard:(fun env event ->
-          not (dialog_tags_match env event && src_is_participant env event))
+        ~guard:(I.Not (I.And [ dialog_tags_match; src_is_participant ]))
         ();
       tr ~label:"hijack_absorb_inv" ~from_state:st_hijack (M.On_event "INVITE")
         ~to_state:st_hijack ();
@@ -211,83 +215,57 @@ let spec (_config : Config.t) =
       tr ~label:"hijack_absorb_bye" ~from_state:st_hijack (M.On_event "BYE") ~to_state:st_hijack
         ();
       tr ~label:"reinv_1xx" ~from_state:st_reinvite_pending (M.On_event Keys.response)
-        ~to_state:st_reinvite_pending
-        ~guard:(fun _ event -> is_1xx event)
-        ();
+        ~to_state:st_reinvite_pending ~guard:is_1xx ();
       tr ~label:"reinv_retrans" ~from_state:st_reinvite_pending (M.On_event "INVITE")
         ~to_state:st_reinvite_pending ();
       tr ~label:"reinv_2xx" ~from_state:st_reinvite_pending (M.On_event Keys.response)
-        ~to_state:st_confirmed
-        ~guard:(fun _ event -> is_2xx_invite event)
-        ~action:(fun env event -> store_answer_media env event)
-        ();
+        ~to_state:st_confirmed ~guard:is_2xx_invite ~acts:[ store_answer_media ] ();
       tr ~label:"reinv_fail" ~from_state:st_reinvite_pending (M.On_event Keys.response)
-        ~to_state:st_confirmed
-        ~guard:(fun _ event -> is_fail_invite event)
-        ();
+        ~to_state:st_confirmed ~guard:is_fail_invite ();
       tr ~label:"reinv_ack" ~from_state:st_reinvite_pending (M.On_event "ACK")
         ~to_state:st_confirmed ();
       tr ~label:"reinv_bye" ~from_state:st_reinvite_pending (M.On_event "BYE")
         ~to_state:st_teardown
-        ~guard:(fun env event ->
-          same_var env l_from_tag event Keys.from_tag
-          || same_var env l_to_tag event Keys.from_tag)
-        ~action:(fun env event -> on_bye env event)
-        ();
+        ~guard:(I.Or [ same_var l_from_tag Keys.from_tag; same_var l_to_tag Keys.from_tag ])
+        ~acts:on_bye ();
       (* --- Teardown --- *)
       tr ~label:"bye" ~from_state:st_confirmed (M.On_event "BYE") ~to_state:st_teardown
-        ~guard:(fun env event ->
-          same_var env l_from_tag event Keys.from_tag
-          || same_var env l_to_tag event Keys.from_tag)
-        ~action:(fun env event -> on_bye env event)
-        ();
+        ~guard:(I.Or [ same_var l_from_tag Keys.from_tag; same_var l_to_tag Keys.from_tag ])
+        ~acts:on_bye ();
       tr ~label:"bye_early" ~from_state:st_established (M.On_event "BYE") ~to_state:st_teardown
-        ~guard:(fun env event ->
-          same_var env l_from_tag event Keys.from_tag
-          || same_var env l_to_tag event Keys.from_tag)
-        ~action:(fun env event -> on_bye env event)
-        ();
+        ~guard:(I.Or [ same_var l_from_tag Keys.from_tag; same_var l_to_tag Keys.from_tag ])
+        ~acts:on_bye ();
       tr ~label:"bye_preanswer" ~from_state:st_proceeding (M.On_event "BYE")
         ~to_state:st_teardown
-        ~guard:(fun env event -> same_var env l_from_tag event Keys.from_tag)
-        ~action:(fun env event -> on_bye env event)
-        ();
+        ~guard:(same_var l_from_tag Keys.from_tag)
+        ~acts:on_bye ();
       tr ~label:"bye_retrans" ~from_state:st_teardown (M.On_event "BYE") ~to_state:st_teardown
         ();
       tr ~label:"resp_2xx_bye" ~from_state:st_teardown (M.On_event Keys.response)
-        ~to_state:st_closed
-        ~guard:(fun _ event -> is_2xx_bye event)
-        ();
+        ~to_state:st_closed ~guard:is_2xx_bye ();
       tr ~label:"teardown_other_resp" ~from_state:st_teardown (M.On_event Keys.response)
-        ~to_state:st_teardown
-        ~guard:(fun _ event -> not (is_2xx_bye event))
-        ();
+        ~to_state:st_teardown ~guard:(I.Not is_2xx_bye) ();
       (* --- CANCEL: legitimate vs third-party DoS (paper §3.1) --- *)
       tr ~label:"cancel_inv" ~from_state:st_invite_rcvd (M.On_event "CANCEL")
         ~to_state:st_cancelling
-        ~guard:(fun env event -> same_var env l_invite_src event Keys.src_ip)
+        ~guard:(same_var l_invite_src Keys.src_ip)
         ();
       tr ~label:"cancel_dos_inv" ~from_state:st_invite_rcvd (M.On_event "CANCEL")
         ~to_state:st_cancel_dos
-        ~guard:(fun env event -> not (same_var env l_invite_src event Keys.src_ip))
+        ~guard:(I.Not (same_var l_invite_src Keys.src_ip))
         ();
       tr ~label:"cancel_proc" ~from_state:st_proceeding (M.On_event "CANCEL")
         ~to_state:st_cancelling
-        ~guard:(fun env event -> same_var env l_invite_src event Keys.src_ip)
+        ~guard:(same_var l_invite_src Keys.src_ip)
         ();
       tr ~label:"cancel_dos_proc" ~from_state:st_proceeding (M.On_event "CANCEL")
         ~to_state:st_cancel_dos
-        ~guard:(fun env event -> not (same_var env l_invite_src event Keys.src_ip))
+        ~guard:(I.Not (same_var l_invite_src Keys.src_ip))
         ();
       tr ~label:"cancelling_resp_other" ~from_state:st_cancelling (M.On_event Keys.response)
-        ~to_state:st_cancelling
-        ~guard:(fun _ event -> not (is_2xx_invite event))
-        ();
+        ~to_state:st_cancelling ~guard:(I.Not is_2xx_invite) ();
       tr ~label:"cancelling_2xx_race" ~from_state:st_cancelling (M.On_event Keys.response)
-        ~to_state:st_established
-        ~guard:(fun _ event -> is_2xx_invite event)
-        ~action:(fun env event -> on_2xx_invite env event)
-        ();
+        ~to_state:st_established ~guard:is_2xx_invite ~acts:on_2xx_invite ();
       tr ~label:"cancelling_retrans" ~from_state:st_cancelling (M.On_event "CANCEL")
         ~to_state:st_cancelling ();
       tr ~label:"cancelling_ack" ~from_state:st_cancelling (M.On_event "ACK")
@@ -308,34 +286,24 @@ let spec (_config : Config.t) =
       tr ~label:"register_retrans" ~from_state:st_registering (M.On_event "REGISTER")
         ~to_state:st_registering ();
       tr ~label:"register_1xx" ~from_state:st_registering (M.On_event Keys.response)
-        ~to_state:st_registering
-        ~guard:(fun _ event -> is_1xx event)
-        ();
+        ~to_state:st_registering ~guard:is_1xx ();
       tr ~label:"register_final" ~from_state:st_registering (M.On_event Keys.response)
-        ~to_state:st_closed
-        ~guard:(fun _ event -> is_final event)
-        ();
+        ~to_state:st_closed ~guard:is_final ();
       tr ~label:"options" ~from_state:st_init (M.On_event "OPTIONS")
         ~to_state:st_options_pending ();
       tr ~label:"options_retrans" ~from_state:st_options_pending (M.On_event "OPTIONS")
         ~to_state:st_options_pending ();
       tr ~label:"options_1xx" ~from_state:st_options_pending (M.On_event Keys.response)
-        ~to_state:st_options_pending
-        ~guard:(fun _ event -> is_1xx event)
-        ();
+        ~to_state:st_options_pending ~guard:is_1xx ();
       tr ~label:"options_final" ~from_state:st_options_pending (M.On_event Keys.response)
-        ~to_state:st_closed
-        ~guard:(fun _ event -> is_final event)
-        ();
+        ~to_state:st_closed ~guard:is_final ();
       (* --- Closed: absorb stragglers, allow Call-ID reuse --- *)
       tr ~label:"closed_resp" ~from_state:st_closed (M.On_event Keys.response)
         ~to_state:st_closed ();
       tr ~label:"closed_ack" ~from_state:st_closed (M.On_event "ACK") ~to_state:st_closed ();
       tr ~label:"closed_bye" ~from_state:st_closed (M.On_event "BYE") ~to_state:st_closed ();
       tr ~label:"closed_reinvite" ~from_state:st_closed (M.On_event "INVITE")
-        ~to_state:st_invite_rcvd
-        ~action:(fun env event -> on_invite env event)
-        ();
+        ~to_state:st_invite_rcvd ~acts:on_invite ();
     ]
   in
   {

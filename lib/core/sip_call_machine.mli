@@ -10,6 +10,9 @@
 
 val spec : Config.t -> Efsm.Machine.spec
 
+val vars : Efsm.Ir.decl list
+(** Declared variable domains, consumed by the static verifier. *)
+
 (** State names, exposed for tests and documentation. *)
 
 val st_init : string

@@ -10,7 +10,9 @@ let trigger_label = function
   | Machine.On_sync n -> "δ:" ^ n
   | Machine.On_timer id -> "timeout(" ^ id ^ ")"
 
-let of_spec (spec : Machine.spec) =
+let notes_for key notes = List.filter_map (fun (k, n) -> if String.equal k key then Some n else None) notes
+
+let of_spec ?(state_notes = []) ?(edge_notes = []) (spec : Machine.spec) =
   let buffer = Buffer.create 512 in
   Buffer.add_string buffer (Printf.sprintf "digraph %S {\n" spec.Machine.spec_name);
   Buffer.add_string buffer "  rankdir=LR;\n  node [shape=ellipse];\n";
@@ -18,19 +20,35 @@ let of_spec (spec : Machine.spec) =
     (fun state ->
       let attrs =
         if List.mem_assoc state spec.Machine.attack_states then
-          " [shape=doubleoctagon,style=filled,fillcolor=salmon]"
-        else if List.mem state spec.Machine.finals then " [shape=doublecircle]"
-        else if String.equal state spec.Machine.initial then " [style=bold]"
-        else ""
+          [ "shape=doubleoctagon"; "style=filled"; "fillcolor=salmon" ]
+        else if List.mem state spec.Machine.finals then [ "shape=doublecircle" ]
+        else if String.equal state spec.Machine.initial then [ "style=bold" ]
+        else []
       in
+      let notes = notes_for state state_notes in
+      let attrs =
+        if notes = [] then attrs
+        else
+          let label =
+            escape (String.concat "\\n" (state :: List.map (fun n -> "⚠ " ^ n) notes))
+          in
+          attrs @ [ Printf.sprintf "label=\"%s\"" label; "color=red"; "penwidth=2" ]
+      in
+      let attrs = if attrs = [] then "" else " [" ^ String.concat "," attrs ^ "]" in
       Buffer.add_string buffer (Printf.sprintf "  \"%s\"%s;\n" (escape state) attrs))
     (Machine.states spec);
   List.iter
     (fun tr ->
+      let notes = notes_for tr.Machine.label edge_notes in
+      let label =
+        escape
+          (String.concat "\\n"
+             (trigger_label tr.Machine.trigger :: List.map (fun n -> "⚠ " ^ n) notes))
+      in
+      let extra = if notes = [] then "" else ",color=red,fontcolor=red,penwidth=2" in
       Buffer.add_string buffer
-        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"];\n"
-           (escape tr.Machine.from_state) (escape tr.Machine.to_state)
-           (escape (trigger_label tr.Machine.trigger))))
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"%s];\n"
+           (escape tr.Machine.from_state) (escape tr.Machine.to_state) label extra))
     spec.Machine.transitions;
   Buffer.add_string buffer "}\n";
   Buffer.contents buffer

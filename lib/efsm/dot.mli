@@ -1,6 +1,15 @@
 (** Graphviz export of machine specifications, for documentation and for
     eyeballing the attack patterns against the paper's Figures 4–6. *)
 
-val of_spec : Machine.spec -> string
+val of_spec :
+  ?state_notes:(string * string) list ->
+  ?edge_notes:(string * string) list ->
+  Machine.spec ->
+  string
 (** A [digraph] with the initial state marked, final states double-circled
-    and attack states filled red. *)
+    and attack states filled red.
+
+    [state_notes] (state name, note) and [edge_notes] (transition label,
+    note) attach verifier findings: annotated nodes/edges are outlined red
+    with the note appended to their label.  Both default to empty, which
+    renders exactly the plain diagram. *)

@@ -1,0 +1,453 @@
+type domain = D_int | D_bool | D_str | D_addr | D_enum of Value.t list
+
+type var = Env.scope * string
+
+type decl = var * domain
+
+type cmp = Lt | Le | Gt | Ge | Ieq | Ine
+
+type expr =
+  | Const of Value.t
+  | Var of var
+  | Field of string
+  | Mk_addr of expr * expr
+  | Addr_host of expr
+  | Of_int of iexpr
+  | Of_pred of pred
+
+and iexpr =
+  | Int_const of int
+  | Int_of of expr
+  | Int_or0 of expr
+  | Add of iexpr * iexpr
+  | Sub of iexpr * iexpr
+
+and pred =
+  | True
+  | False
+  | Not of pred
+  | And of pred list
+  | Or of pred list
+  | Eq of expr * expr
+  | Member of expr * Value.t list
+  | Cmp of cmp * iexpr * iexpr
+  | Has_field of string
+  | Opaque of opaque_pred
+
+and opaque_pred = {
+  pred_name : string;
+  pred_reads : var list;
+  pred_fields : string list;
+  holds : Env.t -> Event.t -> bool;
+}
+
+type emission =
+  | Emits_sync of { target : string; event_name : string }
+  | Emits_set_timer of string
+  | Emits_cancel_timer of string
+
+type 'eff act =
+  | Assign of var * expr
+  | If of pred * 'eff act list * 'eff act list
+  | Send_sync of { target : string; event_name : string; args : (string * expr) list }
+  | Set_timer of { id : string; delay : Dsim.Time.t }
+  | Cancel_timer of string
+  | Opaque_act of 'eff opaque_act
+
+and 'eff opaque_act = {
+  act_name : string;
+  act_reads : var list;
+  act_writes : var list;
+  act_emits : emission list;
+  run : Env.t -> Event.t -> 'eff list;
+}
+
+type 'eff t = { guard : pred; acts : 'eff act list }
+
+type 'eff builders = {
+  build_sync : target:string -> event_name:string -> args:(string * Value.t) list -> 'eff;
+  build_set_timer : id:string -> delay:Dsim.Time.t -> 'eff;
+  build_cancel_timer : string -> 'eff;
+}
+
+let apply_cmp cmp a b =
+  match cmp with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Ieq -> Int.equal a b
+  | Ine -> not (Int.equal a b)
+
+(* --------------------------------------------------------------- *)
+(* Reference interpreter                                            *)
+(* --------------------------------------------------------------- *)
+
+let rec eval_expr env event = function
+  | Const v -> v
+  | Var (scope, name) -> Env.get env scope name
+  | Field name -> Event.arg event name
+  | Mk_addr (h, p) -> (
+      match (eval_expr env event h, eval_expr env event p) with
+      | Value.Str host, Value.Int port -> Value.Addr (host, port)
+      | _ -> Value.Unset)
+  | Addr_host e -> (
+      match eval_expr env event e with Value.Addr (h, _) -> Value.Str h | _ -> Value.Str "")
+  | Of_int ie -> (
+      match eval_iexpr env event ie with Some n -> Value.Int n | None -> Value.Unset)
+  | Of_pred p -> Value.Bool (eval_pred env event p)
+
+and eval_iexpr env event = function
+  | Int_const n -> Some n
+  | Int_of e -> ( match eval_expr env event e with Value.Int n -> Some n | _ -> None)
+  | Int_or0 e -> ( match eval_expr env event e with Value.Int n -> Some n | _ -> Some 0)
+  | Add (a, b) -> (
+      match (eval_iexpr env event a, eval_iexpr env event b) with
+      | Some x, Some y -> Some (x + y)
+      | _ -> None)
+  | Sub (a, b) -> (
+      match (eval_iexpr env event a, eval_iexpr env event b) with
+      | Some x, Some y -> Some (x - y)
+      | _ -> None)
+
+and eval_pred env event = function
+  | True -> true
+  | False -> false
+  | Not p -> not (eval_pred env event p)
+  | And ps -> List.for_all (eval_pred env event) ps
+  | Or ps -> List.exists (eval_pred env event) ps
+  | Eq (a, b) -> Value.equal (eval_expr env event a) (eval_expr env event b)
+  | Member (e, vs) ->
+      let v = eval_expr env event e in
+      List.exists (Value.equal v) vs
+  | Cmp (cmp, a, b) -> (
+      match (eval_iexpr env event a, eval_iexpr env event b) with
+      | Some x, Some y -> apply_cmp cmp x y
+      | _ -> false)
+  | Has_field f -> Event.has_arg event f
+  | Opaque o -> o.holds env event
+
+let rec run_act builders env event = function
+  | Assign ((scope, name), e) ->
+      Env.set env scope name (eval_expr env event e);
+      []
+  | If (p, then_, else_) ->
+      run_acts builders (if eval_pred env event p then then_ else else_) env event
+  | Send_sync { target; event_name; args } ->
+      let args = List.map (fun (k, e) -> (k, eval_expr env event e)) args in
+      [ builders.build_sync ~target ~event_name ~args ]
+  | Set_timer { id; delay } -> [ builders.build_set_timer ~id ~delay ]
+  | Cancel_timer id -> [ builders.build_cancel_timer id ]
+  | Opaque_act o -> o.run env event
+
+and run_acts builders acts env event =
+  List.fold_left (fun acc act -> acc @ run_act builders env event act) [] acts
+
+(* --------------------------------------------------------------- *)
+(* Staged compiler                                                  *)
+(* --------------------------------------------------------------- *)
+
+let rec compile_expr e =
+  match e with
+  | Const v -> fun _ _ -> v
+  | Var (scope, name) -> fun env _ -> Env.get env scope name
+  | Field name -> fun _ event -> Event.arg event name
+  | Mk_addr (h, p) ->
+      let fh = compile_expr h and fp = compile_expr p in
+      fun env event ->
+        (match (fh env event, fp env event) with
+        | Value.Str host, Value.Int port -> Value.Addr (host, port)
+        | _ -> Value.Unset)
+  | Addr_host e ->
+      let f = compile_expr e in
+      fun env event ->
+        (match f env event with Value.Addr (h, _) -> Value.Str h | _ -> Value.Str "")
+  | Of_int ie ->
+      let f = compile_iexpr ie in
+      fun env event -> (match f env event with Some n -> Value.Int n | None -> Value.Unset)
+  | Of_pred p ->
+      let f = compile_pred p in
+      fun env event -> Value.Bool (f env event)
+
+and compile_iexpr ie =
+  match ie with
+  | Int_const n ->
+      let r = Some n in
+      fun _ _ -> r
+  | Int_of e ->
+      let f = compile_expr e in
+      fun env event -> (match f env event with Value.Int n -> Some n | _ -> None)
+  | Int_or0 e ->
+      let f = compile_expr e in
+      fun env event -> (match f env event with Value.Int n -> Some n | _ -> Some 0)
+  | Add (a, b) ->
+      let fa = compile_iexpr a and fb = compile_iexpr b in
+      fun env event ->
+        (match (fa env event, fb env event) with Some x, Some y -> Some (x + y) | _ -> None)
+  | Sub (a, b) ->
+      let fa = compile_iexpr a and fb = compile_iexpr b in
+      fun env event ->
+        (match (fa env event, fb env event) with Some x, Some y -> Some (x - y) | _ -> None)
+
+and compile_pred p =
+  match p with
+  | True -> fun _ _ -> true
+  | False -> fun _ _ -> false
+  | Not p ->
+      let f = compile_pred p in
+      fun env event -> not (f env event)
+  | And ps ->
+      let fs = List.map compile_pred ps in
+      fun env event -> List.for_all (fun f -> f env event) fs
+  | Or ps ->
+      let fs = List.map compile_pred ps in
+      fun env event -> List.exists (fun f -> f env event) fs
+  | Eq (a, b) ->
+      let fa = compile_expr a and fb = compile_expr b in
+      fun env event -> Value.equal (fa env event) (fb env event)
+  | Member (e, vs) ->
+      let f = compile_expr e in
+      fun env event ->
+        let v = f env event in
+        List.exists (Value.equal v) vs
+  | Cmp (cmp, a, b) ->
+      let fa = compile_iexpr a and fb = compile_iexpr b in
+      fun env event ->
+        (match (fa env event, fb env event) with
+        | Some x, Some y -> apply_cmp cmp x y
+        | _ -> false)
+  | Has_field f -> fun _ event -> Event.has_arg event f
+  | Opaque o -> o.holds
+
+let compile_acts builders acts =
+  let rec compile_act = function
+    | Assign ((scope, name), e) ->
+        let f = compile_expr e in
+        fun env event ->
+          Env.set env scope name (f env event);
+          []
+    | If (p, then_, else_) ->
+        let fp = compile_pred p and ft = compile_list then_ and fe = compile_list else_ in
+        fun env event -> if fp env event then ft env event else fe env event
+    | Send_sync { target; event_name; args } ->
+        let fargs = List.map (fun (k, e) -> (k, compile_expr e)) args in
+        fun env event ->
+          [ builders.build_sync ~target ~event_name
+              ~args:(List.map (fun (k, f) -> (k, f env event)) fargs);
+          ]
+    | Set_timer { id; delay } -> fun _ _ -> [ builders.build_set_timer ~id ~delay ]
+    | Cancel_timer id -> fun _ _ -> [ builders.build_cancel_timer id ]
+    | Opaque_act o -> o.run
+  and compile_list acts =
+    let fs = List.map compile_act acts in
+    fun env event -> List.fold_left (fun acc f -> acc @ f env event) [] fs
+  in
+  compile_list acts
+
+(* --------------------------------------------------------------- *)
+(* Introspection                                                    *)
+(* --------------------------------------------------------------- *)
+
+let dedup l = List.sort_uniq compare l
+
+let rec expr_vars acc = function
+  | Const _ | Field _ -> acc
+  | Var v -> v :: acc
+  | Mk_addr (a, b) -> expr_vars (expr_vars acc a) b
+  | Addr_host e -> expr_vars acc e
+  | Of_int ie -> iexpr_vars acc ie
+  | Of_pred p -> pred_vars_acc acc p
+
+and iexpr_vars acc = function
+  | Int_const _ -> acc
+  | Int_of e | Int_or0 e -> expr_vars acc e
+  | Add (a, b) | Sub (a, b) -> iexpr_vars (iexpr_vars acc a) b
+
+and pred_vars_acc acc = function
+  | True | False | Has_field _ -> acc
+  | Not p -> pred_vars_acc acc p
+  | And ps | Or ps -> List.fold_left pred_vars_acc acc ps
+  | Eq (a, b) -> expr_vars (expr_vars acc a) b
+  | Member (e, _) -> expr_vars acc e
+  | Cmp (_, a, b) -> iexpr_vars (iexpr_vars acc a) b
+  | Opaque o -> List.rev_append o.pred_reads acc
+
+let rec expr_fields acc = function
+  | Const _ | Var _ -> acc
+  | Field f -> f :: acc
+  | Mk_addr (a, b) -> expr_fields (expr_fields acc a) b
+  | Addr_host e -> expr_fields acc e
+  | Of_int ie -> iexpr_fields acc ie
+  | Of_pred p -> pred_fields_acc acc p
+
+and iexpr_fields acc = function
+  | Int_const _ -> acc
+  | Int_of e | Int_or0 e -> expr_fields acc e
+  | Add (a, b) | Sub (a, b) -> iexpr_fields (iexpr_fields acc a) b
+
+and pred_fields_acc acc = function
+  | True | False -> acc
+  | Has_field f -> f :: acc
+  | Not p -> pred_fields_acc acc p
+  | And ps | Or ps -> List.fold_left pred_fields_acc acc ps
+  | Eq (a, b) -> expr_fields (expr_fields acc a) b
+  | Member (e, _) -> expr_fields acc e
+  | Cmp (_, a, b) -> iexpr_fields (iexpr_fields acc a) b
+  | Opaque o -> List.rev_append o.pred_fields acc
+
+let pred_vars p = dedup (pred_vars_acc [] p)
+let pred_fields p = dedup (pred_fields_acc [] p)
+let vars_of_expr e = dedup (expr_vars [] e)
+
+let rec pred_opaques acc = function
+  | True | False | Has_field _ | Eq _ | Member _ | Cmp _ -> acc
+  | Not p -> pred_opaques acc p
+  | And ps | Or ps -> List.fold_left pred_opaques acc ps
+  | Opaque o -> o.pred_name :: acc
+
+let pred_opaque_names p = dedup (pred_opaques [] p)
+
+(* Action folds walk both branches of every [If]: the analyses want what an
+   action *may* do, not what one execution did. *)
+let rec acts_fold f acc acts = List.fold_left (act_fold f) acc acts
+
+and act_fold f acc act =
+  let acc = f acc act in
+  match act with If (_, then_, else_) -> acts_fold f (acts_fold f acc then_) else_ | _ -> acc
+
+let acts_writes acts =
+  dedup
+    (acts_fold
+       (fun acc -> function
+         | Assign (v, _) -> v :: acc
+         | Opaque_act o -> List.rev_append o.act_writes acc
+         | _ -> acc)
+       [] acts)
+
+let acts_reads acts =
+  dedup
+    (acts_fold
+       (fun acc -> function
+         | Assign (_, e) -> expr_vars acc e
+         | If (p, _, _) -> pred_vars_acc acc p
+         | Send_sync { args; _ } -> List.fold_left (fun acc (_, e) -> expr_vars acc e) acc args
+         | Opaque_act o -> List.rev_append o.act_reads acc
+         | Set_timer _ | Cancel_timer _ -> acc)
+       [] acts)
+
+let acts_syncs acts =
+  dedup
+    (acts_fold
+       (fun acc -> function
+         | Send_sync { target; event_name; _ } -> (target, event_name) :: acc
+         | Opaque_act o ->
+             List.fold_left
+               (fun acc -> function
+                 | Emits_sync { target; event_name } -> (target, event_name) :: acc
+                 | _ -> acc)
+               acc o.act_emits
+         | _ -> acc)
+       [] acts)
+
+let acts_timers_set acts =
+  dedup
+    (acts_fold
+       (fun acc -> function
+         | Set_timer { id; _ } -> id :: acc
+         | Opaque_act o ->
+             List.fold_left
+               (fun acc -> function Emits_set_timer id -> id :: acc | _ -> acc)
+               acc o.act_emits
+         | _ -> acc)
+       [] acts)
+
+let acts_timers_cancelled acts =
+  dedup
+    (acts_fold
+       (fun acc -> function
+         | Cancel_timer id -> id :: acc
+         | Opaque_act o ->
+             List.fold_left
+               (fun acc -> function Emits_cancel_timer id -> id :: acc | _ -> acc)
+               acc o.act_emits
+         | _ -> acc)
+       [] acts)
+
+let acts_opaque_names acts =
+  dedup
+    (acts_fold
+       (fun acc -> function
+         | Opaque_act o -> o.act_name :: acc
+         | If (p, _, _) -> List.rev_append (pred_opaque_names p) acc
+         | _ -> acc)
+       [] acts)
+
+let domain_of_value = function
+  | Value.Int _ -> Some D_int
+  | Value.Bool _ -> Some D_bool
+  | Value.Str _ -> Some D_str
+  | Value.Addr _ -> Some D_addr
+  | Value.Float _ -> None (* no float domain: specs do not compare floats *)
+  | Value.Unset -> None
+
+let type_of_expr = function
+  | Const v -> domain_of_value v
+  | Var _ | Field _ -> None
+  | Mk_addr _ -> Some D_addr
+  | Addr_host _ -> Some D_str
+  | Of_int _ -> Some D_int
+  | Of_pred _ -> Some D_bool
+
+let domain_to_string = function
+  | D_int -> "int"
+  | D_bool -> "bool"
+  | D_str -> "string"
+  | D_addr -> "addr"
+  | D_enum vs ->
+      Printf.sprintf "{%s}" (String.concat ", " (List.map Value.to_string vs))
+
+(* --------------------------------------------------------------- *)
+(* Pretty-printing (lint findings, DOT annotations, docs)           *)
+(* --------------------------------------------------------------- *)
+
+let var_to_string (scope, name) =
+  match scope with Env.Local -> name | Env.Global -> "g:" ^ name
+
+let cmp_to_string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Ieq -> "=="
+  | Ine -> "!="
+
+let rec expr_to_string = function
+  | Const v -> Value.to_string v
+  | Var v -> var_to_string v
+  | Field f -> "$" ^ f
+  | Mk_addr (h, p) -> Printf.sprintf "addr(%s, %s)" (expr_to_string h) (expr_to_string p)
+  | Addr_host e -> Printf.sprintf "host(%s)" (expr_to_string e)
+  | Of_int ie -> iexpr_to_string ie
+  | Of_pred p -> pred_to_string p
+
+and iexpr_to_string = function
+  | Int_const n -> string_of_int n
+  | Int_of e -> expr_to_string e
+  | Int_or0 e -> Printf.sprintf "int0(%s)" (expr_to_string e)
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (iexpr_to_string a) (iexpr_to_string b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (iexpr_to_string a) (iexpr_to_string b)
+
+and pred_to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Not p -> Printf.sprintf "!(%s)" (pred_to_string p)
+  | And ps -> Printf.sprintf "(%s)" (String.concat " && " (List.map pred_to_string ps))
+  | Or ps -> Printf.sprintf "(%s)" (String.concat " || " (List.map pred_to_string ps))
+  | Eq (a, b) -> Printf.sprintf "%s = %s" (expr_to_string a) (expr_to_string b)
+  | Member (e, vs) ->
+      Printf.sprintf "%s in {%s}" (expr_to_string e)
+        (String.concat ", " (List.map Value.to_string vs))
+  | Cmp (c, a, b) ->
+      Printf.sprintf "%s %s %s" (iexpr_to_string a) (cmp_to_string c) (iexpr_to_string b)
+  | Has_field f -> Printf.sprintf "has($%s)" f
+  | Opaque o -> Printf.sprintf "<%s>" o.pred_name

@@ -1,0 +1,164 @@
+(** Declarative guard/action IR for EFSM transitions.
+
+    Guards are boolean {!pred} trees over machine variables ({!Env}) and
+    event fields ({!Event}); actions are assignment lists plus the
+    machine-level effects (sync sends, timer operations).  Transitions
+    built from the IR carry their syntax alongside a compiled closure, so
+    the static verifier in [lib/analyze] can reason about disjointness,
+    dataflow and channel usage while the engine hot path keeps calling an
+    ordinary [Env.t -> Event.t -> bool].
+
+    Semantics are total: no IR evaluation raises.  In particular an
+    integer comparison whose operand is not an [Int] is simply false —
+    mirroring how [Machine.guard_holds] treats a [Value.Type_error]
+    escaping a hand-written closure guard.  The two disagree only on
+    events that bind an expected field to a value of the wrong type,
+    which the packet classifiers never produce; the digest-transparency
+    test pins the end-to-end equivalence.
+
+    Guards that genuinely cannot be expressed (e.g. RTP sequence-number
+    wraparound deltas) use {!Opaque} / [Opaque_act] escape hatches that
+    declare their reads/writes/emissions so analyses degrade gracefully
+    instead of silently losing soundness. *)
+
+(** Value domain of a variable, used for declarations and bounded
+    enumeration in the solver. *)
+type domain =
+  | D_int
+  | D_bool
+  | D_str
+  | D_addr
+  | D_enum of Value.t list  (** Finite set of possible values (besides [Unset]). *)
+
+type var = Env.scope * string
+
+type decl = var * domain
+
+type cmp = Lt | Le | Gt | Ge | Ieq | Ine
+
+type expr =
+  | Const of Value.t
+  | Var of var  (** Current value; [Unset] when never assigned. *)
+  | Field of string  (** Event argument; [Unset] when absent. *)
+  | Mk_addr of expr * expr  (** [Str h, Int p -> Addr (h, p)]; otherwise [Unset]. *)
+  | Addr_host of expr  (** [Addr (h, _) -> Str h]; otherwise [Str ""]. *)
+  | Of_int of iexpr  (** [Int n] when defined, [Unset] otherwise. *)
+  | Of_pred of pred
+
+and iexpr =
+  | Int_const of int
+  | Int_of of expr  (** Undefined when the operand is not an [Int]. *)
+  | Int_or0 of expr  (** Non-[Int] operands read as [0] (counter idiom). *)
+  | Add of iexpr * iexpr
+  | Sub of iexpr * iexpr
+
+and pred =
+  | True
+  | False
+  | Not of pred
+  | And of pred list
+  | Or of pred list
+  | Eq of expr * expr  (** Structural [Value.equal]. *)
+  | Member of expr * Value.t list
+  | Cmp of cmp * iexpr * iexpr  (** False when either side is undefined. *)
+  | Has_field of string
+  | Opaque of opaque_pred
+
+and opaque_pred = {
+  pred_name : string;  (** Identity for the solver: same name = same truth value. *)
+  pred_reads : var list;  (** Declared variable reads (trusted). *)
+  pred_fields : string list;  (** Declared event-field reads (trusted). *)
+  holds : Env.t -> Event.t -> bool;
+}
+
+(** What an opaque action declares it may emit. *)
+type emission =
+  | Emits_sync of { target : string; event_name : string }
+  | Emits_set_timer of string
+  | Emits_cancel_timer of string
+
+type 'eff act =
+  | Assign of var * expr
+  | If of pred * 'eff act list * 'eff act list
+  | Send_sync of { target : string; event_name : string; args : (string * expr) list }
+  | Set_timer of { id : string; delay : Dsim.Time.t }
+  | Cancel_timer of string
+  | Opaque_act of 'eff opaque_act
+
+and 'eff opaque_act = {
+  act_name : string;
+  act_reads : var list;
+  act_writes : var list;
+  act_emits : emission list;
+  run : Env.t -> Event.t -> 'eff list;
+}
+
+type 'eff t = { guard : pred; acts : 'eff act list }
+(** A transition's declarative payload. ['eff] is abstract here to avoid a
+    cycle with {!Machine.effect}; {!Machine.builders} instantiates it. *)
+
+type 'eff builders = {
+  build_sync : target:string -> event_name:string -> args:(string * Value.t) list -> 'eff;
+  build_set_timer : id:string -> delay:Dsim.Time.t -> 'eff;
+  build_cancel_timer : string -> 'eff;
+}
+
+val apply_cmp : cmp -> int -> int -> bool
+
+(** {1 Reference interpreter} *)
+
+val eval_expr : Env.t -> Event.t -> expr -> Value.t
+val eval_iexpr : Env.t -> Event.t -> iexpr -> int option
+val eval_pred : Env.t -> Event.t -> pred -> bool
+
+val run_acts : 'eff builders -> 'eff act list -> Env.t -> Event.t -> 'eff list
+(** Executes assignments in order (side-effecting the [Env]) and returns
+    emitted effects in order. *)
+
+(** {1 Staged compiler}
+
+    Builds a closure tree once at spec-construction time; the returned
+    closures perform no IR-tree traversal.  Behaviour is pointwise equal
+    to the reference interpreter (qcheck-pinned). *)
+
+val compile_pred : pred -> Env.t -> Event.t -> bool
+val compile_acts : 'eff builders -> 'eff act list -> Env.t -> Event.t -> 'eff list
+
+(** {1 Introspection}
+
+    All results are deduplicated.  Action walks visit both branches of
+    every [If] (may-analysis) and trust opaque declarations. *)
+
+val pred_vars : pred -> var list
+val pred_fields : pred -> string list
+val pred_opaque_names : pred -> string list
+val vars_of_expr : expr -> var list
+
+val acts_fold : ('a -> 'eff act -> 'a) -> 'a -> 'eff act list -> 'a
+(** Folds over every action node, descending into both branches of each
+    [If]. *)
+
+
+val acts_writes : 'eff act list -> var list
+val acts_reads : 'eff act list -> var list
+val acts_syncs : 'eff act list -> (string * string) list
+(** Possible sync sends as (target machine, event name) pairs. *)
+
+val acts_timers_set : 'eff act list -> string list
+val acts_timers_cancelled : 'eff act list -> string list
+val acts_opaque_names : 'eff act list -> string list
+
+val domain_of_value : Value.t -> domain option
+(** [None] for [Unset]. *)
+
+val type_of_expr : expr -> domain option
+(** Static type when syntactically evident ([None] for variables/fields). *)
+
+(** {1 Rendering} *)
+
+val domain_to_string : domain -> string
+val var_to_string : var -> string
+val cmp_to_string : cmp -> string
+val expr_to_string : expr -> string
+val iexpr_to_string : iexpr -> string
+val pred_to_string : pred -> string

@@ -12,11 +12,30 @@ type transition = {
   guard : Env.t -> Event.t -> bool;
   action : Env.t -> Event.t -> effect list;
   to_state : string;
+  syntax : effect Ir.t option;
 }
 
 let transition ?(guard = fun _ _ -> true) ?(action = fun _ _ -> []) ~label ~from_state trigger
     ~to_state () =
-  { label; from_state; trigger; guard; action; to_state }
+  { label; from_state; trigger; guard; action; to_state; syntax = None }
+
+let builders : effect Ir.builders =
+  {
+    Ir.build_sync = (fun ~target ~event_name ~args -> Send_sync { target; event_name; args });
+    build_set_timer = (fun ~id ~delay -> Set_timer { id; delay });
+    build_cancel_timer = (fun id -> Cancel_timer id);
+  }
+
+let ir_transition ?(guard = Ir.True) ?(acts = []) ~label ~from_state trigger ~to_state () =
+  {
+    label;
+    from_state;
+    trigger;
+    guard = Ir.compile_pred guard;
+    action = Ir.compile_acts builders acts;
+    to_state;
+    syntax = Some { Ir.guard; acts };
+  }
 
 type spec = {
   spec_name : string;
@@ -33,12 +52,48 @@ let validate_spec spec =
     | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
     | [ _ ] | [] -> None
   in
+  let err fmt = Printf.ksprintf (fun m -> Error (spec.spec_name ^ ": " ^ m)) fmt in
   match dup sorted with
-  | Some label -> Error (Printf.sprintf "%s: duplicate transition label %S" spec.spec_name label)
+  | Some label -> err "duplicate transition label %S" label
   | None ->
-      if List.exists (fun t -> String.equal t.from_state spec.initial) spec.transitions then
-        Ok ()
-      else Error (Printf.sprintf "%s: initial state %S has no transitions" spec.spec_name spec.initial)
+      if not (List.exists (fun t -> String.equal t.from_state spec.initial) spec.transitions)
+      then err "initial state %S has no transitions" spec.initial
+      else begin
+        (* A state name that appears only once in the whole spec is almost
+           certainly a typo: sources must be enterable, targets must lead
+           somewhere (or be terminal). *)
+        let final s = List.mem s spec.finals in
+        let attack s = List.mem_assoc s spec.attack_states in
+        let enterable s =
+          String.equal s spec.initial
+          || List.exists (fun t -> String.equal t.to_state s) spec.transitions
+        in
+        let exitable s = List.exists (fun t -> String.equal t.from_state s) spec.transitions in
+        let bad_final = List.find_opt attack spec.finals in
+        let bad_attack =
+          List.find_opt (fun (_, desc) -> String.equal (String.trim desc) "") spec.attack_states
+        in
+        let orphan_from =
+          List.find_opt (fun t -> not (enterable t.from_state)) spec.transitions
+        in
+        let orphan_to =
+          List.find_opt
+            (fun t -> not (exitable t.to_state || final t.to_state || attack t.to_state))
+            spec.transitions
+        in
+        match (bad_final, bad_attack, orphan_from, orphan_to) with
+        | Some s, _, _, _ -> err "state %S is both final and an attack state" s
+        | None, Some (s, _), _, _ -> err "attack state %S has an empty alert description" s
+        | None, None, Some t, _ ->
+            err "transition %S leaves state %S, which nothing can reach (typo?)" t.label
+              t.from_state
+        | None, None, None, Some t ->
+            err
+              "transition %S enters state %S, which has no outgoing transitions and is neither \
+               final nor an attack state (typo?)"
+              t.label t.to_state
+        | None, None, None, None -> Ok ()
+      end
 
 let states spec =
   let add acc s = if List.mem s acc then acc else s :: acc in

@@ -34,6 +34,10 @@ type transition = {
   guard : Env.t -> Event.t -> bool;
   action : Env.t -> Event.t -> effect list;
   to_state : string;
+  syntax : effect Ir.t option;
+      (** Declarative source when built with {!ir_transition}; [None] for raw
+          closures.  The static verifier ([lib/analyze]) reasons over this;
+          the engine only ever calls the compiled [guard]/[action]. *)
 }
 
 val transition :
@@ -45,7 +49,24 @@ val transition :
   to_state:string ->
   unit ->
   transition
-(** Guard defaults to [true], action to no-op. *)
+(** Guard defaults to [true], action to no-op.  Carries no {!Ir} syntax. *)
+
+val builders : effect Ir.builders
+(** Effect constructors used to compile IR actions for this machine type. *)
+
+val ir_transition :
+  ?guard:Ir.pred ->
+  ?acts:effect Ir.act list ->
+  label:string ->
+  from_state:string ->
+  trigger ->
+  to_state:string ->
+  unit ->
+  transition
+(** Builds a transition from IR syntax: the guard/action closures are
+    compiled once here ({!Ir.compile_pred} / {!Ir.compile_acts}) and the
+    syntax is retained in [syntax] for static analysis.  Guard defaults to
+    [Ir.True], actions to none. *)
 
 type spec = {
   spec_name : string;
@@ -56,8 +77,12 @@ type spec = {
 }
 
 val validate_spec : spec -> (unit, string) result
-(** Checks label uniqueness and that the initial state has outgoing
-    transitions. *)
+(** Structural well-formedness: label uniqueness, the initial state has
+    outgoing transitions, no state is both final and attack, attack states
+    carry non-empty alert descriptions, and every transition endpoint is
+    anchored in the graph (a [from_state] must be reachable by some edge or
+    be the initial state; a [to_state] must have outgoing edges or be
+    final/attack — lone endpoints are typo'd state names). *)
 
 val states : spec -> string list
 (** All states mentioned, sorted. *)

@@ -149,6 +149,9 @@ let register_flag_can_be_disabled () =
 
 let tr = Efsm.Machine.transition
 
+(* These tests pin the behaviour of the deprecated graph-only shim. *)
+[@@@alert "-deprecated"]
+
 let analysis_flags_unreachable () =
   let spec =
     {
