@@ -4,6 +4,7 @@
    Subcommands:
      simulate   run the Figure-7 workload and print performance metrics
      detect     run attack scenarios and print the alert log
+     run        live-ingestion daemon over pcap files and/or a UDP socket
      recover    rebuild a crashed engine from checkpoint + journal + trace
      parse      parse a SIP message from a file and dump its structure
      export-fsm print the Graphviz rendering of a protocol/attack machine *)
@@ -439,8 +440,10 @@ let detect seed attacks governance checkpointing shards obs json =
 (* record / analyze: offline trace workflow                            *)
 (* ------------------------------------------------------------------ *)
 
-let record seed attacks path =
-  let attacks = if attacks = [] then all_attacks else attacks in
+let record seed attacks workload no_attacks path =
+  let attacks =
+    if no_attacks then [] else if attacks = [] then all_attacks else attacks
+  in
   let tb = T.make ~seed ~vids:T.Off () in
   let recorder = Vids.Trace.recorder () in
   Dsim.Network.set_tap tb.T.vids_node (Some (Vids.Trace.tap recorder tb.T.sched));
@@ -471,13 +474,208 @@ let record seed attacks path =
             ~responses:60 ~at
       | other -> Format.eprintf "skipping unknown attack %S@." other)
     attacks;
-  T.run_until tb (sec (40.0 +. (25.0 *. float_of_int (List.length attacks))));
+  let attack_horizon =
+    if attacks = [] then 0.0 else 40.0 +. (25.0 *. float_of_int (List.length attacks))
+  in
+  let horizon = sec (Float.max attack_horizon (60.0 *. workload)) in
+  if workload > 0.0 then begin
+    (* Benign background calls interleaved with (or instead of) the
+       attacks — the fixture generator for daemon smoke tests. *)
+    (* Sparse-ish calls: the fixture this generates is committed to the
+       repo, so favor small captures over realistic call volume. *)
+    let profile =
+      {
+        Voip.Call_generator.mean_interarrival = sec 40.0;
+        mean_duration = sec 5.0;
+        min_duration = sec 2.0;
+      }
+    in
+    T.run_workload tb ~profile ~duration:horizon ()
+  end
+  else T.run_until tb horizon;
   let records = Vids.Trace.records recorder in
-  let oc = open_out path in
-  Vids.Trace.save oc records;
-  close_out oc;
-  Format.printf "wrote %d packets to %s@." (List.length records) path;
+  if Filename.check_suffix path ".pcap" then begin
+    Ingest.Pcap.write_file path records;
+    Format.printf "wrote %d packets to %s (pcap)@." (List.length records) path
+  end
+  else begin
+    let oc = open_out path in
+    Vids.Trace.save oc records;
+    close_out oc;
+    Format.printf "wrote %d packets to %s@." (List.length records) path
+  end;
   0
+
+(* ------------------------------------------------------------------ *)
+(* run: the live-ingestion daemon                                      *)
+(* ------------------------------------------------------------------ *)
+
+let stop_reason_string = function
+  | Ingest.Daemon.Eof -> "eof"
+  | Ingest.Daemon.Signalled -> "signalled"
+  | Ingest.Daemon.Deadline -> "deadline"
+  | Ingest.Daemon.Source_dead -> "source-dead"
+  | Ingest.Daemon.Killed -> "killed"
+
+let parse_listen spec =
+  match String.rindex_opt spec ':' with
+  | None -> (
+      match int_of_string_opt spec with
+      | Some port when port >= 0 -> Ok ("127.0.0.1", port)
+      | _ -> Error (Printf.sprintf "bad --listen %S (HOST:PORT or PORT)" spec))
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some port when port >= 0 && host <> "" -> Ok (host, port)
+      | _ -> Error (Printf.sprintf "bad --listen %S (HOST:PORT or PORT)" spec))
+
+let ingest_report_json (r : Ingest.Daemon.report) =
+  let module J = Obs.Json in
+  let q = r.Ingest.Daemon.queue in
+  let quar = r.Ingest.Daemon.quarantine in
+  J.obj
+    [
+      ( "ingest",
+        J.obj
+          [
+            ("stop_reason", J.quote (stop_reason_string r.Ingest.Daemon.stop_reason));
+            ("dispatched", J.int r.Ingest.Daemon.dispatched);
+            ("parse_errors", J.int r.Ingest.Daemon.parse_errors);
+            ("checkpoints", J.int r.Ingest.Daemon.checkpoints);
+            ("queue_enqueued", J.int q.Ingest.Shed_queue.enqueued);
+            ("queue_shed_media", J.int q.Ingest.Shed_queue.shed_media);
+            ("queue_shed_oldest", J.int q.Ingest.Shed_queue.shed_oldest);
+            ("queue_peak_depth", J.int q.Ingest.Shed_queue.peak_depth);
+            ("quarantined_sources", J.int quar.Ingest.Quarantine.quarantines);
+            ("quarantine_dropped", J.int quar.Ingest.Quarantine.dropped);
+            ("dispatch_p99_us",
+             J.float (1e6 *. Dsim.Stat.Quantiles.p99 r.Ingest.Daemon.dispatch));
+            ("horizon_us", J.int (Dsim.Time.to_us r.Ingest.Daemon.horizon));
+          ] );
+      ("report", Vids.Report.json r.Ingest.Daemon.engine);
+    ]
+
+let print_ingest_report (r : Ingest.Daemon.report) =
+  let q = r.Ingest.Daemon.queue in
+  let quar = r.Ingest.Daemon.quarantine in
+  Format.printf "ingestion stopped: %s at %a@."
+    (stop_reason_string r.Ingest.Daemon.stop_reason)
+    Dsim.Time.pp r.Ingest.Daemon.horizon;
+  Format.printf
+    "ingest: %d dispatched, %d parse errors, %d shed (%d media, %d displaced), peak queue %d@."
+    r.Ingest.Daemon.dispatched r.Ingest.Daemon.parse_errors
+    (q.Ingest.Shed_queue.shed_media + q.Ingest.Shed_queue.shed_oldest)
+    q.Ingest.Shed_queue.shed_media q.Ingest.Shed_queue.shed_oldest
+    q.Ingest.Shed_queue.peak_depth;
+  if quar.Ingest.Quarantine.errors > 0 then
+    Format.printf "quarantine: %d errors charged, %d sources quarantined, %d datagrams dropped@."
+      quar.Ingest.Quarantine.errors quar.Ingest.Quarantine.quarantines
+      quar.Ingest.Quarantine.dropped;
+  List.iter
+    (fun (path, (s : Ingest.Pcap.stats)) ->
+      Format.printf "pcap %s: %d frames, %d records, %d skipped%s@." path s.Ingest.Pcap.frames
+        s.Ingest.Pcap.records s.Ingest.Pcap.skipped
+        (if s.Ingest.Pcap.truncated_tail then " (truncated tail)" else ""))
+    r.Ingest.Daemon.pcap;
+  List.iter
+    (fun (s : Ingest.Udp_source.stats) ->
+      Format.printf "udp: %d received, %d recv errors, %d reopens%s@."
+        s.Ingest.Udp_source.received s.Ingest.Udp_source.recv_errors
+        s.Ingest.Udp_source.reopens
+        (if s.Ingest.Udp_source.gave_up then " (gave up)" else ""))
+    r.Ingest.Daemon.udp;
+  if Dsim.Stat.Quantiles.count r.Ingest.Daemon.dispatch > 0 then
+    Format.printf "dispatch latency: p50 %.0f us, p99 %.0f us@."
+      (1e6 *. Dsim.Stat.Quantiles.p50 r.Ingest.Daemon.dispatch)
+      (1e6 *. Dsim.Stat.Quantiles.p99 r.Ingest.Daemon.dispatch);
+  if r.Ingest.Daemon.checkpoints > 0 then
+    Format.printf "checkpoints: %d saved@." r.Ingest.Daemon.checkpoints;
+  Vids.Report.full Format.std_formatter r.Ingest.Daemon.engine
+
+let daemon captures pace listen queue_cap max_runtime governance checkpointing obs record_out
+    json =
+  (* The graceful path: first signal sets the flag and the loop drains; a
+     second signal while the drain runs falls back to the default
+     disposition (terminate now), so a wedged drain cannot trap the
+     operator. *)
+  let stop = ref false in
+  let arm signal =
+    try
+      Sys.set_signal signal
+        (Sys.Signal_handle
+           (fun s ->
+             if !stop then exit 1
+             else begin
+               stop := true;
+               Format.eprintf "signal %d: draining...@." s
+             end))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  arm Sys.sigterm;
+  arm Sys.sigint;
+  let listener =
+    match listen with
+    | None -> Ok None
+    | Some spec -> (
+        match parse_listen spec with
+        | Error e -> Error e
+        | Ok (host, port) -> (
+            match Ingest.Udp_source.listen ~host ~port () with
+            | Error e -> Error e
+            | Ok u ->
+                Format.eprintf "listening on %s@."
+                  (Dsim.Addr.to_string (Ingest.Udp_source.local_addr u));
+                Ok (Some u)))
+  in
+  match listener with
+  | Error e ->
+      Format.eprintf "%s@." e;
+      1
+  | Ok listener -> (
+      let sources =
+        List.map (fun path -> Ingest.Daemon.Pcap_file { path; pace }) captures
+        @ (match listener with Some u -> [ Ingest.Daemon.Udp u ] | None -> [])
+      in
+      if sources = [] then begin
+        Format.eprintf "nothing to ingest: give capture files and/or --listen@.";
+        1
+      end
+      else begin
+        let obs_state = make_obs obs in
+        let metrics = Option.map fst obs_state in
+        let flight = Option.map snd obs_state in
+        let config =
+          {
+            Ingest.Daemon.default with
+            Ingest.Daemon.engine_config =
+              Some (apply_governance governance Vids.Config.default);
+            queue_capacity = queue_cap;
+            checkpoint_every_s = checkpointing.interval;
+            snapshot_path =
+              (if checkpointing.interval > 0.0 then Some checkpointing.file else None);
+            journal_path =
+              (if checkpointing.interval > 0.0 then Some (checkpointing.file ^ ".journal")
+               else None);
+            record_path = record_out;
+            max_runtime_s = max_runtime;
+          }
+        in
+        match Ingest.Daemon.run ?metrics ?flight ~stop config sources with
+        | Error e ->
+            Format.eprintf "daemon error: %s@." e;
+            1
+        | Ok report ->
+            if json then print_endline (ingest_report_json report)
+            else print_ingest_report report;
+            if checkpointing.interval > 0.0 then
+              Format.eprintf "checkpoints: %s (journal %s)@." checkpointing.file
+                (checkpointing.file ^ ".journal");
+            finish_obs obs obs_state;
+            (match report.Ingest.Daemon.stop_reason with
+            | Ingest.Daemon.Source_dead -> 1
+            | _ -> exit_for_alerts (Vids.Engine.alerts report.Ingest.Daemon.engine))
+      end)
 
 let analyze path checkpointing shards obs json =
   let ic = open_in path in
@@ -926,12 +1124,74 @@ let record_cmd =
   let attacks =
     Arg.(value & pos_all string [] & info [] ~docv:"ATTACK" ~doc:"Attacks to include.")
   in
+  let workload =
+    Arg.(
+      value & opt float 0.0
+      & info [ "workload" ] ~docv:"MIN"
+          ~doc:"Also run $(docv) minutes of benign background calls (0 = none).")
+  in
+  let no_attacks =
+    Arg.(
+      value & flag
+      & info [ "no-attacks" ] ~doc:"Record only the benign workload (needs --workload).")
+  in
   let out =
-    Arg.(value & opt string "vids.trace" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file.")
+    Arg.(
+      value & opt string "vids.trace"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Trace file; a $(b,.pcap) suffix writes a libpcap capture instead of text.")
   in
   Cmd.v
     (Cmd.info "record" ~doc:"Capture sensor traffic (with attacks) to a trace file")
-    Term.(const record $ seed_arg $ attacks $ out)
+    Term.(const record $ seed_arg $ attacks $ workload $ no_attacks $ out)
+
+let run_cmd =
+  let captures =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"CAPTURE" ~doc:"libpcap files to stream ($(b,.pcap)).")
+  in
+  let pace =
+    Arg.(
+      value & flag
+      & info [ "pace" ]
+          ~doc:"Replay capture files at their recorded inter-arrival times instead of as fast \
+                as the disk reads.")
+  in
+  let listen =
+    Arg.(
+      value & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:"Also listen for live UDP datagrams (PORT alone binds 127.0.0.1).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 4096
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Ingest queue capacity; above 3/4 of $(docv) media is shed at the door, at \
+                $(docv) the oldest record is displaced.")
+  in
+  let max_runtime =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-runtime" ] ~docv:"SEC" ~doc:"Stop (gracefully) after $(docv) wall seconds.")
+  in
+  let record_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:"Capture every dispatched packet to $(docv) (text trace), for offline replay \
+                and crash recovery.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the live-ingestion daemon: stream captures and/or listen on UDP, analyze in \
+          real time, checkpoint periodically, drain gracefully on SIGINT/SIGTERM.  Exits 0 \
+          on a clean stop, 3 when attack alerts were raised, nonzero on faults.")
+    Term.(
+      const daemon $ captures $ pace $ listen $ queue $ max_runtime $ governance_term
+      $ checkpoint_term $ obs_term $ record_out $ json_flag)
 
 let analyze_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
@@ -1008,6 +1268,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            simulate_cmd; detect_cmd; record_cmd; analyze_cmd; recover_cmd; parse_cmd;
-            lint_cmd; check_specs_cmd; export_cmd;
+            simulate_cmd; detect_cmd; record_cmd; run_cmd; analyze_cmd; recover_cmd;
+            parse_cmd; lint_cmd; check_specs_cmd; export_cmd;
           ]))

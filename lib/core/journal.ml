@@ -88,8 +88,20 @@ let append w entry =
     | Some h -> Obs.Metrics.observe h (Unix.gettimeofday () -. t0)
   end
 
+let fsync_writer w =
+  if not w.closed then begin
+    flush w.oc;
+    (* Past the OS cache and onto the platter: a per-append fsync would
+       dominate the hot path, so durability beyond the page cache is
+       batched to checkpoint instants and shutdown.  A filesystem that
+       cannot fsync (pipes in tests) is not a reason to fail. *)
+    try Unix.fsync (Unix.descr_of_out_channel w.oc) with
+    | Unix.Unix_error _ | Sys_error _ | Invalid_argument _ -> ()
+  end
+
 let close_writer w =
   if not w.closed then begin
+    fsync_writer w;
     w.closed <- true;
     close_out w.oc
   end

@@ -39,7 +39,13 @@ val create_writer : ?registry:Obs.Metrics.t -> string -> writer
 val append : writer -> entry -> unit
 (** Appends and flushes one entry. *)
 
+val fsync_writer : writer -> unit
+(** Forces the journal past the OS cache ([fsync]).  Appends flush to the
+    kernel on every entry; full durability is batched — the daemon calls
+    this at each checkpoint and at shutdown. *)
+
 val close_writer : writer -> unit
+(** Fsyncs, then closes. *)
 
 val attach : writer -> Engine.t -> unit
 (** Subscribes the writer to the engine's alert and eviction streams so

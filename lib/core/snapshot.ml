@@ -654,15 +654,34 @@ let restore ?(config = Config.default) ?(before_timers = fun _ _ -> ()) snap =
 
 let previous_path path = path ^ ".1"
 
+(* Directory fsync makes the renames themselves durable; a filesystem
+   that refuses (some network mounts) degrades to the old behaviour
+   rather than failing the checkpoint. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      ( try Unix.close fd with Unix.Unix_error _ -> ())
+
 let save ~path t =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   output_string oc (to_string t);
+  flush oc;
+  (* fsync BEFORE the rename: without it, a power loss can leave the
+     rename durable but the data not — a zero-length or torn file sitting
+     where a checkpoint should be, which [of_string] would then reject at
+     the worst possible moment.  With it, the atomic rename publishes
+     only fully-durable bytes. *)
+  (try Unix.fsync (Unix.descr_of_out_channel oc)
+   with Unix.Unix_error _ | Sys_error _ | Invalid_argument _ -> ());
   close_out oc;
   (* Keep the previous checkpoint as a fallback for a write torn by the
      very crash we are defending against. *)
   if Sys.file_exists path then Sys.rename path (previous_path path);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir path
 
 let load path =
   match open_in_bin path with

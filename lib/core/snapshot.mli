@@ -52,9 +52,11 @@ val restore :
     checksums) come back as [Error]. *)
 
 val save : path:string -> t -> unit
-(** Atomic write (temp file + rename).  An existing snapshot at [path] is
-    rotated to [path ^ ".1"] first, so a crash torn mid-write always leaves
-    one intact predecessor. *)
+(** Atomic durable write: the temp file is fsynced {e before} the rename
+    (so a power loss cannot publish a zero-length or torn snapshot), the
+    containing directory after it (so the rename itself survives).  An
+    existing snapshot at [path] is rotated to [path ^ ".1"] first, so a
+    crash torn mid-write always leaves one intact predecessor. *)
 
 val previous_path : string -> string
 (** Where {!save} rotates the prior snapshot: [path ^ ".1"]. *)

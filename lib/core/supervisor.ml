@@ -19,6 +19,10 @@ type policy = {
   max_restarts : int;
   backoff_initial : Dsim.Time.t;  (** Downtime of the first cold restart. *)
   backoff_factor : float;  (** Growth per consecutive crash without a checkpoint. *)
+  backoff_cap : Dsim.Time.t;
+      (** Ceiling on one backoff interval: keeps a long crash streak from
+          exponentiating past the run horizon (or past [int_of_float]'s
+          defined range, which would turn the outage negative). *)
   warm_standby : bool;  (** Keep a restored engine validated at each checkpoint. *)
   failover_delay : Dsim.Time.t;  (** Downtime when promoting the warm standby. *)
   replay_suffix : bool;  (** Replay recorded packets after the snapshot instant. *)
@@ -31,6 +35,7 @@ let default_policy =
     max_restarts = 5;
     backoff_initial = Dsim.Time.of_ms 200.0;
     backoff_factor = 2.0;
+    backoff_cap = Dsim.Time.of_sec 30.0;
     warm_standby = false;
     failover_delay = Dsim.Time.of_ms 20.0;
     replay_suffix = true;
@@ -188,9 +193,13 @@ let run ?(policy = default_policy) ?config ?metrics ?flight ~trace ~kill_at () =
   in
   let backoff () =
     let us = float_of_int (Dsim.Time.to_us policy.backoff_initial) in
+    let cap = float_of_int (Dsim.Time.to_us (Dsim.Time.max policy.backoff_cap policy.backoff_initial)) in
     let n = max 1 !consecutive in
-    Dsim.Time.of_us
-      (int_of_float (us *. (policy.backoff_factor ** float_of_int (n - 1))))
+    (* Clamp in float space: [factor ** n] overflows to [infinity] long
+       before [int_of_float] would produce garbage, and [min] with a
+       finite cap absorbs both the overflow and the merely-huge cases. *)
+    let d = us *. (policy.backoff_factor ** float_of_int (n - 1)) in
+    Dsim.Time.of_us (int_of_float (Float.min d cap))
   in
   let rec segments ~start ~died kills =
     let stop, killed, rest =

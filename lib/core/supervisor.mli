@@ -14,6 +14,10 @@ type policy = {
   max_restarts : int;
   backoff_initial : Dsim.Time.t;  (** Downtime of the first cold restart. *)
   backoff_factor : float;  (** Growth per consecutive crash without a checkpoint. *)
+  backoff_cap : Dsim.Time.t;
+      (** Ceiling on one backoff interval; clamped in float space so a long
+          crash streak can neither outlast the horizon nor overflow the
+          microsecond integer. *)
   warm_standby : bool;  (** Keep a restored engine validated at each checkpoint. *)
   failover_delay : Dsim.Time.t;  (** Downtime when promoting the warm standby. *)
   replay_suffix : bool;  (** Replay recorded packets after the snapshot instant. *)
@@ -22,7 +26,7 @@ type policy = {
 
 val default_policy : policy
 (** 5 s checkpoints, 5 restarts, 200 ms backoff doubling per consecutive
-    crash, no standby, suffix replay on. *)
+    crash capped at 30 s, no standby, suffix replay on. *)
 
 type report = {
   crashes : int;

@@ -1,0 +1,35 @@
+(* Wall-clock abstraction: the single point where real time enters the
+   daemon.  The system clock is made monotone (a backwards NTP step holds
+   the reported time still); the manual clock lets tests and benches run
+   paced ingestion instantly. *)
+
+type t = { now : unit -> float; sleep : float -> unit }
+
+let system () =
+  let last = ref neg_infinity in
+  let now () =
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+  in
+  { now; sleep = (fun d -> if d > 0.0 then Unix.sleepf d) }
+
+(* Manual clocks advance themselves when asked to sleep.  The cell backing
+   each one is kept in an association list under physical equality so
+   [advance] can find it without widening the public record type. *)
+let manual_cells : (t * float ref) list ref = ref []
+
+let manual ?(start = 0.0) () =
+  let cell = ref start in
+  let t =
+    { now = (fun () -> !cell); sleep = (fun d -> if d > 0.0 then cell := !cell +. d) }
+  in
+  manual_cells := (t, cell) :: !manual_cells;
+  t
+
+let advance t d =
+  match List.assq_opt t !manual_cells with
+  | None -> invalid_arg "Clock.advance: not a manual clock"
+  | Some cell ->
+      if d < 0.0 then invalid_arg "Clock.advance: negative delta";
+      cell := !cell +. d

@@ -1,0 +1,93 @@
+(** The live-ingestion daemon: sources → quarantine → shed queue →
+    clock bridge → engine.
+
+    This is the composition root of [lib/ingest]: it owns the single
+    ingestion loop that polls every source, admits datagrams through the
+    per-source {!Quarantine} and the watermarked {!Shed_queue}, bridges
+    the wall clock onto the virtual clock, and dispatches each record
+    into a {!Vids.Engine} with the exact ordering discipline offline
+    replay uses — [Dsim.Scheduler.advance_to] to the record's timestamp,
+    then [process_packet], so packets at an instant always beat timers
+    at that instant and a live run converges to the same digest as a
+    batch replay of its own capture.
+
+    Robustness contract:
+    - Parse failures are counted and charged to the sending transport
+      address (quarantining repeat offenders), never fatal.
+    - Socket errors retry with capped exponential backoff under a
+      budget ({!Udp_source}); a dead source stops the daemon only when
+      no source remains.
+    - A cooperative [stop] flag (the signal handler's write) triggers a
+      graceful drain: queued records dispatched, a final checkpoint
+      saved, the journal fsynced and closed, the flight recorder
+      dumped.
+    - A [hard_kill] flag models [kill -9]: the loop returns
+      immediately, skipping every cleanup step, leaving recovery to
+      {!Vids.Recovery} over the snapshot + journal + capture files. *)
+
+type source =
+  | Pcap_file of { path : string; pace : bool }
+      (** Stream a capture file; with [pace], sleep so records enter at
+          their recorded inter-arrival times (soak realism) instead of
+          as fast as the disk reads. *)
+  | Udp of Udp_source.t  (** A live listener, already bound. *)
+
+type config = {
+  engine_config : Vids.Config.t option;
+  queue_capacity : int;
+  queue_high_water : int option;  (** Default: {!Shed_queue.create}'s 3/4. *)
+  checkpoint_every_s : float;  (** <= 0 disables periodic checkpoints. *)
+  snapshot_path : string option;
+  journal_path : string option;
+  record_path : string option;  (** Capture every dispatched record ({!Vids.Trace} text). *)
+  quarantine_threshold : int;
+  quarantine_window_s : float;
+  quarantine_ttl_s : float;
+  max_runtime_s : float option;  (** Wall-clock deadline (soak harness). *)
+  batch : int;  (** Max records pulled per source per loop turn. *)
+  poll_interval_s : float;  (** Idle nap when every source is dry. *)
+}
+
+val default : config
+(** 4096-deep queue, 5 s checkpoints (when [snapshot_path] is set),
+    quarantine 8 errors / 10 s / 30 s TTL, batch 256, 10 ms poll. *)
+
+type stop_reason =
+  | Eof  (** Every file source exhausted (and no socket still alive). *)
+  | Signalled  (** The [stop] flag: SIGINT/SIGTERM graceful drain ran. *)
+  | Deadline  (** [max_runtime_s] elapsed (graceful drain ran). *)
+  | Source_dead  (** A socket source spent its reopen budget; none left. *)
+  | Killed  (** The [hard_kill] flag: no drain, no checkpoint, no close. *)
+
+type report = {
+  stop_reason : stop_reason;
+  dispatched : int;  (** Records fed to the engine. *)
+  parse_errors : int;  (** Engine-side malformed packets, attributed here. *)
+  checkpoints : int;
+  queue : Shed_queue.stats;
+  quarantine : Quarantine.stats;
+  pcap : (string * Pcap.stats) list;  (** Per capture file, in source order. *)
+  udp : Udp_source.stats list;  (** Per socket, in source order. *)
+  dispatch : Dsim.Stat.Quantiles.t;
+      (** Wall-clock seconds per dispatch ([advance_to] + analysis). *)
+  horizon : Dsim.Time.t;  (** Final virtual time. *)
+  engine : Vids.Engine.t;
+  sched : Dsim.Scheduler.t;
+}
+
+val run :
+  ?clock:Clock.t ->
+  ?metrics:Obs.Metrics.t ->
+  ?flight:Obs.Trace.t ->
+  ?stop:bool ref ->
+  ?hard_kill:bool ref ->
+  ?on_batch:(unit -> unit) ->
+  config ->
+  source list ->
+  (report, string) result
+(** Runs the ingestion loop until a {!stop_reason} occurs.  [clock]
+    defaults to {!Clock.system}; benches pass {!Clock.manual} to soak at
+    memory speed.  [on_batch] fires once per loop turn — the soak
+    harness's sampling hook.  [Error] is reserved for startup failures
+    (unreadable capture, no sources); once the loop is entered every
+    fault is contained and reported through the {!report}. *)

@@ -1,0 +1,90 @@
+(* Per-source parse-error quarantine: threshold errors within a sliding
+   window block the source for a TTL.  The per-source state is two
+   numbers (window start + count) plus the quarantine deadline; the table
+   is bounded by evicting the least recently touched source. *)
+
+type source = {
+  mutable window_start : float;
+  mutable window_errors : int;
+  mutable blocked_until : float;  (* 0.0 = not quarantined *)
+  mutable touched : float;
+}
+
+type t = {
+  threshold : int;
+  window_s : float;
+  ttl_s : float;
+  max_sources : int;
+  table : (string, source) Hashtbl.t;
+  mutable errors : int;
+  mutable quarantines : int;
+  mutable dropped : int;
+}
+
+type stats = { errors : int; quarantines : int; dropped : int; active : int }
+
+let create ?(threshold = 8) ?(window_s = 10.0) ?(ttl_s = 30.0) ?(max_sources = 4096) () =
+  if threshold <= 0 then invalid_arg "Quarantine.create: threshold must be positive";
+  {
+    threshold;
+    window_s;
+    ttl_s;
+    max_sources;
+    table = Hashtbl.create 64;
+    errors = 0;
+    quarantines = 0;
+    dropped = 0;
+  }
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key s ->
+      match !victim with
+      | Some (_, oldest) when oldest <= s.touched -> ()
+      | _ -> victim := Some (key, s.touched))
+    t.table;
+  match !victim with None -> () | Some (key, _) -> Hashtbl.remove t.table key
+
+let lookup t ~now key =
+  match Hashtbl.find_opt t.table key with
+  | Some s ->
+      s.touched <- now;
+      s
+  | None ->
+      if Hashtbl.length t.table >= t.max_sources then evict_lru t;
+      let s = { window_start = now; window_errors = 0; blocked_until = 0.0; touched = now } in
+      Hashtbl.replace t.table key s;
+      s
+
+let note_error t ~now ~src =
+  let s = lookup t ~now (Dsim.Addr.to_string src) in
+  t.errors <- t.errors + 1;
+  if now -. s.window_start > t.window_s then begin
+    s.window_start <- now;
+    s.window_errors <- 0
+  end;
+  s.window_errors <- s.window_errors + 1;
+  if s.window_errors >= t.threshold && s.blocked_until <= now then begin
+    s.blocked_until <- now +. t.ttl_s;
+    s.window_errors <- 0;
+    t.quarantines <- t.quarantines + 1;
+    true
+  end
+  else false
+
+let blocked t ~now ~src =
+  match Hashtbl.find_opt t.table (Dsim.Addr.to_string src) with
+  | None -> false
+  | Some s ->
+      s.touched <- now;
+      if s.blocked_until > now then begin
+        t.dropped <- t.dropped + 1;
+        true
+      end
+      else false
+
+let stats t ~now =
+  let active = ref 0 in
+  Hashtbl.iter (fun _ s -> if s.blocked_until > now then incr active) t.table;
+  { errors = t.errors; quarantines = t.quarantines; dropped = t.dropped; active = !active }

@@ -1,0 +1,43 @@
+(** Per-source quarantine for hostile or broken senders.
+
+    The engine already contains parse failures (they are counted, never
+    fatal), but a source spraying garbage still costs a parse attempt per
+    datagram.  This table pushes the boundary to the front door: every
+    parse failure is charged to the sending transport address, and a
+    source that crosses the error threshold within the sliding window is
+    quarantined — its datagrams are dropped at ingest, without parsing,
+    until the TTL expires.  Legitimate traffic from other sources is
+    untouched, which is what distinguishes quarantine from shedding.
+
+    Keys are full [host:port] transport addresses, not bare hosts: NATed
+    or loopback deployments see many independent senders behind one IP,
+    and a quarantine keyed on the host would let one hostile socket take
+    its neighbours down with it.
+
+    The table itself is bounded (LRU beyond [max_sources]) so an attacker
+    cycling source ports cannot turn the defense into a memory leak. *)
+
+type t
+
+val create :
+  ?threshold:int -> ?window_s:float -> ?ttl_s:float -> ?max_sources:int -> unit -> t
+(** [threshold] parse errors (default 8) within [window_s] seconds
+    (default 10) quarantine the source for [ttl_s] seconds (default 30).
+    At most [max_sources] (default 4096) sources are tracked. *)
+
+val note_error : t -> now:float -> src:Dsim.Addr.t -> bool
+(** Charges one parse failure; [true] when this charge tripped the
+    threshold and the source is now quarantined. *)
+
+val blocked : t -> now:float -> src:Dsim.Addr.t -> bool
+(** Whether datagrams from [src] should be dropped right now.  Counts
+    the drop when it answers [true]. *)
+
+type stats = {
+  errors : int;  (** Parse failures charged. *)
+  quarantines : int;  (** Times a source entered quarantine. *)
+  dropped : int;  (** Datagrams dropped while their source was quarantined. *)
+  active : int;  (** Sources currently quarantined (at the last query). *)
+}
+
+val stats : t -> now:float -> stats

@@ -8,6 +8,7 @@ type event =
   | Quarantine of { subject : string; origin : string }
   | Eviction of { subject : string; detail : string }
   | Checkpoint of { seq : int }
+  | Ingest of { action : string; detail : string }
   | Note of { label : string; detail : string }
 
 type entry = { seq : int; at : Dsim.Time.t; ev : event }
@@ -86,6 +87,10 @@ let event_to_json = function
           ("detail", Json.quote detail) ]
   | Checkpoint { seq } ->
       Json.obj [ ("type", Json.quote "checkpoint"); ("seq", Json.int seq) ]
+  | Ingest { action; detail } ->
+      Json.obj
+        [ ("type", Json.quote "ingest"); ("action", Json.quote action);
+          ("detail", Json.quote detail) ]
   | Note { label; detail } ->
       Json.obj
         [ ("type", Json.quote "note"); ("label", Json.quote label);

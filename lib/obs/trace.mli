@@ -31,6 +31,10 @@ type event =
   | Eviction of { subject : string; detail : string }
       (** Resource governance reclaiming a record. *)
   | Checkpoint of { seq : int }
+  | Ingest of { action : string; detail : string }
+      (** A live-ingestion boundary event: overload shedding, a source
+          quarantine, a socket backoff/reopen.  [action] is a short
+          machine-stable tag ([shed-media], [quarantine], …). *)
   | Note of { label : string; detail : string }
       (** Free-form marker (supervisor crashes/restarts, run phases). *)
 

@@ -1,0 +1,568 @@
+(* Live-ingestion tests: the pcap codec as a hostile-input boundary, the
+   shed queue's watermark discipline, per-source quarantine, backoff
+   arithmetic, the UDP listener over a real loopback socket, and the
+   daemon's convergence contract — a live run digests equal to an offline
+   replay of the same capture, and a SIGTERM mid-ingest loses no alert
+   already earned. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let tc name f = Alcotest.test_case name `Quick f
+
+let q ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let ms = Dsim.Time.of_ms
+
+let tmp_path =
+  let n = ref 0 in
+  fun suffix ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vids_ingest_%d_%d%s" (Unix.getpid ()) !n suffix)
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let record ~at ~src ~dst payload = { Vids.Trace.at; src; dst; payload }
+
+let same_record (a : Vids.Trace.record) (b : Vids.Trace.record) =
+  Dsim.Time.equal a.Vids.Trace.at b.Vids.Trace.at
+  && Dsim.Addr.equal a.Vids.Trace.src b.Vids.Trace.src
+  && Dsim.Addr.equal a.Vids.Trace.dst b.Vids.Trace.dst
+  && String.equal a.Vids.Trace.payload b.Vids.Trace.payload
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let manual_clock () =
+  let c = Ingest.Clock.manual ~start:5.0 () in
+  check "manual start" true (c.Ingest.Clock.now () = 5.0);
+  c.Ingest.Clock.sleep 1.5;
+  check "sleep advances" true (c.Ingest.Clock.now () = 6.5);
+  Ingest.Clock.advance c 0.5;
+  check "advance advances" true (c.Ingest.Clock.now () = 7.0);
+  c.Ingest.Clock.sleep (-3.0);
+  check "negative sleep is a no-op" true (c.Ingest.Clock.now () = 7.0)
+
+let system_clock_monotone () =
+  let c = Ingest.Clock.system () in
+  let a = c.Ingest.Clock.now () in
+  let b = c.Ingest.Clock.now () in
+  check "monotone" true (b >= a);
+  check "system clock cannot be advanced" true
+    (match Ingest.Clock.advance c 1.0 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Pcap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pcap_roundtrip () =
+  let records = Test_recovery.make_trace ~calls:6 in
+  let path = tmp_path ".pcap" in
+  Ingest.Pcap.write_file path records;
+  match Ingest.Pcap.read_file path with
+  | Error e -> Alcotest.failf "read_file: %s" e
+  | Ok (records', skipped) ->
+      Sys.remove path;
+      check_int "no skipped frames" 0 (List.length skipped);
+      check_int "same count" (List.length records) (List.length records');
+      List.iter2
+        (fun a b -> check "record preserved" true (same_record a b))
+        records records'
+
+let pcap_nonip_hosts () =
+  let src = Dsim.Addr.v "nodeA" 5060 and dst = Dsim.Addr.v "nodeB" 5060 in
+  let records =
+    [ record ~at:(ms 1.) ~src ~dst "OPTIONS sip:x SIP/2.0\r\n\r\n";
+      record ~at:(ms 2.) ~src ~dst "second" ]
+  in
+  let path = tmp_path ".pcap" in
+  Ingest.Pcap.write_file path records;
+  match Ingest.Pcap.read_file path with
+  | Error e -> Alcotest.failf "read_file: %s" e
+  | Ok (records', _) ->
+      Sys.remove path;
+      check_int "both read" 2 (List.length records');
+      let r0 = List.nth records' 0 and r1 = List.nth records' 1 in
+      (* Host strings are not preserved, but the mapping is deterministic
+         and lands in the RFC 2544 benchmark range. *)
+      check_str "same mapped host" (Dsim.Addr.host r0.Vids.Trace.src)
+        (Dsim.Addr.host r1.Vids.Trace.src);
+      check "mapped into 198.18/15" true
+        (String.length (Dsim.Addr.host r0.Vids.Trace.src) >= 7
+        && String.sub (Dsim.Addr.host r0.Vids.Trace.src) 0 7 = "198.18."
+           || String.sub (Dsim.Addr.host r0.Vids.Trace.src) 0 7 = "198.19.");
+      check_int "port preserved" 5060 (Dsim.Addr.port r0.Vids.Trace.src);
+      check_str "payload preserved" "second" r1.Vids.Trace.payload;
+      check "distinct hosts stay distinct" true
+        (Dsim.Addr.host r0.Vids.Trace.src <> Dsim.Addr.host r0.Vids.Trace.dst)
+
+let pcap_truncation_fuzz =
+  let records = Test_recovery.make_trace ~calls:3 in
+  let path = tmp_path ".pcap" in
+  Ingest.Pcap.write_file path records;
+  let full = read_bytes path in
+  Sys.remove path;
+  let n = List.length records in
+  q ~count:120 "pcap: truncation never raises, yields a record prefix"
+    QCheck.(int_range 0 (String.length full))
+    (fun cut ->
+      let path = tmp_path ".pcap" in
+      write_bytes path (String.sub full 0 cut);
+      let ok =
+        match Ingest.Pcap.read_file path with
+        | Error _ -> cut < 24 (* only a torn global header is fatal *)
+        | Ok (records', _) ->
+            List.length records' <= n
+            && List.for_all2 same_record records'
+                 (List.filteri (fun i _ -> i < List.length records') records)
+      in
+      Sys.remove path;
+      ok)
+
+let pcap_garbage_fuzz =
+  q ~count:120 "pcap: random bytes never raise"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 512) QCheck.Gen.char)
+    (fun junk ->
+      let path = tmp_path ".pcap" in
+      write_bytes path junk;
+      let ok =
+        match Ingest.Pcap.read_file path with Error _ -> true | Ok _ -> true
+      in
+      Sys.remove path;
+      ok)
+
+(* ------------------------------------------------------------------ *)
+(* Shed queue                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let addr = Dsim.Addr.v "10.0.0.1" 5060
+
+let sip_rec i = record ~at:(ms (float_of_int i)) ~src:addr ~dst:addr "INVITE x"
+let rtp_rec i = record ~at:(ms (float_of_int i)) ~src:addr ~dst:addr "\x80\x12binary"
+
+let shed_queue_watermarks () =
+  let t = Ingest.Shed_queue.create ~high_water:4 ~capacity:6 () in
+  for i = 1 to 4 do
+    check "below high water everything enters" true
+      (Ingest.Shed_queue.push t (rtp_rec i) = Ingest.Shed_queue.Enqueued)
+  done;
+  (* Above high water media is refused, signaling still admitted. *)
+  check "media shed above high water" true
+    (Ingest.Shed_queue.push t (rtp_rec 5) = Ingest.Shed_queue.Shed_media);
+  check "signaling admitted above high water" true
+    (Ingest.Shed_queue.push t (sip_rec 6) = Ingest.Shed_queue.Enqueued);
+  check "signaling admitted at last slot" true
+    (Ingest.Shed_queue.push t (sip_rec 7) = Ingest.Shed_queue.Enqueued);
+  (* At capacity the oldest is displaced so the newcomer fits. *)
+  check "oldest displaced at capacity" true
+    (Ingest.Shed_queue.push t (sip_rec 8) = Ingest.Shed_queue.Displaced_oldest);
+  check_int "depth stays at capacity" 6 (Ingest.Shed_queue.length t);
+  (match Ingest.Shed_queue.pop t with
+  | Some r -> check "head is record 2 (record 1 displaced)" true (same_record r (rtp_rec 2))
+  | None -> Alcotest.fail "queue empty");
+  let s = Ingest.Shed_queue.stats t in
+  check_int "enqueued" 7 s.Ingest.Shed_queue.enqueued;
+  check_int "shed media" 1 s.Ingest.Shed_queue.shed_media;
+  check_int "shed oldest" 1 s.Ingest.Shed_queue.shed_oldest;
+  check_int "peak depth" 6 s.Ingest.Shed_queue.peak_depth
+
+let shed_queue_classifier () =
+  check "SIP request is signaling" true (Ingest.Shed_queue.is_signaling "INVITE sip:x");
+  check "SIP response is signaling" true (Ingest.Shed_queue.is_signaling "SIP/2.0 200 OK");
+  check "RTP is media" false (Ingest.Shed_queue.is_signaling "\x80\x12\x00\x01");
+  check "empty is media" false (Ingest.Shed_queue.is_signaling "")
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let srcp p = Dsim.Addr.v "203.0.113.9" p
+
+let quarantine_threshold_and_ttl () =
+  let t = Ingest.Quarantine.create ~threshold:3 ~window_s:10.0 ~ttl_s:5.0 () in
+  let src = srcp 1000 in
+  check "1st error below threshold" false (Ingest.Quarantine.note_error t ~now:0.0 ~src);
+  check "2nd error below threshold" false (Ingest.Quarantine.note_error t ~now:0.1 ~src);
+  check "not blocked yet" false (Ingest.Quarantine.blocked t ~now:0.2 ~src);
+  check "3rd error trips" true (Ingest.Quarantine.note_error t ~now:0.2 ~src);
+  check "blocked" true (Ingest.Quarantine.blocked t ~now:0.3 ~src);
+  (* Neighbouring ports on the same host are untouched. *)
+  check "same host, other port unaffected" false
+    (Ingest.Quarantine.blocked t ~now:0.3 ~src:(srcp 1001));
+  check "still blocked before ttl" true (Ingest.Quarantine.blocked t ~now:5.1 ~src);
+  check "released after ttl" false (Ingest.Quarantine.blocked t ~now:5.3 ~src);
+  let s = Ingest.Quarantine.stats t ~now:6.0 in
+  check_int "errors charged" 3 s.Ingest.Quarantine.errors;
+  check_int "one quarantine" 1 s.Ingest.Quarantine.quarantines;
+  check_int "drops counted" 2 s.Ingest.Quarantine.dropped;
+  check_int "none active after ttl" 0 s.Ingest.Quarantine.active
+
+let quarantine_window_slides () =
+  let t = Ingest.Quarantine.create ~threshold:3 ~window_s:1.0 ~ttl_s:5.0 () in
+  let src = srcp 2000 in
+  (* Errors spread wider than the window never accumulate to the
+     threshold. *)
+  check "t=0" false (Ingest.Quarantine.note_error t ~now:0.0 ~src);
+  check "t=2" false (Ingest.Quarantine.note_error t ~now:2.0 ~src);
+  check "t=4" false (Ingest.Quarantine.note_error t ~now:4.0 ~src);
+  check "t=6" false (Ingest.Quarantine.note_error t ~now:6.0 ~src);
+  check "never quarantined" false (Ingest.Quarantine.blocked t ~now:6.1 ~src)
+
+let quarantine_lru_bound () =
+  let t = Ingest.Quarantine.create ~threshold:2 ~window_s:100.0 ~ttl_s:100.0 ~max_sources:4 () in
+  (* Many more distinct sources than the table admits: no growth beyond
+     the cap, no exception — the attacker cycling ports cannot turn the
+     defense into a leak. *)
+  for p = 1 to 100 do
+    ignore (Ingest.Quarantine.note_error t ~now:(float_of_int p) ~src:(srcp p))
+  done;
+  (* A source whose state was LRU-evicted restarts from zero. *)
+  check "evicted source needs a full threshold again" false
+    (Ingest.Quarantine.note_error t ~now:101.0 ~src:(srcp 1))
+
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let backoff_doubles_caps_budgets () =
+  let b = Ingest.Backoff.create ~initial_s:0.1 ~factor:2.0 ~cap_s:0.5 ~budget:5 () in
+  let next () = Ingest.Backoff.next b in
+  check "1st 0.1" true (next () = Some 0.1);
+  check "2nd 0.2" true (next () = Some 0.2);
+  check "3rd 0.4" true (next () = Some 0.4);
+  check "4th capped" true (next () = Some 0.5);
+  check "5th capped" true (next () = Some 0.5);
+  check "budget spent" true (next () = None);
+  check "stays spent" true (next () = None);
+  check_int "retries counted" 5 (Ingest.Backoff.retries b);
+  Ingest.Backoff.reset b;
+  check_int "reset clears retries" 0 (Ingest.Backoff.retries b);
+  check "reset restores delay and budget" true (next () = Some 0.1)
+
+let backoff_no_overflow () =
+  let b = Ingest.Backoff.create ~initial_s:0.1 ~factor:1e30 ~cap_s:7.0 ~budget:1000 () in
+  for _ = 1 to 999 do
+    match Ingest.Backoff.next b with
+    | Some d -> check "always within cap" true (d > 0.0 && d <= 7.0)
+    | None -> Alcotest.fail "budget exhausted early"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* UDP source (real loopback sockets)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_sender f =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) (fun () -> f fd)
+
+let sendto fd (addr : Dsim.Addr.t) payload =
+  let sockaddr =
+    Unix.ADDR_INET (Unix.inet_addr_of_string (Dsim.Addr.host addr), Dsim.Addr.port addr)
+  in
+  ignore (Unix.sendto fd (Bytes.of_string payload) 0 (String.length payload) [] sockaddr)
+
+let rec drain_udp u ~clock ~tries acc =
+  let got = Ingest.Udp_source.recv_batch u ~clock ~max:64 in
+  let acc = acc @ got in
+  if tries = 0 || List.length acc >= 3 then acc
+  else begin
+    Unix.sleepf 0.02;
+    drain_udp u ~clock ~tries:(tries - 1) acc
+  end
+
+let udp_source_loopback () =
+  let clock = Ingest.Clock.system () in
+  match Ingest.Udp_source.listen ~host:"127.0.0.1" ~port:0 () with
+  | Error e -> Alcotest.failf "listen: %s" e
+  | Ok u ->
+      Fun.protect ~finally:(fun () -> Ingest.Udp_source.close u) @@ fun () ->
+      let addr = Ingest.Udp_source.local_addr u in
+      check "ephemeral port assigned" true (Dsim.Addr.port addr > 0);
+      check_int "dry socket yields nothing" 0
+        (List.length (Ingest.Udp_source.recv_batch u ~clock ~max:16));
+      with_sender (fun fd ->
+          sendto fd addr "one";
+          sendto fd addr "two";
+          sendto fd addr "three";
+          let got = drain_udp u ~clock ~tries:50 [] in
+          check_int "all three received" 3 (List.length got);
+          check "payloads preserved" true
+            (List.map (fun d -> d.Ingest.Udp_source.payload) got = [ "one"; "two"; "three" ]);
+          (* All from the same sender socket: one consistent source addr. *)
+          (match got with
+          | a :: rest ->
+              List.iter
+                (fun d ->
+                  check "consistent src" true
+                    (Dsim.Addr.equal a.Ingest.Udp_source.src d.Ingest.Udp_source.src))
+                rest
+          | [] -> ());
+          let s = Ingest.Udp_source.stats u in
+          check_int "received counted" 3 s.Ingest.Udp_source.received;
+          check "no errors" true (s.Ingest.Udp_source.recv_errors = 0 && not s.Ingest.Udp_source.gave_up))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: pcap convergence with offline replay                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_daemon ?(config = Ingest.Daemon.default) ?stop ?hard_kill ?on_batch sources =
+  let clock = Ingest.Clock.manual () in
+  match Ingest.Daemon.run ~clock ?stop ?hard_kill ?on_batch config sources with
+  | Error e -> Alcotest.failf "daemon: %s" e
+  | Ok report -> report
+
+let daemon_config =
+  { Ingest.Daemon.default with Ingest.Daemon.checkpoint_every_s = 0.0; batch = 32 }
+
+(* A capture file is chronological; [make_trace] builds call-by-call, so
+   sort before writing what a real sensor would have seen on the wire. *)
+let by_time =
+  List.stable_sort (fun (a : Vids.Trace.record) b ->
+      Dsim.Time.compare a.Vids.Trace.at b.Vids.Trace.at)
+
+let daemon_converges_with_replay () =
+  let records = by_time (Test_recovery.make_trace ~calls:12) in
+  let path = tmp_path ".pcap" in
+  Ingest.Pcap.write_file path records;
+  let report =
+    run_daemon ~config:daemon_config [ Ingest.Daemon.Pcap_file { path; pace = false } ]
+  in
+  Sys.remove path;
+  check "stopped at end of file" true (report.Ingest.Daemon.stop_reason = Ingest.Daemon.Eof);
+  check_int "every record dispatched" (List.length records) report.Ingest.Daemon.dispatched;
+  (* The convergence contract: the live path (pcap bytes → queue → clock
+     bridge → advance_to/process) digests equal to the batch replay at
+     the same horizon. *)
+  let horizon = report.Ingest.Daemon.horizon in
+  let _sched, offline = Vids.Trace.replay_until ~until:horizon records in
+  check_str "digest equals offline replay"
+    (Vids.Snapshot.digest ~at:horizon offline)
+    (Vids.Snapshot.digest ~at:horizon report.Ingest.Daemon.engine)
+
+let daemon_paced_run () =
+  (* Under the manual clock, pacing "sleeps" advance virtual wall time
+     instantly — the paced daemon is deterministic and fast. *)
+  let records = Test_recovery.make_trace ~calls:4 in
+  let path = tmp_path ".pcap" in
+  Ingest.Pcap.write_file path records;
+  let report =
+    run_daemon ~config:daemon_config [ Ingest.Daemon.Pcap_file { path; pace = true } ]
+  in
+  Sys.remove path;
+  check_int "every record dispatched" (List.length records) report.Ingest.Daemon.dispatched;
+  check "horizon reached the last record" true
+    (Dsim.Time.( >= ) report.Ingest.Daemon.horizon
+       (List.fold_left (fun acc r -> Dsim.Time.max acc r.Vids.Trace.at) Dsim.Time.zero records))
+
+(* The alert-preservation half of graceful shutdown: a SIGTERM landing
+   after the attack traffic but before the capture ends must leave the
+   same alert log as a run that saw the whole capture. *)
+let flood_then_benign () =
+  let flood =
+    List.init 30 (fun i ->
+        record
+          ~at:(ms (200.0 +. (5.0 *. float_of_int i)))
+          ~src:(Dsim.Addr.v "203.0.113.66" 5060)
+          ~dst:(Dsim.Addr.v "10.2.0.2" 5060)
+          (Test_recovery.invite ~call_id:(Printf.sprintf "flood-%d" i) ~port:20000))
+  in
+  let benign =
+    List.map
+      (fun r -> { r with Vids.Trace.at = Dsim.Time.add r.Vids.Trace.at (Dsim.Time.of_sec 2.0) })
+      (Test_recovery.make_trace ~calls:6)
+  in
+  by_time (flood @ benign)
+
+let alert_keys engine =
+  List.sort compare (List.map Vids.Alert.dedup_key (Vids.Engine.alerts engine))
+
+let daemon_sigterm_preserves_alerts () =
+  let records = flood_then_benign () in
+  let path = tmp_path ".pcap" in
+  Ingest.Pcap.write_file path records;
+  (* Clean end-of-capture baseline. *)
+  let clean =
+    run_daemon ~config:daemon_config [ Ingest.Daemon.Pcap_file { path; pace = false } ]
+  in
+  check "baseline raised the flood alert" true
+    (Vids.Engine.alerts_of_kind clean.Ingest.Daemon.engine Vids.Alert.Invite_flood <> []);
+  (* Same capture, but the stop flag (the signal handler's write) raised
+     after the second batch — past the flood (the sorted capture leads
+     with it), inside the benign tail, and strictly before the loop can
+     reach end-of-file on its own. *)
+  let stop = ref false in
+  let batches = ref 0 in
+  let interrupted =
+    run_daemon ~config:daemon_config ~stop
+      ~on_batch:(fun () ->
+        incr batches;
+        if !batches = 2 then stop := true)
+      [ Ingest.Daemon.Pcap_file { path; pace = false } ]
+  in
+  Sys.remove path;
+  check "stopped by signal" true
+    (interrupted.Ingest.Daemon.stop_reason = Ingest.Daemon.Signalled);
+  check "interrupted before end of capture" true
+    (interrupted.Ingest.Daemon.dispatched < List.length records);
+  check "flood dispatched before the signal" true (interrupted.Ingest.Daemon.dispatched >= 30);
+  Alcotest.(check (list string))
+    "same alert digest as the clean run"
+    (alert_keys clean.Ingest.Daemon.engine)
+    (alert_keys interrupted.Ingest.Daemon.engine)
+
+let daemon_hard_kill_recovers () =
+  let records = flood_then_benign () in
+  let path = tmp_path ".pcap" in
+  let snap = tmp_path ".ck" in
+  let journal = snap ^ ".journal" in
+  let capture = tmp_path ".trace" in
+  Ingest.Pcap.write_file path records;
+  let config =
+    {
+      daemon_config with
+      Ingest.Daemon.checkpoint_every_s = 0.5;
+      snapshot_path = Some snap;
+      journal_path = Some journal;
+      record_path = Some capture;
+    }
+  in
+  (* kill -9 mid-ingest: the flag flips after the second batch — before
+     the capture runs dry — and the loop returns without drain, final
+     checkpoint, or channel close. *)
+  let hard_kill = ref false in
+  let batches = ref 0 in
+  let killed =
+    run_daemon ~config ~hard_kill
+      ~on_batch:(fun () ->
+        incr batches;
+        if !batches = 2 then hard_kill := true)
+      [ Ingest.Daemon.Pcap_file { path; pace = false } ]
+  in
+  check "killed" true (killed.Ingest.Daemon.stop_reason = Ingest.Daemon.Killed);
+  check "a checkpoint had been saved" true (Sys.file_exists snap);
+  (* Recover from the survivors: snapshot + journal + the daemon's own
+     capture file.  The outcome must digest-converge with an offline
+     replay of that capture at the recovered horizon. *)
+  (match
+     Vids.Recovery.recover_files ~journal_path:journal ~trace_path:capture
+       ~snapshot_path:snap ()
+   with
+  | Error e -> Alcotest.failf "recovery: %s" e
+  | Ok fr ->
+      let o = fr.Vids.Recovery.outcome in
+      let at = Dsim.Scheduler.now o.Vids.Recovery.sched in
+      let dispatched_records =
+        match open_in_bin capture with
+        | ic ->
+            let rs, bad = Vids.Trace.load_lenient ic in
+            close_in ic;
+            check_int "capture parses cleanly" 0 (List.length bad);
+            rs
+      in
+      let _sched, offline = Vids.Trace.replay_until ~until:at dispatched_records in
+      check_str "recovered digest equals replay of the capture"
+        (Vids.Snapshot.digest ~at offline)
+        (Vids.Snapshot.digest ~at o.Vids.Recovery.engine));
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; snap; snap ^ ".1"; journal; capture ]
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: live UDP with a hostile source (real loopback)              *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_udp_quarantine_and_detection () =
+  (* The classifier keys SIP on port 5060, so the listener must own it;
+     if another process does, fail loudly rather than silently skip. *)
+  match Ingest.Udp_source.listen ~host:"127.0.0.1" ~port:5060 () with
+  | Error e -> Alcotest.failf "cannot bind 127.0.0.1:5060 (%s)" e
+  | Ok u ->
+      let daemon_addr = Ingest.Udp_source.local_addr u in
+      with_sender @@ fun hostile ->
+      with_sender @@ fun attacker ->
+      let stop = ref false in
+      let batches = ref 0 in
+      let send_invite i =
+        sendto attacker daemon_addr
+          (Test_recovery.invite ~call_id:(Printf.sprintf "udp-flood-%d" i) ~port:20000)
+      in
+      let report =
+        run_daemon
+          ~config:{ daemon_config with Ingest.Daemon.quarantine_threshold = 5 }
+          ~stop
+          ~on_batch:(fun () ->
+            incr batches;
+            (* Batch 1: a hostile source sprays garbage while a distinct
+               source floods INVITEs — the attack the sensor must still
+               see.  The loop then gets a generous number of turns to
+               drain the kernel buffer before the stop flag trips. *)
+            if !batches = 1 then begin
+              for i = 1 to 12 do
+                sendto hostile daemon_addr (Printf.sprintf "GARBAGE not sip %d" i)
+              done;
+              for i = 1 to 10 do
+                send_invite i
+              done
+            end;
+            (* A second burst well after the first: by now the source is
+               quarantined, so these must die at the door — the drop
+               counter is the proof the filter is load-bearing. *)
+            if !batches = 50 then
+              for i = 1 to 6 do
+                sendto hostile daemon_addr (Printf.sprintf "GARBAGE again %d" i)
+              done;
+            if !batches = 200 then stop := true)
+          [ Ingest.Daemon.Udp u ]
+      in
+      check "stopped by the test flag" true
+        (report.Ingest.Daemon.stop_reason = Ingest.Daemon.Signalled);
+      (* The garbage was counted and its source quarantined... *)
+      check "parse errors counted" true (report.Ingest.Daemon.parse_errors >= 5);
+      check "hostile source quarantined" true
+        (report.Ingest.Daemon.quarantine.Ingest.Quarantine.quarantines >= 1);
+      check "datagrams dropped at the door" true
+        (report.Ingest.Daemon.quarantine.Ingest.Quarantine.dropped >= 1);
+      (* ...while the concurrent legitimate detection still fired. *)
+      check "INVITE flood still detected" true
+        (Vids.Engine.alerts_of_kind report.Ingest.Daemon.engine Vids.Alert.Invite_flood <> [])
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "ingest",
+      [
+        tc "manual clock" manual_clock;
+        tc "system clock monotone" system_clock_monotone;
+        tc "pcap round-trip" pcap_roundtrip;
+        tc "pcap non-IP host mapping" pcap_nonip_hosts;
+        pcap_truncation_fuzz;
+        pcap_garbage_fuzz;
+        tc "shed queue watermarks" shed_queue_watermarks;
+        tc "shed queue classifier" shed_queue_classifier;
+        tc "quarantine threshold and ttl" quarantine_threshold_and_ttl;
+        tc "quarantine window slides" quarantine_window_slides;
+        tc "quarantine lru bound" quarantine_lru_bound;
+        tc "backoff doubles, caps, budgets" backoff_doubles_caps_budgets;
+        tc "backoff immune to float overflow" backoff_no_overflow;
+        tc "udp source over loopback" udp_source_loopback;
+        tc "daemon converges with offline replay" daemon_converges_with_replay;
+        tc "daemon paced run under manual clock" daemon_paced_run;
+        tc "daemon SIGTERM preserves earned alerts" daemon_sigterm_preserves_alerts;
+        tc "daemon hard kill recovers through Recovery" daemon_hard_kill_recovers;
+        tc "daemon quarantines hostile UDP source, still detects" daemon_udp_quarantine_and_detection;
+      ] );
+  ]

@@ -511,6 +511,158 @@ let supervised_restart_budget () =
   check_int "budget spent" 2 report.Vids.Supervisor.restarts;
   check "remaining trace missed" true (report.Vids.Supervisor.packets_missed > 0)
 
+(* Restart-budget boundary: a budget of 3 must survive exactly three
+   crashes — the third restart is the last allowed one, and only a fourth
+   crash exhausts it. *)
+let supervised_budget_exact_edge () =
+  let trace = make_trace ~calls:20 in
+  let policy = { base_policy with Vids.Supervisor.max_restarts = 3 } in
+  (* Outages: 433–633 (200 ms), 933–1333 (doubled), 1433–2233 (doubled
+     again) — each later kill lands after the previous restart. *)
+  let at_budget =
+    Vids.Supervisor.run ~policy ~trace ~kill_at:[ ms 433.; ms 933.; ms 1433. ] ()
+  in
+  check "exactly at budget: still alive" true (not at_budget.Vids.Supervisor.gave_up);
+  check_int "all three restarts spent" 3 at_budget.Vids.Supervisor.restarts;
+  check_int "three crashes" 3 at_budget.Vids.Supervisor.crashes;
+  let over_budget =
+    Vids.Supervisor.run ~policy ~trace ~kill_at:[ ms 433.; ms 933.; ms 1433.; ms 2333. ] ()
+  in
+  check "one past budget: gave up" true over_budget.Vids.Supervisor.gave_up;
+  check_int "restarts never exceed the budget" 3 over_budget.Vids.Supervisor.restarts;
+  check_int "the fourth crash is final" 4 over_budget.Vids.Supervisor.crashes
+
+(* Backoff cap: an absurd growth factor (1e200 overflows to infinity by
+   the third consecutive crash) must clamp at the cap instead of stalling
+   the sensor for the rest of the horizon — the downtime ledger comes out
+   exact. *)
+let supervised_backoff_cap () =
+  (* 30 calls put the horizon (last record + drain) past 3 s, so even the
+     outage of the last kill at 2150 ms runs its full 400 ms instead of
+     being clipped by the end of the run. *)
+  let trace = make_trace ~calls:30 in
+  let policy =
+    {
+      base_policy with
+      Vids.Supervisor.max_restarts = 200;
+      (* No checkpoint inside the horizon, so the consecutive-crash
+         streak never resets and the exponent keeps growing. *)
+      checkpoint_every = sec 1000.;
+      backoff_factor = 1e200;
+      backoff_cap = ms 400.;
+    }
+  in
+  let kills = [ ms 100.; ms 350.; ms 800.; ms 1250.; ms 1700.; ms 2150. ] in
+  let report = Vids.Supervisor.run ~policy ~trace ~kill_at:kills () in
+  check "never gave up" true (not report.Vids.Supervisor.gave_up);
+  check_int "every kill produced a restart" 6 report.Vids.Supervisor.restarts;
+  (* First outage at the initial backoff, the five others clamped at the
+     cap: 200 + 5 x 400 ms, to the microsecond. *)
+  check "downtime exactly 200 + 5*400 ms" true
+    (Dsim.Time.equal report.Vids.Supervisor.downtime_total (ms 2200.))
+
+(* ------------------------------------------------------------------ *)
+(* Durable-file corruption fuzz                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Random single-point corruption of an append-only file: a byte flip, a
+   truncation, or a garbage splice.  Loaders must never raise, and every
+   line wholly before the corruption point must come back verbatim — the
+   CRC-armored prefix is the recovery contract. *)
+
+let corruption_gen =
+  QCheck.Gen.(
+    quad (int_range 0 2) (int_range 0 10_000) any_byte
+      (string_size ~gen:any_byte (int_range 0 64)))
+
+let corruption_arb =
+  QCheck.make
+    ~print:(fun (mode, pos, c, junk) ->
+      Printf.sprintf "mode=%d pos=%d byte=%02x junk=%S" mode pos (Char.code c) junk)
+    corruption_gen
+
+(* Applies one corruption to [lines] rendered as a file; returns the
+   mangled content and how many leading lines are untouched. *)
+let corrupt_lines lines (mode, pos, c, junk) =
+  let original = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  let len = String.length original in
+  let pos = if len = 0 then 0 else pos mod len in
+  let corrupted =
+    match mode with
+    | 0 ->
+        let b = Bytes.of_string original in
+        let c = if Bytes.get b pos = c then Char.chr ((Char.code c + 1) land 0xff) else c in
+        Bytes.set b pos c;
+        Bytes.to_string b
+    | 1 -> String.sub original 0 pos
+    | _ -> String.sub original 0 pos ^ junk ^ String.sub original pos (len - pos)
+  in
+  let intact = ref 0 in
+  let off = ref 0 in
+  List.iter
+    (fun l ->
+      (* The line plus its newline must sit strictly before the
+         corruption point. *)
+      if !off + String.length l + 1 <= pos then incr intact;
+      off := !off + String.length l + 1)
+    lines;
+  (corrupted, !intact)
+
+let with_corrupt_file lines op f =
+  let corrupted, intact = corrupt_lines lines op in
+  let path = Filename.temp_file "vids_corrupt" ".log" in
+  let oc = open_out_bin path in
+  output_string oc corrupted;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path intact)
+
+let prefix_matches rendered_loaded lines intact =
+  List.length rendered_loaded >= intact
+  && List.for_all2
+       (fun a b -> String.equal a b)
+       (List.filteri (fun i _ -> i < intact) rendered_loaded)
+       (List.filteri (fun i _ -> i < intact) lines)
+
+let journal_fixture_lines =
+  let alert kind at subject msg = Vids.Journal.Alert (Vids.Alert.make ~kind ~at:(ms at) ~subject msg) in
+  List.map Vids.Journal.entry_to_line
+    [
+      alert Vids.Alert.Invite_flood 5. "sip:bob@b.example" "INVITE flood";
+      Vids.Journal.Eviction { at = ms 7.; subject = "call-0"; detail = "ttl expired" };
+      alert Vids.Alert.Spec_deviation 12. "10.1.0.2:5060" "unparseable SIP";
+      Vids.Journal.Checkpoint { at = ms 15.; seq = 1 };
+      alert Vids.Alert.Invite_flood 21. "sip:carol@b.example" "INVITE flood";
+      Vids.Journal.Eviction { at = ms 30.; subject = "call-3"; detail = "bye" };
+      Vids.Journal.Checkpoint { at = ms 40.; seq = 2 };
+      alert Vids.Alert.Spec_deviation 44. "10.9.0.9:5060" "teardown out of order";
+    ]
+
+let journal_corruption_fuzz =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"journal: corruption never raises, keeps CRC-valid prefix"
+       ~count:300 corruption_arb (fun op ->
+         with_corrupt_file journal_fixture_lines op (fun path intact ->
+             match Vids.Journal.load_lenient path with
+             | Error e -> QCheck.Test.fail_reportf "load refused to open: %s" e
+             | Ok (entries, _bad) ->
+                 prefix_matches
+                   (List.map Vids.Journal.entry_to_line entries)
+                   journal_fixture_lines intact)))
+
+let trace_fixture_lines = List.map Vids.Trace.record_to_line (make_trace ~calls:4)
+
+let trace_corruption_fuzz =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"trace: corruption never raises, keeps CRC-valid prefix"
+       ~count:300 corruption_arb (fun op ->
+         with_corrupt_file trace_fixture_lines op (fun path intact ->
+             let ic = open_in_bin path in
+             let records, _bad = Vids.Trace.load_lenient ic in
+             close_in ic;
+             prefix_matches
+               (List.map Vids.Trace.record_to_line records)
+               trace_fixture_lines intact)))
+
 let supervised_warm_standby () =
   let trace = make_trace ~calls:20 in
   let kills = [ ms 733.; ms 1433. ] in
@@ -548,6 +700,10 @@ let suite =
         tc "supervised clean run" supervised_clean_run;
         tc "supervised crash and recover" supervised_crash_and_recover;
         tc "supervised restart budget" supervised_restart_budget;
+        tc "supervised budget exact edge" supervised_budget_exact_edge;
+        tc "supervised backoff cap" supervised_backoff_cap;
+        journal_corruption_fuzz;
+        trace_corruption_fuzz;
         tc "supervised warm standby" supervised_warm_standby;
       ] );
   ]
