@@ -6,6 +6,7 @@
      detect     run attack scenarios and print the alert log
      run        live-ingestion daemon over pcap files and/or a UDP socket
      recover    rebuild a crashed engine from checkpoint + journal + trace
+     rules      print the enforcement rules stored in a checkpoint
      parse      parse a SIP message from a file and dump its structure
      export-fsm print the Graphviz rendering of a protocol/attack machine *)
 
@@ -26,6 +27,42 @@ let exit_for_alerts alerts =
   if List.exists (fun (a : Vids.Alert.t) -> Vids.Alert.is_attack a.Vids.Alert.kind) alerts then
     exit_attacks_detected
   else 0
+
+(* ------------------------------------------------------------------ *)
+(* Prevention mode: --enforce / --block-ttl / --fail-closed            *)
+(* ------------------------------------------------------------------ *)
+
+let enforcement_json e =
+  let module J = Obs.Json in
+  let s = Enforce.Enforcer.stats e in
+  let tbl = s.Enforce.Enforcer.table in
+  J.obj
+    [
+      ("passed", J.int s.Enforce.Enforcer.passed);
+      ("blocked", J.int s.Enforce.Enforcer.blocked);
+      ("teardowns", J.int s.Enforce.Enforcer.teardowns);
+      ("rules_active", J.int tbl.Enforce.Block_table.active);
+      ("rules_installed", J.int tbl.Enforce.Block_table.installed);
+      ("rules_refreshed", J.int tbl.Enforce.Block_table.refreshed);
+      ("rules_expired", J.int tbl.Enforce.Block_table.expired);
+      ("rules_overflowed", J.int tbl.Enforce.Block_table.overflowed);
+      ("dropped", J.int tbl.Enforce.Block_table.dropped);
+      ("rate_limited", J.int tbl.Enforce.Block_table.limited);
+      ("lockdown", J.bool (Enforce.Block_table.lockdown (Enforce.Enforcer.table e)));
+      ("digest", J.quote (Enforce.Enforcer.digest e));
+      ("rules", Enforce.Enforcer.rules_json e);
+    ]
+
+let print_enforcement e =
+  let s = Enforce.Enforcer.stats e in
+  let tbl = s.Enforce.Enforcer.table in
+  Format.printf
+    "enforcement: %d blocked (%d rate-limited), %d passed, %d teardown(s); %d rule(s) active \
+     (%d installed, %d expired)%s@."
+    s.Enforce.Enforcer.blocked tbl.Enforce.Block_table.limited s.Enforce.Enforcer.passed
+    s.Enforce.Enforcer.teardowns tbl.Enforce.Block_table.active
+    tbl.Enforce.Block_table.installed tbl.Enforce.Block_table.expired
+    (if Enforce.Block_table.lockdown (Enforce.Enforcer.table e) then " [LOCKDOWN]" else "")
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry plumbing: --metrics-out / --trace-out / --trace-ring      *)
@@ -360,10 +397,15 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
 let all_attacks = [ "bye-dos"; "cancel-dos"; "hijack"; "media-spam"; "billing-fraud";
                     "invite-flood"; "rtp-flood"; "drdos" ]
 
-let detect seed attacks governance checkpointing shards obs json =
+let detect seed attacks governance checkpointing shards obs enforce_policy json =
   let attacks = if attacks = [] then all_attacks else attacks in
   let config = apply_governance governance Vids.Config.default in
   let sharded = shards > 1 in
+  if sharded && enforce_policy <> None then begin
+    Format.eprintf
+      "--enforce needs the sequential engine (the gate sits on one tap); drop --shards@.";
+    exit 1
+  end;
   let tb = T.make ~seed ~vids:(if sharded then T.Off else T.Monitor) ~config () in
   let horizon = sec (40.0 +. (25.0 *. float_of_int (List.length attacks))) in
   let shard_eng =
@@ -374,6 +416,17 @@ let detect seed attacks governance checkpointing shards obs json =
   let ck =
     if sharded then None
     else start_checkpointing ?obs:obs_state checkpointing tb.T.sched (T.engine_exn tb) ~horizon
+  in
+  (* Prevention mode: re-point the sensor tap at the enforcement gate so
+     blocked packets never reach the engine. *)
+  let enforcer =
+    Option.map
+      (fun policy ->
+        let e = Enforce.Enforcer.create ~policy tb.T.sched (T.engine_exn tb) in
+        Dsim.Network.set_tap tb.T.vids_node
+          (Some (fun pkt -> ignore (Enforce.Enforcer.ingest e pkt)));
+        e)
+      enforce_policy
   in
   let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
   let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
@@ -423,7 +476,16 @@ let detect seed attacks governance checkpointing shards obs json =
           exit_for_alerts outcome.Shard.Shard_engine.alerts
       | None ->
           let engine = T.engine_exn tb in
-          if json then print_endline (Vids.Report.json engine)
+          if json then
+            print_endline
+              (match enforcer with
+              | None -> Vids.Report.json engine
+              | Some e ->
+                  Obs.Json.obj
+                    [
+                      ("report", Vids.Report.json engine);
+                      ("enforcement", enforcement_json e);
+                    ])
           else begin
             List.iter
               (fun a -> Format.printf "%a@." Vids.Alert.pp a)
@@ -431,7 +493,12 @@ let detect seed attacks governance checkpointing shards obs json =
             let c = Vids.Engine.counters engine in
             Format.printf "%d distinct alert(s); %d duplicates suppressed@."
               c.Vids.Engine.alerts_raised c.Vids.Engine.alerts_suppressed;
-            governance_summary engine
+            governance_summary engine;
+            Option.iter
+              (fun e ->
+                print_enforcement e;
+                print_string (Enforce.Enforcer.rules_text e))
+              enforcer
           end;
           finish_obs obs obs_state;
           exit_for_alerts (Vids.Engine.alerts engine))
@@ -535,26 +602,34 @@ let ingest_report_json (r : Ingest.Daemon.report) =
   let q = r.Ingest.Daemon.queue in
   let quar = r.Ingest.Daemon.quarantine in
   J.obj
-    [
-      ( "ingest",
-        J.obj
-          [
-            ("stop_reason", J.quote (stop_reason_string r.Ingest.Daemon.stop_reason));
-            ("dispatched", J.int r.Ingest.Daemon.dispatched);
-            ("parse_errors", J.int r.Ingest.Daemon.parse_errors);
-            ("checkpoints", J.int r.Ingest.Daemon.checkpoints);
-            ("queue_enqueued", J.int q.Ingest.Shed_queue.enqueued);
-            ("queue_shed_media", J.int q.Ingest.Shed_queue.shed_media);
-            ("queue_shed_oldest", J.int q.Ingest.Shed_queue.shed_oldest);
-            ("queue_peak_depth", J.int q.Ingest.Shed_queue.peak_depth);
-            ("quarantined_sources", J.int quar.Ingest.Quarantine.quarantines);
-            ("quarantine_dropped", J.int quar.Ingest.Quarantine.dropped);
-            ("dispatch_p99_us",
-             J.float (1e6 *. Dsim.Stat.Quantiles.p99 r.Ingest.Daemon.dispatch));
-            ("horizon_us", J.int (Dsim.Time.to_us r.Ingest.Daemon.horizon));
-          ] );
-      ("report", Vids.Report.json r.Ingest.Daemon.engine);
-    ]
+    ([
+       ( "ingest",
+         J.obj
+           [
+             ("stop_reason", J.quote (stop_reason_string r.Ingest.Daemon.stop_reason));
+             ("dispatched", J.int r.Ingest.Daemon.dispatched);
+             ("parse_errors", J.int r.Ingest.Daemon.parse_errors);
+             ("checkpoints", J.int r.Ingest.Daemon.checkpoints);
+             ("queue_capacity", J.int q.Ingest.Shed_queue.capacity);
+             ("queue_high_water", J.int q.Ingest.Shed_queue.high_water);
+             ("queue_enqueued", J.int q.Ingest.Shed_queue.enqueued);
+             ("queue_shed_media", J.int q.Ingest.Shed_queue.shed_media);
+             ("queue_shed_oldest", J.int q.Ingest.Shed_queue.shed_oldest);
+             ("queue_peak_depth", J.int q.Ingest.Shed_queue.peak_depth);
+             ("quarantine_errors", J.int quar.Ingest.Quarantine.errors);
+             ("quarantined_sources", J.int quar.Ingest.Quarantine.quarantines);
+             ("quarantine_dropped", J.int quar.Ingest.Quarantine.dropped);
+             ("quarantine_active", J.int quar.Ingest.Quarantine.active);
+             ("dispatch_p99_us",
+              J.float (1e6 *. Dsim.Stat.Quantiles.p99 r.Ingest.Daemon.dispatch));
+             ("horizon_us", J.int (Dsim.Time.to_us r.Ingest.Daemon.horizon));
+           ] );
+       ("report", Vids.Report.json r.Ingest.Daemon.engine);
+     ]
+    @
+    match r.Ingest.Daemon.enforcer with
+    | None -> []
+    | Some e -> [ ("enforcement", enforcement_json e) ])
 
 let print_ingest_report (r : Ingest.Daemon.report) =
   let q = r.Ingest.Daemon.queue in
@@ -591,10 +666,15 @@ let print_ingest_report (r : Ingest.Daemon.report) =
       (1e6 *. Dsim.Stat.Quantiles.p99 r.Ingest.Daemon.dispatch);
   if r.Ingest.Daemon.checkpoints > 0 then
     Format.printf "checkpoints: %d saved@." r.Ingest.Daemon.checkpoints;
+  Option.iter
+    (fun e ->
+      print_enforcement e;
+      print_string (Enforce.Enforcer.rules_text e))
+    r.Ingest.Daemon.enforcer;
   Vids.Report.full Format.std_formatter r.Ingest.Daemon.engine
 
 let daemon captures pace listen queue_cap max_runtime governance checkpointing obs record_out
-    json =
+    enforce_policy json =
   (* The graceful path: first signal sets the flag and the loop drains; a
      second signal while the drain runs falls back to the default
      disposition (terminate now), so a wedged drain cannot trap the
@@ -659,6 +739,7 @@ let daemon captures pace listen queue_cap max_runtime governance checkpointing o
                else None);
             record_path = record_out;
             max_runtime_s = max_runtime;
+            enforce = enforce_policy;
           }
         in
         match Ingest.Daemon.run ?metrics ?flight ~stop config sources with
@@ -783,9 +864,13 @@ let recover_sharded snapshot_path trace_path until shards obs =
                 (if telemetry_wanted obs then Some obs else None);
               0))
 
-let recover snapshot_path journal_path trace_path until shards obs =
+let recover snapshot_path journal_path trace_path until shards obs enforce_policy =
   let until = Option.map sec until in
-  if shards > 1 then recover_sharded snapshot_path trace_path until shards obs
+  if shards > 1 && enforce_policy <> None then begin
+    Format.eprintf "--enforce needs the sequential engine; drop --shards@.";
+    1
+  end
+  else if shards > 1 then recover_sharded snapshot_path trace_path until shards obs
   else
   let obs_state = make_obs obs in
   let prepare =
@@ -795,13 +880,28 @@ let recover snapshot_path journal_path trace_path until shards obs =
       obs_state
   in
   let t0 = Unix.gettimeofday () in
-  match
-    Vids.Recovery.recover_files ?prepare ?journal_path ?trace_path ?until ~snapshot_path ()
-  with
+  let recovered =
+    match enforce_policy with
+    | Some policy ->
+        (* Enforcement recovery owns the hook ordering: the capture must
+           replay through the restored gate or its drop decisions — and
+           therefore the recovered digest — would diverge from the run
+           that never crashed. *)
+        Result.map
+          (fun (fr, e) -> (fr, Some e))
+          (Enforce.Recover.recover_files ~policy ?journal_path ?trace_path ?until
+             ~snapshot_path ())
+    | None ->
+        Result.map
+          (fun fr -> (fr, None))
+          (Vids.Recovery.recover_files ?prepare ?journal_path ?trace_path ?until
+             ~snapshot_path ())
+  in
+  match recovered with
   | Error e ->
       Format.eprintf "recovery failed: %s@." e;
       1
-  | Ok fr ->
+  | Ok (fr, enforcer) ->
       let o = fr.Vids.Recovery.outcome in
       Option.iter
         (fun (metrics, _) ->
@@ -833,9 +933,41 @@ let recover snapshot_path journal_path trace_path until shards obs =
         fr.Vids.Recovery.trace_skipped;
       Format.printf "replayed %d packet(s) recorded after the checkpoint@.@."
         o.Vids.Recovery.replayed;
+      Option.iter
+        (fun e ->
+          print_enforcement e;
+          print_string (Enforce.Enforcer.rules_text e))
+        enforcer;
       Vids.Report.full Format.std_formatter o.Vids.Recovery.engine;
       finish_obs obs obs_state;
       0
+
+(* ------------------------------------------------------------------ *)
+(* rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rules snapshot_path json =
+  match Vids.Snapshot.load snapshot_path with
+  | Error e ->
+      Format.eprintf "cannot load %s: %s@." snapshot_path e;
+      1
+  | Ok snap -> (
+      match List.assoc_opt Enforce.Enforcer.ext_tag (Vids.Snapshot.ext snap) with
+      | None ->
+          Format.printf "no enforcement state in %s (checkpoint #%d at %a)@." snapshot_path
+            (Vids.Snapshot.seq snap) Dsim.Time.pp (Vids.Snapshot.at snap);
+          0
+      | Some payload -> (
+          let tbl = Enforce.Block_table.create () in
+          match Enforce.Block_table.restore tbl payload with
+          | Error e ->
+              Format.eprintf "corrupt enforcement state in %s: %s@." snapshot_path e;
+              1
+          | Ok () ->
+              let now = Vids.Snapshot.at snap in
+              if json then print_endline (Enforce.Block_table.to_json tbl ~now)
+              else print_string (Enforce.Block_table.to_text tbl ~now);
+              0))
 
 (* ------------------------------------------------------------------ *)
 (* parse                                                               *)
@@ -1090,6 +1222,42 @@ let json_flag =
           "Emit the final report as one JSON object on stdout (progress and export \
            announcements go to stderr).")
 
+let enforce_term =
+  let enforce =
+    Arg.(
+      value & flag
+      & info [ "enforce" ]
+          ~doc:
+            "Prevention mode: act on alerts — drop flooding sources, rate-limit media \
+             floods, tear down hijacked calls.  Decisions are journaled and checkpointed \
+             so they survive a crash.")
+  in
+  let block_ttl =
+    Arg.(
+      value & opt float 60.0
+      & info [ "block-ttl" ] ~docv:"SEC"
+          ~doc:"Lifetime of enforcement rules; repeat alerts refresh it.")
+  in
+  let fail_closed =
+    Arg.(
+      value & flag
+      & info [ "fail-closed" ]
+          ~doc:
+            "When enforcement cannot do its job (rule-table overflow, corrupt recovery \
+             state), drop all traffic instead of failing open.")
+  in
+  Term.(
+    const (fun on ttl fc ->
+        if not on then None
+        else
+          Some
+            {
+              Enforce.Enforcer.default_policy with
+              Enforce.Enforcer.block_ttl = sec ttl;
+              fail_closed = fc;
+            })
+    $ enforce $ block_ttl $ fail_closed)
+
 let simulate_cmd =
   let n_ua = Arg.(value & opt int 10 & info [ "uas" ] ~doc:"UAs per enterprise network.") in
   let mode =
@@ -1114,7 +1282,7 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Launch attack scenarios and print the vIDS alert log")
     Term.(
       const detect $ seed_arg $ attacks $ governance_term $ checkpoint_term $ shards_term
-      $ obs_term $ json_flag)
+      $ obs_term $ enforce_term $ json_flag)
 
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -1191,7 +1359,7 @@ let run_cmd =
           on a clean stop, 3 when attack alerts were raised, nonzero on faults.")
     Term.(
       const daemon $ captures $ pace $ listen $ queue $ max_runtime $ governance_term
-      $ checkpoint_term $ obs_term $ record_out $ json_flag)
+      $ checkpoint_term $ obs_term $ record_out $ enforce_term $ json_flag)
 
 let analyze_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
@@ -1226,7 +1394,22 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Rebuild a crashed engine from checkpoint + journal + trace and print its report")
-    Term.(const recover $ snapshot $ journal $ trace $ until $ shards_term $ obs_term)
+    Term.(
+      const recover $ snapshot $ journal $ trace $ until $ shards_term $ obs_term
+      $ enforce_term)
+
+let rules_cmd =
+  let snapshot =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"SNAPSHOT" ~doc:"Checkpoint whose enforcement rules to print.")
+  in
+  Cmd.v
+    (Cmd.info "rules"
+       ~doc:
+         "Print the enforcement rules stored in a checkpoint — what an enforcing sensor \
+          was blocking when it wrote it.")
+    Term.(const rules $ snapshot $ json_flag)
 
 let lint_cmd =
   let json =
@@ -1269,5 +1452,5 @@ let () =
        (Cmd.group info
           [
             simulate_cmd; detect_cmd; record_cmd; run_cmd; analyze_cmd; recover_cmd;
-            parse_cmd; lint_cmd; check_specs_cmd; export_cmd;
+            rules_cmd; parse_cmd; lint_cmd; check_specs_cmd; export_cmd;
           ]))

@@ -1,6 +1,7 @@
 type call = {
   call_id : string;
   key : int; (* interned Call-ID id; all secondary structures use this *)
+  serial : int; (* unique per record: disambiguates a recycled [key] *)
   system : Efsm.System.t;
   sip : Efsm.Machine.t;
   rtp : Efsm.Machine.t;
@@ -14,7 +15,17 @@ type call = {
   mutable recheck_at : Dsim.Time.t option;
 }
 
-type detector = { d_system : Efsm.System.t; d_machine : Efsm.Machine.t; d_created : Dsim.Time.t }
+type detector = {
+  d_system : Efsm.System.t;
+  d_machine : Efsm.Machine.t;
+  d_created : Dsim.Time.t;
+  d_serial : int;
+  (* Last lookup time: detectors are keyed by attacker-controlled values
+     (media streams, victim addresses), so an idle record is reclaimed by
+     the ageing sweep just like an abandoned call.  Persisted in snapshots
+     so a recovered engine sweeps at the same virtual times. *)
+  mutable d_touched : Dsim.Time.t;
+}
 
 type detector_kind = [ `Flood | `Spam | `Drdos ]
 
@@ -43,15 +54,19 @@ type t = {
   (* Creation-order queues back oldest-first eviction in O(1) amortized:
      entries are validated lazily against the live tables, so a record
      deleted through the normal lifecycle just leaves a stale entry to be
-     skipped.  created_at disambiguates a Call-ID reused after deletion. *)
-  call_order : (int * Dsim.Time.t) Queue.t;
-  detector_order : (detector_kind * string * Dsim.Time.t) Queue.t;
+     skipped.  The per-record serial disambiguates a key recycled after
+     deletion; amortized compaction keeps the queues proportional to the
+     live record count under sustained churn. *)
+  call_order : (int * int) Queue.t; (* key, serial *)
+  detector_order : (detector_kind * string * int) Queue.t; (* kind, key, serial *)
+  mutable next_serial : int;
   mutable peak : int;
   mutable created : int;
   mutable deleted : int;
   mutable calls_evicted : int;
   mutable detectors_evicted : int;
   mutable swept : int;
+  mutable dswept : int;
   mutable sweep_timer : Dsim.Scheduler.timer option;
   mutable sweep_next : Dsim.Time.t option;
 }
@@ -72,12 +87,14 @@ let create ?(on_pressure = fun ~subject:_ ~detail:_ -> ()) ~config ~timer_host ~
     drdoses = Hashtbl.create 64;
     call_order = Queue.create ();
     detector_order = Queue.create ();
+    next_serial = 0;
     peak = 0;
     created = 0;
     deleted = 0;
     calls_evicted = 0;
     detectors_evicted = 0;
     swept = 0;
+    dswept = 0;
     sweep_timer = None;
     sweep_next = None;
   }
@@ -100,22 +117,54 @@ let system_callbacks t ~subject =
 
 let media_key addr = Dsim.Addr.to_string addr
 
-let delete_call t call =
-  Efsm.System.release call.system;
-  List.iter (fun addr -> Hashtbl.remove t.media_index (media_key addr)) call.media_addrs;
-  if Hashtbl.mem t.calls call.key then begin
-    Hashtbl.remove t.calls call.key;
-    t.deleted <- t.deleted + 1
+let fresh_serial t =
+  let s = t.next_serial in
+  t.next_serial <- s + 1;
+  s
+
+(* Stale queue entries are skipped lazily, but under sustained churn the
+   skip debt itself is a leak: rebuild the queue once it outgrows twice the
+   live population (amortized O(1) per deletion). *)
+let compact_call_order t =
+  if Queue.length t.call_order > (2 * Hashtbl.length t.calls) + 64 then begin
+    let keep = Queue.create () in
+    Queue.iter
+      (fun ((key, serial) as entry) ->
+        match Hashtbl.find_opt t.calls key with
+        | Some call when call.serial = serial -> Queue.add entry keep
+        | Some _ | None -> ())
+      t.call_order;
+    Queue.clear t.call_order;
+    Queue.transfer keep t.call_order
   end
+
+let delete_call t call =
+  match Hashtbl.find_opt t.calls call.key with
+  | Some live when live == call ->
+      Efsm.System.release call.system;
+      List.iter
+        (fun addr ->
+          match Hashtbl.find_opt t.media_index (media_key addr) with
+          | Some k when k = call.key -> Hashtbl.remove t.media_index (media_key addr)
+          | Some _ | None -> ())
+        call.media_addrs;
+      Hashtbl.remove t.calls call.key;
+      t.deleted <- t.deleted + 1;
+      (* Recycle the interned Call-ID: without this, every distinct id ever
+         seen pins a string + table entry forever — the live-word creep the
+         soak bench observed under call churn. *)
+      Intern.release t.ids call.key;
+      compact_call_order t
+  | Some _ | None -> () (* already deleted, or the key was recycled *)
 
 (* Drop the oldest live call; stale queue entries (normal deletions,
    Call-ID reuse) are skipped. *)
 let rec evict_oldest_call t =
   match Queue.take_opt t.call_order with
   | None -> ()
-  | Some (key, created_at) -> (
+  | Some (key, serial) -> (
       match Hashtbl.find_opt t.calls key with
-      | Some call when Dsim.Time.equal call.created_at created_at ->
+      | Some call when call.serial = serial ->
           delete_call t call;
           t.calls_evicted <- t.calls_evicted + 1;
           (* Constant subject: the engine dedups alerts by kind|subject, so
@@ -145,6 +194,7 @@ let create_call t ~call_id =
         {
           call_id;
           key;
+          serial = fresh_serial t;
           system;
           sip;
           rtp;
@@ -157,7 +207,7 @@ let create_call t ~call_id =
         }
       in
       Hashtbl.replace t.calls key call;
-      Queue.add (key, call.created_at) t.call_order;
+      Queue.add (key, call.serial) t.call_order;
       t.created <- t.created + 1;
       let active = Hashtbl.length t.calls in
       if active > t.peak then t.peak <- active;
@@ -188,6 +238,19 @@ let occupancy t = Hashtbl.length t.calls + detector_count t
 
 let kind_label = function `Flood -> "flood" | `Spam -> "spam" | `Drdos -> "drdos"
 
+let compact_detector_order t =
+  if Queue.length t.detector_order > (2 * detector_count t) + 64 then begin
+    let keep = Queue.create () in
+    Queue.iter
+      (fun ((kind, key, serial) as entry) ->
+        match Hashtbl.find_opt (detector_table t kind) key with
+        | Some d when d.d_serial = serial -> Queue.add entry keep
+        | Some _ | None -> ())
+      t.detector_order;
+    Queue.clear t.detector_order;
+    Queue.transfer keep t.detector_order
+  end
+
 let remove_detector t kind ~key =
   let table = detector_table t kind in
   match Hashtbl.find_opt table key with
@@ -195,14 +258,15 @@ let remove_detector t kind ~key =
   | Some d ->
       Efsm.System.release d.d_system;
       Hashtbl.remove table key;
+      compact_detector_order t;
       true
 
 let rec evict_oldest_detector t =
   match Queue.take_opt t.detector_order with
   | None -> ()
-  | Some (kind, key, created) -> (
+  | Some (kind, key, serial) -> (
       match Hashtbl.find_opt (detector_table t kind) key with
-      | Some d when Dsim.Time.equal d.d_created created ->
+      | Some d when d.d_serial = serial ->
           ignore (remove_detector t kind ~key);
           t.detectors_evicted <- t.detectors_evicted + 1;
           t.on_pressure ~subject:"fact-base/detectors"
@@ -215,7 +279,9 @@ let rec evict_oldest_detector t =
 let detector kind t ~key ~make_spec ~subject_prefix =
   let table = detector_table t kind in
   match Hashtbl.find_opt table key with
-  | Some d -> (d.d_system, d.d_machine)
+  | Some d ->
+      d.d_touched <- t.timer_host.Efsm.System.now ();
+      (d.d_system, d.d_machine)
   | None ->
       let cap = t.config.Config.max_detectors in
       if cap > 0 && detector_count t >= cap then evict_oldest_detector t;
@@ -224,8 +290,9 @@ let detector kind t ~key ~make_spec ~subject_prefix =
       let d_system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
       let d_machine = Efsm.System.add_machine d_system (make_spec t.config) in
       let d_created = t.timer_host.Efsm.System.now () in
-      Hashtbl.replace table key { d_system; d_machine; d_created };
-      Queue.add (kind, key, d_created) t.detector_order;
+      let d_serial = fresh_serial t in
+      Hashtbl.replace table key { d_system; d_machine; d_created; d_serial; d_touched = d_created };
+      Queue.add (kind, key, d_serial) t.detector_order;
       (d_system, d_machine)
 
 let flood_detector t ~key =
@@ -299,6 +366,27 @@ let sweep t ~max_age =
   List.iter (delete_call t) stale;
   List.length stale
 
+(* Detectors have no final state and no lifecycle deletion: without ageing,
+   every distinct media stream or victim address ever seen keeps a record
+   (and its machine history) forever — unbounded growth under key churn.
+   A detector untouched for [max_age] has produced any alert it ever will
+   for that traffic; reclaim it and let a fresh instance be built if the
+   key recurs. *)
+let sweep_detectors t ~max_age =
+  let now = t.timer_host.Efsm.System.now () in
+  let stale =
+    List.concat_map
+      (fun kind ->
+        Hashtbl.fold
+          (fun key d acc ->
+            if Dsim.Time.( > ) (Dsim.Time.sub now d.d_touched) max_age then (kind, key) :: acc
+            else acc)
+          (detector_table t kind) [])
+      [ `Flood; `Spam; `Drdos ]
+  in
+  List.iter (fun (kind, key) -> ignore (remove_detector t kind ~key)) stale;
+  List.length stale
+
 let arm_sweep t ~delay =
   let interval = t.config.Config.sweep_interval in
   let max_age = t.config.Config.call_max_age in
@@ -307,12 +395,15 @@ let arm_sweep t ~delay =
     t.sweep_timer <- Some (t.timer_host.Efsm.System.set delay tick)
   and tick () =
     let reclaimed = sweep t ~max_age in
-    if reclaimed > 0 then begin
+    let d_reclaimed = sweep_detectors t ~max_age in
+    if reclaimed + d_reclaimed > 0 then begin
       t.swept <- t.swept + reclaimed;
+      t.dswept <- t.dswept + d_reclaimed;
       t.on_pressure ~subject:"sweep"
         ~detail:
-          (Printf.sprintf "scheduled sweep reclaimed %d record(s) older than %.0f s" reclaimed
-             (Dsim.Time.to_sec max_age))
+          (Printf.sprintf
+             "scheduled sweep reclaimed %d call(s) and %d idle detector(s) older than %.0f s"
+             reclaimed d_reclaimed (Dsim.Time.to_sec max_age))
     end;
     arm interval
   in
@@ -358,19 +449,19 @@ let kind_of_label = function
    processed the same traffic serialize identically. *)
 let calls_in_creation_order t =
   Queue.fold
-    (fun acc (key, created_at) ->
+    (fun acc (key, serial) ->
       match Hashtbl.find_opt t.calls key with
-      | Some call when Dsim.Time.equal call.created_at created_at -> call :: acc
+      | Some call when call.serial = serial -> call :: acc
       | Some _ | None -> acc)
     [] t.call_order
   |> List.rev
 
 let detectors_in_creation_order t =
   Queue.fold
-    (fun acc (kind, key, created) ->
+    (fun acc (kind, key, serial) ->
       match Hashtbl.find_opt (detector_table t kind) key with
-      | Some d when Dsim.Time.equal d.d_created created ->
-          (kind, key, d.d_system, d.d_machine, d.d_created) :: acc
+      | Some d when d.d_serial = serial ->
+          (kind, key, d.d_system, d.d_machine, d.d_created, d.d_touched) :: acc
       | Some _ | None -> acc)
     [] t.detector_order
   |> List.rev
@@ -391,6 +482,7 @@ let restore_call t ~call_id ~created_at =
     {
       call_id;
       key;
+      serial = fresh_serial t;
       system;
       sip;
       rtp;
@@ -403,10 +495,10 @@ let restore_call t ~call_id ~created_at =
     }
   in
   Hashtbl.replace t.calls key call;
-  Queue.add (key, created_at) t.call_order;
+  Queue.add (key, call.serial) t.call_order;
   call
 
-let restore_detector t kind ~key ~created_at =
+let restore_detector t kind ~key ~created_at ~touched =
   let table = detector_table t kind in
   if Hashtbl.mem table key then
     invalid_arg
@@ -420,17 +512,21 @@ let restore_detector t kind ~key ~created_at =
   let on_alert, on_anomaly = system_callbacks t ~subject:(subject_prefix ^ key) in
   let d_system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
   let d_machine = Efsm.System.add_machine d_system (make_spec t.config) in
-  Hashtbl.replace table key { d_system; d_machine; d_created = created_at };
-  Queue.add (kind, key, created_at) t.detector_order;
+  let d_serial = fresh_serial t in
+  Hashtbl.replace table key
+    { d_system; d_machine; d_created = created_at; d_serial; d_touched = touched };
+  Queue.add (kind, key, d_serial) t.detector_order;
   (d_system, d_machine)
 
-let set_counters t ~peak ~created ~deleted ~calls_evicted ~detectors_evicted ~swept =
+let set_counters t ~peak ~created ~deleted ~calls_evicted ~detectors_evicted ~swept
+    ~detectors_swept =
   t.peak <- peak;
   t.created <- created;
   t.deleted <- deleted;
   t.calls_evicted <- calls_evicted;
   t.detectors_evicted <- detectors_evicted;
-  t.swept <- swept
+  t.swept <- swept;
+  t.dswept <- detectors_swept
 
 type stats = {
   active_calls : int;
@@ -440,6 +536,7 @@ type stats = {
   calls_evicted : int;
   detectors_evicted : int;
   calls_swept : int;
+  detectors_swept : int;
   detectors : int;
   modeled_bytes : int;
   measured_bytes : int;
@@ -459,6 +556,7 @@ let stats t =
     calls_evicted = t.calls_evicted;
     detectors_evicted = t.detectors_evicted;
     calls_swept = t.swept;
+    detectors_swept = t.dswept;
     detectors = detector_count t;
     modeled_bytes = active * per_call;
     measured_bytes = measured;

@@ -18,7 +18,11 @@ type call = {
   call_id : string;
   key : int;
       (** Interned Call-ID id ({!Intern.intern}); the call table, media index
-          and eviction queue all key on this instead of the string. *)
+          and eviction queue all key on this instead of the string.  Released
+          (and possibly recycled) when the call is deleted. *)
+  serial : int;
+      (** Unique per record, never reused: disambiguates a recycled [key] in
+          the eviction queue and in stale timer closures. *)
   system : Efsm.System.t;
   sip : Efsm.Machine.t;
   rtp : Efsm.Machine.t;
@@ -91,6 +95,12 @@ val sweep : t -> max_age:Dsim.Time.t -> int
 (** Forcibly deletes calls older than [max_age]; returns how many.  Covers
     abandoned setups that never reach a final state. *)
 
+val sweep_detectors : t -> max_age:Dsim.Time.t -> int
+(** Deletes detectors whose last lookup is older than [max_age]; returns
+    how many.  Detector keys are attacker-controlled (streams, victims),
+    so idle records must age out or the base grows without bound under key
+    churn.  The scheduled sweep runs this alongside {!sweep}. *)
+
 val schedule_sweep : t -> unit
 (** Starts the periodic ageing sweep on the base's timer host, driven by
     [sweep_interval] and [call_max_age]; a no-op when either is zero. *)
@@ -107,14 +117,21 @@ val calls_in_creation_order : t -> call list
     eviction order, so restoring in this order preserves both). *)
 
 val detectors_in_creation_order :
-  t -> (detector_kind * string * Efsm.System.t * Efsm.Machine.t * Dsim.Time.t) list
+  t ->
+  (detector_kind * string * Efsm.System.t * Efsm.Machine.t * Dsim.Time.t * Dsim.Time.t) list
+(** Kind, key, system, machine, created-at, last-touched. *)
 
 val restore_call : t -> call_id:string -> created_at:Dsim.Time.t -> call
 (** Rebuilds an empty call record (machines in their initial states) under
     the given identity.  Raises [Invalid_argument] on a duplicate. *)
 
 val restore_detector :
-  t -> detector_kind -> key:string -> created_at:Dsim.Time.t -> Efsm.System.t * Efsm.Machine.t
+  t ->
+  detector_kind ->
+  key:string ->
+  created_at:Dsim.Time.t ->
+  touched:Dsim.Time.t ->
+  Efsm.System.t * Efsm.Machine.t
 
 val arm_delete_at : t -> call -> Dsim.Time.t -> unit
 (** Marks the call closing and schedules its deletion at the absolute time
@@ -139,6 +156,7 @@ val set_counters :
   calls_evicted:int ->
   detectors_evicted:int ->
   swept:int ->
+  detectors_swept:int ->
   unit
 
 val kind_label : detector_kind -> string
@@ -154,7 +172,8 @@ type stats = {
   calls_deleted : int;  (** All removals: lifecycle, sweep, eviction, quarantine. *)
   calls_evicted : int;  (** Subset of deletions forced by the [max_calls] cap. *)
   detectors_evicted : int;
-  calls_swept : int;  (** Deletions by the scheduled ageing sweep. *)
+  calls_swept : int;  (** Call deletions by the scheduled ageing sweep. *)
+  detectors_swept : int;  (** Idle detectors reclaimed by the ageing sweep. *)
   detectors : int;
   modeled_bytes : int;  (** Paper's per-call memory model. *)
   measured_bytes : int;  (** Actual local-variable footprint. *)

@@ -21,25 +21,37 @@ module Table = Hashtbl.Make (Keyed)
 
 type t = {
   ids : int Table.t;
-  mutable names : string array; (* id -> string; first [next] slots live *)
-  mutable next : int;
+  mutable names : string array; (* id -> string; released slots hold "" *)
+  mutable next : int; (* high-water mark: ids in [0, next) have been handed out *)
+  mutable free : int list; (* released ids awaiting reuse *)
+  mutable live : int;
 }
 
-let create ?(size = 256) () = { ids = Table.create size; names = Array.make (max 1 size) ""; next = 0 }
+let create ?(size = 256) () =
+  { ids = Table.create size; names = Array.make (max 1 size) ""; next = 0; free = []; live = 0 }
 
 let intern t s =
   match Table.find_opt t.ids s with
   | Some id -> id
   | None ->
-      let id = t.next in
-      if id = Array.length t.names then begin
-        let grown = Array.make (2 * Array.length t.names) "" in
-        Array.blit t.names 0 grown 0 id;
-        t.names <- grown
-      end;
+      let id =
+        match t.free with
+        | id :: rest ->
+            t.free <- rest;
+            id
+        | [] ->
+            let id = t.next in
+            if id = Array.length t.names then begin
+              let grown = Array.make (2 * Array.length t.names) "" in
+              Array.blit t.names 0 grown 0 id;
+              t.names <- grown
+            end;
+            t.next <- id + 1;
+            id
+      in
       t.names.(id) <- s;
-      t.next <- id + 1;
       Table.replace t.ids s id;
+      t.live <- t.live + 1;
       id
 
 let find t s = Table.find_opt t.ids s
@@ -48,4 +60,16 @@ let name t id =
   if id < 0 || id >= t.next then invalid_arg (Printf.sprintf "Intern.name: unknown id %d" id);
   t.names.(id)
 
-let count t = t.next
+let release t id =
+  if id >= 0 && id < t.next then begin
+    let s = t.names.(id) in
+    match Table.find_opt t.ids s with
+    | Some id' when id' = id ->
+        Table.remove t.ids s;
+        t.names.(id) <- "";
+        t.free <- id :: t.free;
+        t.live <- t.live - 1
+    | Some _ | None -> () (* already released *)
+  end
+
+let count t = t.live

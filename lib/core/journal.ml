@@ -11,6 +11,10 @@ type entry =
   | Alert of Alert.t
   | Eviction of { at : Dsim.Time.t; subject : string; detail : string }
   | Checkpoint of { at : Dsim.Time.t; seq : int }
+  | Ext of { at : Dsim.Time.t; tag : string; payload : string }
+      (* Opaque record for a subsystem layered on top of the engine (e.g.
+         an enforcement decision): journaled like an alert so a crash loses
+         none, replayed to the owning subsystem during recovery. *)
 
 let ( let* ) = Result.bind
 
@@ -18,12 +22,15 @@ let entry_at = function
   | Alert a -> a.Alert.at
   | Eviction { at; _ } -> at
   | Checkpoint { at; _ } -> at
+  | Ext { at; _ } -> at
 
 let payload_of_entry = function
   | Alert a -> String.concat " " ("A" :: Codec.alert_to_tokens a)
   | Eviction { at; subject; detail } ->
       Printf.sprintf "E %d %s %s" (Dsim.Time.to_us at) (Codec.hex subject) (Codec.hex detail)
   | Checkpoint { at; seq } -> Printf.sprintf "C %d %d" (Dsim.Time.to_us at) seq
+  | Ext { at; tag; payload } ->
+      Printf.sprintf "X %d %s %s" (Dsim.Time.to_us at) (Codec.hex tag) (Codec.hex payload)
 
 let entry_to_line entry =
   let payload = payload_of_entry entry in
@@ -50,6 +57,11 @@ let entry_of_line line =
             let* at = Codec.time_tok at in
             let* seq = Codec.int_tok seq in
             Ok (Checkpoint { at; seq })
+        | [ "X"; at; tag; payload ] ->
+            let* at = Codec.time_tok at in
+            let* tag = Codec.unhex tag in
+            let* payload = Codec.unhex payload in
+            Ok (Ext { at; tag; payload })
         | tag :: _ -> Error ("unknown journal tag " ^ tag)
         | [] -> Error "empty journal payload")
 

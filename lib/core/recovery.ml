@@ -19,10 +19,11 @@ type outcome = {
   snapshot_at : Dsim.Time.t;
   journal_alerts : int;
   journal_evictions : int;
+  journal_exts : int;
   replayed : int;
 }
 
-let recover ?config ?prepare ?(journal = []) ?(trace = []) ?until snapshot =
+let recover ?config ?prepare ?on_ext ?inject ?(journal = []) ?(trace = []) ?until snapshot =
   let snapshot_at = Snapshot.at snapshot in
   let snapshot_seq = Snapshot.seq snapshot in
   let suffix = Journal.suffix_after ~seq:snapshot_seq ~at:snapshot_at journal in
@@ -30,16 +31,34 @@ let recover ?config ?prepare ?(journal = []) ?(trace = []) ?until snapshot =
   let evictions =
     List.length (List.filter (function Journal.Eviction _ -> true | _ -> false) suffix)
   in
+  let exts =
+    List.filter_map
+      (function Journal.Ext { at; tag; payload } -> Some (at, tag, payload) | _ -> None)
+      suffix
+  in
   let packets =
     List.filter (fun (r : Trace.record) -> Dsim.Time.( > ) r.Trace.at snapshot_at) trace
   in
   let replayed = ref 0 in
   let before_timers sched engine =
     (* Caller hook first: a shard coordinator uses it to re-attach the
-       global-event listener before any packet or journal entry lands. *)
+       global-event listener before any packet or journal entry lands; an
+       enforcement layer uses it to rebuild its state from the snapshot's
+       extension records. *)
     (match prepare with None -> () | Some f -> f sched engine);
     List.iter (Engine.merge_journal_alert engine) alerts;
-    replayed := Trace.schedule_into sched engine packets
+    replayed := Trace.schedule_into ?inject sched engine packets;
+    (* Journaled extension records recorded after the checkpoint, in
+       append order: replayed alerts are claimed (exactly-once) and never
+       re-notify listeners, so actions taken on them live must be restored
+       from the journal, not re-derived.  Applied after the replay suffix
+       is scheduled: an extension that re-arms a timer (e.g. a journaled
+       call teardown) must lose same-instant ties to packets, exactly as
+       live, where the packet that triggered the action was already
+       executing when the timer was armed. *)
+    (match on_ext with
+    | None -> ()
+    | Some f -> List.iter (fun (at, tag, payload) -> f ~at ~tag ~payload) exts)
   in
   match Snapshot.restore ?config ~before_timers snapshot with
   | Error e -> Error e
@@ -55,6 +74,7 @@ let recover ?config ?prepare ?(journal = []) ?(trace = []) ?until snapshot =
           snapshot_at;
           journal_alerts = List.length alerts;
           journal_evictions = evictions;
+          journal_exts = List.length exts;
           replayed = !replayed;
         }
 
@@ -82,13 +102,15 @@ let load_with_fallback path =
         | Ok snap -> Ok (snap, fallback, true, [ (path, primary_err) ])
         | Error fallback_err -> Error [ (path, primary_err); (fallback, fallback_err) ])
 
-let recover_files ?config ?prepare ?journal_path ?trace_path ?until ~snapshot_path () =
+let recover_files ?config ?prepare ?on_snapshot ?on_ext ?inject ?journal_path ?trace_path ?until
+    ~snapshot_path () =
   match load_with_fallback snapshot_path with
   | Error rejected ->
       Error
         (String.concat "; "
            (List.map (fun (p, e) -> Printf.sprintf "%s: %s" p e) rejected))
   | Ok (snapshot, used_path, used_fallback, rejected) -> (
+      (match on_snapshot with None -> () | Some f -> f snapshot);
       let journal, journal_skipped =
         match journal_path with
         | None -> ([], [])
@@ -109,7 +131,7 @@ let recover_files ?config ?prepare ?journal_path ?trace_path ?until ~snapshot_pa
                 close_in ic;
                 r)
       in
-      match recover ?config ?prepare ~journal ~trace ?until snapshot with
+      match recover ?config ?prepare ?on_ext ?inject ~journal ~trace ?until snapshot with
       | Error e -> Error e
       | Ok outcome ->
           Ok

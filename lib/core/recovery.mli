@@ -14,12 +14,15 @@ type outcome = {
   snapshot_at : Dsim.Time.t;
   journal_alerts : int;  (** Journal alerts merged ahead of replay. *)
   journal_evictions : int;  (** Journaled reclamations in the suffix (informational). *)
+  journal_exts : int;  (** Extension records handed to [on_ext]. *)
   replayed : int;  (** Trace records replayed after the snapshot instant. *)
 }
 
 val recover :
   ?config:Config.t ->
   ?prepare:(Dsim.Scheduler.t -> Engine.t -> unit) ->
+  ?on_ext:(at:Dsim.Time.t -> tag:string -> payload:string -> unit) ->
+  ?inject:(Dsim.Packet.t -> unit) ->
   ?journal:Journal.entry list ->
   ?trace:Trace.record list ->
   ?until:Dsim.Time.t ->
@@ -28,10 +31,19 @@ val recover :
 (** Pure-data recovery.  [prepare] runs on the restored engine before the
     journal merge, the replay scheduling and the timer re-arm — the hook a
     shard coordinator uses to re-attach {!Engine.set_global_listener} so
-    replayed packets feed the cross-shard aggregation again.  [until]
-    bounds the clock ([run_until]); omit it to drain the queue — but beware
-    that configs with a periodic sweep re-arm it forever, so bound governed
-    runs. *)
+    replayed packets feed the cross-shard aggregation again, and an
+    enforcement layer uses to rebuild its tables from the snapshot's
+    extension records.  [on_ext] receives every {!Journal.Ext} entry
+    recorded after the checkpoint, in append order, once the replay
+    suffix is scheduled (so a hook that re-arms a timer loses same-instant
+    ties to packets, exactly as live): replayed alerts are claimed
+    exactly-once and never re-notify listeners, so decisions taken on
+    them live must be restored from the journal, not re-derived.
+    [inject] replaces packet delivery during replay (see
+    {!Trace.schedule_into}) so a gate that dropped packets live drops the
+    same packets again.  [until] bounds the clock ([run_until]); omit it to
+    drain the queue — but beware that configs with a periodic sweep re-arm
+    it forever, so bound governed runs. *)
 
 type file_report = {
   outcome : outcome;
@@ -46,6 +58,9 @@ type file_report = {
 val recover_files :
   ?config:Config.t ->
   ?prepare:(Dsim.Scheduler.t -> Engine.t -> unit) ->
+  ?on_snapshot:(Snapshot.t -> unit) ->
+  ?on_ext:(at:Dsim.Time.t -> tag:string -> payload:string -> unit) ->
+  ?inject:(Dsim.Packet.t -> unit) ->
   ?journal_path:string ->
   ?trace_path:string ->
   ?until:Dsim.Time.t ->
@@ -55,5 +70,7 @@ val recover_files :
 (** File-level recovery with fault tolerance end to end: a corrupted or
     truncated primary snapshot falls back to the rotated
     [Snapshot.previous_path]; journal and trace files are loaded leniently
-    (missing files are treated as empty).  [Error] only when no snapshot
+    (missing files are treated as empty).  [on_snapshot] sees the loaded
+    snapshot (after fallback selection, before any restore) — the hook for
+    reading its {!Snapshot.ext} records.  [Error] only when no snapshot
     at all can be validated. *)

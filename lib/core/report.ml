@@ -111,6 +111,7 @@ let json engine =
         ("calls_evicted", J.int stats.Fact_base.calls_evicted);
         ("detectors_evicted", J.int stats.Fact_base.detectors_evicted);
         ("calls_swept", J.int stats.Fact_base.calls_swept);
+        ("detectors_swept", J.int stats.Fact_base.detectors_swept);
       ]
   in
   let alert_json (a : Alert.t) =

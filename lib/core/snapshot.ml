@@ -49,6 +49,7 @@ type detector_snap = {
   d_kind : Fact_base.detector_kind;
   d_key : string;
   d_created : Dsim.Time.t;
+  d_touched : Dsim.Time.t;
   d_system : system_snap;
 }
 
@@ -59,6 +60,7 @@ type fb_snap = {
   fb_calls_evicted : int;
   fb_detectors_evicted : int;
   fb_swept : int;
+  fb_dswept : int;
   fb_sweep_at : Dsim.Time.t option;
 }
 
@@ -69,10 +71,16 @@ type t = {
   fb : fb_snap;
   calls : call_snap list; (* creation order *)
   detectors : detector_snap list; (* creation order *)
+  ext : (string * string) list;
+      (* Opaque (tag, payload) records for subsystems layered on top of the
+         engine (e.g. enforcement rules): carried in the checkpoint and its
+         CRC, ignored by [restore], surfaced through [ext] for the owning
+         subsystem to re-apply.  Serialization order is the given order. *)
 }
 
 let seq t = t.seq
 let at t = t.at
+let ext t = t.ext
 
 (* --------------------------------------------------------------- *)
 (* Capture                                                          *)
@@ -99,7 +107,7 @@ let alert_order (a : Alert.t) (b : Alert.t) =
     (Dsim.Time.to_us a.Alert.at, Alert.kind_to_string a.Alert.kind, a.Alert.subject, a.Alert.detail)
     (Dsim.Time.to_us b.Alert.at, Alert.kind_to_string b.Alert.kind, b.Alert.subject, b.Alert.detail)
 
-let capture ?(seq = 0) ~at engine =
+let capture ?(seq = 0) ?(ext = []) ~at engine =
   let base = Engine.fact_base engine in
   let stats = Fact_base.stats base in
   let dump = Engine.Persist.dump engine in
@@ -120,6 +128,7 @@ let capture ?(seq = 0) ~at engine =
         fb_calls_evicted = stats.Fact_base.calls_evicted;
         fb_detectors_evicted = stats.Fact_base.detectors_evicted;
         fb_swept = stats.Fact_base.calls_swept;
+        fb_dswept = stats.Fact_base.detectors_swept;
         fb_sweep_at = Fact_base.next_sweep_at base;
       };
     calls =
@@ -139,9 +148,16 @@ let capture ?(seq = 0) ~at engine =
         (Fact_base.calls_in_creation_order base);
     detectors =
       List.map
-        (fun (kind, key, sys, machine, created) ->
-          { d_kind = kind; d_key = key; d_created = created; d_system = snap_system sys [ machine ] })
+        (fun (kind, key, sys, machine, created, touched) ->
+          {
+            d_kind = kind;
+            d_key = key;
+            d_created = created;
+            d_touched = touched;
+            d_system = snap_system sys [ machine ];
+          })
         (Fact_base.detectors_in_creation_order base);
+    ext;
   }
 
 (* --------------------------------------------------------------- *)
@@ -211,8 +227,8 @@ let body_string t =
       Buffer.add_string buf ("EA " ^ String.concat " " (Codec.alert_to_tokens alert) ^ "\n"))
     t.engine.Engine.Persist.p_alerts;
   Buffer.add_string buf
-    (Printf.sprintf "FB %d %d %d %d %d %d %s\n" t.fb.fb_peak t.fb.fb_created t.fb.fb_deleted
-       t.fb.fb_calls_evicted t.fb.fb_detectors_evicted t.fb.fb_swept
+    (Printf.sprintf "FB %d %d %d %d %d %d %d %s\n" t.fb.fb_peak t.fb.fb_created t.fb.fb_deleted
+       t.fb.fb_calls_evicted t.fb.fb_detectors_evicted t.fb.fb_swept t.fb.fb_dswept
        (Codec.opt_time_str t.fb.fb_sweep_at));
   List.iter
     (fun cs ->
@@ -233,11 +249,15 @@ let body_string t =
   List.iter
     (fun ds ->
       Buffer.add_string buf
-        (Printf.sprintf "DET %s %s %d\n"
+        (Printf.sprintf "DET %s %s %d %d\n"
            (Fact_base.kind_label ds.d_kind)
-           (Codec.hex ds.d_key) (us ds.d_created));
+           (Codec.hex ds.d_key) (us ds.d_created) (us ds.d_touched));
       system_lines buf ds.d_system)
     t.detectors;
+  List.iter
+    (fun (tag, payload) ->
+      Buffer.add_string buf (Printf.sprintf "X %s %s\n" (Codec.hex tag) (Codec.hex payload)))
+    t.ext;
   Buffer.contents buf
 
 let to_string t =
@@ -296,6 +316,7 @@ let of_body_lines lines =
   let fb = ref None in
   let calls = ref [] in
   let detectors = ref [] in
+  let exts = ref [] in
   let block = ref Top in
   let finish_block () =
     match !block with
@@ -315,6 +336,45 @@ let of_body_lines lines =
     match sb.sb_machines with
     | [] -> Error "V/H record before any M record"
     | mb :: _ -> Ok mb
+  in
+  let parse_fb ~peak ~created ~deleted ~evicted ~devicted ~swept ~dswept ~sweep =
+    let* peak = Codec.int_tok peak in
+    let* created = Codec.int_tok created in
+    let* deleted = Codec.int_tok deleted in
+    let* evicted = Codec.int_tok evicted in
+    let* devicted = Codec.int_tok devicted in
+    let* swept = Codec.int_tok swept in
+    let* dswept = Codec.int_tok dswept in
+    let* sweep_at = Codec.opt_time_tok sweep in
+    fb :=
+      Some
+        {
+          fb_peak = peak;
+          fb_created = created;
+          fb_deleted = deleted;
+          fb_calls_evicted = evicted;
+          fb_detectors_evicted = devicted;
+          fb_swept = swept;
+          fb_dswept = dswept;
+          fb_sweep_at = sweep_at;
+        };
+    Ok ()
+  in
+  let parse_det ~label ~key_hex ~created ~touched =
+    let* d_kind =
+      match Fact_base.kind_of_label label with
+      | Some k -> Ok k
+      | None -> Error ("unknown detector kind " ^ label)
+    in
+    let* d_key = Codec.unhex key_hex in
+    let* d_created = Codec.time_tok created in
+    let* d_touched = Codec.time_tok touched in
+    finish_block ();
+    block :=
+      In_det
+        ( { d_kind; d_key; d_created; d_touched; d_system = finish_system (new_system_builder ()) },
+          new_system_builder () );
+    Ok ()
   in
   let parse_line line =
     match String.split_on_char ' ' line with
@@ -380,26 +440,12 @@ let of_body_lines lines =
         let* alert = Codec.alert_of_tokens toks in
         alerts := alert :: !alerts;
         Ok ()
+    (* 7 operands through version 1's first shape; detectors_swept was
+       appended later.  Read both: the missing field is zero. *)
     | [ "FB"; peak; created; deleted; evicted; devicted; swept; sweep ] ->
-        let* peak = Codec.int_tok peak in
-        let* created = Codec.int_tok created in
-        let* deleted = Codec.int_tok deleted in
-        let* evicted = Codec.int_tok evicted in
-        let* devicted = Codec.int_tok devicted in
-        let* swept = Codec.int_tok swept in
-        let* sweep_at = Codec.opt_time_tok sweep in
-        fb :=
-          Some
-            {
-              fb_peak = peak;
-              fb_created = created;
-              fb_deleted = deleted;
-              fb_calls_evicted = evicted;
-              fb_detectors_evicted = devicted;
-              fb_swept = swept;
-              fb_sweep_at = sweep_at;
-            };
-        Ok ()
+        parse_fb ~peak ~created ~deleted ~evicted ~devicted ~swept ~dswept:"0" ~sweep
+    | [ "FB"; peak; created; deleted; evicted; devicted; swept; dswept; sweep ] ->
+        parse_fb ~peak ~created ~deleted ~evicted ~devicted ~swept ~dswept ~sweep
     | [ "CALL"; id_hex; created; closing; finish; delete_at; recheck_at ] ->
         let* c_id = Codec.unhex id_hex in
         let* c_created = Codec.time_tok created in
@@ -426,20 +472,11 @@ let of_body_lines lines =
               },
               new_system_builder () );
         Ok ()
-    | [ "DET"; label; key_hex; created ] ->
-        let* d_kind =
-          match Fact_base.kind_of_label label with
-          | Some k -> Ok k
-          | None -> Error ("unknown detector kind " ^ label)
-        in
-        let* d_key = Codec.unhex key_hex in
-        let* d_created = Codec.time_tok created in
-        finish_block ();
-        block :=
-          In_det
-            ( { d_kind; d_key; d_created; d_system = finish_system (new_system_builder ()) },
-              new_system_builder () );
-        Ok ()
+    (* The trailing last-touched time was appended within version 1; an
+       older 3-operand line means the detector was last touched when it
+       was created. *)
+    | [ "DET"; label; key_hex; created ] -> parse_det ~label ~key_hex ~created ~touched:created
+    | [ "DET"; label; key_hex; created; touched ] -> parse_det ~label ~key_hex ~created ~touched
     | [ "CM"; addr_tok ] -> (
         match !block with
         | In_call (cs, sb) -> (
@@ -490,6 +527,13 @@ let of_body_lines lines =
         let* label = Codec.unhex label_hex in
         mb.mb_hist <- (at, label) :: mb.mb_hist;
         Ok ()
+    | [ "X"; tag_hex; payload_hex ] ->
+        let* tag = Codec.unhex tag_hex in
+        let* payload = Codec.unhex payload_hex in
+        finish_block ();
+        block := Top;
+        exts := (tag, payload) :: !exts;
+        Ok ()
     | tag :: _ -> Error ("unknown record tag " ^ tag)
   in
   let rec go i = function
@@ -525,6 +569,7 @@ let of_body_lines lines =
             fb;
             calls = List.rev !calls;
             detectors = List.rev !detectors;
+            ext = List.rev !exts;
           })
 
 let of_string text =
@@ -603,7 +648,8 @@ let apply engine snap ~before_timers ~sched =
   Engine.Persist.restore engine snap.engine;
   Fact_base.set_counters base ~peak:snap.fb.fb_peak ~created:snap.fb.fb_created
     ~deleted:snap.fb.fb_deleted ~calls_evicted:snap.fb.fb_calls_evicted
-    ~detectors_evicted:snap.fb.fb_detectors_evicted ~swept:snap.fb.fb_swept;
+    ~detectors_evicted:snap.fb.fb_detectors_evicted ~swept:snap.fb.fb_swept
+    ~detectors_swept:snap.fb.fb_dswept;
   (* Cancel the sweep armed by Engine.create; it is re-armed below at the
      snapshot's recorded phase. *)
   Fact_base.set_next_sweep base None;
@@ -630,7 +676,10 @@ let apply engine snap ~before_timers ~sched =
     snap.calls;
   List.iter
     (fun ds ->
-      let sys, _ = Fact_base.restore_detector base ds.d_kind ~key:ds.d_key ~created_at:ds.d_created in
+      let sys, _ =
+        Fact_base.restore_detector base ds.d_kind ~key:ds.d_key ~created_at:ds.d_created
+          ~touched:ds.d_touched
+      in
       apply_system sys ds.d_system ~defer)
     snap.detectors;
   (match snap.fb.fb_sweep_at with

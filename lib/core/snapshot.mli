@@ -21,16 +21,24 @@
 
 type t
 
-val capture : ?seq:int -> at:Dsim.Time.t -> Engine.t -> t
+val capture : ?seq:int -> ?ext:(string * string) list -> at:Dsim.Time.t -> Engine.t -> t
 (** Photographs the engine at virtual time [at] (pass the scheduler's
     current time).  [seq] is the checkpoint sequence number used to pair the
-    snapshot with its journal marker; defaults to 0. *)
+    snapshot with its journal marker; defaults to 0.  [ext] carries opaque
+    (tag, payload) records for subsystems layered on top of the engine
+    (e.g. enforcement state): they are serialized after the engine's own
+    records, covered by the CRC, and surfaced by {!ext} — the engine never
+    interprets them. *)
 
 val seq : t -> int
 
 val at : t -> Dsim.Time.t
 (** Virtual time of capture; recovery replays trace records strictly after
     this instant. *)
+
+val ext : t -> (string * string) list
+(** Extension records in serialization order; [[]] for snapshots taken
+    without any. *)
 
 val to_string : t -> string
 

@@ -84,15 +84,15 @@ let tap t sched (packet : Dsim.Packet.t) =
 
 let records t = List.rev t.entries
 
-let schedule_into sched engine records =
+let schedule_into ?inject sched engine records =
   let alloc = Dsim.Packet.allocator () in
+  let deliver = match inject with Some f -> f | None -> Engine.process_packet engine in
   let sorted = List.stable_sort (fun a b -> Dsim.Time.compare a.at b.at) records in
   List.iter
     (fun r ->
       ignore
         (Dsim.Scheduler.schedule_at sched r.at (fun () ->
-             Engine.process_packet engine
-               (Dsim.Packet.make alloc ~src:r.src ~dst:r.dst ~sent_at:r.at r.payload))))
+             deliver (Dsim.Packet.make alloc ~src:r.src ~dst:r.dst ~sent_at:r.at r.payload))))
     sorted;
   List.length sorted
 

@@ -48,13 +48,16 @@ val records : recorder -> record list
 
 (** {1 Replay} *)
 
-val schedule_into : Dsim.Scheduler.t -> Engine.t -> record list -> int
+val schedule_into :
+  ?inject:(Dsim.Packet.t -> unit) -> Dsim.Scheduler.t -> Engine.t -> record list -> int
 (** Schedules every record as a packet-arrival event on an existing
     scheduler/engine pair (without running), returning how many were
-    scheduled.  {!replay} is built on this; {!Recovery} uses it to queue the
-    post-checkpoint suffix before restored timers are re-armed.  Records at
-    times before the scheduler's clock raise [Invalid_argument] — filter
-    first. *)
+    scheduled.  [inject] replaces the default delivery
+    ([Engine.process_packet]) — an enforcement layer passes its own gate so
+    a replay drops exactly the packets the live run dropped.  {!replay} is
+    built on this; {!Recovery} uses it to queue the post-checkpoint suffix
+    before restored timers are re-armed.  Records at times before the
+    scheduler's clock raise [Invalid_argument] — filter first. *)
 
 val replay : ?config:Config.t -> record list -> Engine.t
 (** Runs an engine over the trace under virtual time and returns it (with

@@ -107,14 +107,27 @@ type t = {
   mutable state : string;
   env : Env.t;
   mutable trace : (Dsim.Time.t * string) list;
+  mutable trace_len : int;
 }
+
+(* Transition history is diagnostic, not analysis state — but a long-lived
+   detector machine (a spam/flood detector survives for the whole run)
+   appends to it on every packet, which is unbounded growth.  Bound it to
+   the newest [hist_keep] entries, truncating amortized (only once the list
+   doubles) so the steady-state cost stays one cons per transition.  The
+   retained window is a pure function of the transition count, so a live
+   run and a replay of its capture keep identical histories and snapshots
+   stay canonical. *)
+let hist_keep = 32
+let hist_max = 2 * hist_keep
 
 type outcome =
   | Moved of { transition : transition; effects : effect list; attack : string option }
   | Rejected
   | Nondeterministic of string list
 
-let instantiate spec ~globals = { spec; state = spec.initial; env = Env.create globals; trace = [] }
+let instantiate spec ~globals =
+  { spec; state = spec.initial; env = Env.create globals; trace = []; trace_len = 0 }
 let spec t = t.spec
 let name t = t.spec.spec_name
 let state t = t.state
@@ -148,6 +161,11 @@ let step t event =
       let effects = tr.action t.env event in
       t.state <- tr.to_state;
       t.trace <- (event.Event.at, tr.label) :: t.trace;
+      t.trace_len <- t.trace_len + 1;
+      if t.trace_len > hist_max then begin
+        t.trace <- List.filteri (fun i _ -> i < hist_keep) t.trace;
+        t.trace_len <- hist_keep
+      end;
       Moved { transition = tr; effects; attack = List.assoc_opt tr.to_state t.spec.attack_states }
   | many -> Nondeterministic (List.map (fun tr -> tr.label) many)
 
@@ -162,5 +180,6 @@ let restore t ~state ~vars ~trace =
     Env.reset_locals t.env;
     List.iter (fun (name, value) -> Env.set t.env Local name value) vars;
     t.trace <- List.rev trace;
+    t.trace_len <- List.length trace;
     Ok ()
   end

@@ -118,7 +118,11 @@ val step : t -> Event.t -> outcome
     cannot satisfy a well-typed predicate). *)
 
 val trace : t -> (Dsim.Time.t * string) list
-(** Transition labels taken, oldest first. *)
+(** Transition labels taken, oldest first.  Bounded: only a recent window
+    (last 32–64 transitions, truncated amortized) is retained, so a
+    long-lived detector machine cannot grow without limit.  The retained
+    window is a pure function of the transition count, keeping snapshots
+    canonical across a live run and a replay of its capture. *)
 
 val configuration : t -> string * (string * Value.t) list
 (** Current state and local variable bindings. *)

@@ -27,6 +27,7 @@ type config = {
   max_runtime_s : float option;
   batch : int;
   poll_interval_s : float;
+  enforce : Enforce.Enforcer.policy option;
 }
 
 let default =
@@ -44,6 +45,7 @@ let default =
     max_runtime_s = None;
     batch = 256;
     poll_interval_s = 0.01;
+    enforce = None;
   }
 
 type stop_reason = Eof | Signalled | Deadline | Source_dead | Killed
@@ -61,6 +63,7 @@ type report = {
   horizon : Dsim.Time.t;
   engine : Vids.Engine.t;
   sched : Dsim.Scheduler.t;
+  enforcer : Enforce.Enforcer.t option;
 }
 
 (* A capture file being streamed.  [base] is the first record's absolute
@@ -133,6 +136,17 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
             config.journal_path
         in
         Option.iter (fun w -> Vids.Journal.attach w engine) journal_w;
+        (* Prevention mode: the gate sits between the queue and the
+           engine, and its decisions are journaled write-ahead through
+           the same writer as alerts. *)
+        let enforcer =
+          Option.map
+            (fun policy ->
+              Enforce.Enforcer.create ~policy
+                ?journal:(Option.map (fun w e -> Vids.Journal.append w e) journal_w)
+                sched engine)
+            config.enforce
+        in
         let record_oc =
           Option.map
             (fun p -> open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 p)
@@ -185,7 +199,15 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
                  suffix is still sitting in this channel's buffer. *)
               Option.iter flush record_oc;
               let at = Dsim.Scheduler.now sched in
-              let snap = Vids.Snapshot.capture ~seq:(!seq + 1) ~at engine in
+              (* The block table (with live token-bucket levels) rides in
+                 the checkpoint so a kill -9 recovers into the same
+                 enforcement state, not just the same analysis state. *)
+              let ext =
+                match enforcer with
+                | None -> []
+                | Some e -> [ (Enforce.Enforcer.ext_tag, Enforce.Enforcer.snapshot_payload e) ]
+              in
+              let snap = Vids.Snapshot.capture ~seq:(!seq + 1) ~ext ~at engine in
               Vids.Snapshot.save ~path snap;
               incr seq;
               incr checkpoints;
@@ -225,7 +247,9 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
             Dsim.Packet.make alloc ~src:r.Vids.Trace.src ~dst:r.Vids.Trace.dst
               ~sent_at:at r.Vids.Trace.payload
           in
-          Vids.Engine.process_packet engine pkt;
+          (match enforcer with
+          | Some e -> ignore (Enforce.Enforcer.ingest e pkt)
+          | None -> Vids.Engine.process_packet engine pkt);
           let dt = Unix.gettimeofday () -. t0 in
           Dsim.Stat.Quantiles.add quantiles dt;
           Option.iter (fun h -> Obs.Metrics.observe h dt) dispatch_h;
@@ -409,5 +433,6 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
             horizon = Dsim.Scheduler.now sched;
             engine;
             sched;
+            enforcer;
           }
   end

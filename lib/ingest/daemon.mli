@@ -46,6 +46,13 @@ type config = {
   max_runtime_s : float option;  (** Wall-clock deadline (soak harness). *)
   batch : int;  (** Max records pulled per source per loop turn. *)
   poll_interval_s : float;  (** Idle nap when every source is dry. *)
+  enforce : Enforce.Enforcer.policy option;
+      (** Prevention mode: route every dispatch through an
+          {!Enforce.Enforcer} gate whose decisions are journaled through
+          the daemon's writer and checkpointed as a snapshot extension.
+          Records are still written to [record_path] {e regardless} of
+          the gate's verdict, so an offline replay of the capture makes
+          the same drop decisions and converges to the same digest. *)
 }
 
 val default : config
@@ -73,6 +80,7 @@ type report = {
   horizon : Dsim.Time.t;  (** Final virtual time. *)
   engine : Vids.Engine.t;
   sched : Dsim.Scheduler.t;
+  enforcer : Enforce.Enforcer.t option;  (** Present iff [config.enforce] was. *)
 }
 
 val run :

@@ -57,8 +57,13 @@ let lookup t ~now key =
       Hashtbl.replace t.table key s;
       s
 
+(* One normalization shared with the enforcement block table: a source
+   quarantined here and the same source blocked by an alert-driven rule
+   must agree on identity (lowercased host, endpoint-scoped). *)
+let key_of_src src = Enforce.Source_key.to_string (Enforce.Source_key.of_addr src)
+
 let note_error t ~now ~src =
-  let s = lookup t ~now (Dsim.Addr.to_string src) in
+  let s = lookup t ~now (key_of_src src) in
   t.errors <- t.errors + 1;
   if now -. s.window_start > t.window_s then begin
     s.window_start <- now;
@@ -74,7 +79,7 @@ let note_error t ~now ~src =
   else false
 
 let blocked t ~now ~src =
-  match Hashtbl.find_opt t.table (Dsim.Addr.to_string src) with
+  match Hashtbl.find_opt t.table (key_of_src src) with
   | None -> false
   | Some s ->
       s.touched <- now;

@@ -12,7 +12,10 @@
     Keys are full [host:port] transport addresses, not bare hosts: NATed
     or loopback deployments see many independent senders behind one IP,
     and a quarantine keyed on the host would let one hostile socket take
-    its neighbours down with it.
+    its neighbours down with it.  The key normalization is
+    {!Enforce.Source_key} — the same identity the enforcement block
+    table uses, so the two per-source defenses can never disagree about
+    who a sender is.
 
     The table itself is bounded (LRU beyond [max_sources]) so an attacker
     cycling source ports cannot turn the defense into a memory leak. *)

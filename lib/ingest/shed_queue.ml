@@ -14,7 +14,14 @@ type t = {
 
 type verdict = Enqueued | Shed_media | Displaced_oldest
 
-type stats = { enqueued : int; shed_media : int; shed_oldest : int; peak_depth : int }
+type stats = {
+  enqueued : int;
+  shed_media : int;
+  shed_oldest : int;
+  peak_depth : int;
+  capacity : int;
+  high_water : int;
+}
 
 let create ?high_water ~capacity () =
   let high_water = match high_water with Some h -> h | None -> max 1 (capacity * 3 / 4) in
@@ -63,10 +70,16 @@ let pop t = Queue.take_opt t.q
 
 let length t = Queue.length t.q
 
+let capacity (t : t) = t.capacity
+
+let high_water (t : t) = t.high_water
+
 let stats (t : t) =
   {
     enqueued = t.enqueued;
     shed_media = t.shed_media;
     shed_oldest = t.shed_oldest;
     peak_depth = t.peak_depth;
+    capacity = t.capacity;
+    high_water = t.high_water;
   }

@@ -32,6 +32,10 @@ val pop : t -> Vids.Trace.record option
 
 val length : t -> int
 
+val capacity : t -> int
+
+val high_water : t -> int
+
 val is_signaling : string -> bool
 (** The admission-control classifier: a payload whose first byte is an
     ASCII letter is treated as SIP signaling (requests start with a
@@ -44,6 +48,8 @@ type stats = {
   shed_media : int;
   shed_oldest : int;
   peak_depth : int;
+  capacity : int;  (** The configured bound, for machine-readable reports. *)
+  high_water : int;
 }
 
 val stats : t -> stats

@@ -9,6 +9,7 @@ type event =
   | Eviction of { subject : string; detail : string }
   | Checkpoint of { seq : int }
   | Ingest of { action : string; detail : string }
+  | Enforce of { action : string; subject : string }
   | Note of { label : string; detail : string }
 
 type entry = { seq : int; at : Dsim.Time.t; ev : event }
@@ -91,6 +92,10 @@ let event_to_json = function
       Json.obj
         [ ("type", Json.quote "ingest"); ("action", Json.quote action);
           ("detail", Json.quote detail) ]
+  | Enforce { action; subject } ->
+      Json.obj
+        [ ("type", Json.quote "enforce"); ("action", Json.quote action);
+          ("subject", Json.quote subject) ]
   | Note { label; detail } ->
       Json.obj
         [ ("type", Json.quote "note"); ("label", Json.quote label);

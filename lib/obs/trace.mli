@@ -35,6 +35,11 @@ type event =
       (** A live-ingestion boundary event: overload shedding, a source
           quarantine, a socket backoff/reopen.  [action] is a short
           machine-stable tag ([shed-media], [quarantine], …). *)
+  | Enforce of { action : string; subject : string }
+      (** An enforcement decision: a rule installed or expired, a packet
+          dropped or rate-limited, a forced call teardown.  [action] is a
+          short machine-stable tag ([block], [rate-limit], [teardown],
+          [expire], [lockdown], …). *)
   | Note of { label : string; detail : string }
       (** Free-form marker (supervisor crashes/restarts, run phases). *)
 

@@ -734,7 +734,8 @@ let recover ?(config = Vids.Config.default) ?horizon ?(telemetry = false) ~prefi
             | Some (l, key, epoch, count) when String.equal l label ->
                 Bucket.set bucket ~key ~epoch count
             | Some _ | None -> ())
-        | Vids.Journal.Alert _ | Vids.Journal.Eviction _ | Vids.Journal.Checkpoint _ -> ())
+        | Vids.Journal.Alert _ | Vids.Journal.Eviction _ | Vids.Journal.Checkpoint _
+        | Vids.Journal.Ext _ -> ())
       entries;
     bucket
   in

@@ -429,9 +429,12 @@ let acts_equiv =
 (* Golden digests captured on the closure-built specs immediately before
    the IR migration (same scenario, seed and horizon).  The migrated
    machines must reproduce the engine's observable behaviour bit for
-   bit. *)
+   bit.  The alert digest is the behavioural pin; the engine digest is
+   over the snapshot serialization and is re-pinned when the snapshot
+   format itself gains fields (last: detector last-touched times and the
+   detectors-swept counter). *)
 let golden_alert_digest = "5042aef8b47acb330344d71f93363369"
-let golden_engine_digest = "a1c2eec94d8cf6b50b38e9d58a2319c0"
+let golden_engine_digest = "2c0697a823b6fd8e149cdfd513a0242a"
 
 let digest_transparency () =
   let module T = Voip.Testbed in

@@ -1,0 +1,459 @@
+(* Prevention-mode tests: the block table's determinism contract (TTL
+   boundaries, token buckets, refresh semantics), the qcheck property
+   that checkpoint ∘ crash ∘ recover preserves the table — rules, TTLs
+   and bucket levels — and the enforcer end-to-end: an INVITE flood
+   blocked at the gate while a bystander still passes. *)
+
+let q ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+let us = Dsim.Time.of_us
+let sec = Dsim.Time.of_sec
+
+module BT = Enforce.Block_table
+module SK = Enforce.Source_key
+
+let addr host port = Dsim.Addr.v host port
+
+let check_verdict msg expected got =
+  let show = function
+    | BT.Pass -> "Pass"
+    | BT.Blocked _ -> "Blocked"
+    | BT.Limited _ -> "Limited"
+    | BT.Locked -> "Locked"
+  in
+  Alcotest.(check string) msg (show expected) (show got)
+
+(* ------------------------------------------------------------------ *)
+(* Source_key                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_source_key_normalize () =
+  Alcotest.(check string)
+    "host lowercased" "proxy.example"
+    (SK.to_string (SK.host "Proxy.EXAMPLE"));
+  Alcotest.(check bool)
+    "case-insensitive equal" true
+    (SK.equal (SK.host "A.example") (SK.host "a.EXAMPLE"));
+  Alcotest.(check bool)
+    "endpoint carries the port" true
+    (SK.equal (SK.of_addr (addr "10.0.0.1" 5060)) (SK.endpoint "10.0.0.1" 5060));
+  Alcotest.(check string)
+    "host_of_addr drops the port" "10.0.0.1"
+    (SK.to_string (SK.host_of_addr (addr "10.0.0.1" 5060)))
+
+let key_gen =
+  QCheck.Gen.(
+    let host =
+      oneof
+        [
+          map
+            (fun (a, b) -> Printf.sprintf "10.%d.0.%d" a b)
+            (pair (int_range 0 255) (int_range 1 254));
+          map (fun n -> Printf.sprintf "ua%d.example" n) (int_range 0 999);
+        ]
+    in
+    oneof
+      [
+        map SK.host host;
+        map2 (fun h p -> SK.endpoint h p) host (int_range 1 65535);
+      ])
+
+let key_arb = QCheck.make ~print:SK.to_string key_gen
+
+let prop_source_key_roundtrip =
+  q "source_key: of_string (to_string k) = k" key_arb (fun k ->
+      match SK.of_string (SK.to_string k) with
+      | Ok k' -> SK.equal k k'
+      | Error e -> QCheck.Test.fail_reportf "of_string: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* TTL boundaries and refresh semantics                                *)
+(* ------------------------------------------------------------------ *)
+
+let attacker = addr "198.51.100.99" 5060
+let victim = addr "10.2.0.2" 5060
+
+let test_ttl_boundary () =
+  let t = BT.create () in
+  let deadline = sec 60.0 in
+  (match BT.install t ~now:Dsim.Time.zero (BT.Src (SK.host_of_addr attacker)) BT.Drop
+           ~expires_at:deadline ~reason:"test" ()
+   with
+  | BT.Installed -> ()
+  | _ -> Alcotest.fail "install refused");
+  check_verdict "blocked 1 us before the deadline" (BT.Blocked (Obj.magic 0))
+    (BT.decide t ~now:(Dsim.Time.sub deadline (us 1)) ~src:attacker ~dst:victim);
+  check_verdict "passes at the deadline" BT.Pass
+    (BT.decide t ~now:deadline ~src:attacker ~dst:victim);
+  Alcotest.(check int) "expired rule reclaimed" 0 (BT.stats t ~now:deadline).BT.active;
+  Alcotest.(check int) "expiry counted" 1 (BT.stats t ~now:deadline).BT.expired
+
+let test_refresh_extends_and_drop_dominates () =
+  let t = BT.create () in
+  let scope = BT.Src (SK.host_of_addr attacker) in
+  ignore
+    (BT.install t ~now:Dsim.Time.zero scope
+       (BT.Rate_limit { pps = 10; burst = 10 })
+       ~expires_at:(sec 30.0) ~reason:"first" ());
+  (match
+     BT.install t ~now:(sec 1.0) scope BT.Drop ~expires_at:(sec 60.0) ~reason:"second" ()
+   with
+  | BT.Refreshed -> ()
+  | _ -> Alcotest.fail "expected a refresh");
+  let r = Option.get (BT.find t scope) in
+  Alcotest.(check bool) "deadline extended" true (Dsim.Time.equal r.BT.expires_at (sec 60.0));
+  Alcotest.(check bool) "drop dominates" true (r.BT.action = BT.Drop);
+  Alcotest.(check string) "original reason stands" "first" r.BT.reason;
+  (* The reverse refresh must not weaken a Drop back to a limiter, nor
+     shrink the deadline. *)
+  ignore
+    (BT.install t ~now:(sec 2.0) scope
+       (BT.Rate_limit { pps = 1; burst = 1 })
+       ~expires_at:(sec 40.0) ~reason:"third" ());
+  let r = Option.get (BT.find t scope) in
+  Alcotest.(check bool) "drop sticky" true (r.BT.action = BT.Drop);
+  Alcotest.(check bool) "deadline never shrinks" true
+    (Dsim.Time.equal r.BT.expires_at (sec 60.0))
+
+let test_token_bucket () =
+  let t = BT.create () in
+  ignore
+    (BT.install t ~now:Dsim.Time.zero (BT.Src (SK.of_addr attacker))
+       (BT.Rate_limit { pps = 10; burst = 3 })
+       ~expires_at:(sec 600.0) ~reason:"limit" ());
+  let verdicts =
+    List.init 5 (fun _ -> BT.decide t ~now:(sec 1.0) ~src:attacker ~dst:victim)
+  in
+  let passed = List.length (List.filter (fun v -> v = BT.Pass) verdicts) in
+  Alcotest.(check int) "burst of 3 passes, rest limited" 3 passed;
+  (* 10 pps: 0.2 s refills two tokens. *)
+  check_verdict "refilled after 200 ms" BT.Pass
+    (BT.decide t ~now:(sec 1.2) ~src:attacker ~dst:victim);
+  check_verdict "second refill token" BT.Pass
+    (BT.decide t ~now:(sec 1.2) ~src:attacker ~dst:victim);
+  check_verdict "then limited again" (BT.Limited (Obj.magic 0))
+    (BT.decide t ~now:(sec 1.2) ~src:attacker ~dst:victim)
+
+let test_match_order_drop_before_bucket () =
+  let t = BT.create () in
+  (* A destination limiter with plenty of tokens plus a source drop: the
+     drop must win without charging the bucket. *)
+  ignore
+    (BT.install t ~now:Dsim.Time.zero (BT.Dst (SK.host_of_addr victim))
+       (BT.Rate_limit { pps = 1000; burst = 1000 })
+       ~expires_at:(sec 60.0) ~reason:"limit" ());
+  ignore
+    (BT.install t ~now:Dsim.Time.zero (BT.Src (SK.host_of_addr attacker)) BT.Drop
+       ~expires_at:(sec 60.0) ~reason:"drop" ());
+  check_verdict "drop outranks a flush bucket" (BT.Blocked (Obj.magic 0))
+    (BT.decide t ~now:(sec 1.0) ~src:attacker ~dst:victim);
+  check_verdict "other sources still limited, not dropped" BT.Pass
+    (BT.decide t ~now:(sec 1.0) ~src:(addr "10.9.9.9" 5060) ~dst:victim)
+
+let test_overflow_and_lockdown () =
+  let t = BT.create ~max_rules:2 () in
+  let install i =
+    BT.install t ~now:Dsim.Time.zero
+      (BT.Src (SK.host (Printf.sprintf "h%d.example" i)))
+      BT.Drop ~expires_at:(sec 60.0) ~reason:"r" ()
+  in
+  Alcotest.(check bool) "first fits" true (install 0 = BT.Installed);
+  Alcotest.(check bool) "second fits" true (install 1 = BT.Installed);
+  Alcotest.(check bool) "third overflows" true (install 2 = BT.Overflow);
+  Alcotest.(check int) "overflow counted" 1 (BT.stats t ~now:Dsim.Time.zero).BT.overflowed;
+  BT.set_lockdown t true;
+  check_verdict "lockdown blocks unmatched traffic" BT.Locked
+    (BT.decide t ~now:(sec 1.0) ~src:(addr "10.1.1.1" 1) ~dst:(addr "10.1.1.2" 2))
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint ∘ crash ∘ recover preserves the table (qcheck)           *)
+(* ------------------------------------------------------------------ *)
+
+(* A random enforcement history: installs at increasing times with
+   varying TTLs and actions, a sprinkling of decides to charge buckets
+   and accumulate hits. *)
+let history_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 25)
+      (triple key_gen
+         (oneof
+            [
+              return `Drop;
+              map2 (fun pps burst -> `Rate (pps, burst)) (int_range 1 200) (int_range 1 50);
+            ])
+         (pair (int_range 0 5_000_000) (* install offset us *)
+            (int_range 1 120_000_000) (* ttl us *))))
+
+let history_arb =
+  QCheck.make
+    ~print:(fun h -> Printf.sprintf "<history of %d installs>" (List.length h))
+    history_gen
+
+let build_table history =
+  let t = BT.create () in
+  let now = ref Dsim.Time.zero in
+  List.iteri
+    (fun i (key, act, (offset, ttl)) ->
+      now := Dsim.Time.add !now (us offset);
+      let scope = if i mod 3 = 0 then BT.Dst key else BT.Src key in
+      let action =
+        match act with
+        | `Drop -> BT.Drop
+        | `Rate (pps, burst) -> BT.Rate_limit { pps; burst }
+      in
+      ignore
+        (BT.install t ~now:!now scope action
+           ~expires_at:(Dsim.Time.add !now (us ttl))
+           ~escalate:(i mod 4 = 0) ~reason:(Printf.sprintf "alert-%d" i) ());
+      (* Charge some buckets / accumulate hits so the volatile state is
+         nonempty when the checkpoint lands. *)
+      let h, p =
+        match key with SK.Host h -> (h, 5060) | SK.Endpoint (h, p) -> (h, p)
+      in
+      for _ = 1 to i mod 5 do
+        ignore (BT.decide t ~now:!now ~src:(addr h p) ~dst:(addr h p))
+      done)
+    history;
+  (t, !now)
+
+let prop_checkpoint_recover_preserves_table =
+  q ~count:300 "block_table: restore (serialize t) preserves rules, TTLs and buckets"
+    history_arb (fun history ->
+      let t, now = build_table history in
+      let payload = BT.serialize t ~now in
+      let t' = BT.create () in
+      (match BT.restore t' payload with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "restore failed: %s" e);
+      (* Volatile state: hits and exact bucket levels round-trip too —
+         re-serializing yields the identical payload.  (Checked first:
+         reading the table at a later horizon purges lapsed rules, which
+         is the point of the next assertion.) *)
+      let payload' = BT.serialize t' ~now in
+      if not (String.equal payload payload') then
+        QCheck.Test.fail_reportf "payload diverged:\nlive:\n%s\nrecovered:\n%s" payload
+          payload';
+      (* Durable state: digests agree now and at every later instant
+         (TTLs expire identically across the crash). *)
+      let horizons = [ now; Dsim.Time.add now (sec 1.0); Dsim.Time.add now (sec 400.0) ] in
+      List.iter
+        (fun h ->
+          if not (String.equal (BT.digest t ~now:h) (BT.digest t' ~now:h)) then
+            QCheck.Test.fail_reportf "digest diverged at %d:\nlive:\n%s\nrecovered:\n%s"
+              (Dsim.Time.to_us h) (BT.serialize t ~now:h) (BT.serialize t' ~now:h))
+        horizons;
+      true)
+
+let prop_recovered_gate_decides_identically =
+  q ~count:300 "block_table: recovered gate = uninterrupted gate, packet for packet"
+    QCheck.(pair history_arb (list_of_size (QCheck.Gen.int_range 1 30) key_arb))
+    (fun (history, probes) ->
+      let t, now = build_table history in
+      let t' = BT.create () in
+      (match BT.restore t' (BT.serialize t ~now) with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "restore failed: %s" e);
+      (* Fire the same probe sequence at both tables and require the
+         same verdict every time — this is the property that makes
+         crash recovery invisible to the wire. *)
+      let i = ref 0 in
+      List.for_all
+        (fun key ->
+          incr i;
+          let h, p =
+            match key with SK.Host h -> (h, 5060) | SK.Endpoint (h, p) -> (h, p)
+          in
+          let at = Dsim.Time.add now (us (!i * 10_000)) in
+          let src = addr h p and dst = addr "10.2.0.2" 5060 in
+          let show = function
+            | BT.Pass -> "P"
+            | BT.Blocked _ -> "B"
+            | BT.Limited _ -> "L"
+            | BT.Locked -> "X"
+          in
+          String.equal
+            (show (BT.decide t ~now:at ~src ~dst))
+            (show (BT.decide t' ~now:at ~src ~dst)))
+        probes)
+
+let test_restore_rejects_garbage () =
+  let t = BT.create () in
+  ignore
+    (BT.install t ~now:Dsim.Time.zero (BT.Src (SK.host "a.example")) BT.Drop
+       ~expires_at:(sec 9.0) ~reason:"r" ());
+  (match BT.restore t "ENF 1 0\nR S 6161 bogus" with
+  | Ok () -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  Alcotest.(check int) "failed restore leaves the table empty" 0
+    (BT.stats t ~now:Dsim.Time.zero).BT.active
+
+(* ------------------------------------------------------------------ *)
+(* Enforcer end-to-end                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let invite ~call_id ~from_host ~callee =
+  Printf.sprintf
+    "INVITE sip:%s SIP/2.0\r\n\
+     Via: SIP/2.0/UDP %s:5060;branch=z9hG4bK%s\r\n\
+     From: <sip:mallory@%s>;tag=ta-%s\r\n\
+     To: <sip:%s>\r\n\
+     Call-ID: %s\r\n\
+     CSeq: 1 INVITE\r\n\r\n"
+    callee from_host call_id from_host call_id callee call_id
+
+let palloc = Dsim.Packet.allocator ()
+
+let packet ~src ~dst payload =
+  Dsim.Packet.make palloc ~src ~dst ~sent_at:Dsim.Time.zero payload
+
+let flood_setup ?policy () =
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create sched in
+  let e = Enforce.Enforcer.create ?policy sched engine in
+  (sched, engine, e)
+
+let run_flood sched e ~n =
+  let src = addr "198.51.100.99" 5060 and dst = victim in
+  let delivered = ref 0 in
+  for i = 1 to n do
+    Dsim.Scheduler.schedule_at sched
+      (Dsim.Time.of_ms (float_of_int (100 * i)))
+      (fun () ->
+        let p =
+          packet ~src ~dst
+            (invite
+               ~call_id:(Printf.sprintf "flood-%d" i)
+               ~from_host:"198.51.100.99" ~callee:"victim@b.example")
+        in
+        if Enforce.Enforcer.ingest e p then incr delivered)
+    |> ignore
+  done;
+  Dsim.Scheduler.run sched;
+  !delivered
+
+let test_enforcer_blocks_invite_flood () =
+  let sched, engine, e = flood_setup () in
+  let delivered = run_flood sched e ~n:40 in
+  Alcotest.(check bool) "flood detected" true
+    (Vids.Engine.alerts_of_kind engine Vids.Alert.Invite_flood <> []);
+  let s = Enforce.Enforcer.stats e in
+  Alcotest.(check bool)
+    (Printf.sprintf "gate stopped the tail (%d delivered)" delivered)
+    true
+    (delivered < 40 && s.Enforce.Enforcer.blocked = 40 - delivered);
+  (* A bystander from a different host still passes. *)
+  Alcotest.(check bool) "bystander passes" true
+    (Enforce.Enforcer.ingest e
+       (packet ~src:(addr "10.1.0.2" 5060) ~dst:victim
+          (invite ~call_id:"legit-1" ~from_host:"10.1.0.2" ~callee:"carol@b.example")));
+  (* And the block names only the attacker. *)
+  List.iter
+    (fun (r : BT.rule) ->
+      match r.BT.scope with
+      | BT.Src k | BT.Dst k ->
+          Alcotest.(check string) "rule names the attacker" "198.51.100.99" (SK.to_string k))
+    (BT.rules (Enforce.Enforcer.table e) ~now:(Dsim.Scheduler.now sched))
+
+let test_enforcer_block_expires () =
+  let policy = { Enforce.Enforcer.default_policy with Enforce.Enforcer.block_ttl = sec 5.0 } in
+  let sched, _engine, e = flood_setup ~policy () in
+  let delivered = run_flood sched e ~n:40 in
+  Alcotest.(check bool) "blocked during the flood" true (delivered < 40);
+  (* 5 s after the last refresh the rule lapses and the source passes
+     again — TTL'd containment, not a permanent ban. *)
+  Dsim.Scheduler.schedule_at sched (sec 600.0) (fun () -> ()) |> ignore;
+  Dsim.Scheduler.run sched;
+  Alcotest.(check bool) "block lapsed after its TTL" true
+    (Enforce.Enforcer.ingest e
+       (packet ~src:(addr "198.51.100.99" 5060) ~dst:victim
+          (invite ~call_id:"postban-1" ~from_host:"198.51.100.99" ~callee:"late@b.example")))
+
+let test_journal_replay_is_scheduled () =
+  (* A journaled install applied during recovery must not block replayed
+     packets that predate it: apply_journal schedules the rule at its
+     recorded time instead of installing it immediately. *)
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create sched in
+  let e = Enforce.Enforcer.create sched engine in
+  let line =
+    let t = BT.create () in
+    ignore
+      (BT.install t ~now:(sec 2.0) (BT.Src (SK.host "198.51.100.99")) BT.Drop
+         ~expires_at:(sec 62.0) ~reason:"INVITE-flood" ());
+    BT.rule_to_line (Option.get (BT.find t (BT.Src (SK.host "198.51.100.99"))))
+  in
+  Enforce.Enforcer.apply_journal e ~at:(sec 2.0) ~payload:line;
+  let verdict_at at =
+    Dsim.Scheduler.schedule_at sched at (fun () ->
+        ignore
+          (Enforce.Enforcer.ingest e
+             (packet ~src:(addr "198.51.100.99" 5060) ~dst:victim
+                (invite ~call_id:(Printf.sprintf "t-%d" at) ~from_host:"198.51.100.99"
+                   ~callee:"x@b.example"))))
+    |> ignore
+  in
+  verdict_at (sec 1.0);
+  verdict_at (sec 3.0);
+  Dsim.Scheduler.run sched;
+  let s = Enforce.Enforcer.stats e in
+  Alcotest.(check int) "packet before the journaled install passed" 1
+    s.Enforce.Enforcer.passed;
+  Alcotest.(check int) "packet after it was blocked" 1 s.Enforce.Enforcer.blocked
+
+let test_fail_closed_on_corrupt_restore () =
+  let open_policy = Enforce.Enforcer.default_policy in
+  let closed_policy = { open_policy with Enforce.Enforcer.fail_closed = true } in
+  let probe e =
+    Enforce.Enforcer.ingest e
+      (packet ~src:(addr "10.1.0.2" 5060) ~dst:victim
+         (invite ~call_id:"probe" ~from_host:"10.1.0.2" ~callee:"p@b.example"))
+  in
+  let _, _, open_e = flood_setup ~policy:open_policy () in
+  (match Enforce.Enforcer.restore open_e ~payload:"garbage" with
+  | Ok () -> Alcotest.fail "corrupt payload accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "fail-open: detection continues" true (probe open_e);
+  let _, _, closed_e = flood_setup ~policy:closed_policy () in
+  (match Enforce.Enforcer.restore closed_e ~payload:"garbage" with
+  | Ok () -> Alcotest.fail "corrupt payload accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "fail-closed: gate locks down" false (probe closed_e);
+  Alcotest.(check bool) "lockdown flagged" true
+    (BT.lockdown (Enforce.Enforcer.table closed_e))
+
+let suite =
+  [
+    ( "enforce.source_key",
+      [
+        Alcotest.test_case "normalization and addr projection" `Quick
+          test_source_key_normalize;
+        prop_source_key_roundtrip;
+      ] );
+    ( "enforce.table",
+      [
+        Alcotest.test_case "TTL boundary: blocked at T-1us, free at T" `Quick
+          test_ttl_boundary;
+        Alcotest.test_case "refresh extends, Drop dominates" `Quick
+          test_refresh_extends_and_drop_dominates;
+        Alcotest.test_case "token bucket charges and refills" `Quick test_token_bucket;
+        Alcotest.test_case "drop outranks limiter" `Quick test_match_order_drop_before_bucket;
+        Alcotest.test_case "overflow and lockdown" `Quick test_overflow_and_lockdown;
+        Alcotest.test_case "restore is total on garbage" `Quick test_restore_rejects_garbage;
+      ] );
+    ( "enforce.recovery",
+      [
+        prop_checkpoint_recover_preserves_table;
+        prop_recovered_gate_decides_identically;
+      ] );
+    ( "enforce.e2e",
+      [
+        Alcotest.test_case "INVITE flood blocked at the gate" `Quick
+          test_enforcer_blocks_invite_flood;
+        Alcotest.test_case "block lapses after its TTL" `Quick test_enforcer_block_expires;
+        Alcotest.test_case "journaled installs replay at their time" `Quick
+          test_journal_replay_is_scheduled;
+        Alcotest.test_case "fail-open vs fail-closed on corrupt state" `Quick
+          test_fail_closed_on_corrupt_restore;
+      ] );
+  ]
