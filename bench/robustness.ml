@@ -56,8 +56,7 @@ let churn ~label ~config ~n =
           (Dsim.Time.add (Dsim.Time.of_ms (float_of_int n)) (sec 1.0));
         (Vids.Engine.memory_stats engine, Vids.Engine.counters engine, engine))
   in
-  Gc.full_major ();
-  let live = (Gc.stat ()).Gc.live_words in
+  let live = Bench_common.live_words () in
   (* Keep the engine reachable until after the heap measurement. *)
   ignore (Sys.opaque_identity engine);
   {

@@ -168,9 +168,7 @@ type soak_result = {
   digest_match : bool;
 }
 
-let live_words () =
-  Gc.full_major ();
-  (Gc.stat ()).Gc.live_words
+let live_words = Bench_common.live_words
 
 let phase_a ~records ~path =
   let snap = tmp ".ck" in

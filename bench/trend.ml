@@ -1,0 +1,91 @@
+(* The bench trend gate: compare a fresh BENCH_profile.json against the
+   committed baseline and fail CI when a pipeline stage regressed.
+
+   Wall-clock seconds are machine-dependent, so the gate compares the
+   machine-stable shape of the profile instead:
+
+   - per-stage *share* of end-to-end drive time (how the budget is
+     split), and
+   - per-stage *bytes allocated per record* (deterministic for a
+     deterministic workload).
+
+   A stage regresses when the current value exceeds the baseline by more
+   than 15% relative plus an absolute floor (0.02 share / 64 B per
+   record) that keeps sub-percent stages from tripping the gate on
+   noise.  Stages that appear or disappear between the two files are
+   reported as notes, not failures — adding instrumentation must not
+   need a baseline edit to land.
+
+   Usage: trend.exe BASELINE.json CURRENT.json
+   Exit codes: 0 clean, 1 regression, 2 usage or malformed input. *)
+
+module J = Bench_common.Json_in
+
+let usage () =
+  prerr_endline "usage: trend.exe BASELINE.json CURRENT.json";
+  exit 2
+
+let num_field obj key =
+  match J.member key obj with Some (J.Num f) -> Some f | _ -> None
+
+(* stage name -> (share, bytes_per_record) from the artifact's "stages"
+   array; either metric may be absent (older artifacts). *)
+let stages_of path =
+  let doc = try J.of_file path with
+    | J.Malformed msg ->
+        Printf.eprintf "%s: malformed JSON: %s\n" path msg;
+        exit 2
+    | Sys_error msg ->
+        Printf.eprintf "cannot read %s: %s\n" path msg;
+        exit 2
+  in
+  match J.member "stages" doc with
+  | Some (J.Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match J.member "stage" row with
+          | Some (J.Str name) ->
+              Some (name, (num_field row "share", num_field row "bytes_per_record"))
+          | _ -> None)
+        rows
+  | _ ->
+      Printf.eprintf "%s: no \"stages\" array\n" path;
+      exit 2
+
+(* Regression: current exceeds baseline by >15% relative plus the
+   metric's absolute floor. *)
+let regressed ~floor ~base ~cur = cur > (base *. 1.15) +. floor
+
+let () =
+  if Array.length Sys.argv <> 3 then usage ();
+  let base_path = Sys.argv.(1) and cur_path = Sys.argv.(2) in
+  let base = stages_of base_path in
+  let cur = stages_of cur_path in
+  let failures = ref 0 in
+  let check name metric floor b c =
+    match (b, c) with
+    | Some b, Some c when regressed ~floor ~base:b ~cur:c ->
+        incr failures;
+        Printf.printf "REGRESSION %-16s %s: %.4f -> %.4f (limit %.4f)\n" name metric b c
+          ((b *. 1.15) +. floor)
+    | Some b, Some c -> Printf.printf "ok         %-16s %s: %.4f -> %.4f\n" name metric b c
+    | _ -> ()
+  in
+  List.iter
+    (fun (name, (b_share, b_bpr)) ->
+      match List.assoc_opt name cur with
+      | None -> Printf.printf "note: stage %s disappeared (baseline only)\n" name
+      | Some (c_share, c_bpr) ->
+          check name "share   " 0.02 b_share c_share;
+          check name "B/record" 64.0 b_bpr c_bpr)
+    base;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name base) then
+        Printf.printf "note: stage %s is new (no baseline)\n" name)
+    cur;
+  if !failures > 0 then begin
+    Printf.eprintf "FAIL: %d stage metric(s) regressed vs %s\n" !failures base_path;
+    exit 1
+  end;
+  Printf.printf "trend gate passed: %d baseline stage(s) within limits\n" (List.length base)

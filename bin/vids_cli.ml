@@ -5,6 +5,7 @@
      simulate   run the Figure-7 workload and print performance metrics
      detect     run attack scenarios and print the alert log
      run        live-ingestion daemon over pcap files and/or a UDP socket
+     profile    per-stage wall-time/allocation breakdown on a canned workload
      recover    rebuild a crashed engine from checkpoint + journal + trace
      rules      print the enforcement rules stored in a checkpoint
      parse      parse a SIP message from a file and dump its structure
@@ -116,6 +117,87 @@ let finish_obs o t =
       | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path profiling: --profile and the [profile] subcommand          *)
+(* ------------------------------------------------------------------ *)
+
+(* The profiler shares the telemetry registry when one exists, so with
+   --metrics-out the per-stage rows and GC gauges ride the same export;
+   without telemetry it gets a private registry read only at report
+   time. *)
+let start_prof enabled obs_state =
+  if not enabled then None
+  else
+    Some
+      (Obs.Prof.create
+         ?registry:(Option.map fst obs_state)
+         ?flight:(Option.map snd obs_state) ())
+
+(* Renders the breakdown: [Some json] under --json (the caller embeds it
+   in its report object, keeping stdout one parseable value), a table on
+   stdout otherwise. *)
+let render_prof_snapshot ?records ?total_s ~json snap =
+  let report = Obs.Prof.report_of_snapshot snap in
+  if report = [] then None
+  else if json then Some (Obs.Prof.report_json ?records ?total_s report)
+  else begin
+    Format.printf "%a" (Obs.Prof.pp_table ?records ?total_s) report;
+    None
+  end
+
+let finish_prof ?records ?total_s ~json prof =
+  match prof with
+  | None -> None
+  | Some p ->
+      Obs.Prof.sample_gc p;
+      render_prof_snapshot ?records ?total_s ~json
+        (Obs.Metrics.snapshot (Obs.Prof.registry p))
+
+(* ------------------------------------------------------------------ *)
+(* Attack scheduling shared by [detect], [record] and [profile]        *)
+(* ------------------------------------------------------------------ *)
+
+let launch_attack atk tb ~at ~pair name =
+  let ua_a = List.nth tb.T.uas_a pair and ua_b = List.nth tb.T.uas_b pair in
+  match name with
+  | "bye-dos" ->
+      Attack.Scenarios.spoofed_bye_call atk ~caller:ua_a ~callee:ua_b ~at;
+      true
+  | "cancel-dos" ->
+      Attack.Scenarios.cancel_dos_call atk ~caller:ua_a ~callee:ua_b ~at;
+      true
+  | "hijack" ->
+      Attack.Scenarios.hijack_call atk ~caller:ua_a ~callee:ua_b ~at;
+      true
+  | "media-spam" ->
+      Attack.Scenarios.media_spam_call atk ~caller:ua_a ~callee:ua_b ~at;
+      true
+  | "billing-fraud" ->
+      Attack.Scenarios.billing_fraud_call atk ~caller:ua_a ~callee:ua_b ~at;
+      true
+  | "invite-flood" ->
+      Attack.Scenarios.invite_flood atk ~target:(Voip.Ua.aor ua_b) ~via_proxy:true ~count:25
+        ~interval:(Dsim.Time.of_ms 40.0) ~at;
+      true
+  | "rtp-flood" ->
+      Attack.Scenarios.rtp_flood atk ~target:(Dsim.Addr.v (T.ua_b_host tb pair) 16500)
+        ~rate_pps:400 ~duration:(sec 2.0) ~at;
+      true
+  | "drdos" ->
+      Attack.Scenarios.drdos atk ~victim_host:(T.ua_b_host tb pair) ~reflectors:20 ~responses:60
+        ~at;
+      true
+  | _ -> false
+
+(* One attack every 25 s starting at t=5 s, cycling through the eight UA
+   pairs — the cadence every consumer of the scenario list uses. *)
+let schedule_attacks atk tb ~on_unknown names =
+  List.iteri
+    (fun i name ->
+      let at = sec (5.0 +. (25.0 *. float_of_int i)) in
+      if not (launch_attack atk tb ~at ~pair:(i mod 8) name) then on_unknown name)
+    names
+
+(* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -213,11 +295,11 @@ let shard_checkpoint checkpointing =
     Some
       { Shard.Shard_engine.prefix = checkpointing.file; every = sec checkpointing.interval }
 
-let start_sharded ?(obs = { metrics_out = None; trace_out = None; trace_ring = 256 }) ~shards
-    ~config ~checkpointing ~horizon tb =
+let start_sharded ?(obs = { metrics_out = None; trace_out = None; trace_ring = 256 })
+    ?(profile = false) ~shards ~config ~checkpointing ~horizon tb =
   let eng =
     Shard.Shard_engine.create ~config ?checkpoint:(shard_checkpoint checkpointing)
-      ~telemetry:(telemetry_wanted obs) ~trace_ring:obs.trace_ring ~horizon ~shards ()
+      ~telemetry:(telemetry_wanted obs) ~profile ~trace_ring:obs.trace_ring ~horizon ~shards ()
   in
   Dsim.Network.set_tap tb.T.vids_node
     (Some
@@ -259,8 +341,9 @@ let finish_sharded ?obs ?(print_report = true) ~checkpointing eng =
   outcome
 
 (* The sharded counterpart of [Vids.Report.json]: merged counters and the
-   merged alert log, plus the per-shard load table. *)
-let shard_outcome_json (o : Shard.Shard_engine.outcome) =
+   merged alert log, plus the per-shard load table.  [profile], when the
+   run was profiled, is the rendered per-stage ranking. *)
+let shard_outcome_json ?profile (o : Shard.Shard_engine.outcome) =
   let module J = Obs.Json in
   let c = o.Shard.Shard_engine.counters in
   let counters =
@@ -303,16 +386,18 @@ let shard_outcome_json (o : Shard.Shard_engine.outcome) =
   in
   let alerts = o.Shard.Shard_engine.alerts in
   J.obj
-    [
-      ("shards", J.int o.Shard.Shard_engine.shards);
-      ("counters", counters);
-      ( "attacks_detected",
-        J.bool (List.exists (fun (a : Vids.Alert.t) -> Vids.Alert.is_attack a.Vids.Alert.kind) alerts)
-      );
-      ("alerts", J.arr (List.map alert_json alerts));
-      ( "per_shard",
-        J.arr (Array.to_list (Array.mapi shard_json o.Shard.Shard_engine.per_shard)) );
-    ]
+    ([
+       ("shards", J.int o.Shard.Shard_engine.shards);
+       ("counters", counters);
+       ( "attacks_detected",
+         J.bool
+           (List.exists (fun (a : Vids.Alert.t) -> Vids.Alert.is_attack a.Vids.Alert.kind) alerts)
+       );
+       ("alerts", J.arr (List.map alert_json alerts));
+       ( "per_shard",
+         J.arr (Array.to_list (Array.mapi shard_json o.Shard.Shard_engine.per_shard)) );
+     ]
+    @ match profile with None -> [] | Some j -> [ ("profile", j) ])
 
 let governance_summary engine =
   let stats = Vids.Engine.memory_stats engine in
@@ -397,7 +482,7 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
 let all_attacks = [ "bye-dos"; "cancel-dos"; "hijack"; "media-spam"; "billing-fraud";
                     "invite-flood"; "rtp-flood"; "drdos" ]
 
-let detect seed attacks governance checkpointing shards obs enforce_policy json =
+let detect seed attacks governance checkpointing shards obs enforce_policy profile json =
   let attacks = if attacks = [] then all_attacks else attacks in
   let config = apply_governance governance Vids.Config.default in
   let sharded = shards > 1 in
@@ -409,10 +494,12 @@ let detect seed attacks governance checkpointing shards obs enforce_policy json 
   let tb = T.make ~seed ~vids:(if sharded then T.Off else T.Monitor) ~config () in
   let horizon = sec (40.0 +. (25.0 *. float_of_int (List.length attacks))) in
   let shard_eng =
-    if sharded then Some (start_sharded ~obs ~shards ~config ~checkpointing ~horizon tb)
+    if sharded then Some (start_sharded ~obs ~profile ~shards ~config ~checkpointing ~horizon tb)
     else None
   in
   let obs_state = if sharded then None else start_obs obs (T.engine_exn tb) in
+  let prof = if sharded then None else start_prof profile obs_state in
+  if not sharded then Vids.Engine.set_profiler (T.engine_exn tb) prof;
   let ck =
     if sharded then None
     else start_checkpointing ?obs:obs_state checkpointing tb.T.sched (T.engine_exn tb) ~horizon
@@ -424,50 +511,45 @@ let detect seed attacks governance checkpointing shards obs enforce_policy json 
       (fun policy ->
         let e = Enforce.Enforcer.create ~policy tb.T.sched (T.engine_exn tb) in
         Dsim.Network.set_tap tb.T.vids_node
-          (Some (fun pkt -> ignore (Enforce.Enforcer.ingest e pkt)));
+          (Some
+             (fun pkt ->
+               match prof with
+               | None -> ignore (Enforce.Enforcer.ingest e pkt)
+               | Some p ->
+                   Obs.Prof.enter p Obs.Prof.Enforce_gate;
+                   ignore (Enforce.Enforcer.ingest e pkt);
+                   Obs.Prof.exit p Obs.Prof.Enforce_gate));
         e)
       enforce_policy
   in
   let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
-  let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
   let unknown = ref [] in
-  List.iteri
-    (fun i name ->
-      let at = sec (5.0 +. (25.0 *. float_of_int i)) in
-      let pair = i mod 8 in
-      match name with
-      | "bye-dos" ->
-          Attack.Scenarios.spoofed_bye_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "cancel-dos" ->
-          Attack.Scenarios.cancel_dos_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "hijack" -> Attack.Scenarios.hijack_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "media-spam" ->
-          Attack.Scenarios.media_spam_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "billing-fraud" ->
-          Attack.Scenarios.billing_fraud_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "invite-flood" ->
-          Attack.Scenarios.invite_flood atk ~target:(Voip.Ua.aor (ua_b pair)) ~via_proxy:true
-            ~count:25 ~interval:(Dsim.Time.of_ms 40.0) ~at
-      | "rtp-flood" ->
-          Attack.Scenarios.rtp_flood atk ~target:(Dsim.Addr.v (T.ua_b_host tb pair) 16500)
-            ~rate_pps:400 ~duration:(sec 2.0) ~at
-      | "drdos" ->
-          Attack.Scenarios.drdos atk ~victim_host:(T.ua_b_host tb pair) ~reflectors:20
-            ~responses:60 ~at
-      | other -> unknown := other :: !unknown)
-    attacks;
+  schedule_attacks atk tb ~on_unknown:(fun name -> unknown := name :: !unknown) attacks;
   match !unknown with
   | _ :: _ ->
       Format.eprintf "unknown attacks: %s (choose from %s)@."
         (String.concat ", " !unknown) (String.concat ", " all_attacks);
       1
   | [] -> (
+      (* Wrapping the whole simulation in a Drive span makes the profile
+         shares add up against end-to-end time: everything not inside an
+         engine/gate span is Drive self time. *)
+      let t0 = Unix.gettimeofday () in
+      Option.iter (fun p -> Obs.Prof.enter p Obs.Prof.Drive) prof;
       T.run_until tb horizon;
+      Option.iter (fun p -> Obs.Prof.exit p Obs.Prof.Drive) prof;
+      let total_s = Unix.gettimeofday () -. t0 in
       finish_checkpointing ck;
       match shard_eng with
       | Some eng ->
           let outcome = finish_sharded ~obs ~print_report:(not json) ~checkpointing eng in
-          if json then print_endline (shard_outcome_json outcome)
+          let prof_json =
+            if not profile then None
+            else
+              Option.bind outcome.Shard.Shard_engine.metrics (fun snap ->
+                  render_prof_snapshot ~json snap)
+          in
+          if json then print_endline (shard_outcome_json ?profile:prof_json outcome)
           else begin
             let c = outcome.Shard.Shard_engine.counters in
             Format.printf "%d distinct alert(s); %d duplicates suppressed@."
@@ -476,21 +558,27 @@ let detect seed attacks governance checkpointing shards obs enforce_policy json 
           exit_for_alerts outcome.Shard.Shard_engine.alerts
       | None ->
           let engine = T.engine_exn tb in
+          let c = Vids.Engine.counters engine in
+          let records =
+            c.Vids.Engine.sip_packets + c.Vids.Engine.rtp_packets + c.Vids.Engine.rtcp_packets
+            + c.Vids.Engine.other_packets + c.Vids.Engine.malformed_packets
+          in
           if json then
+            let prof_json = finish_prof ~records ~total_s ~json:true prof in
             print_endline
-              (match enforcer with
-              | None -> Vids.Report.json engine
-              | Some e ->
+              (match (enforcer, prof_json) with
+              | None, None -> Vids.Report.json engine
+              | _ ->
                   Obs.Json.obj
-                    [
-                      ("report", Vids.Report.json engine);
-                      ("enforcement", enforcement_json e);
-                    ])
+                    ([ ("report", Vids.Report.json engine) ]
+                    @ (match enforcer with
+                      | None -> []
+                      | Some e -> [ ("enforcement", enforcement_json e) ])
+                    @ match prof_json with None -> [] | Some j -> [ ("profile", j) ]))
           else begin
             List.iter
               (fun a -> Format.printf "%a@." Vids.Alert.pp a)
               (Vids.Engine.alerts engine);
-            let c = Vids.Engine.counters engine in
             Format.printf "%d distinct alert(s); %d duplicates suppressed@."
               c.Vids.Engine.alerts_raised c.Vids.Engine.alerts_suppressed;
             governance_summary engine;
@@ -498,7 +586,8 @@ let detect seed attacks governance checkpointing shards obs enforce_policy json 
               (fun e ->
                 print_enforcement e;
                 print_string (Enforce.Enforcer.rules_text e))
-              enforcer
+              enforcer;
+            ignore (finish_prof ~records ~total_s ~json:false prof)
           end;
           finish_obs obs obs_state;
           exit_for_alerts (Vids.Engine.alerts engine))
@@ -515,31 +604,8 @@ let record seed attacks workload no_attacks path =
   let recorder = Vids.Trace.recorder () in
   Dsim.Network.set_tap tb.T.vids_node (Some (Vids.Trace.tap recorder tb.T.sched));
   let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
-  let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
-  List.iteri
-    (fun i name ->
-      let at = sec (5.0 +. (25.0 *. float_of_int i)) in
-      let pair = i mod 8 in
-      match name with
-      | "bye-dos" ->
-          Attack.Scenarios.spoofed_bye_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "cancel-dos" ->
-          Attack.Scenarios.cancel_dos_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "hijack" -> Attack.Scenarios.hijack_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "media-spam" ->
-          Attack.Scenarios.media_spam_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "billing-fraud" ->
-          Attack.Scenarios.billing_fraud_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
-      | "invite-flood" ->
-          Attack.Scenarios.invite_flood atk ~target:(Voip.Ua.aor (ua_b pair)) ~via_proxy:true
-            ~count:25 ~interval:(Dsim.Time.of_ms 40.0) ~at
-      | "rtp-flood" ->
-          Attack.Scenarios.rtp_flood atk ~target:(Dsim.Addr.v (T.ua_b_host tb pair) 16500)
-            ~rate_pps:400 ~duration:(sec 2.0) ~at
-      | "drdos" ->
-          Attack.Scenarios.drdos atk ~victim_host:(T.ua_b_host tb pair) ~reflectors:20
-            ~responses:60 ~at
-      | other -> Format.eprintf "skipping unknown attack %S@." other)
+  schedule_attacks atk tb
+    ~on_unknown:(fun other -> Format.eprintf "skipping unknown attack %S@." other)
     attacks;
   let attack_horizon =
     if attacks = [] then 0.0 else 40.0 +. (25.0 *. float_of_int (List.length attacks))
@@ -597,7 +663,7 @@ let parse_listen spec =
       | Some port when port >= 0 && host <> "" -> Ok (host, port)
       | _ -> Error (Printf.sprintf "bad --listen %S (HOST:PORT or PORT)" spec))
 
-let ingest_report_json (r : Ingest.Daemon.report) =
+let ingest_report_json ?profile (r : Ingest.Daemon.report) =
   let module J = Obs.Json in
   let q = r.Ingest.Daemon.queue in
   let quar = r.Ingest.Daemon.quarantine in
@@ -626,10 +692,10 @@ let ingest_report_json (r : Ingest.Daemon.report) =
            ] );
        ("report", Vids.Report.json r.Ingest.Daemon.engine);
      ]
-    @
-    match r.Ingest.Daemon.enforcer with
-    | None -> []
-    | Some e -> [ ("enforcement", enforcement_json e) ])
+    @ (match r.Ingest.Daemon.enforcer with
+      | None -> []
+      | Some e -> [ ("enforcement", enforcement_json e) ])
+    @ match profile with None -> [] | Some j -> [ ("profile", j) ])
 
 let print_ingest_report (r : Ingest.Daemon.report) =
   let q = r.Ingest.Daemon.queue in
@@ -674,7 +740,7 @@ let print_ingest_report (r : Ingest.Daemon.report) =
   Vids.Report.full Format.std_formatter r.Ingest.Daemon.engine
 
 let daemon captures pace listen queue_cap max_runtime governance checkpointing obs record_out
-    enforce_policy json =
+    enforce_policy profile json =
   (* The graceful path: first signal sets the flag and the loop drains; a
      second signal while the drain runs falls back to the default
      disposition (terminate now), so a wedged drain cannot trap the
@@ -725,6 +791,7 @@ let daemon captures pace listen queue_cap max_runtime governance checkpointing o
         let obs_state = make_obs obs in
         let metrics = Option.map fst obs_state in
         let flight = Option.map snd obs_state in
+        let prof = start_prof profile obs_state in
         let config =
           {
             Ingest.Daemon.default with
@@ -742,13 +809,19 @@ let daemon captures pace listen queue_cap max_runtime governance checkpointing o
             enforce = enforce_policy;
           }
         in
-        match Ingest.Daemon.run ?metrics ?flight ~stop config sources with
+        match Ingest.Daemon.run ?metrics ?flight ?prof ~stop config sources with
         | Error e ->
             Format.eprintf "daemon error: %s@." e;
             1
         | Ok report ->
-            if json then print_endline (ingest_report_json report)
-            else print_ingest_report report;
+            let records = report.Ingest.Daemon.dispatched in
+            if json then
+              print_endline
+                (ingest_report_json ?profile:(finish_prof ~records ~json:true prof) report)
+            else begin
+              print_ingest_report report;
+              ignore (finish_prof ~records ~json:false prof)
+            end;
             if checkpointing.interval > 0.0 then
               Format.eprintf "checkpoints: %s (journal %s)@." checkpointing.file
                 (checkpointing.file ^ ".journal");
@@ -758,7 +831,7 @@ let daemon captures pace listen queue_cap max_runtime governance checkpointing o
             | _ -> exit_for_alerts (Vids.Engine.alerts report.Ingest.Daemon.engine))
       end)
 
-let analyze path checkpointing shards obs json =
+let analyze path checkpointing shards obs profile json =
   let ic = open_in path in
   let loaded = Vids.Trace.load ic in
   close_in ic;
@@ -783,26 +856,34 @@ let analyze path checkpointing shards obs json =
       in
       let eng =
         Shard.Shard_engine.create ?checkpoint:(shard_checkpoint checkpointing) ?horizon
-          ~telemetry:(telemetry_wanted obs) ~trace_ring:obs.trace_ring ~shards ()
+          ~telemetry:(telemetry_wanted obs) ~profile ~trace_ring:obs.trace_ring ~shards ()
       in
       List.iter (Shard.Shard_engine.feed eng)
         (List.stable_sort
            (fun (a : Vids.Trace.record) b -> Dsim.Time.compare a.at b.at)
            records);
       let outcome = finish_sharded ~obs ~print_report:(not json) ~checkpointing eng in
-      if json then print_endline (shard_outcome_json outcome);
+      let prof_json =
+        if not profile then None
+        else
+          Option.bind outcome.Shard.Shard_engine.metrics (fun snap ->
+              render_prof_snapshot ~records:(List.length records) ~json snap)
+      in
+      if json then print_endline (shard_outcome_json ?profile:prof_json outcome);
       exit_for_alerts outcome.Shard.Shard_engine.alerts
   | Ok records ->
       if not json then Format.printf "replaying %d packets...@." (List.length records);
-      let plain = checkpointing.interval <= 0.0 && not (telemetry_wanted obs) in
-      let engine, obs_state =
-        if plain then (Vids.Trace.replay records, None)
+      let plain = checkpointing.interval <= 0.0 && not (telemetry_wanted obs) && not profile in
+      let engine, obs_state, prof, total_s =
+        if plain then (Vids.Trace.replay records, None, None, 0.0)
         else begin
-          (* Build the replay by hand so checkpoints and telemetry ride the
-             same clock. *)
+          (* Build the replay by hand so checkpoints, telemetry and the
+             profiler ride the same clock. *)
           let sched = Dsim.Scheduler.create () in
           let engine = Vids.Engine.create sched in
           let obs_state = start_obs obs engine in
+          let prof = start_prof profile obs_state in
+          Vids.Engine.set_profiler engine prof;
           let last =
             List.fold_left (fun acc r -> Dsim.Time.max acc r.Vids.Trace.at) Dsim.Time.zero
               records
@@ -814,15 +895,155 @@ let analyze path checkpointing shards obs json =
              strictly-later records). *)
           ignore (Vids.Trace.schedule_into sched engine records);
           let ck = start_checkpointing ?obs:obs_state checkpointing sched engine ~horizon in
+          let t0 = Unix.gettimeofday () in
+          Option.iter (fun p -> Obs.Prof.enter p Obs.Prof.Drive) prof;
           Dsim.Scheduler.run_until sched horizon;
+          Option.iter (fun p -> Obs.Prof.exit p Obs.Prof.Drive) prof;
+          let total_s = Unix.gettimeofday () -. t0 in
           finish_checkpointing ck;
-          (engine, obs_state)
+          (engine, obs_state, prof, total_s)
         end
       in
-      if json then print_endline (Vids.Report.json engine)
-      else Vids.Report.full Format.std_formatter engine;
+      if json then
+        print_endline
+          (match finish_prof ~records:(List.length records) ~total_s ~json:true prof with
+          | None -> Vids.Report.json engine
+          | Some j ->
+              Obs.Json.obj [ ("report", Vids.Report.json engine); ("profile", j) ])
+      else begin
+        Vids.Report.full Format.std_formatter engine;
+        ignore (finish_prof ~records:(List.length records) ~total_s ~json:false prof)
+      end;
       finish_obs obs obs_state;
       exit_for_alerts (Vids.Engine.alerts engine)
+
+(* ------------------------------------------------------------------ *)
+(* profile: the hot-path breakdown on a canned attack workload         *)
+(* ------------------------------------------------------------------ *)
+
+(* Capture the attack suite plus benign background calls (the [record]
+   fixture shape), then replay it through a fully instrumented sequential
+   stack: profiler on the engine, every record through an enforcement
+   gate, periodic checkpoints with journal fsyncs, and the whole drive
+   loop under [Drive] spans — so the per-stage self times are disjoint
+   and sum to the measured end-to-end wall time. *)
+let profile_workload seed minutes attacks json obs =
+  let attacks = if attacks = [] then all_attacks else attacks in
+  let tb = T.make ~seed ~vids:T.Off () in
+  let recorder = Vids.Trace.recorder () in
+  Dsim.Network.set_tap tb.T.vids_node (Some (Vids.Trace.tap recorder tb.T.sched));
+  let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
+  let unknown = ref [] in
+  schedule_attacks atk tb ~on_unknown:(fun n -> unknown := n :: !unknown) attacks;
+  match !unknown with
+  | _ :: _ ->
+      Format.eprintf "unknown attacks: %s (choose from %s)@." (String.concat ", " !unknown)
+        (String.concat ", " all_attacks);
+      1
+  | [] ->
+      let horizon =
+        sec (Float.max (40.0 +. (25.0 *. float_of_int (List.length attacks))) (60.0 *. minutes))
+      in
+      let gen =
+        {
+          Voip.Call_generator.mean_interarrival = sec 30.0;
+          mean_duration = sec 6.0;
+          min_duration = sec 2.0;
+        }
+      in
+      T.run_workload tb ~profile:gen ~duration:horizon ();
+      let records =
+        List.stable_sort
+          (fun (a : Vids.Trace.record) b -> Dsim.Time.compare a.Vids.Trace.at b.Vids.Trace.at)
+          (Vids.Trace.records recorder)
+      in
+      let sched = Dsim.Scheduler.create () in
+      let engine = Vids.Engine.create sched in
+      let obs_state = start_obs obs engine in
+      let prof =
+        Obs.Prof.create
+          ?registry:(Option.map fst obs_state)
+          ?flight:(Option.map snd obs_state) ()
+      in
+      Vids.Engine.set_profiler engine (Some prof);
+      let enforcer =
+        Enforce.Enforcer.create ~policy:Enforce.Enforcer.default_policy sched engine
+      in
+      let ck_file = Filename.temp_file "vids-profile" ".checkpoint" in
+      let journal_path = ck_file ^ ".journal" in
+      let writer = Vids.Journal.create_writer ~registry:(Obs.Prof.registry prof) journal_path in
+      Vids.Journal.attach writer engine;
+      let alloc = Dsim.Packet.allocator () in
+      let seq = ref 0 in
+      let period = sec 15.0 in
+      let next_ck = ref period in
+      let checkpoint_now () =
+        incr seq;
+        Obs.Prof.enter prof Obs.Prof.Checkpoint;
+        let now = Dsim.Scheduler.now sched in
+        Vids.Snapshot.save ~path:ck_file (Vids.Snapshot.capture ~seq:!seq ~at:now engine);
+        Vids.Journal.append writer (Vids.Journal.Checkpoint { at = now; seq = !seq });
+        Obs.Prof.enter prof Obs.Prof.Journal_fsync;
+        Vids.Journal.fsync_writer writer;
+        Obs.Prof.exit prof Obs.Prof.Journal_fsync;
+        Obs.Prof.exit prof Obs.Prof.Checkpoint
+      in
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun (r : Vids.Trace.record) ->
+          Obs.Prof.enter prof Obs.Prof.Drive;
+          Dsim.Scheduler.advance_to sched r.Vids.Trace.at;
+          if Dsim.Time.compare r.Vids.Trace.at !next_ck >= 0 then begin
+            checkpoint_now ();
+            next_ck := Dsim.Time.add !next_ck period
+          end;
+          let pkt =
+            Dsim.Packet.make alloc ~src:r.Vids.Trace.src ~dst:r.Vids.Trace.dst
+              ~sent_at:r.Vids.Trace.at r.Vids.Trace.payload
+          in
+          Obs.Prof.enter prof Obs.Prof.Enforce_gate;
+          ignore (Enforce.Enforcer.ingest enforcer pkt);
+          Obs.Prof.exit prof Obs.Prof.Enforce_gate;
+          Obs.Prof.exit prof Obs.Prof.Drive)
+        records;
+      (* Close detector windows and grace timers under the same
+         accounting, then take the final checkpoint. *)
+      Obs.Prof.enter prof Obs.Prof.Drive;
+      Dsim.Scheduler.run_until sched (Dsim.Time.add horizon (sec 60.0));
+      checkpoint_now ();
+      Obs.Prof.exit prof Obs.Prof.Drive;
+      let total_s = Unix.gettimeofday () -. t0 in
+      Vids.Journal.close_writer writer;
+      Obs.Prof.sample_gc prof;
+      let n = List.length records in
+      let report = Obs.Prof.report_of_snapshot (Obs.Metrics.snapshot (Obs.Prof.registry prof)) in
+      let covered = Obs.Prof.total_seconds report in
+      if json then
+        print_endline
+          (Obs.Json.obj
+             [
+               ("records", Obs.Json.int n);
+               ("total_s", Obs.Json.float total_s);
+               ("coverage", Obs.Json.float (if total_s > 0.0 then covered /. total_s else 0.0));
+               ("stages", Obs.Prof.report_json ~records:n ~total_s report);
+             ])
+      else begin
+        Format.printf "profiled %d record(s): %.4f s end-to-end, %.1f%% inside spans@." n
+          total_s
+          (if total_s > 0.0 then 100.0 *. covered /. total_s else 0.0);
+        Format.printf "%a" (Obs.Prof.pp_table ~records:n ~total_s) report;
+        let c = Vids.Engine.counters engine in
+        let s = Enforce.Enforcer.stats enforcer in
+        Format.printf "%d distinct alert(s); enforcement blocked %d of %d record(s)@."
+          c.Vids.Engine.alerts_raised s.Enforce.Enforcer.blocked n
+      end;
+      finish_obs obs obs_state;
+      (* The checkpoint/journal files only exist to exercise those stages;
+         they are scratch, not a deliverable. *)
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ ck_file; ck_file ^ ".1"; journal_path ];
+      0
 
 (* ------------------------------------------------------------------ *)
 (* recover: crash recovery from checkpoint + journal + trace           *)
@@ -1214,6 +1435,15 @@ let obs_term =
     const (fun metrics_out trace_out trace_ring -> { metrics_out; trace_out; trace_ring })
     $ metrics_out $ trace_out $ trace_ring)
 
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attach the hot-path profiler: per-stage span timing and allocation attribution, \
+           printed as a breakdown table (a $(b,profile) key under --json) and included in \
+           --metrics-out exports.")
+
 let json_flag =
   Arg.(
     value & flag
@@ -1282,7 +1512,7 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Launch attack scenarios and print the vIDS alert log")
     Term.(
       const detect $ seed_arg $ attacks $ governance_term $ checkpoint_term $ shards_term
-      $ obs_term $ enforce_term $ json_flag)
+      $ obs_term $ enforce_term $ profile_flag $ json_flag)
 
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -1359,13 +1589,38 @@ let run_cmd =
           on a clean stop, 3 when attack alerts were raised, nonzero on faults.")
     Term.(
       const daemon $ captures $ pace $ listen $ queue $ max_runtime $ governance_term
-      $ checkpoint_term $ obs_term $ record_out $ enforce_term $ json_flag)
+      $ checkpoint_term $ obs_term $ record_out $ enforce_term $ profile_flag $ json_flag)
 
 let analyze_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Replay a recorded trace through vIDS offline")
-    Term.(const analyze $ file $ checkpoint_term $ shards_term $ obs_term $ json_flag)
+    Term.(
+      const analyze $ file $ checkpoint_term $ shards_term $ obs_term $ profile_flag
+      $ json_flag)
+
+let profile_cmd =
+  let attacks =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ATTACK" ~doc:"Attacks to include (default: the full suite).")
+  in
+  let minutes =
+    Arg.(
+      value & opt float 4.0
+      & info [ "minutes" ] ~docv:"MIN"
+          ~doc:
+            "Benign background-call workload duration (the attack suite's own horizon sets a \
+             floor).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Capture the attack suite plus benign calls, replay it through a fully instrumented \
+          sequential stack — profiler, enforcement gate, periodic checkpoints, journal \
+          fsyncs — and print the per-stage wall-time / allocation breakdown.  --json emits \
+          the ranking with bytes allocated per record.")
+    Term.(const profile_workload $ seed_arg $ minutes $ attacks $ json_flag $ obs_term)
 
 let recover_cmd =
   let snapshot =
@@ -1451,6 +1706,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            simulate_cmd; detect_cmd; record_cmd; run_cmd; analyze_cmd; recover_cmd;
-            rules_cmd; parse_cmd; lint_cmd; check_specs_cmd; export_cmd;
+            simulate_cmd; detect_cmd; record_cmd; run_cmd; analyze_cmd; profile_cmd;
+            recover_cmd; rules_cmd; parse_cmd; lint_cmd; check_specs_cmd; export_cmd;
           ]))

@@ -18,19 +18,27 @@ let quick_protocol (packet : Dsim.Packet.t) =
   else if in_rtp_range packet.dst.Dsim.Addr.port then `Media
   else `Other
 
-let classify ~known_media (packet : Dsim.Packet.t) =
+let classify ?prof ~known_media (packet : Dsim.Packet.t) =
+  let enter s = match prof with None -> () | Some p -> Obs.Prof.enter p s in
+  let leave s = match prof with None -> () | Some p -> Obs.Prof.exit p s in
   let dst_port = packet.dst.Dsim.Addr.port in
-  if dst_port = sip_port || packet.src.Dsim.Addr.port = sip_port then
-    match Sip.Msg.parse packet.payload with
-    | Ok msg -> Sip msg
-    | Error e -> Malformed_sip e
+  if dst_port = sip_port || packet.src.Dsim.Addr.port = sip_port then begin
+    enter Obs.Prof.Sip_parse;
+    let parsed = Sip.Msg.parse packet.payload in
+    leave Obs.Prof.Sip_parse;
+    match parsed with Ok msg -> Sip msg | Error e -> Malformed_sip e
+  end
   else if known_media packet.dst || in_rtp_range dst_port then
-    if dst_port land 1 = 0 then
-      match Rtp.Rtp_packet.decode packet.payload with
-      | Ok p -> Rtp p
-      | Error e -> Malformed_rtp e
-    else
-      match Rtp.Rtcp.decode packet.payload with
-      | Ok r -> Rtcp r
-      | Error e -> Malformed_rtp e
+    if dst_port land 1 = 0 then begin
+      enter Obs.Prof.Rtp_parse;
+      let decoded = Rtp.Rtp_packet.decode packet.payload in
+      leave Obs.Prof.Rtp_parse;
+      match decoded with Ok p -> Rtp p | Error e -> Malformed_rtp e
+    end
+    else begin
+      enter Obs.Prof.Rtp_parse;
+      let decoded = Rtp.Rtcp.decode packet.payload in
+      leave Obs.Prof.Rtp_parse;
+      match decoded with Ok r -> Rtcp r | Error e -> Malformed_rtp e
+    end
   else Other

@@ -13,10 +13,12 @@ type classification =
   | Malformed_rtp of string
   | Other
 
-val classify : known_media:(Dsim.Addr.t -> bool) -> Dsim.Packet.t -> classification
+val classify :
+  ?prof:Obs.Prof.t -> known_media:(Dsim.Addr.t -> bool) -> Dsim.Packet.t -> classification
 (** [known_media] answers whether an address is a registered media endpoint
     (from the fact base); unknown ports in the dynamic RTP range are also
-    tried as media. *)
+    tried as media.  With [prof], the wire-parse calls run inside
+    [Sip_parse] / [Rtp_parse] spans. *)
 
 val sip_port : int
 

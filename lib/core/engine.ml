@@ -52,6 +52,7 @@ type t = {
   base : Fact_base.t;
   mutable inst : instruments option;
   mutable flight : Obs.Trace.t option;
+  mutable prof : Obs.Prof.t option;
   mutable alerts : Alert.t list; (* newest first *)
   seen : (string, unit) Hashtbl.t; (* alert dedup keys *)
   (* Dedup keys of alerts recovered from the write-ahead journal but not
@@ -91,6 +92,11 @@ let now t = Dsim.Scheduler.now t.sched
 (* --------------------------------------------------------------- *)
 
 let tick t f = match t.inst with None -> () | Some i -> Obs.Metrics.incr (f i)
+
+(* Same single-branch discipline as [tick]: with no profiler attached a
+   span site costs one load and one conditional jump. *)
+let penter t s = match t.prof with None -> () | Some p -> Obs.Prof.enter p s
+let pexit t s = match t.prof with None -> () | Some p -> Obs.Prof.exit p s
 
 let trace t ev =
   match t.flight with None -> () | Some fl -> Obs.Trace.record fl ~at:(now t) ev
@@ -271,6 +277,7 @@ let create ?(config = Config.default) sched =
       base;
       inst = None;
       flight = None;
+      prof = None;
       alerts = [];
       seen = Hashtbl.create 64;
       journal_pending = Hashtbl.create 8;
@@ -356,6 +363,19 @@ let set_telemetry t ?metrics ?flight () =
 let metrics_registry t = match t.inst with Some i -> Some i.i_registry | None -> None
 let flight_recorder t = t.flight
 
+let set_profiler t prof =
+  t.prof <- prof;
+  match prof with
+  | None -> ()
+  | Some p ->
+      (* The profiler's registry may be the telemetry registry or its own;
+         either way its snapshots should carry this engine's virtual time,
+         as should its sampled span events. *)
+      Obs.Metrics.set_clock (Obs.Prof.registry p) (fun () -> now t);
+      Obs.Prof.set_vclock p (fun () -> now t)
+
+let profiler t = t.prof
+
 (* --------------------------------------------------------------- *)
 (* SIP distribution                                                 *)
 (* --------------------------------------------------------------- *)
@@ -371,12 +391,14 @@ let register_event_media t call event =
 let inject_call t call event =
   tick t (fun i -> i.i_inject_call);
   trace t (Obs.Trace.Dispatch { target = "call"; subject = call.Fact_base.call_id });
+  penter t Obs.Prof.Efsm_dispatch;
   let faulted =
     contain t ~subject:call.Fact_base.call_id ~origin:"call machine"
       (fun () ->
         checked_inject t call.Fact_base.system ~machine:Keys.sip_machine event;
         Fact_base.maybe_finish t.base call)
   in
+  pexit t Obs.Prof.Efsm_dispatch;
   if faulted then begin
     Fact_base.quarantine_call t.base call;
     trace_quarantine t ~subject:call.Fact_base.call_id ~origin:"call machine"
@@ -397,11 +419,13 @@ let feed_flood_detector t msg event =
       if not t.config.Config.defer_global_detectors then begin
         tick t (fun i -> i.i_inject_flood);
         trace t (Obs.Trace.Dispatch { target = "flood"; subject = key });
+        penter t Obs.Prof.Detect;
         let system, _ = Fact_base.flood_detector t.base ~key in
         let faulted =
           contain t ~subject:("dst:" ^ key) ~origin:"flood detector" (fun () ->
               checked_inject t system ~machine:Invite_flood_machine.machine_name event)
         in
+        pexit t Obs.Prof.Detect;
         if faulted then begin
           Fact_base.quarantine_detector t.base `Flood ~key;
           trace_quarantine t ~subject:("dst:" ^ key) ~origin:"flood detector"
@@ -420,10 +444,12 @@ let feed_drdos_detector t (packet : Dsim.Packet.t) event =
     in
     tick t (fun i -> i.i_inject_drdos);
     trace t (Obs.Trace.Dispatch { target = "drdos"; subject = key });
+    penter t Obs.Prof.Detect;
     let faulted =
       contain t ~subject:("victim:" ^ key) ~origin:"drdos detector" (fun () ->
           checked_inject t system ~machine:Drdos_machine.machine_name orphan)
     in
+    pexit t Obs.Prof.Detect;
     if faulted then begin
       Fact_base.quarantine_detector t.base `Drdos ~key;
       trace_quarantine t ~subject:("victim:" ^ key) ~origin:"drdos detector"
@@ -467,7 +493,7 @@ let handle_sip t (packet : Dsim.Packet.t) msg =
   tick t (fun i -> i.i_sip);
   trace_packet t packet "sip";
   t.busy <- Dsim.Time.add t.busy t.config.Config.sip_cpu_cost;
-  let event = Sip_event.of_msg ~at:(now t) ~src:packet.src ~dst:packet.dst msg in
+  let event = Sip_event.of_msg ?prof:t.prof ~at:(now t) ~src:packet.src ~dst:packet.dst msg in
   check_boundary_register t msg;
   (match msg.Sip.Msg.start with
   | Sip.Msg.Request { meth = Sip.Msg_method.INVITE; _ } -> feed_flood_detector t msg event
@@ -544,11 +570,13 @@ let handle_rtp t (packet : Dsim.Packet.t) decoded =
     let stream_key = Dsim.Addr.to_string packet.dst in
     tick t (fun i -> i.i_inject_spam);
     trace t (Obs.Trace.Dispatch { target = "spam"; subject = stream_key });
+    penter t Obs.Prof.Detect;
     let system, _ = Fact_base.spam_detector t.base ~key:stream_key in
     let faulted =
       contain t ~subject:("stream:" ^ stream_key) ~origin:"spam detector" (fun () ->
           checked_inject t system ~machine:Media_spam_machine.machine_name event)
     in
+    pexit t Obs.Prof.Detect;
     if faulted then begin
       Fact_base.quarantine_detector t.base `Spam ~key:stream_key;
       trace_quarantine t ~subject:("stream:" ^ stream_key) ~origin:"spam detector"
@@ -562,11 +590,13 @@ let handle_rtp t (packet : Dsim.Packet.t) decoded =
   | Some call ->
       tick t (fun i -> i.i_inject_call);
       trace t (Obs.Trace.Dispatch { target = "call"; subject = call.Fact_base.call_id });
+      penter t Obs.Prof.Efsm_dispatch;
       let faulted =
         contain t ~subject:call.Fact_base.call_id ~origin:"call machine" (fun () ->
             checked_inject t call.Fact_base.system ~machine:Keys.rtp_machine event;
             Fact_base.maybe_finish t.base call)
       in
+      pexit t Obs.Prof.Efsm_dispatch;
       if faulted then begin
         Fact_base.quarantine_call t.base call;
         trace_quarantine t ~subject:call.Fact_base.call_id ~origin:"call machine"
@@ -577,7 +607,7 @@ let handle_rtp t (packet : Dsim.Packet.t) decoded =
 (* --------------------------------------------------------------- *)
 
 let dispatch t packet =
-  match Classifier.classify ~known_media:(Fact_base.known_media t.base) packet with
+  match Classifier.classify ?prof:t.prof ~known_media:(Fact_base.known_media t.base) packet with
   | Classifier.Sip msg -> handle_sip t packet msg
   | Classifier.Rtp decoded -> handle_rtp t packet decoded
   | Classifier.Rtcp _ ->

@@ -127,6 +127,19 @@ val metrics_registry : t -> Obs.Metrics.t option
 
 val flight_recorder : t -> Obs.Trace.t option
 
+val set_profiler : t -> Obs.Prof.t option -> unit
+(** Attaches (or with [None] detaches) a hot-path profiler
+    ({!Obs.Prof}).  Like telemetry, profiling is strictly write-only —
+    digests and alerts are identical with it on or off — and the disabled
+    path costs one branch per span site.  With a profiler attached the
+    engine wraps wire parsing in [Sip_parse]/[Sdp_parse]/[Rtp_parse]
+    spans, per-call machine injections in [Efsm_dispatch] and standalone
+    detector injections in [Detect]; the profiler's registry clock and
+    sampled-span timestamps are re-pointed at this engine's virtual
+    clock. *)
+
+val profiler : t -> Obs.Prof.t option
+
 (** {1 Crash safety}
 
     Hooks for the checkpoint/recovery subsystem ({!Snapshot}, {!Journal},

@@ -2,10 +2,19 @@ module V = Efsm.Value
 
 let opt_arg key value rest = match value with None -> rest | Some v -> (key, v) :: rest
 
-let sdp_args msg =
+let sdp_args ?prof msg =
   match (Sip.Msg.content_type msg, msg.Sip.Msg.body) with
   | Some ct, body when String.length body > 0 && String.equal ct "application/sdp" -> (
-      match Sdp.parse body with
+      let parsed =
+        match prof with
+        | None -> Sdp.parse body
+        | Some p ->
+            Obs.Prof.enter p Obs.Prof.Sdp_parse;
+            let r = Sdp.parse body in
+            Obs.Prof.exit p Obs.Prof.Sdp_parse;
+            r
+      in
+      match parsed with
       | Error _ -> []
       | Ok description -> (
           match Sdp.first_audio description with
@@ -24,7 +33,7 @@ let sdp_args msg =
                   ])))
   | _ -> []
 
-let of_msg ~at ~src ~dst msg =
+let of_msg ?prof ~at ~src ~dst msg =
   let name, extra =
     match msg.Sip.Msg.start with
     | Sip.Msg.Request { meth; _ } -> (Sip.Msg_method.to_string meth, [])
@@ -64,7 +73,7 @@ let of_msg ~at ~src ~dst msg =
       (Keys.dst_ip, V.Str (Dsim.Addr.host dst));
       (Keys.dst_port, V.Int (Dsim.Addr.port dst));
     ]
-    @ extra @ cseq @ call_id @ sdp_args msg
+    @ extra @ cseq @ call_id @ sdp_args ?prof msg
   in
   let args = opt_arg Keys.from_tag (tag_of Sip.Msg.from_) args in
   let args = opt_arg Keys.to_tag (tag_of Sip.Msg.to_) args in

@@ -3,13 +3,15 @@
     fields and, when an SDP body is present, the media description. *)
 
 val of_msg :
+  ?prof:Obs.Prof.t ->
   at:Dsim.Time.t ->
   src:Dsim.Addr.t ->
   dst:Dsim.Addr.t ->
   Sip.Msg.t ->
   Efsm.Event.t
 (** Requests become events named after their method; responses become
-    {!Keys.response} events carrying [code]. *)
+    {!Keys.response} events carrying [code].  With [prof], an SDP body's
+    parse runs inside an [Sdp_parse] span. *)
 
 val media_of_event : Efsm.Event.t -> Dsim.Addr.t option
 (** The SDP media endpoint the event advertises, if any. *)

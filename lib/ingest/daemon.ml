@@ -81,8 +81,10 @@ type pcap_state = {
 
 type src_state = S_pcap of pcap_state | S_udp of Udp_source.t
 
-let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
+let run ?clock ?metrics ?flight ?prof ?stop ?hard_kill ?on_batch config sources =
   let clock = match clock with Some c -> c | None -> Clock.system () in
+  let penter s = match prof with None -> () | Some p -> Obs.Prof.enter p s in
+  let pexit s = match prof with None -> () | Some p -> Obs.Prof.exit p s in
   let stop = match stop with Some r -> r | None -> ref false in
   let hard_kill = match hard_kill with Some r -> r | None -> ref false in
   if sources = [] then Error "no sources"
@@ -130,6 +132,7 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
           | None -> Vids.Engine.create sched
         in
         Vids.Engine.set_telemetry engine ?metrics ?flight ();
+        Vids.Engine.set_profiler engine prof;
         let journal_w =
           Option.map
             (fun p -> Vids.Journal.create_writer ?registry:metrics p)
@@ -194,6 +197,7 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
           match config.snapshot_path with
           | None -> ()
           | Some path ->
+              penter Obs.Prof.Checkpoint;
               (* The capture must be durable at least up to the snapshot
                  instant, or a kill -9 leaves a snapshot whose replay
                  suffix is still sitting in this channel's buffer. *)
@@ -215,11 +219,14 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
               Option.iter
                 (fun w ->
                   Vids.Journal.append w (Vids.Journal.Checkpoint { at; seq = !seq });
-                  Vids.Journal.fsync_writer w)
+                  penter Obs.Prof.Journal_fsync;
+                  Vids.Journal.fsync_writer w;
+                  pexit Obs.Prof.Journal_fsync)
                 journal_w;
               Option.iter
                 (fun fl -> Obs.Trace.record fl ~at (Obs.Trace.Checkpoint { seq = !seq }))
-                flight
+                flight;
+              pexit Obs.Prof.Checkpoint
         in
         (* Periodic checkpoints ride the virtual clock as self-re-arming
            events: under live pacing the grid tracks wall time through
@@ -236,6 +243,7 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
           arm (Dsim.Time.add (Dsim.Scheduler.now sched) period)
         end;
         let dispatch r =
+          penter Obs.Prof.Drive;
           (* Never move the clock backwards: a wall-timestamped datagram
              can land behind a capture that raced ahead of real time. *)
           let at = Dsim.Time.max r.Vids.Trace.at (Dsim.Scheduler.now sched) in
@@ -248,7 +256,12 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
               ~sent_at:at r.Vids.Trace.payload
           in
           (match enforcer with
-          | Some e -> ignore (Enforce.Enforcer.ingest e pkt)
+          | Some e ->
+              (* The gate's own verdict cost; the engine spans it forwards
+                 into nest underneath as children. *)
+              penter Obs.Prof.Enforce_gate;
+              ignore (Enforce.Enforcer.ingest e pkt);
+              pexit Obs.Prof.Enforce_gate
           | None -> Vids.Engine.process_packet engine pkt);
           let dt = Unix.gettimeofday () -. t0 in
           Dsim.Stat.Quantiles.add quantiles dt;
@@ -268,7 +281,8 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
               tick quarantines_c;
               note "quarantine" (Dsim.Addr.to_string r.Vids.Trace.src)
             end
-          end
+          end;
+          pexit Obs.Prof.Drive
         in
         let push r =
           match Shed_queue.push queue r with
@@ -356,7 +370,15 @@ let run ?clock ?metrics ?flight ?stop ?hard_kill ?on_batch config sources =
           else if !stop then reason := Some Signalled
           else if deadline_hit () then reason := Some Deadline
           else begin
-            let produced = List.fold_left (fun acc st -> acc + poll_source st) 0 states in
+            let produced =
+              List.fold_left
+                (fun acc st ->
+                  penter Obs.Prof.Ingest_poll;
+                  let n = poll_source st in
+                  pexit Obs.Prof.Ingest_poll;
+                  acc + n)
+                0 states
+            in
             let consumed = drain config.batch in
             Option.iter (fun f -> f ()) on_batch;
             if (not (List.exists source_live states)) && Shed_queue.length queue = 0

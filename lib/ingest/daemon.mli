@@ -87,6 +87,7 @@ val run :
   ?clock:Clock.t ->
   ?metrics:Obs.Metrics.t ->
   ?flight:Obs.Trace.t ->
+  ?prof:Obs.Prof.t ->
   ?stop:bool ref ->
   ?hard_kill:bool ref ->
   ?on_batch:(unit -> unit) ->
@@ -96,6 +97,11 @@ val run :
 (** Runs the ingestion loop until a {!stop_reason} occurs.  [clock]
     defaults to {!Clock.system}; benches pass {!Clock.manual} to soak at
     memory speed.  [on_batch] fires once per loop turn — the soak
-    harness's sampling hook.  [Error] is reserved for startup failures
+    harness's sampling hook.  [prof] attaches an {!Obs.Prof} hot-path
+    profiler: the daemon wraps source polling ([Ingest_poll] — includes
+    pacing sleeps), each record dispatch ([Drive]), the enforcement gate
+    ([Enforce_gate]), checkpoints ([Checkpoint]) and the journal's
+    durability sync ([Journal_fsync]); the engine's parse/dispatch/detect
+    spans nest inside.  [Error] is reserved for startup failures
     (unreadable capture, no sources); once the loop is entered every
     fault is contained and reported through the {!report}. *)

@@ -10,6 +10,7 @@ type event =
   | Checkpoint of { seq : int }
   | Ingest of { action : string; detail : string }
   | Enforce of { action : string; subject : string }
+  | Span of { stage : string; self_s : float; words : float }
   | Note of { label : string; detail : string }
 
 type entry = { seq : int; at : Dsim.Time.t; ev : event }
@@ -96,6 +97,10 @@ let event_to_json = function
       Json.obj
         [ ("type", Json.quote "enforce"); ("action", Json.quote action);
           ("subject", Json.quote subject) ]
+  | Span { stage; self_s; words } ->
+      Json.obj
+        [ ("type", Json.quote "span"); ("stage", Json.quote stage);
+          ("self_s", Json.float self_s); ("words", Json.float words) ]
   | Note { label; detail } ->
       Json.obj
         [ ("type", Json.quote "note"); ("label", Json.quote label);

@@ -40,6 +40,10 @@ type event =
           dropped or rate-limited, a forced call teardown.  [action] is a
           short machine-stable tag ([block], [rate-limit], [teardown],
           [expire], [lockdown], …). *)
+  | Span of { stage : string; self_s : float; words : float }
+      (** A sampled profiler span ({!Prof}): one completed stage span's
+          self wall seconds and self minor words allocated.  Sampled, not
+          exhaustive — the per-stage totals live in the metrics. *)
   | Note of { label : string; detail : string }
       (** Free-form marker (supervisor crashes/restarts, run phases). *)
 

@@ -130,14 +130,22 @@ let attach_bucket_listener engine ~flood ~drdos ~writer =
          | E.Drdos_candidate key -> Bucket.bump drdos writer ~at key))
 
 let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon ~telemetry
-    ~trace_ring () =
+    ~profile ~trace_ring () =
   let sched = Dsim.Scheduler.create () in
   let engine = E.create ~config sched in
   (* Per-domain registry and ring: no sharing, no synchronization; the
-     coordinator folds the snapshots after the join. *)
-  let metrics = if telemetry then Some (Obs.Metrics.create ()) else None in
+     coordinator folds the snapshots after the join.  Profiling rides the
+     same registry, so per-stage histograms merge like every other row. *)
+  let metrics = if telemetry || profile then Some (Obs.Metrics.create ()) else None in
   let flight = if telemetry then Some (Obs.Trace.create ~capacity:trace_ring ()) else None in
   E.set_telemetry engine ?metrics ?flight ();
+  let prof =
+    if profile then Option.map (fun m -> Obs.Prof.create ~registry:m ?flight ()) metrics
+    else None
+  in
+  E.set_profiler engine prof;
+  let penter s = match prof with None -> () | Some p -> Obs.Prof.enter p s in
+  let pexit s = match prof with None -> () | Some p -> Obs.Prof.exit p s in
   let ck_hist =
     Option.map
       (fun m ->
@@ -166,6 +174,7 @@ let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon ~
        exactly the boundary were already processed (strict [>] below), so
        they are inside the snapshot; timers due exactly at the boundary
        stay pending and are captured as armed. *)
+    penter Obs.Prof.Checkpoint;
     let t0 = match ck_hist with None -> 0.0 | Some _ -> Unix.gettimeofday () in
     Dsim.Scheduler.advance_to sched at;
     incr seq;
@@ -178,7 +187,8 @@ let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon ~
       (fun w -> Vids.Journal.append w (Vids.Journal.Checkpoint { at; seq = !seq }))
       journal;
     Option.iter (fun fl -> Obs.Trace.record fl ~at (Obs.Trace.Checkpoint { seq = !seq })) flight;
-    Option.iter (fun h -> Obs.Metrics.observe h (Unix.gettimeofday () -. t0)) ck_hist
+    Option.iter (fun h -> Obs.Metrics.observe h (Unix.gettimeofday () -. t0)) ck_hist;
+    pexit Obs.Prof.Checkpoint
   in
   let checkpoints_below at ~strict =
     match checkpoint with
@@ -194,6 +204,10 @@ let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon ~
   let handle = function
     | Tick at -> checkpoints_below at ~strict:false
     | Rec (r : Vids.Trace.record) ->
+        (* [Ring_drain] covers the pop-to-dispatch turnaround; the engine's
+           own spans nest inside it, so its self time is the advance_to +
+           packet-construction glue the engine never sees. *)
+        penter Obs.Prof.Ring_drain;
         checkpoints_below r.at ~strict:true;
         Dsim.Scheduler.advance_to sched r.at;
         let packet = Dsim.Packet.make alloc ~src:r.src ~dst:r.dst ~sent_at:r.at r.payload in
@@ -203,7 +217,8 @@ let worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon ~
             let t0 = Unix.gettimeofday () in
             E.process_packet engine packet;
             Dsim.Stat.Quantiles.add q (Unix.gettimeofday () -. t0));
-        incr processed
+        incr processed;
+        pexit Obs.Prof.Ring_drain
   in
   let rec loop spins =
     match Spsc.pop queue with
@@ -272,6 +287,7 @@ type t = {
   config : Vids.Config.t; (* the worker config, deferral already applied *)
   fed_per_shard : int array;
   coord_metrics : Obs.Metrics.t option; (* dispatcher-side registry *)
+  coord_prof : Obs.Prof.t option; (* partition/ring-publish spans *)
   depth_hists : Obs.Metrics.histogram array; (* per shard, when telemetry is on *)
   mutable next_tick : Dsim.Time.t;
   mutable last_at : Dsim.Time.t;
@@ -286,7 +302,8 @@ let shard_config ~shards config =
   if shards > 1 then { config with Vids.Config.defer_global_detectors = true } else config
 
 let create ?(config = Vids.Config.default) ?(queue_capacity = 1024) ?checkpoint
-    ?(measure_latency = false) ?horizon ?(telemetry = false) ?(trace_ring = 256) ~shards () =
+    ?(measure_latency = false) ?horizon ?(telemetry = false) ?(profile = false)
+    ?(trace_ring = 256) ~shards () =
   if shards <= 0 then invalid_arg "Shard_engine.create: shards must be positive";
   let config = shard_config ~shards config in
   let queues = Array.init shards (fun _ -> Spsc.create ~capacity:queue_capacity) in
@@ -296,9 +313,13 @@ let create ?(config = Vids.Config.default) ?(queue_capacity = 1024) ?checkpoint
         let queue = queues.(index) in
         Domain.spawn
           (worker ~index ~config ~queue ~closed ~checkpoint ~measure_latency ~horizon ~telemetry
-             ~trace_ring))
+             ~profile ~trace_ring))
   in
-  let coord_metrics = if telemetry then Some (Obs.Metrics.create ()) else None in
+  let coord_metrics = if telemetry || profile then Some (Obs.Metrics.create ()) else None in
+  let coord_prof =
+    if profile then Option.map (fun m -> Obs.Prof.create ~registry:m ()) coord_metrics
+    else None
+  in
   let depth_hists =
     match coord_metrics with
     | None -> [||]
@@ -318,6 +339,7 @@ let create ?(config = Vids.Config.default) ?(queue_capacity = 1024) ?checkpoint
     config;
     fed_per_shard = Array.make shards 0;
     coord_metrics;
+    coord_prof;
     depth_hists;
     next_tick = (match checkpoint with Some ck -> ck.every | None -> Dsim.Time.zero);
     last_at = Dsim.Time.zero;
@@ -338,8 +360,16 @@ let feed t (r : Vids.Trace.record) =
         Array.iter (fun q -> Spsc.push q (Tick t.next_tick)) t.queues;
         t.next_tick <- Dsim.Time.add t.next_tick ck.every
       done);
+  let penter s = match t.coord_prof with None -> () | Some p -> Obs.Prof.enter p s in
+  let pexit s = match t.coord_prof with None -> () | Some p -> Obs.Prof.exit p s in
+  penter Obs.Prof.Partition;
   let shard = Partition.route t.partition r in
+  pexit Obs.Prof.Partition;
+  (* The publish span includes any backpressure stall: time the dispatcher
+     spends blocked on a full ring is exactly the cost worth seeing. *)
+  penter Obs.Prof.Ring_publish;
   Spsc.push t.queues.(shard) (Rec r);
+  pexit Obs.Prof.Ring_publish;
   t.fed_per_shard.(shard) <- t.fed_per_shard.(shard) + 1;
   if Array.length t.depth_hists > 0 then
     (* [Spsc.length] is a racy snapshot — fine for a load histogram. *)
@@ -577,11 +607,11 @@ let finish t =
       t.finished <- Some outcome;
       outcome
 
-let run_trace ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ?telemetry
+let run_trace ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ?telemetry ?profile
     ?trace_ring ~shards records =
   let t =
-    create ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ?telemetry ?trace_ring
-      ~shards ()
+    create ?config ?queue_capacity ?checkpoint ?measure_latency ?horizon ?telemetry ?profile
+      ?trace_ring ~shards ()
   in
   let sorted =
     List.stable_sort (fun (a : Vids.Trace.record) b -> Dsim.Time.compare a.at b.at) records

@@ -86,6 +86,7 @@ val create :
   ?measure_latency:bool ->
   ?horizon:Dsim.Time.t ->
   ?telemetry:bool ->
+  ?profile:bool ->
   ?trace_ring:int ->
   shards:int ->
   unit ->
@@ -100,8 +101,17 @@ val create :
     {!Obs.Metrics} registry and an {!Obs.Trace} ring of [trace_ring]
     (default 256) entries, plus a dispatcher-side registry sampling
     [vids_queue_depth{shard}] at each dispatch; {!finish} folds them into
-    [outcome.metrics] / [outcome.flights].  Raises [Invalid_argument] when
-    [shards <= 0]. *)
+    [outcome.metrics] / [outcome.flights].
+
+    [profile] (default false) attaches an {!Obs.Prof} hot-path profiler to
+    every worker engine (parse / dispatch / detect / checkpoint spans plus
+    a worker-side [Ring_drain] span per record) and to the dispatcher
+    ([Partition] and [Ring_publish] — the publish span includes
+    backpressure stalls).  Per-stage histograms live in the same per-domain
+    registries, so the merged [outcome.metrics] carries cross-shard
+    per-stage totals exactly like every other row; [profile] forces those
+    registries on even without [telemetry].  Raises [Invalid_argument]
+    when [shards <= 0]. *)
 
 val feed : t -> Vids.Trace.record -> unit
 (** Routes one record to its shard, blocking (and counting a stall) when
@@ -124,6 +134,7 @@ val run_trace :
   ?measure_latency:bool ->
   ?horizon:Dsim.Time.t ->
   ?telemetry:bool ->
+  ?profile:bool ->
   ?trace_ring:int ->
   shards:int ->
   Vids.Trace.record list ->

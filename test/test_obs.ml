@@ -531,6 +531,193 @@ let t_sharded_totals_equal_sequential () =
   (* Worker flight recorders came back across the domain join. *)
   check_int "one flight per shard" 2 (Array.length outcome.Shard.Shard_engine.flights)
 
+(* --- Hot-path profiler --------------------------------------------------- *)
+
+module P = Obs.Prof
+
+(* Injected clock/alloc pin the measured values, so self-time arithmetic
+   is exact: the parent's self excludes the nested child's elapsed. *)
+let t_prof_self_time () =
+  let now = ref 0.0 and words = ref 0.0 in
+  let p = P.create ~clock:(fun () -> !now) ~alloc:(fun () -> !words) () in
+  P.enter p P.Drive;
+  now := 1.0;
+  words := 100.0;
+  P.enter p P.Sip_parse;
+  now := 3.0;
+  words := 400.0;
+  P.exit p P.Sip_parse;
+  now := 10.0;
+  words := 1000.0;
+  P.exit p P.Drive;
+  check_int "idle depth" 0 (P.depth p);
+  let report = P.report_of_snapshot (M.snapshot (P.registry p)) in
+  let row name = List.find (fun r -> r.P.r_stage = name) report in
+  let drive = row "drive" and sip = row "sip-parse" in
+  check_int "one span each" 1 drive.P.r_spans;
+  check "child self = its elapsed" true (abs_float (sip.P.r_seconds -. 2.0) < 1e-9);
+  check "parent self excludes the child" true (abs_float (drive.P.r_seconds -. 8.0) < 1e-9);
+  check "child words" true (abs_float (sip.P.r_words -. 300.0) < 1e-9);
+  check "parent words exclude the child" true (abs_float (drive.P.r_words -. 700.0) < 1e-9);
+  (* Self times are disjoint, so they sum to the outermost elapsed. *)
+  check "self times sum to wall" true (abs_float (P.total_seconds report -. 10.0) < 1e-9);
+  check_str "ranked largest first" "drive" (List.hd report).P.r_stage
+
+let t_prof_guards () =
+  let zero () = 0.0 in
+  let p = P.create ~clock:zero ~alloc:zero () in
+  (* Exit on an empty stack, then an exit naming the wrong stage: both
+     counted and dropped, neither raises nor accounts a span. *)
+  P.exit p P.Detect;
+  P.enter p P.Drive;
+  P.exit p P.Detect;
+  check_int "mismatch still pops" 0 (P.depth p);
+  let snap = M.snapshot (P.registry p) in
+  check_int "mismatches counted" 2 (M.total snap "vids_prof_mismatch_total");
+  check_int "nothing accounted" 0 (M.total snap "vids_stage_spans_total");
+  (* Spans beyond the fixed stack depth are counted, not measured. *)
+  let p = P.create ~clock:zero ~alloc:zero () in
+  for _ = 1 to 20 do
+    P.enter p P.Detect
+  done;
+  for _ = 1 to 20 do
+    P.exit p P.Detect
+  done;
+  let snap = M.snapshot (P.registry p) in
+  check_int "overflows counted" 4 (M.total snap "vids_prof_depth_overflow_total");
+  check_int "measured spans capped at the stack depth" 16 (M.total snap "vids_stage_spans_total");
+  check_int "no mismatches from the unwind" 0 (M.total snap "vids_prof_mismatch_total");
+  check_int "depth restored" 0 (P.depth p)
+
+let t_prof_span_protects () =
+  let zero () = 0.0 in
+  let p = P.create ~clock:zero ~alloc:zero () in
+  (try P.span p P.Checkpoint (fun () -> failwith "boom") with Failure _ -> ());
+  check_int "popped on raise" 0 (P.depth p);
+  let snap = M.snapshot (P.registry p) in
+  check_int "span still accounted" 1 (M.total snap "vids_stage_spans_total");
+  check_int "no mismatch" 0 (M.total snap "vids_prof_mismatch_total")
+
+let t_prof_stage_names () =
+  List.iter
+    (fun s ->
+      match P.stage_of_name (P.stage_name s) with
+      | Some s' -> check ("round-trips: " ^ P.stage_name s) true (s = s')
+      | None -> Alcotest.fail ("stage name lost: " ^ P.stage_name s))
+    P.all_stages
+
+let t_prof_flight_sampling () =
+  let fl = Tr.create ~capacity:8 () in
+  let zero () = 0.0 in
+  let p = P.create ~flight:fl ~sample_every:1 ~clock:zero ~alloc:zero () in
+  P.span p P.Detect (fun () -> ());
+  check_int "span sampled into the flight recorder" 1 (Tr.recorded fl);
+  match (List.hd (Tr.entries fl)).Tr.ev with
+  | Tr.Span { stage; _ } -> check_str "sampled stage name" "detect" stage
+  | _ -> Alcotest.fail "expected a span event"
+
+let q_prof_digest_transparent =
+  q ~count:25 "prof: profiling is write-only (digest)"
+    QCheck.(pair (int_range 0 8) (int_range 0 20))
+    (fun (n_calls, n_rtp) ->
+      let run profiled =
+        let sched = Dsim.Scheduler.create () in
+        let engine = Vids.Engine.create sched in
+        if profiled then Vids.Engine.set_profiler engine (Some (P.create ()));
+        let feed ~src ~dst payload =
+          Vids.Engine.process_packet engine
+            (Dsim.Packet.make alloc ~src ~dst ~sent_at:(Dsim.Scheduler.now sched) payload)
+        in
+        for i = 0 to n_calls - 1 do
+          feed ~src:(sip_addr "203.0.113.66") ~dst:(sip_addr "10.2.0.2")
+            (invite ~call_id:(Printf.sprintf "prof-%d" i))
+        done;
+        for i = 0 to n_rtp - 1 do
+          feed
+            ~src:(Dsim.Addr.v "203.0.113.66" 16400)
+            ~dst:(Dsim.Addr.v "10.2.0.10" (20000 + (2 * (i mod 3))))
+            rtp_bytes
+        done;
+        Dsim.Scheduler.run_until sched (sec 30.0);
+        Vids.Snapshot.digest ~at:(sec 30.0) engine
+      in
+      String.equal (run false) (run true))
+
+let t_prof_export_formats () =
+  let now = ref 0.0 in
+  let clock () =
+    now := !now +. 0.001;
+    !now
+  in
+  let p = P.create ~clock ~alloc:(fun () -> 0.0) () in
+  P.span p P.Sip_parse (fun () -> ());
+  P.sample_gc p;
+  let snap = M.snapshot (P.registry p) in
+  let text = Obs.Export.prometheus snap in
+  check "stage histogram exported" true
+    (contains ~needle:"# TYPE vids_stage_seconds histogram" text);
+  check "stage label on buckets" true
+    (contains ~needle:{|vids_stage_seconds_bucket{stage="sip-parse"|} text);
+  check "span counter exported" true
+    (contains ~needle:{|vids_stage_spans_total{stage="sip-parse"} 1|} text);
+  check "gc gauge typed" true (contains ~needle:"# TYPE vids_gc_heap_words gauge" text);
+  check "gc gauge sampled" true (contains ~needle:"vids_gc_heap_words " text);
+  let jsonl = Obs.Export.metrics_jsonl snap in
+  check "jsonl carries the gc gauge" true (contains ~needle:"vids_gc_heap_words" jsonl);
+  check "jsonl carries the stage rows" true (contains ~needle:"vids_stage_spans_total" jsonl);
+  (* The report JSON names every field the trend gate reads. *)
+  let js = P.report_json ~records:10 ~total_s:0.002 (P.report_of_snapshot snap) in
+  List.iter
+    (fun needle -> check ("report json has " ^ needle) true (contains ~needle js))
+    [ {|"stage"|}; {|"spans"|}; {|"self_s"|}; {|"share"|}; {|"bytes_per_record"|} ]
+
+let t_prof_shard_merge () =
+  let records = ref [] in
+  let add at src dst payload = records := { Vids.Trace.at; src; dst; payload } :: !records in
+  for i = 0 to 39 do
+    add
+      (Dsim.Time.of_ms (float_of_int (10 * i)))
+      (sip_addr "10.1.0.2") (sip_addr "10.2.0.2")
+      (invite ~call_id:(Printf.sprintf "pshard-%d" i))
+  done;
+  for i = 0 to 19 do
+    add
+      (Dsim.Time.of_ms (float_of_int ((10 * i) + 5)))
+      (Dsim.Addr.v "10.5.0.1" 22000)
+      (Dsim.Addr.v (Printf.sprintf "10.6.0.%d" (i mod 4)) 22000)
+      rtp_bytes
+  done;
+  let trace = List.rev !records in
+  (* Sequential profiled replay for the parse-span ground truth. *)
+  let sched = Dsim.Scheduler.create () in
+  let engine = Vids.Engine.create sched in
+  let p = P.create () in
+  Vids.Engine.set_profiler engine (Some p);
+  ignore (Vids.Trace.schedule_into sched engine trace);
+  Dsim.Scheduler.run_until sched (sec 30.0);
+  let seq_snap = M.snapshot (P.registry p) in
+  let outcome = Shard.Shard_engine.run_trace ~profile:true ~horizon:(sec 30.0) ~shards:2 trace in
+  let merged =
+    match outcome.Shard.Shard_engine.metrics with
+    | Some s -> s
+    | None -> Alcotest.fail "profiled shard run produced no merged snapshot"
+  in
+  let spans snap stage =
+    match M.find snap ~labels:[ ("stage", stage) ] "vids_stage_spans_total" with
+    | Some (M.Counter n) -> n
+    | _ -> 0
+  in
+  (* Parse spans are per packet, so the merged cross-shard counts must
+     equal the sequential run's exactly. *)
+  List.iter
+    (fun stage -> check_int (stage ^ " spans equal") (spans seq_snap stage) (spans merged stage))
+    [ "sip-parse"; "rtp-parse" ];
+  (* Dispatcher- and worker-side plumbing stages cover every record. *)
+  let n = List.length trace in
+  check_int "partition spans = records" n (spans merged "partition");
+  check_int "ring-publish spans = records" n (spans merged "ring-publish");
+  check_int "ring-drain spans = records" n (spans merged "ring-drain")
+
 let suite =
   [
     ( "obs.quantiles",
@@ -574,4 +761,15 @@ let suite =
       ] );
     ( "obs.shard",
       [ tc "merged totals equal sequential" t_sharded_totals_equal_sequential ] );
+    ( "obs.prof",
+      [
+        tc "self time excludes nested children" t_prof_self_time;
+        tc "mismatch and overflow guards" t_prof_guards;
+        tc "span pops on raise" t_prof_span_protects;
+        tc "stage names round-trip" t_prof_stage_names;
+        tc "sampled spans reach the flight recorder" t_prof_flight_sampling;
+        q_prof_digest_transparent;
+        tc "exports carry stage and gc rows" t_prof_export_formats;
+        tc "shard merge sums per-stage spans" t_prof_shard_merge;
+      ] );
   ]
