@@ -399,6 +399,29 @@ let shard_outcome_json ?profile (o : Shard.Shard_engine.outcome) =
      ]
     @ match profile with None -> [] | Some j -> [ ("profile", j) ])
 
+(* --spec FILE: load [.vspec] machine overrides under [config].  Front-end
+   diagnostics are rendered (with caret snippets) to stderr; [Error]
+   means "already reported, exit 1". *)
+let load_spec_overrides config paths =
+  if paths = [] then Ok []
+  else
+    match Vids.Spec_load.load_files config paths with
+    | Ok overrides ->
+        List.iter
+          (fun (name, _) -> Format.eprintf "spec override: machine %s@." name)
+          overrides;
+        Ok overrides
+    | Error msg ->
+        prerr_endline msg;
+        Error ()
+
+let reject_spec_with_shards specs shards =
+  if specs <> [] && shards > 1 then begin
+    Format.eprintf
+      "--spec needs the sequential engine (overrides are per-engine); drop --shards@.";
+    exit 1
+  end
+
 let governance_summary engine =
   let stats = Vids.Engine.memory_stats engine in
   let c = Vids.Engine.counters engine in
@@ -412,15 +435,22 @@ let governance_summary engine =
       stats.Vids.Fact_base.calls_evicted stats.Vids.Fact_base.detectors_evicted
       stats.Vids.Fact_base.calls_swept c.Vids.Engine.faults c.Vids.Engine.rtp_shed
 
-let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpointing shards obs =
+let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpointing shards obs
+    specs =
   match mode_of_string mode_str with
   | Error e ->
       prerr_endline e;
       1
-  | Ok mode ->
+  | Ok mode -> (
       let config = apply_governance governance Vids.Config.default in
       let sharded = shards > 1 && mode <> T.Off in
-      let tb = T.make ~seed ~n_ua ~vids:(if sharded then T.Off else mode) ~config () in
+      reject_spec_with_shards specs shards;
+      match load_spec_overrides config specs with
+      | Error () -> 1
+      | Ok overrides ->
+      let tb =
+        T.make ~seed ~n_ua ~vids:(if sharded then T.Off else mode) ~config ~overrides ()
+      in
       let horizon = sec (60.0 *. minutes) in
       let shard_eng =
         if sharded then Some (start_sharded ~obs ~shards ~config ~checkpointing ~horizon tb)
@@ -473,7 +503,7 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
       (match shard_eng with
       | None -> ()
       | Some eng -> ignore (finish_sharded ~obs ~checkpointing eng));
-      0
+      0)
 
 (* ------------------------------------------------------------------ *)
 (* detect                                                              *)
@@ -482,7 +512,7 @@ let simulate seed n_ua mode_str minutes mean_gap mean_talk governance checkpoint
 let all_attacks = [ "bye-dos"; "cancel-dos"; "hijack"; "media-spam"; "billing-fraud";
                     "invite-flood"; "rtp-flood"; "drdos" ]
 
-let detect seed attacks governance checkpointing shards obs enforce_policy profile json =
+let detect seed attacks governance checkpointing shards obs enforce_policy profile json specs =
   let attacks = if attacks = [] then all_attacks else attacks in
   let config = apply_governance governance Vids.Config.default in
   let sharded = shards > 1 in
@@ -491,7 +521,13 @@ let detect seed attacks governance checkpointing shards obs enforce_policy profi
       "--enforce needs the sequential engine (the gate sits on one tap); drop --shards@.";
     exit 1
   end;
-  let tb = T.make ~seed ~vids:(if sharded then T.Off else T.Monitor) ~config () in
+  reject_spec_with_shards specs shards;
+  match load_spec_overrides config specs with
+  | Error () -> 1
+  | Ok overrides ->
+  let tb =
+    T.make ~seed ~vids:(if sharded then T.Off else T.Monitor) ~config ~overrides ()
+  in
   let horizon = sec (40.0 +. (25.0 *. float_of_int (List.length attacks))) in
   let shard_eng =
     if sharded then Some (start_sharded ~obs ~profile ~shards ~config ~checkpointing ~horizon tb)
@@ -740,7 +776,7 @@ let print_ingest_report (r : Ingest.Daemon.report) =
   Vids.Report.full Format.std_formatter r.Ingest.Daemon.engine
 
 let daemon captures pace listen queue_cap max_runtime governance checkpointing obs record_out
-    enforce_policy profile json =
+    enforce_policy profile json specs =
   (* The graceful path: first signal sets the flag and the loop drains; a
      second signal while the drain runs falls back to the default
      disposition (terminate now), so a wedged drain cannot trap the
@@ -788,6 +824,10 @@ let daemon captures pace listen queue_cap max_runtime governance checkpointing o
         1
       end
       else begin
+        let engine_config = apply_governance governance Vids.Config.default in
+        match load_spec_overrides engine_config specs with
+        | Error () -> 1
+        | Ok overrides ->
         let obs_state = make_obs obs in
         let metrics = Option.map fst obs_state in
         let flight = Option.map snd obs_state in
@@ -795,8 +835,8 @@ let daemon captures pace listen queue_cap max_runtime governance checkpointing o
         let config =
           {
             Ingest.Daemon.default with
-            Ingest.Daemon.engine_config =
-              Some (apply_governance governance Vids.Config.default);
+            Ingest.Daemon.engine_config = Some engine_config;
+            spec_overrides = overrides;
             queue_capacity = queue_cap;
             checkpoint_every_s = checkpointing.interval;
             snapshot_path =
@@ -831,7 +871,13 @@ let daemon captures pace listen queue_cap max_runtime governance checkpointing o
             | _ -> exit_for_alerts (Vids.Engine.alerts report.Ingest.Daemon.engine))
       end)
 
-let analyze path checkpointing shards obs profile json =
+let analyze path checkpointing shards obs profile json specs =
+  reject_spec_with_shards specs shards;
+  let overrides =
+    match load_spec_overrides Vids.Config.default specs with
+    | Ok o -> o
+    | Error () -> exit 1
+  in
   let ic = open_in path in
   let loaded = Vids.Trace.load ic in
   close_in ic;
@@ -873,14 +919,17 @@ let analyze path checkpointing shards obs profile json =
       exit_for_alerts outcome.Shard.Shard_engine.alerts
   | Ok records ->
       if not json then Format.printf "replaying %d packets...@." (List.length records);
-      let plain = checkpointing.interval <= 0.0 && not (telemetry_wanted obs) && not profile in
+      let plain =
+        checkpointing.interval <= 0.0 && not (telemetry_wanted obs) && not profile
+        && overrides = []
+      in
       let engine, obs_state, prof, total_s =
         if plain then (Vids.Trace.replay records, None, None, 0.0)
         else begin
           (* Build the replay by hand so checkpoints, telemetry and the
              profiler ride the same clock. *)
           let sched = Dsim.Scheduler.create () in
-          let engine = Vids.Engine.create sched in
+          let engine = Vids.Engine.create ~overrides sched in
           let obs_state = start_obs obs engine in
           let prof = start_prof profile obs_state in
           Vids.Engine.set_profiler engine prof;
@@ -1257,7 +1306,19 @@ let lint_systems () =
     ("drdos", [ (Vids.Drdos_machine.spec cfg, Vids.Drdos_machine.vars) ]);
   ]
 
-let lint json dot_dir =
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let write_dot dir report (spec : Efsm.Machine.spec) =
+  let path =
+    Filename.concat dir (String.lowercase_ascii spec.Efsm.Machine.spec_name ^ ".dot")
+  in
+  let oc = open_out path in
+  output_string oc (Analyze.Report.render_dot report spec);
+  close_out oc;
+  Format.eprintf "wrote %s@." path
+
+let lint_builtins json dot_dir =
   let reports =
     List.map
       (fun (name, sys) -> (name, sys, Analyze.Verifier.verify_system sys))
@@ -1266,20 +1327,10 @@ let lint json dot_dir =
   (match dot_dir with
   | None -> ()
   | Some dir ->
-      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      ensure_dir dir;
       List.iter
         (fun (_, sys, report) ->
-          List.iter
-            (fun ((spec : Efsm.Machine.spec), _) ->
-              let path =
-                Filename.concat dir
-                  (String.lowercase_ascii spec.Efsm.Machine.spec_name ^ ".dot")
-              in
-              let oc = open_out path in
-              output_string oc (Analyze.Report.render_dot report spec);
-              close_out oc;
-              Format.eprintf "wrote %s@." path)
-            sys)
+          List.iter (fun (spec, _) -> write_dot dir report spec) sys)
         reports);
   if json then
     print_endline
@@ -1291,6 +1342,54 @@ let lint json dot_dir =
         Format.printf "### system %s@.%s@." name (Analyze.Report.render_text report))
       reports;
   if List.exists (fun (_, _, r) -> Analyze.Verifier.has_errors r) reports then 1 else 0
+
+(* Lint external [.vspec] files: front-end diagnostics (with caret
+   snippets) plus the full verifier over the loaded machines, findings
+   mapped back to source positions. *)
+let lint_vspec json dot_dir files =
+  let cfg = Vids.Config.default in
+  match
+    Analyze.Speclint.lint_files ~known_machines:Vids.Spec_load.known_machines
+      ~externs:(Vids.Spec_load.externs cfg) files
+  with
+  | Error e ->
+      Format.eprintf "%s@." e;
+      1
+  | Ok r ->
+      (match dot_dir with
+      | None -> ()
+      | Some dir ->
+          ensure_dir dir;
+          List.iter
+            (fun (l : Spec.Front_end.loaded) ->
+              write_dot dir r.Analyze.Speclint.report l.Spec.Front_end.l_spec)
+            r.Analyze.Speclint.loaded);
+      if json then print_endline (Analyze.Speclint.render_json r)
+      else print_string (Analyze.Speclint.render_text r);
+      if Analyze.Speclint.ok r then 0 else 1
+
+(* --emit NAME: dump a builtin machine as canonical .vspec text — the
+   generator for examples/specs/*.vspec. *)
+let emit_builtin name =
+  let builtins = Vids.Spec_load.builtins Vids.Config.default in
+  match Vids.Spec_load.builtin_for Vids.Config.default name with
+  | None ->
+      Format.eprintf "unknown machine %S (choose from %s)@." name
+        (String.concat ", " (List.map fst builtins));
+      1
+  | Some (spec, vars) -> (
+      match Spec.Printer.of_machine spec vars with
+      | exception Spec.Printer.Unprintable msg ->
+          Format.eprintf "cannot print %s as .vspec: %s@." name msg;
+          1
+      | ast ->
+          print_string (Spec.Printer.print_machine ast);
+          0)
+
+let lint json dot_dir emit files =
+  match emit with
+  | Some name -> emit_builtin name
+  | None -> if files = [] then lint_builtins json dot_dir else lint_vspec json dot_dir files
 
 let check_specs () =
   let failures = ref 0 in
@@ -1452,6 +1551,15 @@ let json_flag =
           "Emit the final report as one JSON object on stdout (progress and export \
            announcements go to stderr).")
 
+let spec_term =
+  Arg.(
+    value & opt_all file []
+    & info [ "spec" ] ~docv:"FILE.vspec"
+        ~doc:
+          "Load machine definitions from a $(b,.vspec) file, replacing the builtin of the \
+           same name (SIP, RTP, INVITE_FLOOD, MEDIA_SPAM, DRDOS).  Repeatable.  The file is \
+           parsed, typechecked and verified before the run starts; diagnostics abort it.")
+
 let enforce_term =
   let enforce =
     Arg.(
@@ -1502,7 +1610,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the enterprise workload and report performance")
     Term.(
       const simulate $ seed_arg $ n_ua $ mode $ minutes $ gap $ talk $ governance_term
-      $ checkpoint_term $ shards_term $ obs_term)
+      $ checkpoint_term $ shards_term $ obs_term $ spec_term)
 
 let detect_cmd =
   let attacks =
@@ -1512,7 +1620,7 @@ let detect_cmd =
     (Cmd.info "detect" ~doc:"Launch attack scenarios and print the vIDS alert log")
     Term.(
       const detect $ seed_arg $ attacks $ governance_term $ checkpoint_term $ shards_term
-      $ obs_term $ enforce_term $ profile_flag $ json_flag)
+      $ obs_term $ enforce_term $ profile_flag $ json_flag $ spec_term)
 
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -1589,7 +1697,8 @@ let run_cmd =
           on a clean stop, 3 when attack alerts were raised, nonzero on faults.")
     Term.(
       const daemon $ captures $ pace $ listen $ queue $ max_runtime $ governance_term
-      $ checkpoint_term $ obs_term $ record_out $ enforce_term $ profile_flag $ json_flag)
+      $ checkpoint_term $ obs_term $ record_out $ enforce_term $ profile_flag $ json_flag
+      $ spec_term)
 
 let analyze_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
@@ -1597,7 +1706,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Replay a recorded trace through vIDS offline")
     Term.(
       const analyze $ file $ checkpoint_term $ shards_term $ obs_term $ profile_flag
-      $ json_flag)
+      $ json_flag $ spec_term)
 
 let profile_cmd =
   let attacks =
@@ -1678,13 +1787,32 @@ let lint_cmd =
       & info [ "dot-dir" ] ~docv:"DIR"
           ~doc:"Write each machine's Graphviz diagram, annotated with findings, into $(docv).")
   in
+  let emit =
+    Arg.(
+      value & opt (some string) None
+      & info [ "emit" ] ~docv:"MACHINE"
+          ~doc:
+            "Print a builtin machine as canonical $(b,.vspec) text and exit (the generator \
+             for examples/specs/*.vspec).")
+  in
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE.vspec"
+          ~doc:
+            "External spec files to lint instead of the builtins: lex/parse/typecheck with \
+             file:line:col diagnostics and caret snippets, then the full verifier over the \
+             loaded machines.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically verify the machine specifications: guard disjointness (determinism), \
           guard-aware reachability, variable init/domain hygiene, timer hygiene, and \
-          cross-machine sync-channel soundness.  Exits nonzero on error-severity findings.")
-    Term.(const lint $ json $ dot_dir)
+          cross-machine sync-channel soundness.  With $(b,FILE.vspec) arguments, lint \
+          external specs with positioned diagnostics instead of the builtins.  Exits \
+          nonzero on error-severity findings.")
+    Term.(const lint $ json $ dot_dir $ emit $ files)
 
 let check_specs_cmd =
   Cmd.v

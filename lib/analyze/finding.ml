@@ -9,11 +9,14 @@ type t = {
   machine : string;
   state : string option;
   transition : string option;
+  span : Spec.Loc.span option;
   message : string;
 }
 
-let make ?state ?transition ~severity ~pass ~machine message =
-  { severity; pass; machine; state; transition; message }
+let make ?state ?transition ?span ~severity ~pass ~machine message =
+  { severity; pass; machine; state; transition; span; message }
+
+let with_span span f = { f with span }
 
 let is_error f = f.severity = Error
 
@@ -38,12 +41,25 @@ let coordinates f =
   Printf.sprintf "%s%s" f.machine at
 
 let to_string f =
-  Printf.sprintf "%-7s [%s] %s: %s"
+  let where =
+    match f.span with None -> "" | Some sp -> Spec.Loc.to_string sp ^ ": "
+  in
+  Printf.sprintf "%s%-7s [%s] %s: %s" where
     (severity_to_string f.severity)
     f.pass (coordinates f) f.message
 
 let to_json f =
   let opt = function None -> "null" | Some s -> Obs.Json.quote s in
+  let span_json = function
+    | None -> "null"
+    | Some (sp : Spec.Loc.span) ->
+        Obs.Json.obj
+          [
+            ("file", Obs.Json.quote sp.Spec.Loc.s.Spec.Loc.file);
+            ("line", Obs.Json.int sp.Spec.Loc.s.Spec.Loc.line);
+            ("col", Obs.Json.int sp.Spec.Loc.s.Spec.Loc.col);
+          ]
+  in
   Obs.Json.obj
     [
       ("severity", Obs.Json.quote (severity_to_string f.severity));
@@ -51,5 +67,6 @@ let to_json f =
       ("machine", Obs.Json.quote f.machine);
       ("state", opt f.state);
       ("transition", opt f.transition);
+      ("span", span_json f.span);
       ("message", Obs.Json.quote f.message);
     ]

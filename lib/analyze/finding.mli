@@ -13,17 +13,23 @@ type t = {
   machine : string;
   state : string option;
   transition : string option;  (** Transition label. *)
+  span : Spec.Loc.span option;
+      (** Source position when the machine was loaded from a [.vspec]
+          file; [None] for compiled-in specs. *)
   message : string;
 }
 
 val make :
   ?state:string ->
   ?transition:string ->
+  ?span:Spec.Loc.span ->
   severity:severity ->
   pass:string ->
   machine:string ->
   string ->
   t
+
+val with_span : Spec.Loc.span option -> t -> t
 
 val is_error : t -> bool
 
@@ -33,6 +39,7 @@ val compare : t -> t -> int
 val coordinates : t -> string
 
 val to_string : t -> string
-(** One line: [severity [pass] machine at state/transition: message]. *)
+(** One line: [severity [pass] machine at state/transition: message],
+    prefixed with [file:line:col:] when a span is attached. *)
 
 val to_json : t -> string

@@ -210,7 +210,7 @@ let update_degradation t =
     | None | Some _ -> ()
   end
 
-let create ?(config = Config.default) sched =
+let create ?(config = Config.default) ?(overrides = []) sched =
   (* The fact base needs the engine's callbacks and the engine record needs
      the fact base: tie the knot with a forward reference that is set
      before any packet or timer can fire. *)
@@ -269,7 +269,7 @@ let create ?(config = Config.default) sched =
               | Some t -> ignore (contain t ~subject:"timer" ~origin:"timer callback" f)));
     }
   in
-  let base = Fact_base.create ~on_pressure ~config ~timer_host ~on_alert ~on_anomaly () in
+  let base = Fact_base.create ~on_pressure ~overrides ~config ~timer_host ~on_alert ~on_anomaly () in
   let t =
     {
       config;

@@ -44,7 +44,10 @@ type global_event =
 
 type t
 
-val create : ?config:Config.t -> Dsim.Scheduler.t -> t
+val create :
+  ?config:Config.t -> ?overrides:(string * Efsm.Machine.spec) list -> Dsim.Scheduler.t -> t
+(** [overrides] replaces builtin machine specs by name (e.g. ["SIP"])
+    with [.vspec]-loaded ones; see {!Spec_load.load_files}. *)
 
 val config : t -> Config.t
 

@@ -31,6 +31,9 @@ type detector_kind = [ `Flood | `Spam | `Drdos ]
 
 type t = {
   config : Config.t;
+  (* [.vspec]-loaded replacements for builtin machine specs, keyed by
+     machine name (e.g. "SIP"); builtins are the fallback. *)
+  overrides : (string * Efsm.Machine.spec) list;
   timer_host : Efsm.System.timer_host;
   on_alert : machine:string -> state:string -> subject:string -> detail:string -> unit;
   on_anomaly :
@@ -71,10 +74,11 @@ type t = {
   mutable sweep_next : Dsim.Time.t option;
 }
 
-let create ?(on_pressure = fun ~subject:_ ~detail:_ -> ()) ~config ~timer_host ~on_alert
-    ~on_anomaly () =
+let create ?(on_pressure = fun ~subject:_ ~detail:_ -> ()) ?(overrides = []) ~config
+    ~timer_host ~on_alert ~on_anomaly () =
   {
     config;
+    overrides;
     timer_host;
     on_alert;
     on_anomaly;
@@ -98,6 +102,13 @@ let create ?(on_pressure = fun ~subject:_ ~detail:_ -> ()) ~config ~timer_host ~
     sweep_timer = None;
     sweep_next = None;
   }
+
+(* Builtin specs are built per record (they close over config), so the
+   override lookup keys on the spec name the builtin would have had. *)
+let resolve_spec t (spec : Efsm.Machine.spec) =
+  match List.assoc_opt spec.Efsm.Machine.spec_name t.overrides with
+  | Some replacement -> replacement
+  | None -> spec
 
 let find_call t call_id =
   match Intern.find t.ids call_id with
@@ -188,8 +199,8 @@ let create_call t ~call_id =
       if cap > 0 && Hashtbl.length t.calls >= cap then evict_oldest_call t;
       let on_alert, on_anomaly = system_callbacks t ~subject:call_id in
       let system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
-      let sip = Efsm.System.add_machine system (Sip_call_machine.spec t.config) in
-      let rtp = Efsm.System.add_machine system (Rtp_call_machine.spec t.config) in
+      let sip = Efsm.System.add_machine system (resolve_spec t (Sip_call_machine.spec t.config)) in
+      let rtp = Efsm.System.add_machine system (resolve_spec t (Rtp_call_machine.spec t.config)) in
       let call =
         {
           call_id;
@@ -288,7 +299,7 @@ let detector kind t ~key ~make_spec ~subject_prefix =
       let subject = subject_prefix ^ key in
       let on_alert, on_anomaly = system_callbacks t ~subject in
       let d_system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
-      let d_machine = Efsm.System.add_machine d_system (make_spec t.config) in
+      let d_machine = Efsm.System.add_machine d_system (resolve_spec t (make_spec t.config)) in
       let d_created = t.timer_host.Efsm.System.now () in
       let d_serial = fresh_serial t in
       Hashtbl.replace table key { d_system; d_machine; d_created; d_serial; d_touched = d_created };
@@ -476,8 +487,8 @@ let restore_call t ~call_id ~created_at =
     invalid_arg (Printf.sprintf "Fact_base.restore_call: duplicate call %S" call_id);
   let on_alert, on_anomaly = system_callbacks t ~subject:call_id in
   let system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
-  let sip = Efsm.System.add_machine system (Sip_call_machine.spec t.config) in
-  let rtp = Efsm.System.add_machine system (Rtp_call_machine.spec t.config) in
+  let sip = Efsm.System.add_machine system (resolve_spec t (Sip_call_machine.spec t.config)) in
+  let rtp = Efsm.System.add_machine system (resolve_spec t (Rtp_call_machine.spec t.config)) in
   let call =
     {
       call_id;
@@ -511,7 +522,7 @@ let restore_detector t kind ~key ~created_at ~touched =
   in
   let on_alert, on_anomaly = system_callbacks t ~subject:(subject_prefix ^ key) in
   let d_system = Efsm.System.create ~on_alert ~on_anomaly t.timer_host in
-  let d_machine = Efsm.System.add_machine d_system (make_spec t.config) in
+  let d_machine = Efsm.System.add_machine d_system (resolve_spec t (make_spec t.config)) in
   let d_serial = fresh_serial t in
   Hashtbl.replace table key
     { d_system; d_machine; d_created = created_at; d_serial; d_touched = touched };

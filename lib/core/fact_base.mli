@@ -43,6 +43,7 @@ type t
 
 val create :
   ?on_pressure:(subject:string -> detail:string -> unit) ->
+  ?overrides:(string * Efsm.Machine.spec) list ->
   config:Config.t ->
   timer_host:Efsm.System.timer_host ->
   on_alert:(machine:string -> state:string -> subject:string -> detail:string -> unit) ->

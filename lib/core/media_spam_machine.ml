@@ -69,14 +69,15 @@ let is_spam config env event =
   || ts_jump > ts_limit
   || ts_jump < -(config.Config.spam_ts_gap * 4)
 
-let spam_pred config =
-  I.Opaque
-    {
-      I.pred_name = "is_spam";
-      pred_reads = [ lv l_ssrc; lv l_seq; lv l_ts ];
-      pred_fields = [ Keys.ssrc; Keys.seq; Keys.ts ];
-      holds = (fun env event -> is_spam config env event);
-    }
+let is_spam_opaque config =
+  {
+    I.pred_name = "is_spam";
+    pred_reads = [ lv l_ssrc; lv l_seq; lv l_ts ];
+    pred_fields = [ Keys.ssrc; Keys.seq; Keys.ts ];
+    holds = (fun env event -> is_spam config env event);
+  }
+
+let spam_pred config = I.Opaque (is_spam_opaque config)
 
 let next_count = I.Add (I.Int_or0 (I.Var (lv l_count)), I.Int_const 1)
 
@@ -84,24 +85,25 @@ let is_flood config = I.Cmp (I.Gt, next_count, I.Int_const config.Config.rtp_flo
 
 (* Only move the baseline forward so reordered packets cannot drag it
    backwards.  The seq_delta comparison wraps, hence opaque. *)
-let advance =
-  I.Opaque_act
-    {
-      I.act_name = "advance_baseline";
-      act_reads = [ lv l_seq; lv l_count ];
-      act_writes = [ lv l_seq; lv l_ts; lv l_count ];
-      act_emits = [];
-      run =
-        (fun env event ->
-          let seq = E.arg_int event Keys.seq in
-          let ts = E.arg_int event Keys.ts in
-          if Rtp.Rtp_packet.seq_delta (get_int env l_seq) seq > 0 then begin
-            Env.set env Env.Local l_seq (V.Int seq);
-            Env.set env Env.Local l_ts (V.Int ts)
-          end;
-          Env.set env Env.Local l_count (V.Int (get_int env l_count + 1));
-          []);
-    }
+let advance_opaque =
+  {
+    I.act_name = "advance_baseline";
+    act_reads = [ lv l_seq; lv l_count ];
+    act_writes = [ lv l_seq; lv l_ts; lv l_count ];
+    act_emits = [];
+    run =
+      (fun env event ->
+        let seq = E.arg_int event Keys.seq in
+        let ts = E.arg_int event Keys.ts in
+        if Rtp.Rtp_packet.seq_delta (get_int env l_seq) seq > 0 then begin
+          Env.set env Env.Local l_seq (V.Int seq);
+          Env.set env Env.Local l_ts (V.Int ts)
+        end;
+        Env.set env Env.Local l_count (V.Int (get_int env l_count + 1));
+        []);
+  }
+
+let advance = I.Opaque_act advance_opaque
 
 let tr = M.ir_transition
 

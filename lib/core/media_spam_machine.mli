@@ -27,3 +27,10 @@ val st_flood : string
 val window_timer_id : string
 
 val machine_name : string
+
+val is_spam_opaque : Config.t -> Efsm.Ir.opaque_pred
+(** The wraparound spam predicate, exposed so externally loaded
+    [.vspec] specs can reference it as [extern is_spam]. *)
+
+val advance_opaque : Efsm.Machine.effect Efsm.Ir.opaque_act
+(** The baseline-advance action, for [extern advance_baseline]. *)

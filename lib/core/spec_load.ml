@@ -1,0 +1,73 @@
+let known_machines =
+  [
+    Keys.sip_machine;
+    Keys.rtp_machine;
+    Invite_flood_machine.machine_name;
+    Media_spam_machine.machine_name;
+    Drdos_machine.machine_name;
+  ]
+
+let externs config =
+  {
+    Spec.Elaborate.find_pred =
+      (function
+      | "is_spam" -> Some (Media_spam_machine.is_spam_opaque config) | _ -> None);
+    find_act =
+      (function "advance_baseline" -> Some Media_spam_machine.advance_opaque | _ -> None);
+  }
+
+let builtins config =
+  [
+    ("sip-call", (Sip_call_machine.spec config, Sip_call_machine.vars));
+    ("rtp-call", (Rtp_call_machine.spec config, Rtp_call_machine.vars));
+    ("invite-flood", (Invite_flood_machine.spec config, Invite_flood_machine.vars));
+    ("media-spam", (Media_spam_machine.spec config, Media_spam_machine.vars));
+    ("drdos", (Drdos_machine.spec config, Drdos_machine.vars));
+  ]
+
+let builtin_for config name =
+  let all = builtins config in
+  match List.assoc_opt name all with
+  | Some _ as found -> found
+  | None ->
+      List.find_map
+        (fun (_, ((spec, _) as entry)) ->
+          if String.equal spec.Efsm.Machine.spec_name name then Some entry else None)
+        all
+
+let load_files config paths =
+  match
+    Spec.Front_end.load_files ~known_machines ~externs:(externs config) paths
+  with
+  | Error e -> Error e
+  | Ok (loaded, diags, sources) ->
+      let unknown =
+        List.filter
+          (fun (l : Spec.Front_end.loaded) ->
+            not (List.mem l.Spec.Front_end.l_name known_machines))
+          loaded
+      in
+      if Spec.Diag.has_errors diags || unknown <> [] then
+        let rendered =
+          List.map
+            (fun (d : Spec.Diag.t) ->
+              let source =
+                List.assoc_opt d.Spec.Diag.span.Spec.Loc.s.Spec.Loc.file sources
+              in
+              Spec.Diag.render ?source d)
+            diags
+          @ List.map
+              (fun (l : Spec.Front_end.loaded) ->
+                Printf.sprintf
+                  "%s: machine %s does not override a builtin (expected one of %s)"
+                  l.Spec.Front_end.l_file l.Spec.Front_end.l_name
+                  (String.concat ", " known_machines))
+              unknown
+        in
+        Error (String.concat "\n" rendered)
+      else
+        Ok
+          (List.map
+             (fun (l : Spec.Front_end.loaded) ->
+               (l.Spec.Front_end.l_name, l.Spec.Front_end.l_spec))
+             loaded)

@@ -1,0 +1,29 @@
+(** Loading external [.vspec] machine definitions into the engine.
+
+    Bridges the {!Spec} front end to the builtin machine set: supplies
+    the extern registry (the opaque escape hatches some builtins need),
+    the known sync-target machine names, and the builtin specs in
+    [.vspec]-printable form for [vids-cli lint --emit]. *)
+
+val known_machines : string list
+(** Machine names the engine instantiates — valid [sync] targets and the
+    only names an override may use. *)
+
+val externs : Config.t -> Spec.Elaborate.externs
+(** [extern is_spam] / [extern advance_baseline], backed by the
+    media-spam machine's wraparound arithmetic under [config]. *)
+
+val builtins : Config.t -> (string * (Efsm.Machine.spec * Efsm.Ir.decl list)) list
+(** CLI-facing key (e.g. ["media-spam"]) to builtin spec and declared
+    variable domains. *)
+
+val builtin_for : Config.t -> string -> (Efsm.Machine.spec * Efsm.Ir.decl list) option
+(** Accepts either the CLI key ["media-spam"] or the machine name
+    ["MEDIA_SPAM"]. *)
+
+val load_files :
+  Config.t -> string list -> ((string * Efsm.Machine.spec) list, string) result
+(** Loads override machines for [--spec].  Every loaded machine must
+    name a member of {!known_machines} (the engine only instantiates
+    those); front-end or verifier errors render into the [Error]
+    message with caret snippets. *)

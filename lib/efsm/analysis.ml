@@ -48,22 +48,3 @@ let analyze (spec : Machine.spec) =
     spec.Machine.finals = [] || List.exists (Set.mem_s seen) spec.Machine.finals
   in
   { reachable; unreachable; dead_ends; unreachable_attacks; finals_reachable }
-
-let check spec =
-  match Machine.validate_spec spec with
-  | Error e -> Error e
-  | Ok () ->
-      let r = analyze spec in
-      let attack_names = List.map fst spec.Machine.attack_states in
-      let bad_dead_ends = List.filter (fun s -> not (List.mem s attack_names)) r.dead_ends in
-      if r.unreachable_attacks <> [] then
-        Error
-          (Printf.sprintf "%s: unreachable attack states: %s" spec.Machine.spec_name
-             (String.concat ", " r.unreachable_attacks))
-      else if not r.finals_reachable then
-        Error (Printf.sprintf "%s: no final state is reachable" spec.Machine.spec_name)
-      else if bad_dead_ends <> [] then
-        Error
-          (Printf.sprintf "%s: dead-end states: %s" spec.Machine.spec_name
-             (String.concat ", " bad_dead_ends))
-      else Ok ()

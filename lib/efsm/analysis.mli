@@ -20,15 +20,5 @@ type report = {
 }
 
 val analyze : Machine.spec -> report
-
-val check : Machine.spec -> (unit, string) result
-  [@@ocaml.deprecated "Use the Analyze.Verifier subsystem: graph-only checking assumes every \
-                       guard fireable. This compatibility shim remains for old callers."]
-(** [Ok] when the spec validates ({!Machine.validate_spec}), every attack
-    state is reachable, some final state is reachable (when any is
-    declared), and no non-final, non-attack state is a dead end.
-
-    @deprecated Superseded by the guard-aware verifier in [lib/analyze]
-    ([Analyze.Verifier.verify_spec]), which refines these graph checks with
-    predicate-level reachability and adds determinism, sync-channel,
-    variable- and timer-hygiene passes. *)
+(** Graph-level facts only; for pass/fail verification use the
+    guard-aware verifier in [lib/analyze] ([Analyze.Verifier]). *)

@@ -15,6 +15,7 @@ type source =
 
 type config = {
   engine_config : Vids.Config.t option;
+  spec_overrides : (string * Efsm.Machine.spec) list;
   queue_capacity : int;
   queue_high_water : int option;
   checkpoint_every_s : float;
@@ -33,6 +34,7 @@ type config = {
 let default =
   {
     engine_config = None;
+    spec_overrides = [];
     queue_capacity = 4096;
     queue_high_water = None;
     checkpoint_every_s = 5.0;
@@ -128,8 +130,8 @@ let run ?clock ?metrics ?flight ?prof ?stop ?hard_kill ?on_batch config sources 
         let sched = Dsim.Scheduler.create () in
         let engine =
           match config.engine_config with
-          | Some c -> Vids.Engine.create ~config:c sched
-          | None -> Vids.Engine.create sched
+          | Some c -> Vids.Engine.create ~config:c ~overrides:config.spec_overrides sched
+          | None -> Vids.Engine.create ~overrides:config.spec_overrides sched
         in
         Vids.Engine.set_telemetry engine ?metrics ?flight ();
         Vids.Engine.set_profiler engine prof;

@@ -34,6 +34,9 @@ type source =
 
 type config = {
   engine_config : Vids.Config.t option;
+  spec_overrides : (string * Efsm.Machine.spec) list;
+      (** [.vspec]-loaded machine replacements, keyed by machine name;
+          see {!Vids.Spec_load.load_files}. *)
   queue_capacity : int;
   queue_high_water : int option;  (** Default: {!Shed_queue.create}'s 3/4. *)
   checkpoint_every_s : float;  (** <= 0 disables periodic checkpoints. *)

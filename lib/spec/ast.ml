@@ -1,0 +1,146 @@
+(* Positioned surface syntax for [.vspec] machine specifications.
+
+   The AST is deliberately untyped and context-free: one expression form
+   covers predicate, value and integer positions, and [Check] decides
+   which {!Efsm.Ir} fragment each node elaborates into.  Every node
+   carries the span of the text it was parsed from; machine-emitted
+   trees ([Printer.of_machine]) carry [Loc.dummy]. *)
+
+type lit =
+  | L_int of int
+  | L_str of string
+  | L_bool of bool
+  | L_unset
+
+(* Variable domains; mirrors [Efsm.Ir.domain]. *)
+type ty = T_int | T_bool | T_str | T_addr | T_enum of lit list
+
+type binop =
+  | B_and
+  | B_or
+  | B_eq  (* ==  structural value equality          -> Ir.Eq        *)
+  | B_ne  (* !=                                     -> Ir.Not Eq    *)
+  | B_lt  (* <   integer comparisons                -> Ir.Cmp       *)
+  | B_le  (* <=                                                     *)
+  | B_gt  (* >                                                      *)
+  | B_ge  (* >=                                                     *)
+  | B_ieq (* =   integer equality                   -> Ir.Cmp Ieq   *)
+  | B_ine (* <>                                     -> Ir.Cmp Ine   *)
+  | B_add (* +   integer arithmetic                 -> Ir.Add       *)
+  | B_sub (* -                                      -> Ir.Sub       *)
+
+type exp = { e : exp_node; e_span : Loc.span }
+
+and exp_node =
+  | Lit of lit
+  | Ident of string  (* declared variable; scope resolved by Check *)
+  | Fieldref of string  (* $name: event field *)
+  | Call of string * exp list  (* addr/2 host/1 int/1 int0/1 has/1 *)
+  | Extern_ref of string  (* opaque predicate escape hatch *)
+  | Not of exp
+  | Bin of binop * exp * exp
+  | In_set of exp * lit list
+
+type act = { a : act_node; a_span : Loc.span }
+
+and act_node =
+  | Assign of string * exp
+  | If of exp * act list * act list
+  | Sync of { target : string; event : string; args : (string * exp) list }
+  | Set_timer of string * int  (* delay in microseconds (Dsim.Time.t) *)
+  | Cancel_timer of string
+  | Extern_act of string
+
+type trigger_kind = Tg_event | Tg_channel | Tg_sync | Tg_timer
+
+type trans = {
+  t_label : string;
+  t_from : string;
+  t_to : string;
+  t_trigger : trigger_kind * string;
+  t_guard : exp option;
+  t_acts : act list;
+  t_span : Loc.span;  (* the label token: where findings point *)
+}
+
+type scope = S_local | S_global
+
+type item =
+  | I_var of { v_name : string; v_scope : scope; v_ty : ty; v_span : Loc.span }
+  | I_initial of string * Loc.span
+  | I_final of (string * Loc.span) list
+  | I_attack of { at_state : string; at_desc : string; at_span : Loc.span }
+  | I_trans of trans
+
+type machine = { m_name : string; m_items : item list; m_span : Loc.span }
+
+type file = machine list
+
+(* Structural equality ignoring spans — the contract the round-trip
+   property (parse . print = id) is stated against. *)
+
+let equal_lit (a : lit) (b : lit) = a = b
+
+let equal_ty (a : ty) (b : ty) = a = b
+
+let rec equal_exp a b =
+  match (a.e, b.e) with
+  | Lit x, Lit y -> equal_lit x y
+  | Ident x, Ident y | Fieldref x, Fieldref y | Extern_ref x, Extern_ref y ->
+      String.equal x y
+  | Call (f, xs), Call (g, ys) ->
+      String.equal f g && List.length xs = List.length ys && List.for_all2 equal_exp xs ys
+  | Not x, Not y -> equal_exp x y
+  | Bin (o, x1, x2), Bin (p, y1, y2) -> o = p && equal_exp x1 y1 && equal_exp x2 y2
+  | In_set (x, xs), In_set (y, ys) -> equal_exp x y && xs = ys
+  | _ -> false
+
+let rec equal_act a b =
+  match (a.a, b.a) with
+  | Assign (x, e1), Assign (y, e2) -> String.equal x y && equal_exp e1 e2
+  | If (p, t1, f1), If (q, t2, f2) ->
+      equal_exp p q && equal_acts t1 t2 && equal_acts f1 f2
+  | Sync s1, Sync s2 ->
+      String.equal s1.target s2.target
+      && String.equal s1.event s2.event
+      && List.length s1.args = List.length s2.args
+      && List.for_all2
+           (fun (k1, e1) (k2, e2) -> String.equal k1 k2 && equal_exp e1 e2)
+           s1.args s2.args
+  | Set_timer (i, d), Set_timer (j, e) -> String.equal i j && d = e
+  | Cancel_timer i, Cancel_timer j -> String.equal i j
+  | Extern_act i, Extern_act j -> String.equal i j
+  | _ -> false
+
+and equal_acts a b = List.length a = List.length b && List.for_all2 equal_act a b
+
+let equal_trans (a : trans) (b : trans) =
+  String.equal a.t_label b.t_label
+  && String.equal a.t_from b.t_from
+  && String.equal a.t_to b.t_to
+  && a.t_trigger = b.t_trigger
+  && (match (a.t_guard, b.t_guard) with
+     | None, None -> true
+     | Some x, Some y -> equal_exp x y
+     | _ -> false)
+  && equal_acts a.t_acts b.t_acts
+
+let equal_item a b =
+  match (a, b) with
+  | I_var x, I_var y ->
+      String.equal x.v_name y.v_name && x.v_scope = y.v_scope && equal_ty x.v_ty y.v_ty
+  | I_initial (x, _), I_initial (y, _) -> String.equal x y
+  | I_final xs, I_final ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (x, _) (y, _) -> String.equal x y) xs ys
+  | I_attack x, I_attack y ->
+      String.equal x.at_state y.at_state && String.equal x.at_desc y.at_desc
+  | I_trans x, I_trans y -> equal_trans x y
+  | _ -> false
+
+let equal_machine a b =
+  String.equal a.m_name b.m_name
+  && List.length a.m_items = List.length b.m_items
+  && List.for_all2 equal_item a.m_items b.m_items
+
+let equal_file a b = List.length a = List.length b && List.for_all2 equal_machine a b

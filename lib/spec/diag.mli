@@ -1,0 +1,45 @@
+(** Positioned diagnostics from the [.vspec] front end.
+
+    The lexer, parser, resolver and elaborator never raise on bad input:
+    they accumulate diagnostics, each anchored to a {!Loc.span}.  A
+    diagnostic carries a stable [code] naming its class, so tests and CI
+    can assert on the class rather than the message text. *)
+
+type severity = Error | Warning
+
+(** Diagnostic classes.  One constructor per kind of defect the front
+    end detects; {!code_to_string} gives the stable wire name. *)
+type code =
+  | Lex  (** Unrecognized character, unterminated string, bad escape. *)
+  | Parse  (** Grammar violation. *)
+  | Unbound_var  (** Reference to an undeclared variable. *)
+  | Type_mismatch  (** Operand/assignment type conflict, arity errors. *)
+  | Dup_state  (** State declared twice (initial/final/attack). *)
+  | Unknown_sync  (** [sync] target machine that exists nowhere. *)
+  | Unknown_extern  (** [extern] name with no registered implementation. *)
+  | Out_of_domain  (** Constant outside a variable's declared domain. *)
+  | Dup_label  (** Duplicate transition label or machine name. *)
+  | Structure  (** Missing initial state, [Machine.validate_spec] failures. *)
+
+type t = { severity : severity; code : code; span : Loc.span; message : string }
+
+val error : code -> Loc.span -> string -> t
+
+val warning : code -> Loc.span -> string -> t
+
+val code_to_string : code -> string
+
+val is_error : t -> bool
+
+val has_errors : t list -> bool
+
+val to_string : t -> string
+(** One line: [file:line:col: error[code]: message]. *)
+
+val render : ?source:string -> t -> string
+(** {!to_string} plus, when [source] is available, a caret-underlined
+    snippet of the offending source line, GCC-style. *)
+
+val render_all : source:string -> t list -> string
+
+val to_json : t -> string

@@ -1,0 +1,20 @@
+type pos = { file : string; line : int; col : int }
+
+type span = { s : pos; e : pos }
+
+let dummy =
+  let p = { file = "<none>"; line = 0; col = 0 } in
+  { s = p; e = p }
+
+let is_dummy sp = sp.s.line = 0
+
+let make ~file ~line ~col ~end_line ~end_col =
+  { s = { file; line; col }; e = { file; line = end_line; col = end_col } }
+
+let merge a b =
+  let before (p : pos) (q : pos) = p.line < q.line || (p.line = q.line && p.col <= q.col) in
+  { s = (if before a.s b.s then a.s else b.s); e = (if before a.e b.e then b.e else a.e) }
+
+let pos_to_string p = Printf.sprintf "%s:%d:%d" p.file p.line p.col
+
+let to_string sp = pos_to_string sp.s

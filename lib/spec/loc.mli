@@ -1,0 +1,28 @@
+(** Source positions and spans for [.vspec] files.
+
+    Every AST node carries a {!span} so the checker, the elaborator and
+    (through [Analyze.Finding]) the static verifier can point findings
+    back into the text the operator actually wrote.  Lines and columns
+    are 1-based, like compilers and editors count them. *)
+
+type pos = { file : string; line : int; col : int }
+
+type span = { s : pos; e : pos }
+(** Half-open: [e] is the position just past the last character. *)
+
+val dummy : span
+(** For synthesized nodes (e.g. machine-emitted specs); renders as
+    [<none>:0:0]. *)
+
+val is_dummy : span -> bool
+
+val make : file:string -> line:int -> col:int -> end_line:int -> end_col:int -> span
+
+val merge : span -> span -> span
+(** Covers both spans (assumes same file). *)
+
+val pos_to_string : pos -> string
+(** [file:line:col]. *)
+
+val to_string : span -> string
+(** The start position as [file:line:col] — the conventional anchor. *)

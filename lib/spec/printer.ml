@@ -1,0 +1,310 @@
+module I = Efsm.Ir
+module M = Efsm.Machine
+
+exception Unprintable of string
+
+(* ------------------------------------------------------------------ *)
+(* Canonical printing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_lit = function
+  | Ast.L_int n -> string_of_int n
+  | Ast.L_str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Ast.L_bool true -> "true"
+  | Ast.L_bool false -> "false"
+  | Ast.L_unset -> "unset"
+
+let print_ty = function
+  | Ast.T_int -> "int"
+  | Ast.T_bool -> "bool"
+  | Ast.T_str -> "string"
+  | Ast.T_addr -> "addr"
+  | Ast.T_enum lits ->
+      Printf.sprintf "enum { %s }" (String.concat ", " (List.map print_lit lits))
+
+let binop_symbol = function
+  | Ast.B_and -> "&&"
+  | Ast.B_or -> "||"
+  | Ast.B_eq -> "=="
+  | Ast.B_ne -> "!="
+  | Ast.B_lt -> "<"
+  | Ast.B_le -> "<="
+  | Ast.B_gt -> ">"
+  | Ast.B_ge -> ">="
+  | Ast.B_ieq -> "="
+  | Ast.B_ine -> "<>"
+  | Ast.B_add -> "+"
+  | Ast.B_sub -> "-"
+
+(* Operator layers, mirroring the parser: higher binds tighter. *)
+let binop_prec = function
+  | Ast.B_or -> 1
+  | Ast.B_and -> 2
+  | Ast.B_eq | Ast.B_ne | Ast.B_lt | Ast.B_le | Ast.B_gt | Ast.B_ge | Ast.B_ieq
+  | Ast.B_ine ->
+      3
+  | Ast.B_add | Ast.B_sub -> 4
+
+let prec (e : Ast.exp) =
+  match e.Ast.e with
+  | Ast.Bin (op, _, _) -> binop_prec op
+  | Ast.In_set _ -> 3
+  | Ast.Not _ -> 5
+  | Ast.Lit _ | Ast.Ident _ | Ast.Fieldref _ | Ast.Call _ | Ast.Extern_ref _ -> 6
+
+let rec print_at level e =
+  let s = print_node e in
+  if prec e < level then "(" ^ s ^ ")" else s
+
+and print_node (e : Ast.exp) =
+  match e.Ast.e with
+  | Ast.Lit l -> print_lit l
+  | Ast.Ident n -> n
+  | Ast.Fieldref f -> "$" ^ f
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map (print_at 1) args))
+  | Ast.Extern_ref n -> "extern " ^ n
+  | Ast.Not e -> "!" ^ print_at 5 e
+  | Ast.Bin (op, a, b) ->
+      let p = binop_prec op in
+      (* Left-associative: the left child may sit at the same level, the
+         right child must bind tighter.  Comparisons are non-associative:
+         both sides must bind tighter. *)
+      let left_level = if p = 3 then p + 1 else p in
+      Printf.sprintf "%s %s %s" (print_at left_level a) (binop_symbol op)
+        (print_at (p + 1) b)
+  | Ast.In_set (e, lits) ->
+      Printf.sprintf "%s in { %s }" (print_at 4 e)
+        (String.concat ", " (List.map print_lit lits))
+
+let print_exp e = print_at 1 e
+
+let print_duration us =
+  if us mod 1_000_000 = 0 then Printf.sprintf "%ds" (us / 1_000_000)
+  else if us mod 1_000 = 0 then Printf.sprintf "%dms" (us / 1_000)
+  else Printf.sprintf "%dus" us
+
+let rec print_act buf indent (act : Ast.act) =
+  let pad = String.make indent ' ' in
+  match act.Ast.a with
+  | Ast.Assign (n, e) -> Buffer.add_string buf (Printf.sprintf "%s%s := %s;\n" pad n (print_exp e))
+  | Ast.If (p, then_acts, else_acts) ->
+      Buffer.add_string buf (Printf.sprintf "%sif %s {\n" pad (print_exp p));
+      List.iter (print_act buf (indent + 2)) then_acts;
+      if else_acts <> [] then begin
+        Buffer.add_string buf (pad ^ "} else {\n");
+        List.iter (print_act buf (indent + 2)) else_acts
+      end;
+      Buffer.add_string buf (pad ^ "}\n")
+  | Ast.Sync { target; event; args } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%ssync %s.%s(%s);\n" pad target event
+           (String.concat ", "
+              (List.map (fun (k, e) -> Printf.sprintf "%s: %s" k (print_exp e)) args)))
+  | Ast.Set_timer (id, us) ->
+      Buffer.add_string buf (Printf.sprintf "%sset_timer %s %s;\n" pad id (print_duration us))
+  | Ast.Cancel_timer id -> Buffer.add_string buf (Printf.sprintf "%scancel_timer %s;\n" pad id)
+  | Ast.Extern_act n -> Buffer.add_string buf (Printf.sprintf "%sextern %s;\n" pad n)
+
+let trigger_keyword = function
+  | Ast.Tg_event -> "event"
+  | Ast.Tg_channel -> "channel"
+  | Ast.Tg_sync -> "sync"
+  | Ast.Tg_timer -> "timer"
+
+let print_trans buf (t : Ast.trans) =
+  let kind, name = t.Ast.t_trigger in
+  Buffer.add_string buf
+    (Printf.sprintf "  trans %s : %s -> %s on %s %s" t.Ast.t_label t.Ast.t_from t.Ast.t_to
+       (trigger_keyword kind) name);
+  (match t.Ast.t_guard with
+  | None -> ()
+  | Some g -> Buffer.add_string buf (Printf.sprintf "\n    when %s" (print_exp g)));
+  if t.Ast.t_acts = [] then Buffer.add_string buf ";\n"
+  else begin
+    Buffer.add_string buf "\n    do {\n";
+    List.iter (print_act buf 6) t.Ast.t_acts;
+    Buffer.add_string buf "    }\n"
+  end
+
+let print_item buf = function
+  | Ast.I_var { v_name; v_scope; v_ty; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s : %s;\n"
+           (match v_scope with Ast.S_local -> "var" | Ast.S_global -> "global")
+           v_name (print_ty v_ty))
+  | Ast.I_initial (s, _) -> Buffer.add_string buf (Printf.sprintf "  initial %s;\n" s)
+  | Ast.I_final states ->
+      Buffer.add_string buf
+        (Printf.sprintf "  final %s;\n" (String.concat ", " (List.map fst states)))
+  | Ast.I_attack { at_state; at_desc; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  attack %s \"%s\";\n" at_state (escape at_desc))
+  | Ast.I_trans t -> print_trans buf t
+
+let print_machine (m : Ast.machine) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "machine %s {\n" m.Ast.m_name);
+  (* A blank line before the first transition separates the declaration
+     header from the transition table. *)
+  let seen_trans = ref false in
+  List.iter
+    (fun item ->
+      (match item with
+      | Ast.I_trans _ when not !seen_trans ->
+          seen_trans := true;
+          Buffer.add_char buf '\n'
+      | _ -> ());
+      print_item buf item)
+    m.Ast.m_items;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let print_file machines = String.concat "\n" (List.map print_machine machines)
+
+(* ------------------------------------------------------------------ *)
+(* Unelaboration: Efsm.Machine.spec -> Ast                             *)
+(* ------------------------------------------------------------------ *)
+
+let dummy e = { Ast.e; e_span = Loc.dummy }
+
+let dummy_act a = { Ast.a; a_span = Loc.dummy }
+
+let lit_of_value = function
+  | Efsm.Value.Int n -> Ast.L_int n
+  | Efsm.Value.Str s -> Ast.L_str s
+  | Efsm.Value.Bool b -> Ast.L_bool b
+  | Efsm.Value.Unset -> Ast.L_unset
+  | Efsm.Value.Float _ -> raise (Unprintable "float constants have no surface syntax")
+  | Efsm.Value.Addr _ -> raise (Unprintable "use addr(host, port) instead of address constants")
+
+let cmp_op = function
+  | I.Lt -> Ast.B_lt
+  | I.Le -> Ast.B_le
+  | I.Gt -> Ast.B_gt
+  | I.Ge -> Ast.B_ge
+  | I.Ieq -> Ast.B_ieq
+  | I.Ine -> Ast.B_ine
+
+let left_chain op = function
+  | [] -> dummy (Ast.Lit (Ast.L_bool (op = Ast.B_and)))
+  | first :: rest -> List.fold_left (fun acc e -> dummy (Ast.Bin (op, acc, e))) first rest
+
+let rec exp_of_pred = function
+  | I.True -> dummy (Ast.Lit (Ast.L_bool true))
+  | I.False -> dummy (Ast.Lit (Ast.L_bool false))
+  | I.Not p -> dummy (Ast.Not (exp_of_pred p))
+  | I.And ps -> left_chain Ast.B_and (List.map exp_of_pred ps)
+  | I.Or ps -> left_chain Ast.B_or (List.map exp_of_pred ps)
+  | I.Eq (a, b) -> dummy (Ast.Bin (Ast.B_eq, exp_of_expr a, exp_of_expr b))
+  | I.Member (e, vs) -> dummy (Ast.In_set (exp_of_expr e, List.map lit_of_value vs))
+  | I.Cmp (c, a, b) -> dummy (Ast.Bin (cmp_op c, exp_of_iexpr a, exp_of_iexpr b))
+  | I.Has_field f -> dummy (Ast.Call ("has", [ dummy (Ast.Fieldref f) ]))
+  | I.Opaque o -> dummy (Ast.Extern_ref o.I.pred_name)
+
+and exp_of_expr = function
+  | I.Const v -> (
+      match v with
+      | Efsm.Value.Addr (h, p) ->
+          dummy
+            (Ast.Call
+               ("addr", [ dummy (Ast.Lit (Ast.L_str h)); dummy (Ast.Lit (Ast.L_int p)) ]))
+      | v -> dummy (Ast.Lit (lit_of_value v)))
+  | I.Var (_, name) -> dummy (Ast.Ident name)
+  | I.Field f -> dummy (Ast.Fieldref f)
+  | I.Mk_addr (h, p) -> dummy (Ast.Call ("addr", [ exp_of_expr h; exp_of_expr p ]))
+  | I.Addr_host e -> dummy (Ast.Call ("host", [ exp_of_expr e ]))
+  | I.Of_int ie -> exp_of_iexpr ie
+  | I.Of_pred p -> exp_of_pred p
+
+and exp_of_iexpr = function
+  | I.Int_const n -> dummy (Ast.Lit (Ast.L_int n))
+  | I.Int_of e -> dummy (Ast.Call ("int", [ exp_of_expr e ]))
+  | I.Int_or0 e -> dummy (Ast.Call ("int0", [ exp_of_expr e ]))
+  | I.Add (a, b) -> dummy (Ast.Bin (Ast.B_add, exp_of_iexpr a, exp_of_iexpr b))
+  | I.Sub (a, b) -> dummy (Ast.Bin (Ast.B_sub, exp_of_iexpr a, exp_of_iexpr b))
+
+let rec act_of = function
+  | I.Assign ((_, name), e) -> dummy_act (Ast.Assign (name, exp_of_expr e))
+  | I.If (p, then_acts, else_acts) ->
+      dummy_act (Ast.If (exp_of_pred p, List.map act_of then_acts, List.map act_of else_acts))
+  | I.Send_sync { target; event_name; args } ->
+      dummy_act
+        (Ast.Sync
+           {
+             target;
+             event = event_name;
+             args = List.map (fun (k, e) -> (k, exp_of_expr e)) args;
+           })
+  | I.Set_timer { id; delay } -> dummy_act (Ast.Set_timer (id, delay))
+  | I.Cancel_timer id -> dummy_act (Ast.Cancel_timer id)
+  | I.Opaque_act o -> dummy_act (Ast.Extern_act o.I.act_name)
+
+let ty_of_domain = function
+  | I.D_int -> Ast.T_int
+  | I.D_bool -> Ast.T_bool
+  | I.D_str -> Ast.T_str
+  | I.D_addr -> Ast.T_addr
+  | I.D_enum vs -> Ast.T_enum (List.map lit_of_value vs)
+
+let trigger_of = function
+  | M.On_event name -> (Ast.Tg_event, name)
+  | M.On_channel name -> (Ast.Tg_channel, name)
+  | M.On_sync name -> (Ast.Tg_sync, name)
+  | M.On_timer name -> (Ast.Tg_timer, name)
+
+let trans_of (t : M.transition) =
+  match t.M.syntax with
+  | None ->
+      raise
+        (Unprintable
+           (Printf.sprintf "transition %s is built from raw closures (no IR syntax)"
+              t.M.label))
+  | Some { I.guard; acts } ->
+      {
+        Ast.t_label = t.M.label;
+        t_from = t.M.from_state;
+        t_to = t.M.to_state;
+        t_trigger = trigger_of t.M.trigger;
+        t_guard = (match guard with I.True -> None | g -> Some (exp_of_pred g));
+        t_acts = List.map act_of acts;
+        t_span = Loc.dummy;
+      }
+
+let of_machine (spec : M.spec) (decls : I.decl list) =
+  let var_items =
+    List.map
+      (fun ((scope, name), domain) ->
+        Ast.I_var
+          {
+            v_name = name;
+            v_scope = (match scope with Efsm.Env.Local -> Ast.S_local | Efsm.Env.Global -> Ast.S_global);
+            v_ty = ty_of_domain domain;
+            v_span = Loc.dummy;
+          })
+      decls
+  in
+  let header =
+    [ Ast.I_initial (spec.M.initial, Loc.dummy) ]
+    @ (match spec.M.finals with
+      | [] -> []
+      | finals -> [ Ast.I_final (List.map (fun s -> (s, Loc.dummy)) finals) ])
+    @ List.map
+        (fun (state, desc) -> Ast.I_attack { at_state = state; at_desc = desc; at_span = Loc.dummy })
+        spec.M.attack_states
+  in
+  let transitions = List.map (fun t -> Ast.I_trans (trans_of t)) spec.M.transitions in
+  { Ast.m_name = spec.M.spec_name; m_items = var_items @ header @ transitions; m_span = Loc.dummy }

@@ -22,8 +22,9 @@ let ds1_rate = 1.536e6
 let domain_a = "a.example"
 let domain_b = "b.example"
 
-let make ?(seed = 42) ?(n_ua = 10) ?(vids = Monitor) ?config ?(loss = 0.0042)
-    ?(wan_delay_ms = 50.0) ?(vad = false) ?(record_route = false) ?(auth = false) () =
+let make ?(seed = 42) ?(n_ua = 10) ?(vids = Monitor) ?config ?(overrides = [])
+    ?(loss = 0.0042) ?(wan_delay_ms = 50.0) ?(vad = false) ?(record_route = false)
+    ?(auth = false) () =
   let sched = Dsim.Scheduler.create () in
   let rng = Dsim.Rng.create seed in
   let net = Dsim.Network.create sched (Dsim.Rng.split rng) in
@@ -59,8 +60,8 @@ let make ?(seed = 42) ?(n_ua = 10) ?(vids = Monitor) ?config ?(loss = 0.0042)
     | Inline | Monitor ->
         let engine =
           match config with
-          | Some c -> Vids.Engine.create ~config:c sched
-          | None -> Vids.Engine.create sched
+          | Some c -> Vids.Engine.create ~config:c ~overrides sched
+          | None -> Vids.Engine.create ~overrides sched
         in
         Dsim.Network.set_tap vids_node (Some (Vids.Engine.tap engine));
         if vids = Inline then

@@ -32,6 +32,7 @@ val make :
   ?n_ua:int ->
   ?vids:vids_mode ->
   ?config:Vids.Config.t ->
+  ?overrides:(string * Efsm.Machine.spec) list ->
   ?loss:float ->
   ?wan_delay_ms:float ->
   ?vad:bool ->

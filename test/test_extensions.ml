@@ -149,9 +149,6 @@ let register_flag_can_be_disabled () =
 
 let tr = Efsm.Machine.transition
 
-(* These tests pin the behaviour of the deprecated graph-only shim. *)
-[@@@alert "-deprecated"]
-
 let analysis_flags_unreachable () =
   let spec =
     {
@@ -174,20 +171,23 @@ let analysis_flags_unreachable () =
     "unreachable attacks" [ "X" ] r.Efsm.Analysis.unreachable_attacks;
   check "finals unreachable" false r.Efsm.Analysis.finals_reachable;
   Alcotest.(check (list string)) "dead ends" [ "B" ] r.Efsm.Analysis.dead_ends;
-  check "check rejects" true (Result.is_error (Efsm.Analysis.check spec))
+  check "verifier rejects" true
+    (Analyze.Verifier.machine_errors (Analyze.Verifier.verify_spec spec) <> [])
 
 let analysis_accepts_paper_machines () =
   List.iter
-    (fun spec ->
-      match Efsm.Analysis.check spec with
-      | Ok () -> ()
-      | Error e -> Alcotest.failf "analysis rejected %s" e)
+    (fun (spec, vars) ->
+      match Analyze.Verifier.machine_errors (Analyze.Verifier.verify_spec ~vars spec) with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "verifier rejected %s: %s" spec.Efsm.Machine.spec_name
+            (Analyze.Finding.to_string f))
     [
-      Vids.Sip_call_machine.spec Vids.Config.default;
-      Vids.Rtp_call_machine.spec Vids.Config.default;
-      Vids.Invite_flood_machine.spec Vids.Config.default;
-      Vids.Media_spam_machine.spec Vids.Config.default;
-      Vids.Drdos_machine.spec Vids.Config.default;
+      (Vids.Sip_call_machine.spec Vids.Config.default, Vids.Sip_call_machine.vars);
+      (Vids.Rtp_call_machine.spec Vids.Config.default, Vids.Rtp_call_machine.vars);
+      (Vids.Invite_flood_machine.spec Vids.Config.default, Vids.Invite_flood_machine.vars);
+      (Vids.Media_spam_machine.spec Vids.Config.default, Vids.Media_spam_machine.vars);
+      (Vids.Drdos_machine.spec Vids.Config.default, Vids.Drdos_machine.vars);
     ]
 
 let suite =

@@ -1,0 +1,399 @@
+(* Tests for the .vspec front end: positioned diagnostics on malformed
+   specs (one fixture per diagnostic class), the parse/print round-trip
+   property, freshness of the shipped example specs against the
+   unelaborator, and digest transparency of DSL-loaded overrides. *)
+
+module A = Spec.Ast
+module P = Spec.Printer
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let tc name f = Alcotest.test_case name `Quick f
+
+let sec = Dsim.Time.of_sec
+
+(* ------------------------------------------------------------------ *)
+(* Malformed specs: one fixture per diagnostic class                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each fixture seeds exactly one defect and asserts the diagnostic
+   class plus the exact 1-based line:col the front end reports — the
+   positions a user would click on.  [Speclint.ok = false] is what makes
+   [vids-cli lint] exit nonzero. *)
+
+let lint_src src =
+  Analyze.Speclint.lint_sources ~externs:Spec.Elaborate.no_externs
+    [ ("fixture.vspec", src) ]
+
+let expect_error ~code ~line ~col src () =
+  let r = lint_src src in
+  check "lint rejects" false (Analyze.Speclint.ok r);
+  check "front-end errors" true (Spec.Diag.has_errors r.Analyze.Speclint.diags);
+  match List.filter Spec.Diag.is_error r.Analyze.Speclint.diags with
+  | [] -> Alcotest.fail "no error diagnostics"
+  | d :: _ ->
+      check_str "diagnostic class" code (Spec.Diag.code_to_string d.Spec.Diag.code);
+      check_str "file" "fixture.vspec" d.Spec.Diag.span.Spec.Loc.s.Spec.Loc.file;
+      check_int "line" line d.Spec.Diag.span.Spec.Loc.s.Spec.Loc.line;
+      check_int "col" col d.Spec.Diag.span.Spec.Loc.s.Spec.Loc.col
+
+let lex_error =
+  expect_error ~code:"lex" ~line:3 ~col:3
+    "machine M {\n  initial A;\n  ?\n}\n"
+
+let parse_error =
+  expect_error ~code:"parse" ~line:2 ~col:11
+    "machine M {\n  initial ;\n}\n"
+
+let unbound_var =
+  expect_error ~code:"unbound-var" ~line:4 ~col:10
+    "machine M {\n  initial A;\n  trans t : A -> A on event e\n    when missing == 1;\n}\n"
+
+let type_mismatch =
+  expect_error ~code:"type-mismatch" ~line:5 ~col:15
+    "machine M {\n  var n : int;\n  initial A;\n  trans t : A -> A on event e\n    do { n := \"hello\"; }\n}\n"
+
+let dup_state =
+  expect_error ~code:"dup-state" ~line:4 ~col:3
+    "machine M {\n  initial A;\n  final B;\n  attack B \"boom\";\n}\n"
+
+let unknown_sync =
+  expect_error ~code:"unknown-sync" ~line:4 ~col:10
+    "machine M {\n  initial A;\n  trans t : A -> A on event e\n    do { sync NOPE.go(); }\n}\n"
+
+(* A broken machine in a batch does not hide a clean one. *)
+let batch_isolation () =
+  let broken = "machine BAD {\n  initial ;\n}\n" in
+  let clean = "machine OK {\n  initial A;\n  trans t : A -> A on event e;\n}\n" in
+  let r =
+    Analyze.Speclint.lint_sources ~externs:Spec.Elaborate.no_externs
+      [ ("broken.vspec", broken); ("clean.vspec", clean) ]
+  in
+  check "batch still rejects" false (Analyze.Speclint.ok r);
+  check_int "clean machine loads" 1 (List.length r.Analyze.Speclint.loaded);
+  check_str "the clean one" "OK"
+    (List.hd r.Analyze.Speclint.loaded).Spec.Front_end.l_name
+
+(* ------------------------------------------------------------------ *)
+(* Round trip: parse . print = id                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Identifier pools avoid the contextual keywords (if, sync, in, do,
+   when, true, ...) the grammar gives special meaning. *)
+let var_pool = [ "x"; "y"; "count"; "rate"; "seen" ]
+let state_pool = [ "IDLE"; "SETUP"; "UP"; "TEARDOWN"; "ALARM" ]
+let label_pool = [ "go"; "stop"; "ring"; "drop"; "reset"; "t1" ]
+let name_pool = [ "ping"; "pong"; "tick"; "media" ]
+let machine_pool = [ "M0"; "M1"; "RTP" ]
+let field_pool = [ "from"; "tag"; "seq" ]
+let str_pool = [ ""; "a"; "b c"; "x\"y"; "line\nbreak"; "tab\there" ]
+
+let dexp e = { A.e; e_span = Spec.Loc.dummy }
+let dact a = { A.a; a_span = Spec.Loc.dummy }
+
+let lit_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> A.L_int n) (int_range (-5) 40);
+        map (fun s -> A.L_str s) (oneofl str_pool);
+        map (fun b -> A.L_bool b) bool;
+        return A.L_unset;
+      ])
+
+let binop_gen =
+  QCheck.Gen.oneofl
+    [
+      A.B_and; A.B_or; A.B_eq; A.B_ne; A.B_lt; A.B_le; A.B_gt; A.B_ge; A.B_ieq;
+      A.B_ine; A.B_add; A.B_sub;
+    ]
+
+let rec exp_gen n =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map (fun l -> dexp (A.Lit l)) lit_gen;
+        map (fun v -> dexp (A.Ident v)) (oneofl var_pool);
+        map (fun f -> dexp (A.Fieldref f)) (oneofl field_pool);
+        map (fun e -> dexp (A.Extern_ref e)) (oneofl [ "is_spam"; "p_ext" ]);
+      ]
+  in
+  if n = 0 then atom
+  else
+    frequency
+      [
+        (3, atom);
+        (1, map (fun e -> dexp (A.Not e)) (exp_gen (n - 1)));
+        ( 2,
+          map3
+            (fun op a b -> dexp (A.Bin (op, a, b)))
+            binop_gen (exp_gen (n - 1)) (exp_gen (n - 1)) );
+        ( 1,
+          map2
+            (fun e lits -> dexp (A.In_set (e, lits)))
+            (exp_gen (n - 1))
+            (list_size (int_range 1 3) lit_gen) );
+        ( 1,
+          map2
+            (fun f args -> dexp (A.Call (f, args)))
+            (oneofl [ "addr"; "host"; "int"; "int0"; "has"; "f" ])
+            (list_size (int_range 0 2) (exp_gen (n - 1))) );
+      ]
+
+let rec act_gen n =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [
+        map2 (fun v e -> dact (A.Assign (v, e))) (oneofl var_pool) (exp_gen 2);
+        map3
+          (fun target event args -> dact (A.Sync { target; event; args }))
+          (oneofl machine_pool) (oneofl name_pool)
+          (list_size (int_range 0 2) (pair (oneofl [ "k0"; "k1" ]) (exp_gen 1)));
+        map2
+          (fun id d -> dact (A.Set_timer (id, d)))
+          (oneofl label_pool)
+          (oneofl [ 0; 7; 40_000; 250_000; 1_000_000; 10_000_000 ]);
+        map (fun id -> dact (A.Cancel_timer id)) (oneofl label_pool);
+        map (fun nm -> dact (A.Extern_act nm)) (oneofl [ "advance_baseline"; "a_ext" ]);
+      ]
+  in
+  if n = 0 then base
+  else
+    frequency
+      [
+        (4, base);
+        ( 1,
+          map3
+            (fun p t e -> dact (A.If (p, t, e)))
+            (exp_gen 2)
+            (list_size (int_range 0 2) (act_gen (n - 1)))
+            (list_size (int_range 0 2) (act_gen (n - 1))) );
+      ]
+
+let ty_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ A.T_int; A.T_bool; A.T_str; A.T_addr ];
+        map (fun l -> A.T_enum l) (list_size (int_range 1 3) lit_gen);
+      ])
+
+let item_gen =
+  let open QCheck.Gen in
+  frequency
+    [
+      ( 2,
+        map3
+          (fun v_name v_scope v_ty ->
+            A.I_var { v_name; v_scope; v_ty; v_span = Spec.Loc.dummy })
+          (oneofl var_pool)
+          (oneofl [ A.S_local; A.S_global ])
+          ty_gen );
+      (1, map (fun s -> A.I_initial (s, Spec.Loc.dummy)) (oneofl state_pool));
+      ( 1,
+        map
+          (fun ss -> A.I_final (List.map (fun s -> (s, Spec.Loc.dummy)) ss))
+          (list_size (int_range 1 3) (oneofl state_pool)) );
+      ( 1,
+        map2
+          (fun at_state at_desc ->
+            A.I_attack { at_state; at_desc; at_span = Spec.Loc.dummy })
+          (oneofl state_pool) (oneofl str_pool) );
+      ( 3,
+        map
+          (fun ((t_label, (t_from, t_to)), ((kind, name), (t_guard, t_acts))) ->
+            A.I_trans
+              {
+                A.t_label;
+                t_from;
+                t_to;
+                t_trigger = (kind, name);
+                t_guard;
+                t_acts;
+                t_span = Spec.Loc.dummy;
+              })
+          (pair
+             (pair (oneofl label_pool) (pair (oneofl state_pool) (oneofl state_pool)))
+             (pair
+                (pair
+                   (oneofl [ A.Tg_event; A.Tg_channel; A.Tg_sync; A.Tg_timer ])
+                   (oneofl name_pool))
+                (pair (opt (exp_gen 3)) (list_size (int_range 0 3) (act_gen 1))))) );
+    ]
+
+let file_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 2)
+      (map2
+         (fun m_name m_items -> { A.m_name; m_items; m_span = Spec.Loc.dummy })
+         (oneofl machine_pool)
+         (list_size (int_range 0 6) item_gen)))
+
+let round_trip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vspec: parse . print = id" ~count:300
+       (QCheck.make ~print:P.print_file file_gen)
+       (fun file ->
+         let printed = P.print_file file in
+         let parsed, diags = Spec.Parser.parse ~file:"gen.vspec" printed in
+         diags = [] && A.equal_file file parsed))
+
+(* ------------------------------------------------------------------ *)
+(* Shipped example specs                                               *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_files =
+  [
+    ("sip-call", "sip_call");
+    ("rtp-call", "rtp_call");
+    ("invite-flood", "invite_flood");
+    ("media-spam", "media_spam");
+    ("drdos", "drdos");
+  ]
+
+let example_path base = Printf.sprintf "../examples/specs/%s.vspec" base
+
+let read_file path =
+  match Spec.Front_end.read_file path with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* The shipped files are exactly [lint --emit]'s canonical print of the
+   builtins: regenerating them after a machine change is a test failure,
+   not a silent drift. *)
+let emitted_specs_fresh () =
+  List.iter
+    (fun (key, base) ->
+      let spec, decls =
+        match Vids.Spec_load.builtin_for Vids.Config.default key with
+        | Some sd -> sd
+        | None -> Alcotest.failf "no builtin %s" key
+      in
+      let expected = P.print_machine (P.of_machine spec decls) in
+      check_str (base ^ ".vspec is fresh") expected (read_file (example_path base)))
+    builtin_files
+
+let examples_lint_clean () =
+  let files = List.map (fun (_, b) -> example_path b) builtin_files in
+  match
+    Analyze.Speclint.lint_files ~known_machines:Vids.Spec_load.known_machines
+      ~externs:(Vids.Spec_load.externs Vids.Config.default)
+      files
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check "examples lint clean" true (Analyze.Speclint.ok r);
+      check_int "all five load" 5 (List.length r.Analyze.Speclint.loaded);
+      (* Verifier findings on loaded specs point back into the source. *)
+      let findings = Analyze.Verifier.all_findings r.Analyze.Speclint.report in
+      check "findings carry source spans" true
+        (List.exists (fun f -> f.Analyze.Finding.span <> None) findings);
+      check "rendered findings name the file" true
+        (List.exists
+           (fun f ->
+             match f.Analyze.Finding.span with
+             | Some sp ->
+                 Filename.check_suffix sp.Spec.Loc.s.Spec.Loc.file ".vspec"
+             | None -> false)
+           findings)
+
+(* ------------------------------------------------------------------ *)
+(* Digest transparency of DSL-loaded overrides                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The same goldens as test_analyze's digest_transparency: running the
+   full eight-attack scenario with all five machines loaded from
+   [.vspec] text must reproduce the builtin engine bit for bit. *)
+let golden_alert_digest = "5042aef8b47acb330344d71f93363369"
+let golden_engine_digest = "2c0697a823b6fd8e149cdfd513a0242a"
+
+let dsl_digest_transparency () =
+  let module T = Voip.Testbed in
+  let overrides =
+    match
+      Vids.Spec_load.load_files Vids.Config.default
+        (List.map (fun (_, b) -> example_path b) builtin_files)
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  check_int "five overrides" 5 (List.length overrides);
+  let all_attacks =
+    [
+      "bye-dos"; "cancel-dos"; "hijack"; "media-spam"; "billing-fraud"; "invite-flood";
+      "rtp-flood"; "drdos";
+    ]
+  in
+  let tb = T.make ~seed:42 ~vids:T.Monitor ~overrides () in
+  let atk = Attack.Scenarios.create tb ~host:"203.0.113.66" in
+  let ua_a n = List.nth tb.T.uas_a n and ua_b n = List.nth tb.T.uas_b n in
+  List.iteri
+    (fun i name ->
+      let at = sec (5.0 +. (25.0 *. float_of_int i)) in
+      let pair = i mod 8 in
+      match name with
+      | "bye-dos" -> Attack.Scenarios.spoofed_bye_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "cancel-dos" ->
+          Attack.Scenarios.cancel_dos_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "hijack" -> Attack.Scenarios.hijack_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "media-spam" ->
+          Attack.Scenarios.media_spam_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "billing-fraud" ->
+          Attack.Scenarios.billing_fraud_call atk ~caller:(ua_a pair) ~callee:(ua_b pair) ~at
+      | "invite-flood" ->
+          Attack.Scenarios.invite_flood atk ~target:(Voip.Ua.aor (ua_b pair)) ~via_proxy:true
+            ~count:25 ~interval:(Dsim.Time.of_ms 40.0) ~at
+      | "rtp-flood" ->
+          Attack.Scenarios.rtp_flood atk
+            ~target:(Dsim.Addr.v (T.ua_b_host tb pair) 16500)
+            ~rate_pps:400 ~duration:(sec 2.0) ~at
+      | "drdos" ->
+          Attack.Scenarios.drdos atk ~victim_host:(T.ua_b_host tb pair) ~reflectors:20
+            ~responses:60 ~at
+      | _ -> assert false)
+    all_attacks;
+  let horizon = sec (40.0 +. (25.0 *. float_of_int (List.length all_attacks))) in
+  T.run_until tb horizon;
+  let engine = T.engine_exn tb in
+  let lines =
+    List.map
+      (fun (a : Vids.Alert.t) ->
+        Printf.sprintf "%s|%s|%d|%s|%s"
+          (Vids.Alert.kind_to_string a.Vids.Alert.kind)
+          (Vids.Alert.severity_to_string a.Vids.Alert.severity)
+          (Dsim.Time.to_us a.Vids.Alert.at) a.Vids.Alert.subject a.Vids.Alert.detail)
+      (Vids.Engine.alerts engine)
+  in
+  check_int "all eight attacks alerted" 8 (List.length lines);
+  check_str "alert digest matches the builtins" golden_alert_digest
+    (Digest.to_hex (Digest.string (String.concat "\n" lines)));
+  check_str "engine digest matches the builtins" golden_engine_digest
+    (Digest.to_hex (Digest.string (Vids.Snapshot.digest ~at:horizon engine)))
+
+let suite =
+  [
+    ( "spec.diagnostics",
+      [
+        tc "lex error positioned" lex_error;
+        tc "parse error positioned" parse_error;
+        tc "unbound variable positioned" unbound_var;
+        tc "type mismatch positioned" type_mismatch;
+        tc "duplicate state positioned" dup_state;
+        tc "unknown sync target positioned" unknown_sync;
+        tc "broken file does not hide clean one" batch_isolation;
+      ] );
+    ("spec.roundtrip", [ round_trip ]);
+    ( "spec.examples",
+      [
+        tc "emitted specs are fresh" emitted_specs_fresh;
+        tc "examples lint clean with spans" examples_lint_clean;
+      ] );
+    ( "spec.digest",
+      [
+        Alcotest.test_case "DSL overrides are digest-transparent" `Slow
+          dsl_digest_transparency;
+      ] );
+  ]
